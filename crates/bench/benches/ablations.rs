@@ -1,0 +1,90 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//! Jacobi pivot strategies, MLE vs linear-inversion tomography, and the
+//! coincidence-window choice behind every CAR number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qfc_mathkit::cmatrix::CMatrix;
+use qfc_mathkit::complex::Complex64;
+use qfc_mathkit::hermitian::{eigh_with, JacobiStrategy};
+use qfc_mathkit::rng::{normal, rng_from_seed};
+use qfc_quantum::bell::werner_state;
+use qfc_tomography::counts::simulate_counts;
+use qfc_tomography::reconstruct::{linear_reconstruction, mle_reconstruction, MleOptions};
+use qfc_tomography::settings::all_settings;
+use qfc_timetag::coincidence::measure_car;
+use qfc_timetag::events::TagStream;
+
+fn random_hermitian(n: usize, seed: u64) -> CMatrix {
+    let mut rng = rng_from_seed(seed);
+    let mut m = CMatrix::zeros(n, n);
+    for i in 0..n {
+        m[(i, i)] = Complex64::real(normal(&mut rng, 0.0, 1.0));
+        for j in (i + 1)..n {
+            let z = Complex64::new(normal(&mut rng, 0.0, 1.0), normal(&mut rng, 0.0, 1.0));
+            m[(i, j)] = z;
+            m[(j, i)] = z.conj();
+        }
+    }
+    m
+}
+
+/// Cyclic vs threshold Jacobi sweeps on the 16×16 matrices of four-qubit
+/// tomography.
+fn ablation_eigen(c: &mut Criterion) {
+    let m = random_hermitian(16, 7);
+    let mut g = c.benchmark_group("ablation_eigen");
+    g.bench_function("cyclic", |b| {
+        b.iter(|| eigh_with(black_box(&m), JacobiStrategy::Cyclic))
+    });
+    g.bench_function("threshold", |b| {
+        b.iter(|| eigh_with(black_box(&m), JacobiStrategy::Threshold))
+    });
+    g.finish();
+}
+
+/// MLE (paper pipeline) vs linear inversion at low counts.
+fn ablation_tomography(c: &mut Criterion) {
+    let truth = werner_state(0.83, 0.0);
+    let settings = all_settings(2);
+    let mut rng = rng_from_seed(8);
+    let data = simulate_counts(&mut rng, &truth, &settings, 200);
+    let mut g = c.benchmark_group("ablation_tomography");
+    g.bench_function("linear_inversion", |b| {
+        b.iter(|| linear_reconstruction(black_box(&data)))
+    });
+    g.bench_function("mle_rho_r", |b| {
+        b.iter(|| mle_reconstruction(black_box(&data), &MleOptions::default()))
+    });
+    g.finish();
+}
+
+/// CAR extraction cost vs coincidence-window width.
+fn ablation_car_window(c: &mut Criterion) {
+    use rand::Rng;
+    let mut rng = rng_from_seed(9);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for _ in 0..20_000 {
+        let t = (rng.gen::<f64>() * 1e13) as i64;
+        a.push(t);
+        b.push(t + (rng.gen::<f64>() * 2000.0) as i64 - 1000);
+    }
+    for _ in 0..20_000 {
+        a.push((rng.gen::<f64>() * 1e13) as i64);
+        b.push((rng.gen::<f64>() * 1e13) as i64);
+    }
+    let sa = TagStream::from_unsorted(a);
+    let sb = TagStream::from_unsorted(b);
+    let mut g = c.benchmark_group("ablation_car_window");
+    for window in [500i64, 2000, 8000, 32_000] {
+        g.bench_function(format!("window_{window}ps"), |bench| {
+            bench.iter(|| measure_car(black_box(&sa), black_box(&sb), window, 200_000, 10))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation_eigen, ablation_tomography, ablation_car_window);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! §III bench targets: F4 type-II CAR, F5 OPO transfer curve, F6
+//! stimulated-FWM suppression sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qfc_core::crosspol::{
+    run_crosspol_experiment, run_power_sweep, run_suppression_sweep, CrossPolConfig,
+};
+use qfc_core::source::QfcSource;
+
+fn f4_type2_car(c: &mut Criterion) {
+    let source = QfcSource::paper_device_type2();
+    let mut cfg = CrossPolConfig::fast_demo();
+    cfg.duration_s = 20.0;
+    let mut g = c.benchmark_group("f4_type2_car");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let report = run_crosspol_experiment(black_box(&source), black_box(&cfg), 11);
+            black_box(report.car)
+        })
+    });
+    g.finish();
+}
+
+fn f5_opo_threshold(c: &mut Criterion) {
+    let source = QfcSource::paper_device_type2();
+    let mut g = c.benchmark_group("f5_opo_threshold");
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let sweep = run_power_sweep(black_box(&source), 16);
+            black_box((sweep.threshold_w, sweep.below_exponent, sweep.above_exponent))
+        })
+    });
+    g.finish();
+}
+
+fn f6_suppression(c: &mut Criterion) {
+    let offsets: Vec<f64> = (0..16).map(|k| k as f64 * 3.0).collect();
+    let mut g = c.benchmark_group("f6_suppression");
+    g.bench_function("regenerate", |b| {
+        b.iter(|| black_box(run_suppression_sweep(black_box(&offsets))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, f4_type2_car, f5_opo_threshold, f6_suppression);
+criterion_main!(benches);

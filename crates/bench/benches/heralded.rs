@@ -1,0 +1,71 @@
+//! §II bench targets: F1 coincidence matrix, T1 CAR/rates, F2 linewidth,
+//! F3 stability — each criterion target regenerates the corresponding
+//! figure at reduced statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qfc_bench::configs::heralded_small;
+use qfc_core::heralded::{run_heralded_experiment, run_stability_experiment, StabilityConfig};
+use qfc_core::source::QfcSource;
+
+fn f1_coincidence_matrix(c: &mut Criterion) {
+    let source = QfcSource::paper_device();
+    let cfg = heralded_small();
+    let mut g = c.benchmark_group("f1_coincidence_matrix");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let report = run_heralded_experiment(black_box(&source), black_box(&cfg), 1);
+            black_box(report.coincidence_matrix)
+        })
+    });
+    g.finish();
+}
+
+fn t1_car_rates(c: &mut Criterion) {
+    let source = QfcSource::paper_device();
+    let cfg = heralded_small();
+    let mut g = c.benchmark_group("t1_car_rates");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let report = run_heralded_experiment(black_box(&source), black_box(&cfg), 2);
+            black_box((report.car_range(), report.rate_range()))
+        })
+    });
+    g.finish();
+}
+
+fn f2_linewidth(c: &mut Criterion) {
+    let source = QfcSource::paper_device();
+    let mut cfg = heralded_small();
+    cfg.channels = 1;
+    cfg.duration_s = 0.2;
+    cfg.linewidth_pairs = 20_000;
+    let mut g = c.benchmark_group("f2_linewidth");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let report = run_heralded_experiment(black_box(&source), black_box(&cfg), 3);
+            black_box(report.linewidth.linewidth_hz)
+        })
+    });
+    g.finish();
+}
+
+fn f3_stability(c: &mut Criterion) {
+    let source = QfcSource::paper_device();
+    let cfg = StabilityConfig::paper();
+    let mut g = c.benchmark_group("f3_stability");
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let report = run_stability_experiment(black_box(&source), black_box(&cfg), 4);
+            black_box(report.relative_fluctuation)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, f1_coincidence_matrix, t1_car_rates, f2_linewidth, f3_stability);
+criterion_main!(benches);

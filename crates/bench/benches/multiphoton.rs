@@ -1,0 +1,56 @@
+//! §V bench targets: T3 Bell tomography, F8 four-photon interference,
+//! T4 four-photon tomography.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qfc_bench::configs::multiphoton_small;
+use qfc_core::multiphoton::{
+    run_bell_tomography, run_four_photon_fringe, run_four_photon_tomography,
+};
+use qfc_core::source::QfcSource;
+
+fn t3_bell_tomography(c: &mut Criterion) {
+    let source = QfcSource::paper_device_timebin();
+    let cfg = multiphoton_small();
+    let mut g = c.benchmark_group("t3_bell_tomography");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let results = run_bell_tomography(black_box(&source), black_box(&cfg), 31);
+            black_box(results[0].fidelity)
+        })
+    });
+    g.finish();
+}
+
+fn f8_four_photon(c: &mut Criterion) {
+    let source = QfcSource::paper_device_timebin();
+    let cfg = multiphoton_small();
+    let mut g = c.benchmark_group("f8_four_photon");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let fringe = run_four_photon_fringe(black_box(&source), black_box(&cfg), 32);
+            black_box(fringe.visibility)
+        })
+    });
+    g.finish();
+}
+
+fn t4_four_photon_fidelity(c: &mut Criterion) {
+    let source = QfcSource::paper_device_timebin();
+    let cfg = multiphoton_small();
+    let mut g = c.benchmark_group("t4_four_photon_fidelity");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let tomo = run_four_photon_tomography(black_box(&source), black_box(&cfg), 33);
+            black_box(tomo.fidelity)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, t3_bell_tomography, f8_four_photon, t4_four_photon_fidelity);
+criterion_main!(benches);

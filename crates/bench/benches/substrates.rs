@@ -1,0 +1,116 @@
+//! Substrate micro-benchmarks: the numerical kernels every experiment
+//! rides on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use qfc_mathkit::cmatrix::CMatrix;
+use qfc_mathkit::complex::Complex64;
+use qfc_mathkit::hermitian::{eigh, sqrtm_psd, svd};
+use qfc_mathkit::rng::{normal, rng_from_seed};
+use qfc_photonics as _;
+use qfc_timetag::coincidence::{count_coincidences, cross_correlation_histogram};
+use qfc_timetag::events::TagStream;
+
+fn random_hermitian(n: usize, seed: u64) -> CMatrix {
+    let mut rng = rng_from_seed(seed);
+    let mut m = CMatrix::zeros(n, n);
+    for i in 0..n {
+        m[(i, i)] = Complex64::real(normal(&mut rng, 0.0, 1.0));
+        for j in (i + 1)..n {
+            let z = Complex64::new(normal(&mut rng, 0.0, 1.0), normal(&mut rng, 0.0, 1.0));
+            m[(i, j)] = z;
+            m[(j, i)] = z.conj();
+        }
+    }
+    m
+}
+
+fn random_stream(n: usize, span_ps: i64, seed: u64) -> TagStream {
+    use rand::Rng;
+    let mut rng = rng_from_seed(seed);
+    (0..n)
+        .map(|_| (rng.gen::<f64>() * span_ps as f64) as i64)
+        .collect()
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_linalg");
+    for &n in &[4usize, 16, 64] {
+        let a = random_hermitian(n, 1);
+        let b = random_hermitian(n, 2);
+        g.bench_function(format!("matmul_{n}x{n}"), |bench| {
+            bench.iter(|| black_box(&a) * black_box(&b))
+        });
+        g.bench_function(format!("eigh_{n}x{n}"), |bench| {
+            bench.iter(|| eigh(black_box(&a)))
+        });
+    }
+    let psd = {
+        let a = random_hermitian(16, 3);
+        &a.adjoint() * &a
+    };
+    g.bench_function("sqrtm_psd_16x16", |bench| {
+        bench.iter(|| sqrtm_psd(black_box(&psd)))
+    });
+    let rect = CMatrix::from_fn(48, 48, |i, j| {
+        Complex64::new((i as f64 * 0.3).sin(), (j as f64 * 0.7).cos())
+    });
+    g.bench_function("svd_48x48", |bench| {
+        bench.iter(|| svd(black_box(&rect), 1e-10))
+    });
+    g.finish();
+}
+
+fn bench_coincidence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_coincidence");
+    let a = random_stream(100_000, 1_000_000_000_000, 4);
+    let b = random_stream(100_000, 1_000_000_000_000, 5);
+    g.bench_function("count_100k_events", |bench| {
+        bench.iter(|| count_coincidences(black_box(&a), black_box(&b), 1000, 0))
+    });
+    let a2 = random_stream(20_000, 1_000_000_000, 6);
+    let b2 = random_stream(20_000, 1_000_000_000, 7);
+    g.bench_function("histogram_20k_events", |bench| {
+        bench.iter_batched(
+            || (a2.clone(), b2.clone()),
+            |(x, y)| cross_correlation_histogram(&x, &y, 15_000, 250),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fft_lle(c: &mut Criterion) {
+    use qfc_mathkit::fft::{fft, ifft};
+    use qfc_photonics::lle::{LleParameters, LleSimulator};
+    let mut g = c.benchmark_group("substrate_fft_lle");
+    let data: Vec<Complex64> = (0..1024)
+        .map(|k| Complex64::new((k as f64 * 0.11).sin(), (k as f64 * 0.07).cos()))
+        .collect();
+    g.bench_function("fft_1024", |bench| {
+        bench.iter_batched(
+            || data.clone(),
+            |mut d| {
+                fft(&mut d);
+                ifft(&mut d);
+                d
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("lle_1000_steps", |bench| {
+        bench.iter_batched(
+            || LleSimulator::new(LleParameters::above_threshold()),
+            |mut sim| {
+                sim.run(1000);
+                sim.state().mean_intensity()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_linalg, bench_coincidence, bench_fft_lle);
+criterion_main!(benches);

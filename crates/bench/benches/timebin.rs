@@ -1,0 +1,40 @@
+//! §IV bench targets: F7 interference fringes and T2 multiplexed CHSH.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qfc_bench::configs::timebin_small;
+use qfc_core::source::QfcSource;
+use qfc_core::timebin::run_timebin_experiment;
+
+fn f7_fringes(c: &mut Criterion) {
+    let source = QfcSource::paper_device_timebin();
+    let cfg = timebin_small();
+    let mut g = c.benchmark_group("f7_fringes");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let report = run_timebin_experiment(black_box(&source), black_box(&cfg), 21);
+            black_box(report.mean_visibility())
+        })
+    });
+    g.finish();
+}
+
+fn t2_chsh_channels(c: &mut Criterion) {
+    let source = QfcSource::paper_device_timebin();
+    let mut cfg = timebin_small();
+    cfg.channels = 5;
+    let mut g = c.benchmark_group("t2_chsh_channels");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let report = run_timebin_experiment(black_box(&source), black_box(&cfg), 22);
+            black_box(report.channels_violating())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, f7_fringes, t2_chsh_channels);
+criterion_main!(benches);

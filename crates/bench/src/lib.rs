@@ -1,0 +1,41 @@
+//! # qfc-bench
+//!
+//! Criterion benchmark harness: one bench target per figure/table of the
+//! paper (see DESIGN.md §4) plus substrate micro-benchmarks and the
+//! ablation benches called out in DESIGN.md §6. The benches measure the
+//! cost of regenerating each result; the results themselves are printed
+//! by the examples (`cargo run --release --example full_reproduction`).
+
+/// Common reduced-statistics configurations shared by the bench targets.
+pub mod configs {
+    use qfc_core::heralded::HeraldedConfig;
+    use qfc_core::multiphoton::MultiPhotonConfig;
+    use qfc_core::timebin::TimeBinConfig;
+
+    /// Heralded run small enough for a criterion iteration.
+    pub fn heralded_small() -> HeraldedConfig {
+        let mut c = HeraldedConfig::fast_demo();
+        c.duration_s = 1.0;
+        c.linewidth_pairs = 4000;
+        c
+    }
+
+    /// Time-bin run small enough for a criterion iteration.
+    pub fn timebin_small() -> TimeBinConfig {
+        let mut c = TimeBinConfig::fast_demo();
+        c.channels = 1;
+        c.frames_per_point = 1_000_000;
+        c.phase_steps = 12;
+        c
+    }
+
+    /// Multi-photon run small enough for a criterion iteration.
+    pub fn multiphoton_small() -> MultiPhotonConfig {
+        let mut c = MultiPhotonConfig::fast_demo();
+        c.timebin = timebin_small();
+        c.bell_shots_per_setting = 200;
+        c.four_fold_phase_steps = 12;
+        c.four_shots_per_setting = 20;
+        c
+    }
+}

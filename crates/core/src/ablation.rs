@@ -1,0 +1,181 @@
+//! Ablation studies of the design choices DESIGN.md calls out: the pump
+//! scheme (the paper's central §II claim), the tomography reconstructor,
+//! and the coincidence-window choice behind every CAR figure.
+
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::rng::rng_from_seed;
+use qfc_photonics::pump::PumpConfig;
+use qfc_photonics::units::Power;
+use qfc_quantum::bell::werner_state;
+use qfc_quantum::fidelity::state_fidelity;
+use qfc_tomography::counts::simulate_counts;
+use qfc_tomography::reconstruct::{linear_reconstruction, mle_reconstruction, MleOptions};
+use qfc_tomography::settings::all_settings;
+
+use crate::heralded::{run_heralded_experiment, run_stability_experiment, HeraldedConfig, StabilityConfig};
+use crate::source::QfcSource;
+
+/// One pump scheme's stability outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PumpSchemeOutcome {
+    /// Scheme label.
+    pub scheme: String,
+    /// Peak-to-peak relative fluctuation over the run.
+    pub relative_fluctuation: f64,
+    /// Whether the scheme needs active feedback hardware.
+    pub needs_active_stabilization: bool,
+}
+
+/// Ablation of the §II pump scheme: self-locked vs actively stabilized
+/// external vs free-running external, same environment, same seed.
+pub fn pump_scheme_ablation(config: &StabilityConfig, seed: u64) -> Vec<PumpSchemeOutcome> {
+    let power = Power::from_mw(15.0);
+    let schemes: [(&str, PumpConfig, bool); 3] = [
+        ("self-locked", PumpConfig::SelfLockedCw { power }, false),
+        (
+            "external + active lock",
+            PumpConfig::ExternalCw {
+                power,
+                actively_stabilized: true,
+            },
+            true,
+        ),
+        (
+            "external free-running",
+            PumpConfig::ExternalCw {
+                power,
+                actively_stabilized: false,
+            },
+            false,
+        ),
+    ];
+    schemes
+        .into_iter()
+        .map(|(label, pump, active)| {
+            let source = QfcSource::paper_device().with_pump(pump);
+            let report = run_stability_experiment(&source, config, seed);
+            PumpSchemeOutcome {
+                scheme: label.to_owned(),
+                relative_fluctuation: report.relative_fluctuation,
+                needs_active_stabilization: active,
+            }
+        })
+        .collect()
+}
+
+/// One row of the tomography-reconstructor ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TomographyAblationRow {
+    /// Counts per setting.
+    pub shots_per_setting: u64,
+    /// Fidelity of linear inversion (+ physicality projection) with the
+    /// true state.
+    pub linear_fidelity: f64,
+    /// Fidelity of the MLE (RρR) reconstruction with the true state.
+    pub mle_fidelity: f64,
+}
+
+/// Ablation of the reconstructor at decreasing statistics: MLE's
+/// advantage appears at low counts, where linear inversion leaves the
+/// physical cone.
+pub fn tomography_ablation(shots: &[u64], seed: u64) -> Vec<TomographyAblationRow> {
+    let truth = werner_state(0.83, 0.0);
+    let settings = all_settings(2);
+    let mut rng = rng_from_seed(seed);
+    shots
+        .iter()
+        .map(|&n| {
+            let data = simulate_counts(&mut rng, &truth, &settings, n);
+            let lin = linear_reconstruction(&data);
+            let mle = mle_reconstruction(&data, &MleOptions::default()).rho;
+            TomographyAblationRow {
+                shots_per_setting: n,
+                linear_fidelity: state_fidelity(&lin, &truth),
+                mle_fidelity: state_fidelity(&mle, &truth),
+            }
+        })
+        .collect()
+}
+
+/// One row of the coincidence-window ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowAblationRow {
+    /// Coincidence window, ps.
+    pub window_ps: i64,
+    /// Channel-1 CAR at this window.
+    pub car: f64,
+    /// Channel-1 detected coincidence rate, Hz.
+    pub coincidence_rate_hz: f64,
+}
+
+/// Ablation of the coincidence window: short windows cut the 1.45-ns
+/// correlation envelope (losing true pairs), long windows integrate
+/// accidentals — CAR peaks in between.
+pub fn window_ablation(windows_ps: &[i64], seed: u64) -> Vec<WindowAblationRow> {
+    let source = QfcSource::paper_device();
+    windows_ps
+        .iter()
+        .map(|&w| {
+            let mut cfg = HeraldedConfig::fast_demo();
+            cfg.channels = 1;
+            cfg.duration_s = 20.0;
+            cfg.linewidth_pairs = 500;
+            cfg.coincidence_window_ps = w;
+            let report = run_heralded_experiment(&source, &cfg, seed);
+            WindowAblationRow {
+                window_ps: w,
+                car: report.channels[0].car,
+                coincidence_rate_hz: report.channels[0].coincidence_rate_hz,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pump_scheme_ordering() {
+        let results = pump_scheme_ablation(&StabilityConfig::paper(), 91);
+        assert_eq!(results.len(), 3);
+        let locked = results[0].relative_fluctuation;
+        let active = results[1].relative_fluctuation;
+        let free = results[2].relative_fluctuation;
+        // Self-locked and actively stabilized both beat free-running…
+        assert!(locked < free, "locked {locked} vs free {free}");
+        assert!(active < free, "active {active} vs free {free}");
+        // …and only the self-locked scheme needs no feedback hardware.
+        assert!(!results[0].needs_active_stabilization);
+        assert!(results[1].needs_active_stabilization);
+    }
+
+    #[test]
+    fn mle_wins_at_low_counts() {
+        let rows = tomography_ablation(&[20, 2000], 92);
+        // At high statistics both are excellent.
+        assert!(rows[1].linear_fidelity > 0.99);
+        assert!(rows[1].mle_fidelity > 0.99);
+        // At low statistics MLE does not trail linear inversion.
+        assert!(
+            rows[0].mle_fidelity >= rows[0].linear_fidelity - 0.02,
+            "low counts: MLE {} vs linear {}",
+            rows[0].mle_fidelity,
+            rows[0].linear_fidelity
+        );
+    }
+
+    #[test]
+    fn window_ablation_shows_capture_tradeoff() {
+        let rows = window_ablation(&[500, 8000, 64_000], 93);
+        // Wider window captures more of the 1.45-ns envelope…
+        assert!(rows[1].coincidence_rate_hz > rows[0].coincidence_rate_hz);
+        // …and the widest window must not improve CAR any further
+        // (it only adds accidentals).
+        assert!(rows[2].car <= rows[1].car * 1.2 + 1.0);
+        for r in &rows {
+            assert!(r.car > 1.0, "window {}: CAR {}", r.window_ps, r.car);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Fiber-link budget: how far the comb's entanglement reaches.
+//!
+//! The paper positions the source for "secure communications"; the
+//! deployment question is the distance budget. Post-selected time-bin
+//! entanglement is loss-tolerant — visibility survives attenuation until
+//! the *dark-count floor* of the detectors overtakes the thinned signal,
+//! at which point CHSH (and the key rate) collapse. This module computes
+//! that reach channel by channel.
+
+use serde::{Deserialize, Serialize};
+
+use qfc_quantum::chsh::{s_from_visibility, CLASSICAL_BOUND};
+
+use crate::qkd::{qber_from_visibility, secret_key_fraction};
+use crate::source::QfcSource;
+use crate::timebin::{channel_state_model, TimeBinConfig};
+
+/// A symmetric fiber link from the source to each user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiberLink {
+    /// One-way fiber length per arm, km.
+    pub length_km: f64,
+    /// Fiber attenuation, dB/km (0.2 for SMF-28 at 1550 nm).
+    pub loss_db_per_km: f64,
+}
+
+impl FiberLink {
+    /// Standard single-mode fiber at 1550 nm.
+    pub fn smf28(length_km: f64) -> Self {
+        Self {
+            length_km,
+            loss_db_per_km: 0.2,
+        }
+    }
+
+    /// Power transmission of one arm.
+    pub fn transmission(&self) -> f64 {
+        10f64.powf(-self.loss_db_per_km * self.length_km / 10.0)
+    }
+}
+
+/// Link-budget figures at one distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkPoint {
+    /// One-way arm length, km.
+    pub length_km: f64,
+    /// Post-selected coincidence probability per frame.
+    pub coincidence_prob: f64,
+    /// Delivered coincidence rate at the frame rate, Hz.
+    pub coincidence_rate_hz: f64,
+    /// Effective fringe visibility after accidentals.
+    pub effective_visibility: f64,
+    /// CHSH S implied by that visibility.
+    pub s_value: f64,
+    /// Secret-key rate, bit/s.
+    pub key_rate_hz: f64,
+}
+
+impl LinkPoint {
+    /// `true` while the link still violates the classical bound.
+    pub fn violates_chsh(&self) -> bool {
+        self.s_value > CLASSICAL_BOUND
+    }
+}
+
+/// Computes the link budget of channel `m` over a sweep of arm lengths.
+///
+/// # Panics
+///
+/// Panics if the source is not in the double-pulse regime or the sweep
+/// is empty.
+pub fn link_budget(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    m: u32,
+    frame_rate_hz: f64,
+    lengths_km: &[f64],
+) -> Vec<LinkPoint> {
+    assert!(!lengths_km.is_empty(), "empty length sweep");
+    let model = channel_state_model(source, config, m);
+    lengths_km
+        .iter()
+        .map(|&length_km| {
+            let eta_link = FiberLink::smf28(length_km).transmission();
+            let eta = config.arm_efficiency * eta_link;
+            // Phase-averaged post-selected signal and the accidental
+            // floor; darks do not attenuate with the link.
+            let p_sig = model.mu * eta * eta / 16.0;
+            let p_single = model.mu * eta / 2.0 + config.dark_prob_per_gate;
+            let p_acc = p_single * p_single;
+            let p_total = p_sig + p_acc;
+            let v_eff = model.state_visibility * p_sig / p_total;
+            let qber = qber_from_visibility(v_eff);
+            let rate = p_total * frame_rate_hz;
+            LinkPoint {
+                length_km,
+                coincidence_prob: p_total,
+                coincidence_rate_hz: rate,
+                effective_visibility: v_eff,
+                s_value: s_from_visibility(v_eff),
+                key_rate_hz: 0.5 * rate * secret_key_fraction(qber),
+            }
+        })
+        .collect()
+}
+
+/// Maximum arm length (km) at which channel `m` still violates CHSH, by
+/// bisection on the link budget. Returns `None` if even 0 km fails.
+pub fn chsh_reach_km(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    m: u32,
+    frame_rate_hz: f64,
+) -> Option<f64> {
+    let at = |km: f64| {
+        link_budget(source, config, m, frame_rate_hz, &[km])[0].s_value
+    };
+    if at(0.0) <= CLASSICAL_BOUND {
+        return None;
+    }
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    while at(hi) > CLASSICAL_BOUND {
+        hi *= 2.0;
+        if hi > 20_000.0 {
+            return Some(hi); // effectively unlimited in this model
+        }
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if at(mid) > CLASSICAL_BOUND {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (QfcSource, TimeBinConfig) {
+        (QfcSource::paper_device_timebin(), TimeBinConfig::paper())
+    }
+
+    #[test]
+    fn transmission_is_exponential() {
+        let l = FiberLink::smf28(50.0);
+        assert!((l.transmission() - 0.1).abs() < 1e-12, "{}", l.transmission());
+    }
+
+    #[test]
+    fn zero_length_matches_local_experiment() {
+        let (source, config) = setup();
+        let pts = link_budget(&source, &config, 1, 10.0e6, &[0.0]);
+        // Local visibility ≈ the §IV operating point.
+        assert!((pts[0].effective_visibility - 0.81).abs() < 0.05);
+        assert!(pts[0].violates_chsh());
+    }
+
+    #[test]
+    fn visibility_and_key_decline_with_distance() {
+        let (source, config) = setup();
+        let pts = link_budget(&source, &config, 1, 10.0e6, &[0.0, 25.0, 50.0, 100.0, 200.0]);
+        for w in pts.windows(2) {
+            assert!(w[1].effective_visibility <= w[0].effective_visibility + 1e-12);
+            assert!(w[1].key_rate_hz <= w[0].key_rate_hz + 1e-12);
+        }
+        // Very long links lose the violation entirely.
+        let far = link_budget(&source, &config, 1, 10.0e6, &[400.0]);
+        assert!(!far[0].violates_chsh(), "S = {}", far[0].s_value);
+    }
+
+    #[test]
+    fn reach_is_finite_and_useful() {
+        let (source, config) = setup();
+        let reach = chsh_reach_km(&source, &config, 1, 10.0e6).expect("violates locally");
+        // Dark-count-limited reach: tens to a couple hundred km.
+        assert!(reach > 20.0 && reach < 500.0, "reach {reach} km");
+        // Just inside the reach the link violates; outside it doesn't.
+        let inside = link_budget(&source, &config, 1, 10.0e6, &[reach * 0.95]);
+        let outside = link_budget(&source, &config, 1, 10.0e6, &[reach * 1.05]);
+        assert!(inside[0].violates_chsh());
+        assert!(!outside[0].violates_chsh());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty length sweep")]
+    fn empty_sweep_rejected() {
+        let (source, config) = setup();
+        let _ = link_budget(&source, &config, 1, 10.0e6, &[]);
+    }
+}

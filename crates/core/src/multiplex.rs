@@ -1,0 +1,153 @@
+//! Multi-user multiplexing — the intro's "frequency multiplexing to
+//! enable high dimensional multi-user operation": each symmetric channel
+//! pair of the comb serves one user pair of a star network, with the
+//! source in the middle distributing entanglement on standard DWDM
+//! wavelengths.
+
+use serde::{Deserialize, Serialize};
+
+use qfc_photonics::comb::TelecomBand;
+use qfc_photonics::units::Frequency;
+
+use crate::qkd::{qber_from_visibility, secret_key_fraction};
+use crate::source::QfcSource;
+use crate::timebin::{channel_state_model, TimeBinConfig};
+
+/// One user pair's allocation in the star network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserAllocation {
+    /// User-pair label (Alice_k / Bob_k).
+    pub user_pair: u32,
+    /// Comb channel pair assigned.
+    pub channel_m: u32,
+    /// Wavelength delivered to the "Alice" side (signal).
+    pub alice_frequency: Frequency,
+    /// Wavelength delivered to the "Bob" side (idler).
+    pub bob_frequency: Frequency,
+    /// Telecom bands of the two wavelengths.
+    pub bands: (TelecomBand, TelecomBand),
+    /// Entangled-pair delivery rate (post-selected coincidences/s at the
+    /// network operating point).
+    pub pair_rate_hz: f64,
+    /// Secret-key rate available to this user pair, bit/s.
+    pub key_rate_hz: f64,
+}
+
+/// The full network allocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StarNetwork {
+    /// Per-user allocations.
+    pub users: Vec<UserAllocation>,
+}
+
+impl StarNetwork {
+    /// Number of simultaneously served user pairs.
+    pub fn user_pairs(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Aggregate secret-key rate of the network, bit/s.
+    pub fn total_key_rate_hz(&self) -> f64 {
+        self.users.iter().map(|u| u.key_rate_hz).sum()
+    }
+
+    /// `true` when no two users share a wavelength.
+    pub fn wavelengths_disjoint(&self) -> bool {
+        let mut freqs: Vec<i64> = self
+            .users
+            .iter()
+            .flat_map(|u| [u.alice_frequency.hz() as i64, u.bob_frequency.hz() as i64])
+            .collect();
+        let n = freqs.len();
+        freqs.sort_unstable();
+        freqs.dedup();
+        freqs.len() == n
+    }
+}
+
+/// Plans a star network over the first `user_pairs` channel pairs of the
+/// comb, at the §IV time-bin operating point.
+///
+/// # Panics
+///
+/// Panics if `user_pairs == 0` or the source is not in the double-pulse
+/// regime.
+pub fn plan_star_network(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    user_pairs: u32,
+    frame_rate_hz: f64,
+) -> StarNetwork {
+    assert!(user_pairs > 0, "need at least one user pair");
+    let comb = source.comb(user_pairs);
+    let mut users = Vec::with_capacity(user_pairs as usize);
+    for m in 1..=user_pairs {
+        let pair = comb.pair(m).expect("within grid");
+        let model = channel_state_model(source, config, m);
+        // Phase-averaged post-selected coincidence probability per frame.
+        let p_mean = model.mu * config.arm_efficiency.powi(2) / 16.0 + model.accidental_prob;
+        let pair_rate = p_mean * frame_rate_hz;
+        let qber = qber_from_visibility(model.state_visibility);
+        let key_rate = 0.5 * pair_rate * secret_key_fraction(qber);
+        users.push(UserAllocation {
+            user_pair: m,
+            channel_m: m,
+            alice_frequency: pair.signal.frequency,
+            bob_frequency: pair.idler.frequency,
+            bands: (pair.signal.band, pair.idler.band),
+            pair_rate_hz: pair_rate,
+            key_rate_hz: key_rate,
+        });
+    }
+    StarNetwork { users }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network(n: u32) -> StarNetwork {
+        let source = QfcSource::paper_device_timebin();
+        plan_star_network(&source, &TimeBinConfig::paper(), n, 10.0e6)
+    }
+
+    #[test]
+    fn five_user_pairs_from_the_paper_comb() {
+        let net = network(5);
+        assert_eq!(net.user_pairs(), 5);
+        assert!(net.wavelengths_disjoint());
+        for u in &net.users {
+            assert!(u.pair_rate_hz > 1.0, "user {}: {}", u.user_pair, u.pair_rate_hz);
+            assert!(u.key_rate_hz > 0.0, "user {}: no key", u.user_pair);
+            // Alice above the pump, Bob below.
+            assert!(u.alice_frequency.hz() > u.bob_frequency.hz());
+        }
+    }
+
+    #[test]
+    fn aggregate_rate_scales_with_users() {
+        let small = network(2);
+        let large = network(5);
+        assert!(large.total_key_rate_hz() > small.total_key_rate_hz());
+    }
+
+    #[test]
+    fn wide_network_spans_bands() {
+        let net = network(35);
+        let bands: Vec<TelecomBand> = net
+            .users
+            .iter()
+            .flat_map(|u| [u.bands.0, u.bands.1])
+            .collect();
+        assert!(bands.contains(&TelecomBand::S));
+        assert!(bands.contains(&TelecomBand::C));
+        assert!(bands.contains(&TelecomBand::L));
+        assert!(net.wavelengths_disjoint());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_rejected() {
+        let _ = network(0);
+    }
+}

@@ -1,0 +1,155 @@
+//! §II "pure single mode photons": spectral purity of the heralded
+//! photons and their heralded autocorrelation, plus the quantum-memory
+//! compatibility argument that motivates the narrow linewidth.
+
+use serde::{Deserialize, Serialize};
+
+use qfc_photonics::jsa::{JointSpectralAmplitude, PumpEnvelope};
+use qfc_photonics::memory::{ring_memory_efficiency, MemoryProfile};
+use qfc_photonics::waveguide::Polarization;
+use qfc_quantum::fock::TwoModeSqueezedVacuum;
+
+use crate::report::{Comparison, Expectation, ExperimentReport};
+use crate::source::QfcSource;
+
+/// Configuration of the purity analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PurityConfig {
+    /// Channel analyzed.
+    pub m: u32,
+    /// JSA discretization grid (n × n).
+    pub grid: usize,
+    /// JSA span in loaded linewidths around each resonance.
+    pub span_linewidths: f64,
+    /// Herald-arm efficiency used for the heralded g² estimate.
+    pub herald_efficiency: f64,
+}
+
+impl PurityConfig {
+    /// Paper conditions: channel 1, resonance-filtered pulsed drive.
+    pub fn paper() -> Self {
+        Self {
+            m: 1,
+            grid: 48,
+            span_linewidths: 6.0,
+            herald_efficiency: 0.105,
+        }
+    }
+}
+
+/// Results of the purity analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PurityReport {
+    /// Schmidt number of the joint spectral amplitude.
+    pub schmidt_number: f64,
+    /// Heralded-photon spectral purity `1/K`.
+    pub heralded_purity: f64,
+    /// Heralded g²(0) at the configured operating point.
+    pub heralded_g2: f64,
+    /// Acceptance efficiency into a 100-MHz atomic memory.
+    pub memory_acceptance: f64,
+}
+
+impl PurityReport {
+    /// Comparison rows: the §II qualitative claims made quantitative.
+    pub fn to_report(&self) -> ExperimentReport {
+        let mut r = ExperimentReport::new("§II photon purity & memory compatibility");
+        r.push(Comparison::new(
+            "P1",
+            "heralded spectral purity 1/K",
+            0.90,
+            self.heralded_purity,
+            "",
+            Expectation::AtLeast,
+        ));
+        r.push(Comparison::new(
+            "P2",
+            "heralded g2(0) (single-photon character ≪ 0.5)",
+            0.5,
+            self.heralded_g2,
+            "",
+            Expectation::AtMost,
+        ));
+        r.push(Comparison::new(
+            "P3",
+            "acceptance into a 100-MHz atomic memory",
+            0.40,
+            self.memory_acceptance,
+            "",
+            Expectation::AtLeast,
+        ));
+        r
+    }
+}
+
+/// Runs the purity analysis for a pulsed (resonance-filtered) drive.
+///
+/// # Panics
+///
+/// Panics if the source is not in the double-pulse regime (the purity
+/// claim concerns the resonance-matched pulsed configuration).
+pub fn run_purity_analysis(source: &QfcSource, config: &PurityConfig) -> PurityReport {
+    let ring = source.ring();
+    // The double pulses are spectrally filtered to one resonance by a
+    // grating filter that is still far wider (GHz-class) than the
+    // 110-MHz resonance — the cavity itself does the final shaping, which
+    // is exactly the paper's "bandwidth intrinsically given by the
+    // resonance" condition (see `qfc_photonics::jsa`).
+    let pump = PumpEnvelope::Gaussian {
+        fwhm: 20.0 * ring.linewidth().hz(),
+    };
+    let jsa = JointSpectralAmplitude::for_channel(
+        ring,
+        Polarization::Te,
+        config.m,
+        pump,
+        config.grid,
+        config.span_linewidths,
+    );
+    let mu = source.pairs_per_frame(config.m);
+    let tmsv = TwoModeSqueezedVacuum::new(mu);
+    PurityReport {
+        schmidt_number: jsa.schmidt_number(),
+        heralded_purity: jsa.heralded_purity(),
+        heralded_g2: tmsv.heralded_g2(config.herald_efficiency),
+        memory_acceptance: ring_memory_efficiency(ring, &MemoryProfile::atomic_100mhz()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_operating_point_is_pure() {
+        let source = QfcSource::paper_device_timebin();
+        let report = run_purity_analysis(&source, &PurityConfig::paper());
+        assert!(report.heralded_purity > 0.9, "P = {}", report.heralded_purity);
+        assert!(report.schmidt_number < 1.15, "K = {}", report.schmidt_number);
+        assert!(report.heralded_g2 < 0.2, "g2 = {}", report.heralded_g2);
+        assert!(report.memory_acceptance > 0.4);
+        assert!(report.to_report().all_pass());
+    }
+
+    #[test]
+    fn purity_consistent_between_channels() {
+        let source = QfcSource::paper_device_timebin();
+        let mut cfg = PurityConfig::paper();
+        let p1 = run_purity_analysis(&source, &cfg);
+        cfg.m = 3;
+        let p3 = run_purity_analysis(&source, &cfg);
+        // All channels share the resonance-set bandwidth.
+        assert!((p1.heralded_purity - p3.heralded_purity).abs() < 0.02);
+    }
+
+    #[test]
+    fn g2_grows_with_pump() {
+        // Heralded g² worsens at higher μ — the §V pump-boost trade.
+        let source = QfcSource::paper_device_timebin();
+        let cfg = PurityConfig::paper();
+        let base = run_purity_analysis(&source, &cfg);
+        let mu_boosted = source.pairs_per_frame(1) * 9.0;
+        let g2_boosted = TwoModeSqueezedVacuum::new(mu_boosted).heralded_g2(cfg.herald_efficiency);
+        assert!(g2_boosted > base.heralded_g2);
+    }
+}

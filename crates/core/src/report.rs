@@ -1,0 +1,208 @@
+//! Paper-vs-measured reporting: typed comparison records, table
+//! rendering, and JSON export for EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// How a measured value is judged against the paper's value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Expectation {
+    /// Measured should be within a relative tolerance of the reference.
+    Within {
+        /// Relative tolerance (e.g. `0.25` = ±25 %).
+        rel_tol: f64,
+    },
+    /// Measured should be at least the reference (e.g. a bound violated).
+    AtLeast,
+    /// Measured should be at most the reference (e.g. a fluctuation cap).
+    AtMost,
+    /// Measured should fall in the closed interval `[lo, hi]`.
+    InRange {
+        /// Lower edge.
+        lo: f64,
+        /// Upper edge.
+        hi: f64,
+    },
+}
+
+/// One paper-claim vs measured-value comparison row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Experiment id, e.g. `"F2"` or `"T1"`.
+    pub id: String,
+    /// Human description of the quantity.
+    pub quantity: String,
+    /// The value the paper reports.
+    pub paper_value: f64,
+    /// The value this reproduction measured.
+    pub measured_value: f64,
+    /// Unit label.
+    pub unit: String,
+    /// How agreement is judged.
+    pub expectation: Expectation,
+}
+
+impl Comparison {
+    /// Creates a comparison row.
+    pub fn new(
+        id: &str,
+        quantity: &str,
+        paper_value: f64,
+        measured_value: f64,
+        unit: &str,
+        expectation: Expectation,
+    ) -> Self {
+        Self {
+            id: id.to_owned(),
+            quantity: quantity.to_owned(),
+            paper_value,
+            measured_value,
+            unit: unit.to_owned(),
+            expectation,
+        }
+    }
+
+    /// `true` when the measurement satisfies its expectation.
+    pub fn passes(&self) -> bool {
+        match self.expectation {
+            Expectation::Within { rel_tol } => {
+                if self.paper_value == 0.0 {
+                    self.measured_value.abs() <= rel_tol
+                } else {
+                    ((self.measured_value - self.paper_value) / self.paper_value).abs() <= rel_tol
+                }
+            }
+            Expectation::AtLeast => self.measured_value >= self.paper_value,
+            Expectation::AtMost => self.measured_value <= self.paper_value,
+            Expectation::InRange { lo, hi } => {
+                self.measured_value >= lo && self.measured_value <= hi
+            }
+        }
+    }
+}
+
+/// A full experiment report: a set of comparison rows with a title.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment title, e.g. `"§II heralded single photons"`.
+    pub title: String,
+    /// The comparison rows.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(title: &str) -> Self {
+        Self {
+            title: title.to_owned(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, c: Comparison) {
+        self.comparisons.push(c);
+    }
+
+    /// `true` when every row passes.
+    pub fn all_pass(&self) -> bool {
+        self.comparisons.iter().all(Comparison::passes)
+    }
+
+    /// Renders a fixed-width text table (for terminal output and
+    /// EXPERIMENTS.md).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        out.push_str(&format!(
+            "| {:<4} | {:<44} | {:>12} | {:>12} | {:<8} | {:<4} |\n",
+            "id", "quantity", "paper", "measured", "unit", "ok"
+        ));
+        out.push_str(&format!(
+            "|{}|{}|{}|{}|{}|{}|\n",
+            "-".repeat(6),
+            "-".repeat(46),
+            "-".repeat(14),
+            "-".repeat(14),
+            "-".repeat(10),
+            "-".repeat(6)
+        ));
+        for c in &self.comparisons {
+            out.push_str(&format!(
+                "| {:<4} | {:<44} | {:>12} | {:>12} | {:<8} | {:<4} |\n",
+                c.id,
+                c.quantity,
+                format_value(c.paper_value),
+                format_value(c.measured_value),
+                c.unit,
+                if c.passes() { "yes" } else { "NO" }
+            ));
+        }
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-2 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_expectation() {
+        let c = Comparison::new("F2", "linewidth", 110e6, 104e6, "Hz", Expectation::Within { rel_tol: 0.1 });
+        assert!(c.passes());
+        let c2 = Comparison::new("F2", "linewidth", 110e6, 80e6, "Hz", Expectation::Within { rel_tol: 0.1 });
+        assert!(!c2.passes());
+    }
+
+    #[test]
+    fn at_least_and_at_most() {
+        assert!(Comparison::new("T2", "S", 2.0, 2.35, "", Expectation::AtLeast).passes());
+        assert!(!Comparison::new("T2", "S", 2.0, 1.9, "", Expectation::AtLeast).passes());
+        assert!(Comparison::new("F3", "fluct", 0.05, 0.03, "", Expectation::AtMost).passes());
+    }
+
+    #[test]
+    fn in_range() {
+        let e = Expectation::InRange { lo: 12.8, hi: 32.4 };
+        assert!(Comparison::new("T1", "CAR", 0.0, 20.0, "", e).passes());
+        assert!(!Comparison::new("T1", "CAR", 0.0, 40.0, "", e).passes());
+    }
+
+    #[test]
+    fn zero_reference_within() {
+        let c = Comparison::new("x", "offset", 0.0, 0.005, "Hz", Expectation::Within { rel_tol: 0.01 });
+        assert!(c.passes());
+    }
+
+    #[test]
+    fn report_renders_and_aggregates() {
+        let mut r = ExperimentReport::new("test");
+        r.push(Comparison::new("A", "q", 1.0, 1.0, "u", Expectation::Within { rel_tol: 0.1 }));
+        assert!(r.all_pass());
+        let text = r.render();
+        assert!(text.contains("## test"));
+        assert!(text.contains("yes"));
+        r.push(Comparison::new("B", "q2", 1.0, 2.0, "u", Expectation::Within { rel_tol: 0.1 }));
+        assert!(!r.all_pass());
+        assert!(r.render().contains("NO"));
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut r = ExperimentReport::new("serde");
+        r.push(Comparison::new("A", "q", 1.0, 1.1, "u", Expectation::AtLeast));
+        let json = serde_json::to_string(&r).expect("serializes");
+        let back: ExperimentReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.title, "serde");
+        assert_eq!(back.comparisons.len(), 1);
+    }
+}

@@ -1,0 +1,524 @@
+//! §IV — Multiplexed time-bin entangled photon pairs.
+//!
+//! Reproduces:
+//!
+//! * **F7** — post-selected two-photon quantum-interference fringes with
+//!   83 % raw visibility;
+//! * **T2** — violation of the CHSH inequality on **all five** channel
+//!   pairs symmetric to the pump.
+//!
+//! The per-frame quantum state of each channel pair is the dephased
+//! time-bin Bell state whose visibility budget combines multi-pair
+//! emission (from the source's μ), residual interferometer phase noise,
+//! and pulse-mode overlap; accidental coincidences add a
+//! phase-independent floor. Counts are then drawn frame-by-frame.
+
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::fit::{fit_fringe, FringeFit};
+use qfc_mathkit::rng::{binomial, rng_from_seed};
+use qfc_interferometry::stabilization::visibility_factor;
+use qfc_quantum::chsh::{ChshSettings, CLASSICAL_BOUND};
+use qfc_quantum::density::DensityMatrix;
+use qfc_quantum::timebin::{dephased_timebin_bell, middle_slot_coincidence};
+
+use crate::report::{Comparison, Expectation, ExperimentReport};
+use crate::source::QfcSource;
+
+/// Configuration of the §IV time-bin run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeBinConfig {
+    /// Channel pairs measured (paper: 5).
+    pub channels: u32,
+    /// Double-pulse frames integrated per phase point.
+    pub frames_per_point: u64,
+    /// Phase points in the fringe scan.
+    pub phase_steps: usize,
+    /// Total single-photon efficiency per arm (detector × collection).
+    pub arm_efficiency: f64,
+    /// Dark/background probability per post-selection gate per frame.
+    pub dark_prob_per_gate: f64,
+    /// Residual RMS phase noise of each interferometer, rad.
+    pub phase_noise_rms: f64,
+    /// Temporal-mode overlap visibility of the two pump pulses.
+    pub mode_overlap_visibility: f64,
+    /// Phase written between the two pump pulses, rad.
+    pub pump_phase: f64,
+}
+
+impl TimeBinConfig {
+    /// The published §IV conditions.
+    pub fn paper() -> Self {
+        Self {
+            channels: 5,
+            frames_per_point: 50_000_000, // 5 s at 10 MHz per point
+            phase_steps: 24,
+            arm_efficiency: 0.105,
+            dark_prob_per_gate: 1.0e-6,
+            phase_noise_rms: 0.15,
+            mode_overlap_visibility: 0.93,
+            pump_phase: 0.0,
+        }
+    }
+
+    /// Smaller run for tests.
+    pub fn fast_demo() -> Self {
+        Self {
+            channels: 2,
+            frames_per_point: 10_000_000,
+            phase_steps: 16,
+            ..Self::paper()
+        }
+    }
+}
+
+/// The per-frame state model of one channel pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelStateModel {
+    /// Channel index.
+    pub m: u32,
+    /// Mean pairs per frame.
+    pub mu: f64,
+    /// State visibility after multi-pair, phase-noise and mode-overlap
+    /// penalties (before accidentals).
+    pub state_visibility: f64,
+    /// The modeled two-qubit state.
+    pub rho: DensityMatrix,
+    /// Phase-independent accidental coincidence probability per frame.
+    pub accidental_prob: f64,
+}
+
+/// Builds the state model of channel `m` from the source and config.
+///
+/// # Panics
+///
+/// Panics if the source is not in the double-pulse regime.
+pub fn channel_state_model(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    m: u32,
+) -> ChannelStateModel {
+    channel_state_model_boosted(source, config, m, 1.0)
+}
+
+/// Like [`channel_state_model`], with the pump *amplitude* scaled by
+/// `power_factor` (the §V four-photon runs pump harder, trading pairwise
+/// visibility for four-fold rate: `μ ∝ P²`).
+///
+/// # Panics
+///
+/// Panics if the source is not in the double-pulse regime or
+/// `power_factor <= 0`.
+pub fn channel_state_model_boosted(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    m: u32,
+    power_factor: f64,
+) -> ChannelStateModel {
+    assert!(power_factor > 0.0, "power factor must be positive");
+    let mu = source.pairs_per_frame(m) * power_factor * power_factor;
+    let v_multipair =
+        qfc_quantum::fock::TwoModeSqueezedVacuum::new(mu).multipair_visibility_limit();
+    // Pump interferometer + two analyzers, each with the residual noise.
+    let v_phase = visibility_factor(config.phase_noise_rms).powi(3);
+    let v = v_multipair * v_phase * config.mode_overlap_visibility;
+    let rho = dephased_timebin_bell(config.pump_phase, v);
+    // Accidentals: uncorrelated middle-slot singles on both arms.
+    let p_single = mu * config.arm_efficiency / 2.0 + config.dark_prob_per_gate;
+    let accidental_prob = p_single * p_single;
+    ChannelStateModel {
+        m,
+        mu,
+        state_visibility: v,
+        rho,
+        accidental_prob,
+    }
+}
+
+/// Coincidence probability per frame at analyzer phases `(a, b)`.
+pub fn coincidence_probability(
+    model: &ChannelStateModel,
+    config: &TimeBinConfig,
+    phi_a: f64,
+    phi_b: f64,
+) -> f64 {
+    let eta2 = config.arm_efficiency * config.arm_efficiency;
+    model.mu * eta2 * middle_slot_coincidence(&model.rho, phi_a, phi_b) + model.accidental_prob
+}
+
+/// One channel's fringe-scan result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelFringe {
+    /// Channel index.
+    pub m: u32,
+    /// (analyzer phase, post-selected coincidence counts) points.
+    pub points: Vec<(f64, u64)>,
+    /// Harmonic fit of the fringe.
+    pub fit: FringeFit,
+    /// State visibility of the underlying model.
+    pub state_visibility: f64,
+}
+
+/// One channel's CHSH measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChshChannelResult {
+    /// Channel index.
+    pub m: u32,
+    /// Measured CHSH S value.
+    pub s_value: f64,
+    /// 1σ statistical uncertainty of S.
+    pub sigma: f64,
+    /// Standard deviations above the classical bound.
+    pub n_sigma_violation: f64,
+}
+
+impl ChshChannelResult {
+    /// `true` when the classical bound is violated by at least `k` σ.
+    pub fn violates_by(&self, k: f64) -> bool {
+        self.s_value > CLASSICAL_BOUND && self.n_sigma_violation >= k
+    }
+}
+
+/// Full §IV report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeBinReport {
+    /// Fringe scan per channel (F7).
+    pub fringes: Vec<ChannelFringe>,
+    /// CHSH per channel (T2).
+    pub chsh: Vec<ChshChannelResult>,
+}
+
+impl TimeBinReport {
+    /// Mean fitted raw visibility across channels.
+    pub fn mean_visibility(&self) -> f64 {
+        self.fringes.iter().map(|f| f.fit.visibility).sum::<f64>()
+            / self.fringes.len().max(1) as f64
+    }
+
+    /// Number of channels violating CHSH (by ≥ 2σ).
+    pub fn channels_violating(&self) -> usize {
+        self.chsh.iter().filter(|c| c.violates_by(2.0)).count()
+    }
+
+    /// Comparison rows (paper: 83 % visibility; violation on all 5).
+    pub fn to_report(&self) -> ExperimentReport {
+        let mut r = ExperimentReport::new("§IV time-bin entanglement (F7/T2)");
+        r.push(Comparison::new(
+            "F7",
+            "raw two-photon interference visibility",
+            0.83,
+            self.mean_visibility(),
+            "",
+            Expectation::Within { rel_tol: 0.07 },
+        ));
+        r.push(Comparison::new(
+            "T2",
+            "channels violating CHSH (paper: all measured)",
+            self.chsh.len() as f64,
+            self.channels_violating() as f64,
+            "",
+            Expectation::AtLeast,
+        ));
+        let min_s = self
+            .chsh
+            .iter()
+            .map(|c| c.s_value)
+            .fold(f64::INFINITY, f64::min);
+        r.push(Comparison::new(
+            "T2",
+            "minimum channel S (classical bound 2)",
+            2.0,
+            min_s,
+            "",
+            Expectation::AtLeast,
+        ));
+        r
+    }
+}
+
+/// Slot-resolved result of the event-based §IV Monte Carlo at one
+/// analyzer phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlotScanPoint {
+    /// Analyzer-A phase.
+    pub phase: f64,
+    /// Detected joint-slot counts `[a][b]` (first/middle/last).
+    pub slots: [[u64; 3]; 3],
+}
+
+impl SlotScanPoint {
+    /// The post-selected middle/middle coincidences.
+    pub fn middle_middle(&self) -> u64 {
+        self.slots[1][1]
+    }
+
+    /// Counts in the phase-independent satellite cells.
+    pub fn satellites(&self) -> u64 {
+        let mut total = 0;
+        for (i, row) in self.slots.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                if !(i == 1 && j == 1) {
+                    total += c;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Event-based §IV Monte Carlo: every emitted pair is propagated through
+/// the full slot-resolved Franson table of
+/// [`qfc_interferometry::analysis`], detected with the per-arm
+/// efficiency, and binned by joint arrival slot; dark coincidences land
+/// in the middle/middle cell. Slower but assumption-free — used to
+/// cross-validate the analytic fringe of [`run_timebin_experiment`].
+pub fn run_timebin_event_mc(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    m: u32,
+    phases: &[f64],
+    seed: u64,
+) -> Vec<SlotScanPoint> {
+    use qfc_interferometry::analysis::two_photon_slot_table;
+    use qfc_interferometry::michelson::UnbalancedMichelson;
+    use qfc_mathkit::rng::discrete;
+
+    let mut rng = rng_from_seed(seed);
+    let model = channel_state_model(source, config, m);
+    let eta = config.arm_efficiency;
+    let ifo_b = UnbalancedMichelson::paper_instrument(0.0);
+
+    phases
+        .iter()
+        .map(|&phase| {
+            let ifo_a = UnbalancedMichelson::paper_instrument(phase);
+            let table = two_photon_slot_table(&model.rho, &ifo_a, &ifo_b);
+            // Flatten into a 10-way outcome: 9 slot cells (+ detection
+            // efficiency) and "no coincidence".
+            let mut weights = [0.0f64; 10];
+            let mut total = 0.0;
+            for i in 0..3 {
+                for j in 0..3 {
+                    let w = table[i][j] * eta * eta;
+                    weights[3 * i + j] = w;
+                    total += w;
+                }
+            }
+            weights[9] = (1.0 - total).max(0.0);
+
+            let n_pairs = binomial(&mut rng, config.frames_per_point, model.mu);
+            let mut slots = [[0u64; 3]; 3];
+            for _ in 0..n_pairs {
+                let outcome = discrete(&mut rng, &weights);
+                if outcome < 9 {
+                    slots[outcome / 3][outcome % 3] += 1;
+                }
+            }
+            // Accidentals (dark/uncorrelated coincidences) land in the
+            // post-selected middle/middle gate; single-arm darks pairing
+            // with real photons are absorbed in `accidental_prob`.
+            slots[1][1] += binomial(&mut rng, config.frames_per_point, model.accidental_prob);
+            SlotScanPoint { phase, slots }
+        })
+        .collect()
+}
+
+/// Runs the §IV virtual experiment: fringe scans and CHSH on every
+/// channel pair.
+pub fn run_timebin_experiment(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    seed: u64,
+) -> TimeBinReport {
+    assert!(config.channels >= 1, "need at least one channel");
+    assert!(config.phase_steps >= 5, "need ≥ 5 phase steps for the fit");
+    let mut rng = rng_from_seed(seed);
+    let mut fringes = Vec::new();
+    let mut chsh = Vec::new();
+
+    for m in 1..=config.channels {
+        let model = channel_state_model(source, config, m);
+
+        // F7 fringe: scan one analyzer phase.
+        let mut points = Vec::with_capacity(config.phase_steps);
+        for k in 0..config.phase_steps {
+            let phi = 2.0 * std::f64::consts::PI * k as f64 / config.phase_steps as f64;
+            let p = coincidence_probability(&model, config, phi, 0.0);
+            let counts = binomial(&mut rng, config.frames_per_point, p);
+            points.push((phi, counts));
+        }
+        let (xs, ys): (Vec<f64>, Vec<f64>) = points
+            .iter()
+            .map(|&(p, c)| (p, c as f64))
+            .unzip();
+        let fit = fit_fringe(&xs, &ys);
+        fringes.push(ChannelFringe {
+            m,
+            points,
+            fit,
+            state_visibility: model.state_visibility,
+        });
+
+        // T2 CHSH: measure the four correlators; each needs the four
+        // projector combinations (φ, φ+π) on both sides.
+        let settings = ChshSettings::optimal_for_phi_plus();
+        let pairs = [
+            (settings.a, settings.b),
+            (settings.a, settings.b_prime),
+            (settings.a_prime, settings.b),
+            (settings.a_prime, settings.b_prime),
+        ];
+        let mut e = [0.0f64; 4];
+        let mut total_counts = 0u64;
+        for (idx, &(alpha, beta)) in pairs.iter().enumerate() {
+            let mut n = [[0u64; 2]; 2];
+            for (i, da) in [0.0, std::f64::consts::PI].iter().enumerate() {
+                for (j, db) in [0.0, std::f64::consts::PI].iter().enumerate() {
+                    let p = coincidence_probability(&model, config, alpha + da, beta + db);
+                    n[i][j] = binomial(&mut rng, config.frames_per_point, p);
+                }
+            }
+            let sum = (n[0][0] + n[0][1] + n[1][0] + n[1][1]) as f64;
+            total_counts += n[0][0] + n[0][1] + n[1][0] + n[1][1];
+            e[idx] = if sum > 0.0 {
+                (n[0][0] as f64 + n[1][1] as f64 - n[0][1] as f64 - n[1][0] as f64) / sum
+            } else {
+                0.0
+            };
+        }
+        let s = (e[0] + e[1] + e[2] - e[3]).abs();
+        // Poisson propagation: σ_E ≈ √((1 − E²)/N) per correlator.
+        let n_per = (total_counts as f64 / 4.0).max(1.0);
+        let sigma = (e.iter().map(|ei| (1.0 - ei * ei) / n_per).sum::<f64>()).sqrt();
+        chsh.push(ChshChannelResult {
+            m,
+            s_value: s,
+            sigma,
+            n_sigma_violation: (s - CLASSICAL_BOUND) / sigma.max(1e-12),
+        });
+    }
+
+    TimeBinReport { fringes, chsh }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source() -> QfcSource {
+        QfcSource::paper_device_timebin()
+    }
+
+    #[test]
+    fn state_model_visibility_budget() {
+        let cfg = TimeBinConfig::paper();
+        let model = channel_state_model(&source(), &cfg, 1);
+        assert!(model.mu > 0.005 && model.mu < 0.1, "μ = {}", model.mu);
+        assert!(
+            model.state_visibility > 0.8 && model.state_visibility < 0.95,
+            "V = {}",
+            model.state_visibility
+        );
+        assert!(model.accidental_prob > 0.0);
+    }
+
+    #[test]
+    fn fringe_visibility_near_paper_value() {
+        let report = run_timebin_experiment(&source(), &TimeBinConfig::fast_demo(), 41);
+        for f in &report.fringes {
+            assert!(
+                (f.fit.visibility - 0.83).abs() < 0.08,
+                "m={}: V = {}",
+                f.m,
+                f.fit.visibility
+            );
+        }
+    }
+
+    #[test]
+    fn chsh_violated_on_all_channels() {
+        let report = run_timebin_experiment(&source(), &TimeBinConfig::fast_demo(), 42);
+        assert_eq!(report.channels_violating(), report.chsh.len());
+        for c in &report.chsh {
+            assert!(c.s_value > 2.0, "m={}: S = {}", c.m, c.s_value);
+            assert!(c.s_value < 2.0 * std::f64::consts::SQRT_2 + 3.0 * c.sigma);
+        }
+    }
+
+    #[test]
+    fn fringe_oscillates_through_minimum() {
+        let report = run_timebin_experiment(&source(), &TimeBinConfig::fast_demo(), 43);
+        let f = &report.fringes[0];
+        let max = f.points.iter().map(|p| p.1).max().expect("points");
+        let min = f.points.iter().map(|p| p.1).min().expect("points");
+        assert!(max > 5 * min, "max {max} min {min}");
+    }
+
+    #[test]
+    fn report_rows_pass() {
+        let report = run_timebin_experiment(&source(), &TimeBinConfig::fast_demo(), 44);
+        let rows = report.to_report();
+        assert!(rows.all_pass(), "{}", rows.render());
+    }
+
+    #[test]
+    fn probability_peaks_at_sum_phase() {
+        let cfg = TimeBinConfig::paper();
+        let model = channel_state_model(&source(), &cfg, 1);
+        let p0 = coincidence_probability(&model, &cfg, 0.0, 0.0);
+        let p_pi = coincidence_probability(&model, &cfg, std::f64::consts::PI, 0.0);
+        assert!(p0 > 5.0 * p_pi);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase steps")]
+    fn too_few_steps_rejected() {
+        let mut cfg = TimeBinConfig::fast_demo();
+        cfg.phase_steps = 3;
+        let _ = run_timebin_experiment(&source(), &cfg, 1);
+    }
+
+    #[test]
+    fn event_mc_cross_validates_analytic_fringe() {
+        let cfg = TimeBinConfig::fast_demo();
+        let phases: Vec<f64> = (0..12)
+            .map(|k| 2.0 * std::f64::consts::PI * k as f64 / 12.0)
+            .collect();
+        let scan = run_timebin_event_mc(&source(), &cfg, 1, &phases, 45);
+        let model = channel_state_model(&source(), &cfg, 1);
+        for p in &scan {
+            let expected =
+                coincidence_probability(&model, &cfg, p.phase, 0.0) * cfg.frames_per_point as f64;
+            let got = p.middle_middle() as f64;
+            // 5σ Poisson agreement between the two formalisms.
+            let tol = 5.0 * expected.sqrt().max(3.0);
+            assert!(
+                (got - expected).abs() < tol,
+                "phase {}: MC {} vs analytic {}",
+                p.phase,
+                got,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn event_mc_satellites_are_phase_independent() {
+        let cfg = TimeBinConfig::fast_demo();
+        let scan = run_timebin_event_mc(
+            &source(),
+            &cfg,
+            1,
+            &[0.0, std::f64::consts::FRAC_PI_2, std::f64::consts::PI],
+            46,
+        );
+        let sats: Vec<f64> = scan.iter().map(|p| p.satellites() as f64).collect();
+        let mean = sats.iter().sum::<f64>() / sats.len() as f64;
+        for s in &sats {
+            assert!((s - mean).abs() < 5.0 * mean.sqrt(), "satellites {s} vs mean {mean}");
+        }
+        // Middle/middle swings by far more than the satellites do.
+        let mm: Vec<u64> = scan.iter().map(|p| p.middle_middle()).collect();
+        assert!(*mm.iter().max().expect("points") > 3 * mm.iter().min().expect("points").max(&1));
+    }
+}

@@ -1,0 +1,508 @@
+//! Dense complex matrices (row-major).
+
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::{Complex64, C_ONE, C_ZERO};
+use crate::cvector::CVector;
+
+/// A dense complex matrix with row-major storage.
+///
+/// All quantum operators (density matrices, unitaries, projectors) and
+/// discretized joint spectral amplitudes in the workspace use this type.
+///
+/// # Examples
+///
+/// ```
+/// use qfc_mathkit::cmatrix::CMatrix;
+///
+/// let id = CMatrix::identity(2);
+/// let m = &id * &id;
+/// assert!(m.approx_eq(&id, 1e-15));
+/// assert!((id.trace().re - 2.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![C_ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C_ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested row slices of real values.
+    pub fn from_real_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend(row.iter().map(|&x| Complex64::real(x)));
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn diag(entries: &[Complex64]) -> Self {
+        let n = entries.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// Builds a matrix element-wise from a closure `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Outer product `|a⟩⟨b|` (i.e. `a · b†`).
+    pub fn outer(a: &CVector, b: &CVector) -> Self {
+        Self::from_fn(a.dim(), b.dim(), |i, j| a[i] * b[j].conj())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Flat row-major view of the entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Extracts row `i` as a vector.
+    pub fn row(&self, i: usize) -> CVector {
+        assert!(i < self.rows);
+        CVector::from_vec(self.data[i * self.cols..(i + 1) * self.cols].to_vec())
+    }
+
+    /// Extracts column `j` as a vector.
+    pub fn col(&self, j: usize) -> CVector {
+        assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn adjoint(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `√Σ|aᵢⱼ|²`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scales every entry by a real factor.
+    pub fn scale(&self, s: f64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.scale(s)).collect(),
+        }
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale_c(&self, s: Complex64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| *z * s).collect(),
+        }
+    }
+
+    /// Matrix-vector product `A·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim() != self.cols()`.
+    pub fn matvec(&self, v: &CVector) -> CVector {
+        assert_eq!(v.dim(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self[(i, j)] * v[j])
+                    .sum::<Complex64>()
+            })
+            .collect()
+    }
+
+    /// Matrix product `A·B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik.approx_zero(0.0) {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `A ⊗ B`.
+    pub fn kron(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                for k in 0..other.rows {
+                    for l in 0..other.cols {
+                        out[(i * other.rows + k, j * other.cols + l)] = a * other[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Quadratic form `⟨x|A|y⟩ = x† A y`.
+    pub fn sandwich(&self, x: &CVector, y: &CVector) -> Complex64 {
+        x.dot(&self.matvec(y))
+    }
+
+    /// `true` if `‖A − A†‖∞ ≤ tol` element-wise.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in i..self.cols {
+                if !self[(i, j)].approx_eq(self[(j, i)].conj(), tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if `A†A ≈ I` within `tol` element-wise.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let p = self.adjoint().matmul(self);
+        p.approx_eq(&Self::identity(self.rows), tol)
+    }
+
+    /// `true` if every element is within `tol` of `other`'s.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Largest element-wise modulus.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: Self) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: Self) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl Neg for &CMatrix {
+    type Output = CMatrix;
+    fn neg(self) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| -*z).collect(),
+        }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: Self) -> CMatrix {
+        self.matmul(rhs)
+    }
+}
+
+impl Mul<&CVector> for &CMatrix {
+    type Output = CVector;
+    fn mul(self, rhs: &CVector) -> CVector {
+        self.matvec(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C_I;
+
+    #[test]
+    fn identity_and_trace() {
+        let id = CMatrix::identity(3);
+        assert_eq!(id.trace().re, 3.0);
+        assert!(id.is_hermitian(0.0));
+        assert!(id.is_unitary(1e-15));
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let m = CMatrix::from_real_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)].re, 2.0);
+        assert_eq!(m[(1, 0)].re, 3.0);
+        assert_eq!(m.row(1), CVector::from_real(&[3.0, 4.0]));
+        assert_eq!(m.col(0), CVector::from_real(&[1.0, 3.0]));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = CMatrix::from_real_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = CMatrix::from_real_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        let expect = CMatrix::from_real_rows(&[&[19.0, 22.0], &[43.0, 50.0]]);
+        assert!(c.approx_eq(&expect, 1e-14));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = CMatrix::from_fn(3, 3, |i, j| Complex64::new(i as f64, j as f64));
+        assert!(a.matmul(&CMatrix::identity(3)).approx_eq(&a, 0.0));
+        assert!(CMatrix::identity(3).matmul(&a).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn adjoint_conjugates_and_transposes() {
+        let m = CMatrix::from_vec(1, 2, vec![C_I, Complex64::new(1.0, 2.0)]);
+        let a = m.adjoint();
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a[(0, 0)], -C_I);
+        assert_eq!(a[(1, 0)], Complex64::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn pauli_y_is_hermitian_and_unitary() {
+        let y = CMatrix::from_vec(2, 2, vec![C_ZERO, -C_I, C_I, C_ZERO]);
+        assert!(y.is_hermitian(0.0));
+        assert!(y.is_unitary(1e-15));
+        // Y² = I
+        assert!(y.matmul(&y).approx_eq(&CMatrix::identity(2), 1e-15));
+    }
+
+    #[test]
+    fn kron_of_identities() {
+        let k = CMatrix::identity(2).kron(&CMatrix::identity(3));
+        assert!(k.approx_eq(&CMatrix::identity(6), 0.0));
+    }
+
+    #[test]
+    fn kron_trace_is_product_of_traces() {
+        let a = CMatrix::from_real_rows(&[&[1.0, 5.0], &[0.0, 2.0]]);
+        let b = CMatrix::from_real_rows(&[&[3.0, 1.0], &[1.0, 4.0]]);
+        let k = a.kron(&b);
+        assert!((k.trace() - a.trace() * b.trace()).approx_zero(1e-12));
+    }
+
+    #[test]
+    fn outer_product_is_rank_one_projector() {
+        let v = CVector::from_real(&[1.0, 0.0]).normalized();
+        let p = CMatrix::outer(&v, &v);
+        assert!(p.matmul(&p).approx_eq(&p, 1e-14));
+        assert!((p.trace().re - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = CMatrix::from_real_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = CVector::from_real(&[1.0, -1.0]);
+        let r = m.matvec(&v);
+        assert_eq!(r, CVector::from_real(&[-1.0, -1.0]));
+    }
+
+    #[test]
+    fn sandwich_expectation() {
+        let z = CMatrix::from_real_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        let plus = CVector::from_real(&[1.0, 1.0]).normalized();
+        assert!(z.sandwich(&plus, &plus).approx_zero(1e-14));
+        let zero = CVector::basis(2, 0);
+        assert!((z.sandwich(&zero, &zero).re - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn diag_and_from_fn() {
+        let d = CMatrix::diag(&[C_ONE, C_I]);
+        assert_eq!(d[(1, 1)], C_I);
+        assert_eq!(d[(0, 1)], C_ZERO);
+        let f = CMatrix::from_fn(2, 2, |i, j| Complex64::real((i + j) as f64));
+        assert_eq!(f[(1, 1)].re, 2.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = CMatrix::from_real_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = CMatrix::identity(2);
+        let b = a.scale(2.0);
+        assert_eq!((&a + &a), b);
+        assert!((&b - &a).approx_eq(&a, 0.0));
+        assert!((-&a).approx_eq(&a.scale(-1.0), 0.0));
+        let c = b.scale_c(C_I);
+        assert_eq!(c[(0, 0)], Complex64::new(0.0, 2.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! Used by the Lugiato–Lefever comb simulator
+//! (`qfc_photonics::lle`) for its split-step spectral method.
+
+use crate::complex::Complex64;
+
+/// In-place forward FFT (`X_k = Σ_n x_n e^{−2πikn/N}`).
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two ≥ 2.
+pub fn fft(data: &mut [Complex64]) {
+    transform(data, -1.0);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization so that
+/// `ifft(fft(x)) == x`).
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two ≥ 2.
+pub fn ifft(data: &mut [Complex64]) {
+    transform(data, 1.0);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(1.0 / n);
+    }
+}
+
+fn transform(data: &mut [Complex64], sign: f64) {
+    let n = data.len();
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "FFT length must be a power of two ≥ 2"
+    );
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Danielson–Lanczos butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::real(1.0);
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Angular frequency of FFT bin `k` for `n` samples at spacing `dx`
+/// (standard FFT ordering: positive frequencies first, then negative).
+pub fn fft_frequency(k: usize, n: usize, dx: f64) -> f64 {
+    let kf = if k <= n / 2 {
+        k as f64
+    } else {
+        k as f64 - n as f64
+    };
+    2.0 * std::f64::consts::PI * kf / (n as f64 * dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        a.approx_eq(b, 1e-9)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original: Vec<Complex64> = (0..64)
+            .map(|k| Complex64::new((k as f64 * 0.3).sin(), (k as f64 * 0.7).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_flat() {
+        let mut data = vec![Complex64::real(0.0); 16];
+        data[0] = Complex64::real(1.0);
+        fft(&mut data);
+        for z in &data {
+            assert!(close(*z, Complex64::real(1.0)));
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 128;
+        let tone = 5;
+        let mut data: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::cis(2.0 * std::f64::consts::PI * tone as f64 * k as f64 / n as f64))
+            .collect();
+        fft(&mut data);
+        for (k, z) in data.iter().enumerate() {
+            if k == tone {
+                assert!((z.abs() - n as f64).abs() < 1e-6);
+            } else {
+                assert!(z.abs() < 1e-6, "bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let data: Vec<Complex64> = (0..32)
+            .map(|k| Complex64::new((k as f64).sin(), (k as f64 * 1.3).cos()))
+            .collect();
+        let time_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = data.clone();
+        fft(&mut freq);
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft_frequency_ordering() {
+        // 8 samples, dx = 1: bins 0..4 positive, 5..7 negative.
+        assert_eq!(fft_frequency(0, 8, 1.0), 0.0);
+        assert!(fft_frequency(1, 8, 1.0) > 0.0);
+        assert!(fft_frequency(7, 8, 1.0) < 0.0);
+        assert!((fft_frequency(7, 8, 1.0) + fft_frequency(1, 8, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex64::real(0.0); 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex64> = (0..16).map(|k| Complex64::real(k as f64)).collect();
+        let b: Vec<Complex64> = (0..16).map(|k| Complex64::imag((k * k) as f64)).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let (mut fa, mut fb, mut fs) = (a.clone(), b.clone(), sum.clone());
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fs);
+        for i in 0..16 {
+            assert!(close(fs[i], fa[i] + fb[i]));
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Eigendecomposition of Hermitian matrices and matrix functions.
+//!
+//! Implements the cyclic complex Jacobi algorithm: for each off-diagonal
+//! pivot a unitary 2×2 rotation annihilates the element; sweeps repeat until
+//! the off-diagonal Frobenius norm is negligible. Jacobi is slower than
+//! Householder tridiagonalization + QL for large matrices, but it is simple,
+//! numerically robust, and delivers small residuals — and the matrices in
+//! this workspace (density matrices up to 16×16, discretized joint spectral
+//! amplitudes up to a few hundred) are well within its comfortable range.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cmatrix::CMatrix;
+use crate::complex::Complex64;
+use crate::cvector::CVector;
+
+/// Result of diagonalizing a Hermitian matrix `A = V Λ V†`.
+///
+/// Eigenvalues are real and sorted in **ascending** order; `eigenvectors`
+/// holds the corresponding orthonormal eigenvectors as matrix columns.
+///
+/// # Examples
+///
+/// ```
+/// use qfc_mathkit::cmatrix::CMatrix;
+/// use qfc_mathkit::hermitian::eigh;
+///
+/// let a = CMatrix::from_real_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = eigh(&a);
+/// assert!((e.eigenvalues[0] - 1.0).abs() < 1e-10);
+/// assert!((e.eigenvalues[1] - 3.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EigenDecomposition {
+    /// Real eigenvalues, ascending.
+    pub eigenvalues: Vec<f64>,
+    /// Unitary matrix whose `k`-th column is the eigenvector for
+    /// `eigenvalues[k]`.
+    pub eigenvectors: CMatrix,
+}
+
+impl EigenDecomposition {
+    /// Eigenvector for index `k` as an owned vector.
+    pub fn eigenvector(&self, k: usize) -> CVector {
+        self.eigenvectors.col(k)
+    }
+
+    /// Reconstructs `V Λ V†`; useful for testing round-trips.
+    pub fn reconstruct(&self) -> CMatrix {
+        let lam = CMatrix::diag(
+            &self
+                .eigenvalues
+                .iter()
+                .map(|&x| Complex64::real(x))
+                .collect::<Vec<_>>(),
+        );
+        let v = &self.eigenvectors;
+        &(v * &lam) * &v.adjoint()
+    }
+
+    /// Applies a real function to the spectrum: `f(A) = V f(Λ) V†`.
+    pub fn apply(&self, f: impl Fn(f64) -> f64) -> CMatrix {
+        let lam = CMatrix::diag(
+            &self
+                .eigenvalues
+                .iter()
+                .map(|&x| Complex64::real(f(x)))
+                .collect::<Vec<_>>(),
+        );
+        let v = &self.eigenvectors;
+        &(v * &lam) * &v.adjoint()
+    }
+}
+
+/// Pivot-sweep strategy for the Jacobi iteration.
+///
+/// `Cyclic` visits every off-diagonal element in order each sweep;
+/// `Threshold` skips pivots already below the current sweep threshold,
+/// which saves rotations on nearly-diagonal matrices. Both converge to the
+/// same decomposition; the ablation bench `ablation_eigen` compares them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum JacobiStrategy {
+    /// Rotate at every off-diagonal pivot, every sweep.
+    #[default]
+    Cyclic,
+    /// Skip pivots below the per-sweep threshold.
+    Threshold,
+}
+
+const MAX_SWEEPS: usize = 128;
+
+/// Diagonalizes a Hermitian matrix with the default (cyclic) strategy.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not Hermitian to `1e-9` (relative to its
+/// largest element).
+pub fn eigh(a: &CMatrix) -> EigenDecomposition {
+    eigh_with(a, JacobiStrategy::Cyclic)
+}
+
+/// Diagonalizes a Hermitian matrix with an explicit pivot strategy.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not Hermitian (see [`eigh`]).
+pub fn eigh_with(a: &CMatrix, strategy: JacobiStrategy) -> EigenDecomposition {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    let scale = a.max_abs().max(1.0);
+    assert!(
+        a.is_hermitian(1e-9 * scale),
+        "eigh requires a Hermitian matrix"
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    // Symmetrize exactly to remove any tolerated asymmetry.
+    for i in 0..n {
+        m[(i, i)] = Complex64::real(m[(i, i)].re);
+        for j in (i + 1)..n {
+            let avg = (m[(i, j)] + m[(j, i)].conj()).scale(0.5);
+            m[(i, j)] = avg;
+            m[(j, i)] = avg.conj();
+        }
+    }
+    let mut v = CMatrix::identity(n);
+
+    for sweep in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&m);
+        if off <= 1e-14 * scale * n as f64 {
+            break;
+        }
+        let threshold = match strategy {
+            JacobiStrategy::Cyclic => 0.0,
+            // Classic Jacobi threshold schedule: tighten as sweeps progress.
+            JacobiStrategy::Threshold => {
+                if sweep < 4 {
+                    0.2 * off / (n * n) as f64
+                } else {
+                    0.0
+                }
+            }
+        };
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if m[(p, q)].abs() <= threshold {
+                    continue;
+                }
+                jacobi_rotate(&mut m, &mut v, p, q);
+            }
+        }
+    }
+
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    idx.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("NaN eigenvalue"));
+
+    let eigenvalues: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let eigenvectors = CMatrix::from_fn(n, n, |i, j| v[(i, idx[j])]);
+    EigenDecomposition {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+fn off_diagonal_norm(m: &CMatrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += 2.0 * m[(i, j)].norm_sqr();
+        }
+    }
+    s.sqrt()
+}
+
+/// One complex Jacobi rotation annihilating `m[(p, q)]`, accumulating the
+/// rotation into `v`.
+fn jacobi_rotate(m: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize) {
+    let gamma = m[(p, q)];
+    let g = gamma.abs();
+    if g == 0.0 {
+        return;
+    }
+    let alpha = m[(p, p)].re;
+    let beta = m[(q, q)].re;
+    let phi = gamma.arg();
+    // tan(2θ) = 2|γ| / (β − α), choosing the small-angle root for stability.
+    let theta = 0.5 * (2.0 * g).atan2(beta - alpha);
+    let c = theta.cos();
+    let s = Complex64::from_polar(theta.sin(), phi);
+    let n = m.rows();
+
+    // Column update: A ← A·U with U[(p,p)] = c, U[(p,q)] = s,
+    // U[(q,p)] = −s̄, U[(q,q)] = c.
+    for i in 0..n {
+        let aip = m[(i, p)];
+        let aiq = m[(i, q)];
+        m[(i, p)] = aip.scale(c) - aiq * s.conj();
+        m[(i, q)] = aip * s + aiq.scale(c);
+    }
+    // Row update: A ← U†·A.
+    for j in 0..n {
+        let apj = m[(p, j)];
+        let aqj = m[(q, j)];
+        m[(p, j)] = apj.scale(c) - aqj * s;
+        m[(q, j)] = apj * s.conj() + aqj.scale(c);
+    }
+    // Clean the annihilated pair and enforce real diagonal.
+    m[(p, q)] = Complex64::real(0.0);
+    m[(q, p)] = Complex64::real(0.0);
+    m[(p, p)] = Complex64::real(m[(p, p)].re);
+    m[(q, q)] = Complex64::real(m[(q, q)].re);
+
+    // Accumulate eigenvectors: V ← V·U.
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = vip.scale(c) - viq * s.conj();
+        v[(i, q)] = vip * s + viq.scale(c);
+    }
+}
+
+/// Principal square root of a positive semidefinite Hermitian matrix.
+///
+/// Eigenvalues that are slightly negative from round-off are clipped to
+/// zero before the square root.
+///
+/// # Panics
+///
+/// Panics if `a` is not Hermitian, or has an eigenvalue below
+/// `-1e-8 · max(1, ‖a‖∞)` (i.e. genuinely not PSD).
+pub fn sqrtm_psd(a: &CMatrix) -> CMatrix {
+    let e = eigh(a);
+    let scale = a.max_abs().max(1.0);
+    for &lam in &e.eigenvalues {
+        assert!(
+            lam >= -1e-8 * scale,
+            "sqrtm_psd: matrix has negative eigenvalue {lam}"
+        );
+    }
+    e.apply(|x| x.max(0.0).sqrt())
+}
+
+/// Projects a Hermitian matrix onto the positive semidefinite cone by
+/// clipping negative eigenvalues to zero (no renormalization).
+pub fn psd_projection(a: &CMatrix) -> CMatrix {
+    eigh(a).apply(|x| x.max(0.0))
+}
+
+/// Compact singular value decomposition of a complex matrix `A = U Σ V†`.
+///
+/// Computed from the Hermitian eigendecomposition of `A†A`. Singular values
+/// are returned in **descending** order; `u` and `v` hold the corresponding
+/// left/right singular vectors as columns. Singular values below
+/// `tol · σ_max` are dropped (compact form), so `u` is `m × r` and `v` is
+/// `n × r` with `r = rank`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Svd {
+    /// Singular values, descending, strictly positive.
+    pub singular_values: Vec<f64>,
+    /// Left singular vectors (columns), `m × r`.
+    pub u: CMatrix,
+    /// Right singular vectors (columns), `n × r`.
+    pub v: CMatrix,
+}
+
+/// Computes the compact SVD of `a` with relative rank tolerance `tol`.
+///
+/// ```
+/// use qfc_mathkit::cmatrix::CMatrix;
+/// use qfc_mathkit::hermitian::svd;
+///
+/// let a = CMatrix::from_real_rows(&[&[3.0, 0.0], &[0.0, 4.0], &[0.0, 0.0]]);
+/// let s = svd(&a, 1e-12);
+/// assert_eq!(s.singular_values, vec![4.0, 3.0]);
+/// ```
+pub fn svd(a: &CMatrix, tol: f64) -> Svd {
+    let ata = &a.adjoint() * a;
+    let e = eigh(&ata);
+    let n = e.eigenvalues.len();
+    // eigh sorts ascending; take descending.
+    let mut triples: Vec<(f64, CVector)> = (0..n)
+        .rev()
+        .map(|k| (e.eigenvalues[k].max(0.0).sqrt(), e.eigenvector(k)))
+        .collect();
+    let smax = triples.first().map_or(0.0, |t| t.0);
+    triples.retain(|(s, _)| *s > tol * smax && *s > 0.0);
+
+    let r = triples.len();
+    let mut u = CMatrix::zeros(a.rows(), r);
+    let mut v = CMatrix::zeros(a.cols(), r);
+    let mut sigma = Vec::with_capacity(r);
+    for (k, (s, vk)) in triples.iter().enumerate() {
+        sigma.push(*s);
+        let uk = a.matvec(vk).scale(1.0 / s);
+        for i in 0..a.rows() {
+            u[(i, k)] = uk[i];
+        }
+        for i in 0..a.cols() {
+            v[(i, k)] = vk[i];
+        }
+    }
+    Svd {
+        singular_values: sigma,
+        u,
+        v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{C_I, C_ONE, C_ZERO};
+
+    fn random_hermitian(n: usize, seed: u64) -> CMatrix {
+        // Simple deterministic LCG so the test needs no RNG dependency here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::real(next());
+            for j in (i + 1)..n {
+                let z = Complex64::new(next(), next());
+                m[(i, j)] = z;
+                m[(j, i)] = z.conj();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = CMatrix::diag(&[
+            Complex64::real(3.0),
+            Complex64::real(-1.0),
+            Complex64::real(2.0),
+        ]);
+        let e = eigh(&a);
+        assert_eq!(e.eigenvalues.len(), 3);
+        assert!((e.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_x_eigensystem() {
+        let x = CMatrix::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let e = eigh(&x);
+        assert!((e.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for +1 must be (1,1)/√2 up to phase.
+        let v = e.eigenvector(1);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v[1].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pauli_y_complex_eigensystem() {
+        let y = CMatrix::from_vec(2, 2, vec![C_ZERO, -C_I, C_I, C_ZERO]);
+        let e = eigh(&y);
+        assert!((e.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        assert!(e.reconstruct().approx_eq(&y, 1e-10));
+    }
+
+    #[test]
+    fn reconstruction_roundtrip_random() {
+        for seed in 1..6 {
+            let a = random_hermitian(8, seed);
+            let e = eigh(&a);
+            assert!(
+                e.reconstruct().approx_eq(&a, 1e-9),
+                "roundtrip failed for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_hermitian(6, 42);
+        let e = eigh(&a);
+        assert!(e.eigenvectors.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn threshold_strategy_agrees_with_cyclic() {
+        let a = random_hermitian(7, 7);
+        let e1 = eigh_with(&a, JacobiStrategy::Cyclic);
+        let e2 = eigh_with(&a, JacobiStrategy::Threshold);
+        for (x, y) in e1.eigenvalues.iter().zip(&e2.eigenvalues) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = random_hermitian(9, 3);
+        let e = eigh(&a);
+        let tr: f64 = e.eigenvalues.iter().sum();
+        assert!((tr - a.trace().re).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sqrtm_squares_back() {
+        // Build a PSD matrix B = A†A.
+        let a = random_hermitian(5, 11);
+        let b = &a.adjoint() * &a;
+        let s = sqrtm_psd(&b);
+        assert!((&s * &s).approx_eq(&b, 1e-8));
+        assert!(s.is_hermitian(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative eigenvalue")]
+    fn sqrtm_rejects_indefinite() {
+        let a = CMatrix::diag(&[C_ONE, Complex64::real(-1.0)]);
+        let _ = sqrtm_psd(&a);
+    }
+
+    #[test]
+    fn psd_projection_clips() {
+        let a = CMatrix::diag(&[Complex64::real(2.0), Complex64::real(-0.5)]);
+        let p = psd_projection(&a);
+        let e = eigh(&p);
+        assert!(e.eigenvalues[0] >= -1e-12);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn svd_of_diagonal() {
+        let a = CMatrix::from_real_rows(&[&[0.0, 2.0], &[1.0, 0.0]]);
+        let s = svd(&a, 1e-12);
+        assert!((s.singular_values[0] - 2.0).abs() < 1e-10);
+        assert!((s.singular_values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn svd_reconstructs() {
+        let a = CMatrix::from_fn(4, 3, |i, j| {
+            Complex64::new((i + 2 * j) as f64 * 0.3, (i as f64 - j as f64) * 0.2)
+        });
+        let s = svd(&a, 1e-12);
+        let sig = CMatrix::diag(
+            &s.singular_values
+                .iter()
+                .map(|&x| Complex64::real(x))
+                .collect::<Vec<_>>(),
+        );
+        let rec = &(&s.u * &sig) * &s.v.adjoint();
+        assert!(rec.approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Rank-1 matrix.
+        let u = CVector::from_real(&[1.0, 2.0]);
+        let v = CVector::from_real(&[1.0, 1.0, 1.0]);
+        let a = CMatrix::outer(&u, &v);
+        let s = svd(&a, 1e-10);
+        assert_eq!(s.singular_values.len(), 1);
+        assert!((s.singular_values[0] - (5.0f64).sqrt() * (3.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn eigh_rejects_non_hermitian() {
+        let a = CMatrix::from_real_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let _ = eigh(&a);
+    }
+}

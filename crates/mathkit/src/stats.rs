@@ -1,0 +1,315 @@
+//! Descriptive statistics and histograms used by the analysis pipelines.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of a sample. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns `NaN` for an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sample standard deviation (divides by `n − 1`).
+///
+/// Returns `NaN` when fewer than two samples are given.
+pub fn sample_std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Relative fluctuation: peak-to-peak range divided by the mean.
+///
+/// The paper's §II stability claim ("less than 5 % fluctuation over weeks")
+/// is stated in exactly this measure.
+pub fn relative_fluctuation(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    (max - min) / mean(xs)
+}
+
+/// Minimum of a sample (`NaN` if empty).
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::NAN, f64::min)
+}
+
+/// Maximum of a sample (`NaN` if empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::NAN, f64::max)
+}
+
+/// Linear interpolation percentile (`q` in `[0, 1]`).
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or the slice is empty.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "percentile q out of range");
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// A uniform-bin histogram over `[lo, hi)`.
+///
+/// # Examples
+///
+/// ```
+/// use qfc_mathkit::stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.add(1.0);
+/// h.add(9.5);
+/// h.add(100.0); // out of range → overflow bucket
+/// assert_eq!(h.count(0), 1);
+/// assert_eq!(h.count(4), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of a single bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.add_weighted(x, 1);
+    }
+
+    /// Adds `w` identical samples.
+    pub fn add_weighted(&mut self, x: f64, w: u64) {
+        if x < self.lo {
+            self.underflow += w;
+        } else if x >= self.hi {
+            self.overflow += w;
+        } else {
+            let idx = ((x - self.lo) / self.bin_width()) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += w;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Samples below range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Index and count of the fullest bin (`None` when all bins are empty).
+    pub fn peak(&self) -> Option<(usize, u64)> {
+        let (i, &c) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)?;
+        if c == 0 {
+            None
+        } else {
+            Some((i, c))
+        }
+    }
+
+    /// Full width at half maximum in x-units, by linear interpolation of the
+    /// bin profile around the peak. Returns `None` when all bins are empty.
+    pub fn fwhm(&self) -> Option<f64> {
+        let (peak_idx, peak) = self.peak()?;
+        let half = peak as f64 / 2.0;
+        // Walk left.
+        let mut left = self.bin_center(0);
+        for i in (0..peak_idx).rev() {
+            if (self.counts[i] as f64) < half {
+                let c0 = self.counts[i] as f64;
+                let c1 = self.counts[i + 1] as f64;
+                let frac = if c1 > c0 { (half - c0) / (c1 - c0) } else { 0.5 };
+                left = self.bin_center(i) + frac * self.bin_width();
+                break;
+            }
+        }
+        // Walk right.
+        let mut right = self.bin_center(self.bins() - 1);
+        for i in peak_idx + 1..self.bins() {
+            if (self.counts[i] as f64) < half {
+                let c0 = self.counts[i - 1] as f64;
+                let c1 = self.counts[i] as f64;
+                let frac = if c0 > c1 { (c0 - half) / (c0 - c1) } else { 0.5 };
+                right = self.bin_center(i - 1) + frac * self.bin_width();
+                break;
+            }
+        }
+        Some(right - left)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(variance(&xs), 1.25);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-15);
+        assert!((sample_std_dev(&xs) - (5.0f64 / 3.0).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_sample_statistics() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+        assert!(sample_std_dev(&[1.0]).is_nan());
+        assert!(relative_fluctuation(&[]).is_nan());
+    }
+
+    #[test]
+    fn relative_fluctuation_known() {
+        let xs = [95.0, 100.0, 105.0];
+        assert!((relative_fluctuation(&xs) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 0.25), 2.0);
+        assert!((percentile(&xs, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        for i in 0..10 {
+            assert_eq!(h.count(i), 1);
+        }
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.bin_width(), 1.0);
+        assert_eq!(h.bin_center(0), 0.5);
+    }
+
+    #[test]
+    fn histogram_under_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-0.1);
+        h.add(1.0); // boundary belongs to overflow ([lo, hi))
+        h.add(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn histogram_peak_and_fwhm_triangle() {
+        // Triangular profile peaking in the middle.
+        let mut h = Histogram::new(0.0, 9.0, 9);
+        let profile = [1u64, 2, 4, 8, 16, 8, 4, 2, 1];
+        for (i, &c) in profile.iter().enumerate() {
+            h.add_weighted(i as f64 + 0.5, c);
+        }
+        let (idx, peak) = h.peak().expect("nonempty");
+        assert_eq!(idx, 4);
+        assert_eq!(peak, 16);
+        let fwhm = h.fwhm().expect("peak exists");
+        assert!(fwhm > 1.0 && fwhm < 4.0, "fwhm {fwhm}");
+    }
+
+    #[test]
+    fn histogram_empty_peak() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.peak().is_none());
+        assert!(h.fwhm().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-empty")]
+    fn histogram_invalid_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,262 @@
+//! Jones calculus: polarization states and optics for the §III
+//! cross-polarized pair experiment (polarizing beam splitter, waveplates,
+//! rotatable polarizer — the elements between the chip and the
+//! detectors).
+
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::cmatrix::CMatrix;
+use qfc_mathkit::complex::{Complex64, C_ONE};
+use qfc_mathkit::cvector::CVector;
+
+use crate::waveguide::Polarization;
+
+/// A (normalized) Jones polarization state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JonesVector {
+    amps: CVector,
+}
+
+impl JonesVector {
+    /// Horizontal polarization `(1, 0)` — the chip's TE mode after
+    /// collection.
+    pub fn horizontal() -> Self {
+        Self {
+            amps: CVector::from_real(&[1.0, 0.0]),
+        }
+    }
+
+    /// Vertical polarization `(0, 1)` — the TM mode.
+    pub fn vertical() -> Self {
+        Self {
+            amps: CVector::from_real(&[0.0, 1.0]),
+        }
+    }
+
+    /// Linear polarization at angle `θ` from horizontal.
+    pub fn linear(theta: f64) -> Self {
+        Self {
+            amps: CVector::from_real(&[theta.cos(), theta.sin()]),
+        }
+    }
+
+    /// Right-circular polarization `(1, −i)/√2`.
+    pub fn right_circular() -> Self {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Self {
+            amps: CVector::from_vec(vec![Complex64::real(s), Complex64::new(0.0, -s)]),
+        }
+    }
+
+    /// The Jones state of a waveguide polarization mode.
+    pub fn from_mode(pol: Polarization) -> Self {
+        match pol {
+            Polarization::Te => Self::horizontal(),
+            Polarization::Tm => Self::vertical(),
+        }
+    }
+
+    /// Builds from raw amplitudes, normalizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero vector.
+    pub fn from_amplitudes(x: Complex64, y: Complex64) -> Self {
+        let v = CVector::from_vec(vec![x, y]);
+        assert!(v.norm() > 0.0, "zero Jones vector");
+        Self {
+            amps: v.normalized(),
+        }
+    }
+
+    /// Amplitudes `(E_x, E_y)`.
+    pub fn amplitudes(&self) -> (Complex64, Complex64) {
+        (self.amps[0], self.amps[1])
+    }
+
+    /// Intensity transmitted through an optical element (the squared
+    /// norm after applying a possibly lossy Jones matrix).
+    pub fn intensity_after(&self, element: &JonesMatrix) -> f64 {
+        element.matrix.matvec(&self.amps).norm_sqr()
+    }
+
+    /// Squared overlap with another polarization state.
+    pub fn overlap(&self, other: &Self) -> f64 {
+        self.amps.dot(&other.amps).norm_sqr()
+    }
+}
+
+/// A 2×2 Jones matrix (possibly non-unitary, e.g. a polarizer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JonesMatrix {
+    matrix: CMatrix,
+}
+
+impl JonesMatrix {
+    /// Ideal linear polarizer at angle `θ` from horizontal.
+    pub fn polarizer(theta: f64) -> Self {
+        let (c, s) = (theta.cos(), theta.sin());
+        Self {
+            matrix: CMatrix::from_real_rows(&[&[c * c, c * s], &[c * s, s * s]]),
+        }
+    }
+
+    /// Half-wave plate with fast axis at `θ`.
+    pub fn half_wave_plate(theta: f64) -> Self {
+        let (c, s) = ((2.0 * theta).cos(), (2.0 * theta).sin());
+        Self {
+            matrix: CMatrix::from_real_rows(&[&[c, s], &[s, -c]]),
+        }
+    }
+
+    /// Quarter-wave plate with fast axis at `θ`.
+    pub fn quarter_wave_plate(theta: f64) -> Self {
+        let (c, s) = (theta.cos(), theta.sin());
+        let i = Complex64::new(0.0, 1.0);
+        // R(θ)·diag(1, i)·R(−θ).
+        let m = CMatrix::from_vec(
+            2,
+            2,
+            vec![
+                C_ONE * (c * c) + i * (s * s),
+                (C_ONE - i) * (c * s),
+                (C_ONE - i) * (c * s),
+                C_ONE * (s * s) + i * (c * c),
+            ],
+        );
+        Self { matrix: m }
+    }
+
+    /// Free propagation with a relative phase `φ` on the vertical
+    /// component (a birefringent element).
+    pub fn retarder(phi: f64) -> Self {
+        Self {
+            matrix: CMatrix::diag(&[C_ONE, Complex64::cis(phi)]),
+        }
+    }
+
+    /// Chains two elements: light passes `self` then `next`.
+    pub fn then(&self, next: &JonesMatrix) -> Self {
+        Self {
+            matrix: &next.matrix * &self.matrix,
+        }
+    }
+
+    /// The underlying matrix.
+    pub fn as_matrix(&self) -> &CMatrix {
+        &self.matrix
+    }
+}
+
+/// An ideal polarizing beam splitter: transmits horizontal, reflects
+/// vertical. Returns the (transmitted, reflected) intensities for an
+/// input state.
+pub fn pbs_split(state: &JonesVector) -> (f64, f64) {
+    let (x, y) = state.amplitudes();
+    (x.norm_sqr(), y.norm_sqr())
+}
+
+/// A PBS with finite extinction: a fraction `leakage` of each output's
+/// power appears at the wrong port.
+pub fn pbs_split_with_leakage(state: &JonesVector, leakage: f64) -> (f64, f64) {
+    assert!((0.0..=0.5).contains(&leakage), "leakage must be in [0, 0.5]");
+    let (t, r) = pbs_split(state);
+    (
+        t * (1.0 - leakage) + r * leakage,
+        r * (1.0 - leakage) + t * leakage,
+    )
+}
+
+/// Degree of polarization-basis correlation of the §III pair: the
+/// probability that signal and idler exit *opposite* PBS ports minus the
+/// probability they exit the same port, for ideal H/V inputs.
+pub fn crosspol_correlation(leakage: f64) -> f64 {
+    let h = JonesVector::horizontal();
+    let v = JonesVector::vertical();
+    let (ht, hr) = pbs_split_with_leakage(&h, leakage);
+    let (vt, vr) = pbs_split_with_leakage(&v, leakage);
+    let opposite = ht * vr + hr * vt;
+    let same = ht * vt + hr * vr;
+    opposite - same
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfc_mathkit::complex::C_ZERO;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn malus_law() {
+        let h = JonesVector::horizontal();
+        for theta in [0.0, 0.3, std::f64::consts::FRAC_PI_4, 1.2] {
+            let i = h.intensity_after(&JonesMatrix::polarizer(theta));
+            assert!((i - theta.cos().powi(2)).abs() < TOL, "θ = {theta}");
+        }
+    }
+
+    #[test]
+    fn hwp_rotates_polarization() {
+        // HWP at 45° maps H → V.
+        let out_int = JonesVector::horizontal()
+            .intensity_after(&JonesMatrix::half_wave_plate(std::f64::consts::FRAC_PI_4)
+                .then(&JonesMatrix::polarizer(std::f64::consts::FRAC_PI_2)));
+        assert!((out_int - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn qwp_makes_circular_from_diagonal() {
+        // Diagonal light through a QWP at 0° becomes circular: equal
+        // intensity through any polarizer.
+        let d = JonesVector::linear(std::f64::consts::FRAC_PI_4);
+        let qwp = JonesMatrix::quarter_wave_plate(0.0);
+        for theta in [0.0, 0.5, 1.0, 1.5] {
+            let i = d.intensity_after(&qwp.then(&JonesMatrix::polarizer(theta)));
+            assert!((i - 0.5).abs() < 1e-9, "θ = {theta}: {i}");
+        }
+    }
+
+    #[test]
+    fn circular_state_overlap() {
+        let r = JonesVector::right_circular();
+        assert!((r.overlap(&JonesVector::horizontal()) - 0.5).abs() < TOL);
+        assert!((r.overlap(&r) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn pbs_routes_h_and_v() {
+        assert_eq!(pbs_split(&JonesVector::horizontal()), (1.0, 0.0));
+        assert_eq!(pbs_split(&JonesVector::vertical()), (0.0, 1.0));
+        let d = pbs_split(&JonesVector::linear(std::f64::consts::FRAC_PI_4));
+        assert!((d.0 - 0.5).abs() < TOL && (d.1 - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn leakage_degrades_correlation() {
+        assert!((crosspol_correlation(0.0) - 1.0).abs() < TOL);
+        let c = crosspol_correlation(0.01);
+        assert!(c < 1.0 && c > 0.95, "C = {c}");
+        // Total depolarization of routing at 50 % leakage.
+        assert!(crosspol_correlation(0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn mode_mapping() {
+        assert_eq!(JonesVector::from_mode(Polarization::Te), JonesVector::horizontal());
+        assert_eq!(JonesVector::from_mode(Polarization::Tm), JonesVector::vertical());
+    }
+
+    #[test]
+    fn retarder_preserves_intensity() {
+        let d = JonesVector::linear(0.9);
+        let ret = JonesMatrix::retarder(1.2);
+        assert!((d.intensity_after(&ret) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero Jones vector")]
+    fn zero_vector_rejected() {
+        let _ = JonesVector::from_amplitudes(C_ZERO, C_ZERO);
+    }
+}

@@ -1,0 +1,276 @@
+//! Lugiato–Lefever equation (LLE): the dynamical Kerr-comb simulator.
+//!
+//! Above the OPO threshold the ring's classical field obeys the
+//! normalized LLE
+//!
+//! `∂ψ/∂t = −(1 + iα)ψ + i|ψ|²ψ − i(η/2)·∂²ψ/∂θ² + F`
+//!
+//! with detuning `α`, dispersion sign `η` (−1 anomalous), and pump `F`.
+//! The homogeneous (single-mode) solution destabilizes through modulation
+//! instability once the circulating intensity exceeds 1 (normalized),
+//! spawning the comb sidebands — the dynamical counterpart of the static
+//! threshold in [`crate::opo`]. Integration is split-step Fourier:
+//! dispersion/loss/detuning exactly in the spectral domain, the Kerr
+//! rotation exactly in the azimuthal domain.
+
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::complex::Complex64;
+use qfc_mathkit::fft::{fft, fft_frequency, ifft};
+
+/// Parameters of a normalized LLE run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LleParameters {
+    /// Cavity detuning α (normalized to the half linewidth).
+    pub detuning: f64,
+    /// Normalized pump amplitude `F` (threshold for MI comb formation is
+    /// near `F² = 1` at small detuning).
+    pub pump: f64,
+    /// Dispersion coefficient: negative = anomalous (comb-forming).
+    pub dispersion: f64,
+    /// Number of azimuthal grid points (power of two).
+    pub modes: usize,
+    /// Integrator time step (units of photon lifetimes).
+    pub dt: f64,
+}
+
+impl LleParameters {
+    /// A comb-forming operating point: anomalous dispersion, pump above
+    /// the MI threshold.
+    pub fn above_threshold() -> Self {
+        Self {
+            detuning: 1.0,
+            pump: 1.9,
+            dispersion: -0.02,
+            modes: 128,
+            dt: 2e-3,
+        }
+    }
+
+    /// A below-threshold point: the field stays homogeneous.
+    pub fn below_threshold() -> Self {
+        Self {
+            pump: 0.7,
+            ..Self::above_threshold()
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-power-of-two grid or non-positive step.
+    pub fn validate(&self) {
+        assert!(
+            self.modes >= 8 && self.modes.is_power_of_two(),
+            "modes must be a power of two ≥ 8"
+        );
+        assert!(self.dt > 0.0, "time step must be positive");
+        assert!(self.pump >= 0.0, "pump must be non-negative");
+    }
+}
+
+/// State of an LLE integration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LleState {
+    field: Vec<Complex64>,
+    time: f64,
+}
+
+impl LleState {
+    /// The intracavity field over the azimuthal grid.
+    pub fn field(&self) -> &[Complex64] {
+        &self.field
+    }
+
+    /// Elapsed normalized time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Mean circulating intensity `⟨|ψ|²⟩`.
+    pub fn mean_intensity(&self) -> f64 {
+        self.field.iter().map(|z| z.norm_sqr()).sum::<f64>() / self.field.len() as f64
+    }
+
+    /// Power spectrum over the comb modes (FFT magnitude squared,
+    /// normalized per mode).
+    pub fn spectrum(&self) -> Vec<f64> {
+        let mut f = self.field.clone();
+        fft(&mut f);
+        let n = self.field.len() as f64;
+        f.iter().map(|z| z.norm_sqr() / (n * n)).collect()
+    }
+
+    /// Fraction of the optical power in nonzero comb modes — the comb
+    /// conversion efficiency; ≈ 0 below threshold.
+    pub fn sideband_fraction(&self) -> f64 {
+        let spec = self.spectrum();
+        let total: f64 = spec.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (total - spec[0]) / total
+    }
+}
+
+/// The LLE integrator.
+#[derive(Debug, Clone)]
+pub struct LleSimulator {
+    params: LleParameters,
+    state: LleState,
+    /// Precomputed spectral propagator for one half step.
+    half_linear: Vec<Complex64>,
+}
+
+impl LleSimulator {
+    /// Creates a simulator seeded with the pump-balanced homogeneous
+    /// field plus a tiny azimuthal perturbation (the vacuum fluctuation
+    /// that lets modulation instability start).
+    pub fn new(params: LleParameters) -> Self {
+        params.validate();
+        let n = params.modes;
+        // Homogeneous steady-state estimate: ψ₀ ≈ F/(1 + iα) for small
+        // intensity; good enough as an initial condition.
+        let psi0 = Complex64::real(params.pump) / Complex64::new(1.0, params.detuning);
+        let field: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let theta = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                psi0 + Complex64::real(1e-6 * (7.0 * theta).cos() + 1e-6 * (11.0 * theta).sin())
+            })
+            .collect();
+        let dx = 2.0 * std::f64::consts::PI / n as f64;
+        let half_linear: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let omega = fft_frequency(k, n, dx);
+                // Linear operator: −(1 + iα) + i(η/2)ω² applied for dt/2.
+                let l = Complex64::new(-1.0, -params.detuning)
+                    + Complex64::imag(0.5 * params.dispersion * omega * omega);
+                (l.scale(params.dt / 2.0)).exp()
+            })
+            .collect();
+        Self {
+            params,
+            state: LleState { field, time: 0.0 },
+            half_linear,
+        }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &LleParameters {
+        &self.params
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &LleState {
+        &self.state
+    }
+
+    /// Advances one split-step: half linear (spectral), full nonlinear +
+    /// pump (azimuthal), half linear.
+    pub fn step(&mut self) {
+        let dt = self.params.dt;
+        // Half linear step.
+        fft(&mut self.state.field);
+        for (z, p) in self.state.field.iter_mut().zip(&self.half_linear) {
+            *z *= *p;
+        }
+        ifft(&mut self.state.field);
+        // Nonlinear Kerr rotation (exact) + pump (Euler).
+        for z in self.state.field.iter_mut() {
+            let rot = Complex64::imag(z.norm_sqr() * dt).exp();
+            *z = *z * rot + Complex64::real(self.params.pump * dt);
+        }
+        // Half linear step.
+        fft(&mut self.state.field);
+        for (z, p) in self.state.field.iter_mut().zip(&self.half_linear) {
+            *z *= *p;
+        }
+        ifft(&mut self.state.field);
+        self.state.time += dt;
+    }
+
+    /// Runs `steps` integration steps and returns the final state.
+    pub fn run(&mut self, steps: usize) -> &LleState {
+        for _ in 0..steps {
+            self.step();
+        }
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_stays_homogeneous() {
+        let mut sim = LleSimulator::new(LleParameters::below_threshold());
+        sim.run(20_000);
+        let s = sim.state();
+        assert!(
+            s.sideband_fraction() < 1e-6,
+            "sidebands {}",
+            s.sideband_fraction()
+        );
+        // Homogeneous intensity solves ρ·(1 + (α − ρ)²) = F²; just check
+        // it is steady and O(F²/(1+α²)).
+        let rho = s.mean_intensity();
+        assert!(rho > 0.05 && rho < 1.0, "ρ = {rho}");
+    }
+
+    #[test]
+    fn above_threshold_grows_a_comb() {
+        let mut sim = LleSimulator::new(LleParameters::above_threshold());
+        sim.run(60_000);
+        let s = sim.state();
+        assert!(
+            s.sideband_fraction() > 0.05,
+            "sidebands {}",
+            s.sideband_fraction()
+        );
+        // The comb has multiple lines above 1e-6 of the pump line.
+        let spec = s.spectrum();
+        let pump_line = spec[0];
+        let lines = spec.iter().filter(|&&p| p > 1e-6 * pump_line).count();
+        assert!(lines > 5, "lines {lines}");
+    }
+
+    #[test]
+    fn dynamical_threshold_matches_mi_criterion() {
+        // MI requires circulating intensity ρ ≥ 1: a pump with ρ < 1
+        // grows nothing even after long integration.
+        let mut below = LleSimulator::new(LleParameters::below_threshold());
+        below.run(40_000);
+        let mut above = LleSimulator::new(LleParameters::above_threshold());
+        above.run(40_000);
+        assert!(below.state().sideband_fraction() < 1e-6);
+        assert!(above.state().sideband_fraction() > below.state().sideband_fraction());
+        assert!(above.state().mean_intensity() > 0.9);
+    }
+
+    #[test]
+    fn energy_stays_bounded() {
+        let mut sim = LleSimulator::new(LleParameters::above_threshold());
+        for _ in 0..10 {
+            sim.run(2000);
+            let rho = sim.state().mean_intensity();
+            assert!(rho.is_finite() && rho < 50.0, "ρ = {rho}");
+        }
+    }
+
+    #[test]
+    fn time_advances() {
+        let mut sim = LleSimulator::new(LleParameters::below_threshold());
+        sim.run(100);
+        assert!((sim.state().time() - 100.0 * sim.params().dt).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_grid_rejected() {
+        let mut p = LleParameters::below_threshold();
+        p.modes = 100;
+        let _ = LleSimulator::new(p);
+    }
+}

@@ -1,0 +1,183 @@
+//! Optical spectra of the comb: below-threshold parametric fluorescence
+//! and the above-threshold classical Kerr comb.
+//!
+//! These are the "what the OSA shows" views of the device — used by the
+//! `comb_spectrum` example and to check that the quantum comb spans the
+//! full S/C/L band as the paper claims.
+
+use serde::{Deserialize, Serialize};
+
+use crate::comb::TelecomBand;
+use crate::constants::PLANCK;
+use crate::fwm;
+use crate::opo;
+use crate::ring::Microring;
+use crate::units::{Frequency, Power};
+use crate::waveguide::Polarization;
+
+/// One spectral line of the comb.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CombLine {
+    /// Mode index relative to the pump.
+    pub index: i32,
+    /// Line center frequency.
+    pub frequency: Frequency,
+    /// Emitted optical power in the line, W.
+    pub power_w: f64,
+    /// Telecom band of the line.
+    pub band: TelecomBand,
+}
+
+/// The emitted comb spectrum at a given pump power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombSpectrum {
+    /// Pump power used.
+    pub pump_w: f64,
+    /// Whether the device is above the OPO threshold.
+    pub above_threshold: bool,
+    /// The spectral lines, ascending in index.
+    pub lines: Vec<CombLine>,
+}
+
+impl CombSpectrum {
+    /// Total emitted power across all lines, W.
+    pub fn total_power_w(&self) -> f64 {
+        self.lines.iter().map(|l| l.power_w).sum()
+    }
+
+    /// Number of lines within `floor_db` of the strongest line.
+    pub fn lines_above_floor(&self, floor_db: f64) -> usize {
+        let peak = self
+            .lines
+            .iter()
+            .map(|l| l.power_w)
+            .fold(0.0f64, f64::max);
+        if peak <= 0.0 {
+            return 0;
+        }
+        let floor = peak * 10f64.powf(-floor_db / 10.0);
+        self.lines.iter().filter(|l| l.power_w >= floor).count()
+    }
+
+    /// Telecom bands containing at least one line above the −30 dB floor.
+    pub fn bands_covered(&self) -> Vec<TelecomBand> {
+        let peak = self
+            .lines
+            .iter()
+            .map(|l| l.power_w)
+            .fold(0.0f64, f64::max);
+        let floor = peak * 1e-3;
+        let mut bands = Vec::new();
+        for l in &self.lines {
+            if l.power_w >= floor && !bands.contains(&l.band) {
+                bands.push(l.band);
+            }
+        }
+        bands
+    }
+}
+
+/// Computes the emitted spectrum over modes `−max_m..=max_m` (pump line
+/// excluded) for a CW pump of on-chip power `pump`.
+///
+/// Below threshold each line carries the parametric-fluorescence power
+/// `R(m)·h·ν`; above threshold the oscillating comb power distributes
+/// the OPO output over the lines with the spontaneous spectral envelope.
+pub fn comb_spectrum(ring: &Microring, pump: Power, max_m: u32) -> CombSpectrum {
+    let p_th = opo::threshold(ring);
+    let above = pump.w() > p_th.w();
+    let mut lines = Vec::with_capacity(2 * max_m as usize);
+    // Envelope weights from the SFWM spectral envelope.
+    let weights: Vec<f64> = (1..=max_m)
+        .map(|m| fwm::spectral_envelope(ring, Polarization::Te, m))
+        .collect();
+    let total_weight: f64 = 2.0 * weights.iter().sum::<f64>();
+    let opo_power = if above {
+        opo::output_power(ring, pump).w()
+    } else {
+        0.0
+    };
+    for m in 1..=max_m {
+        for sign in [-1i32, 1] {
+            let idx = sign * m as i32;
+            let f = ring.resonance(Polarization::Te, idx);
+            let power_w = if above {
+                opo_power * weights[(m - 1) as usize] / total_weight
+            } else {
+                let rate = fwm::pair_rate_cw(ring, Polarization::Te, pump, m);
+                rate * PLANCK * f.hz()
+            };
+            lines.push(CombLine {
+                index: idx,
+                frequency: f,
+                power_w,
+                band: TelecomBand::classify(f.wavelength()),
+            });
+        }
+    }
+    lines.sort_by_key(|l| l.index);
+    CombSpectrum {
+        pump_w: pump.w(),
+        above_threshold: above,
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> Microring {
+        Microring::paper_device()
+    }
+
+    #[test]
+    fn below_threshold_spectrum_is_weak() {
+        let s = comb_spectrum(&ring(), Power::from_mw(10.0), 10);
+        assert!(!s.above_threshold);
+        // Parametric fluorescence: sub-femtowatt lines.
+        assert!(s.total_power_w() < 1e-9, "P = {}", s.total_power_w());
+        assert_eq!(s.lines.len(), 20);
+    }
+
+    #[test]
+    fn above_threshold_spectrum_is_bright() {
+        let s = comb_spectrum(&ring(), Power::from_mw(30.0), 10);
+        assert!(s.above_threshold);
+        assert!(s.total_power_w() > 1e-3, "P = {}", s.total_power_w());
+    }
+
+    #[test]
+    fn spectrum_symmetric_about_pump() {
+        let s = comb_spectrum(&ring(), Power::from_mw(30.0), 5);
+        for m in 1..=5i32 {
+            let plus = s.lines.iter().find(|l| l.index == m).expect("line");
+            let minus = s.lines.iter().find(|l| l.index == -m).expect("line");
+            assert!((plus.power_w - minus.power_w).abs() / plus.power_w < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wide_comb_spans_s_c_l() {
+        let s = comb_spectrum(&ring(), Power::from_mw(30.0), 40);
+        let bands = s.bands_covered();
+        assert!(bands.contains(&TelecomBand::S));
+        assert!(bands.contains(&TelecomBand::C));
+        assert!(bands.contains(&TelecomBand::L));
+    }
+
+    #[test]
+    fn line_count_above_floor() {
+        let s = comb_spectrum(&ring(), Power::from_mw(30.0), 20);
+        // All 40 lines are within 30 dB (the envelope is gentle).
+        assert_eq!(s.lines_above_floor(30.0), 40);
+        assert!(s.lines_above_floor(0.0) >= 2);
+    }
+
+    #[test]
+    fn threshold_transition_in_power() {
+        let below = comb_spectrum(&ring(), Power::from_mw(13.0), 5);
+        let above = comb_spectrum(&ring(), Power::from_mw(15.0), 5);
+        assert!(above.total_power_w() > 1e3 * below.total_power_w());
+    }
+}

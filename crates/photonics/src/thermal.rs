@@ -1,0 +1,118 @@
+//! Thermal behaviour of the microring: the thermo-optic effect that (a)
+//! lets the resonances be tuned onto the ITU channel grid and (b) causes
+//! the slow drift the §II self-locked scheme must survive.
+
+use serde::{Deserialize, Serialize};
+
+use crate::constants::ITU_ANCHOR_HZ;
+use crate::ring::Microring;
+use crate::units::Frequency;
+use crate::waveguide::Polarization;
+
+/// Thermo-optic model of a tuned ring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Thermo-optic coefficient `dn/dT`, 1/K.
+    pub dn_dt: f64,
+    /// Operating (effective phase) index used for the shift conversion.
+    pub n_eff: f64,
+}
+
+impl ThermalModel {
+    /// Hydex thermo-optic response: dn/dT ≈ 1.0 × 10⁻⁵ /K (silica-like).
+    pub fn hydex() -> Self {
+        Self {
+            dn_dt: 1.0e-5,
+            n_eff: 1.60,
+        }
+    }
+
+    /// Resonance frequency shift for a temperature change `dt_kelvin`:
+    /// `Δν = −ν·(dn/dT)·ΔT / n_eff` (heating red-shifts the resonance).
+    pub fn resonance_shift(&self, at: Frequency, dt_kelvin: f64) -> Frequency {
+        Frequency::from_hz(-at.hz() * self.dn_dt * dt_kelvin / self.n_eff)
+    }
+
+    /// Tuning rate at a frequency, Hz per kelvin (negative).
+    pub fn tuning_rate_hz_per_k(&self, at: Frequency) -> f64 {
+        self.resonance_shift(at, 1.0).hz()
+    }
+
+    /// Temperature change that moves the ring's pump resonance onto the
+    /// nearest 200-GHz ITU grid point.
+    pub fn temperature_for_itu_alignment(&self, ring: &Microring) -> f64 {
+        let pump = ring.resonance(Polarization::Te, 0).hz();
+        let grid = 200e9;
+        let target = ITU_ANCHOR_HZ + ((pump - ITU_ANCHOR_HZ) / grid).round() * grid;
+        let needed_shift = target - pump;
+        needed_shift / self.tuning_rate_hz_per_k(Frequency::from_hz(pump))
+    }
+
+    /// Temperature stability required to hold the resonance within
+    /// `fraction` of the loaded linewidth — the number that shows why a
+    /// 110-MHz resonance needs mK-class stability (or the self-locked
+    /// scheme).
+    pub fn required_stability_kelvin(&self, ring: &Microring, fraction: f64) -> f64 {
+        assert!(fraction > 0.0, "fraction must be positive");
+        let max_shift = fraction * ring.linewidth().hz();
+        let rate = self
+            .tuning_rate_hz_per_k(ring.resonance(Polarization::Te, 0))
+            .abs();
+        max_shift / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::Microring;
+
+    #[test]
+    fn heating_red_shifts() {
+        let m = ThermalModel::hydex();
+        let shift = m.resonance_shift(Frequency::from_thz(193.4), 1.0);
+        assert!(shift.hz() < 0.0);
+        // ~1.2 GHz/K for silica-class glass at 193 THz.
+        assert!((shift.hz().abs() - 1.2e9).abs() < 0.3e9, "shift {shift}");
+    }
+
+    #[test]
+    fn shift_linear_in_temperature() {
+        let m = ThermalModel::hydex();
+        let f = Frequency::from_thz(193.4);
+        let s1 = m.resonance_shift(f, 2.0).hz();
+        let s2 = m.resonance_shift(f, 4.0).hz();
+        assert!((s2 / s1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn itu_alignment_within_half_grid() {
+        let m = ThermalModel::hydex();
+        let ring = Microring::paper_device();
+        let dt = m.temperature_for_itu_alignment(&ring);
+        // Tuning by at most half a grid spacing: |ΔT| ≤ 100 GHz / 1.2 GHz/K.
+        assert!(dt.abs() <= 100e9 / 1.1e9, "ΔT = {dt}");
+        // Applying it lands the resonance on the grid.
+        let pump = ring.resonance(Polarization::Te, 0).hz();
+        let shifted = pump + m.resonance_shift(Frequency::from_hz(pump), dt).hz();
+        let off_grid = (shifted - ITU_ANCHOR_HZ).rem_euclid(200e9);
+        let dist = off_grid.min(200e9 - off_grid);
+        assert!(dist < 1e6, "distance to grid {dist}");
+    }
+
+    #[test]
+    fn milli_kelvin_stability_required() {
+        let m = ThermalModel::hydex();
+        let ring = Microring::paper_device();
+        // Hold within 10 % of the 110-MHz linewidth: ~10 mK class.
+        let dt = m.required_stability_kelvin(&ring, 0.1);
+        assert!(dt > 1e-3 && dt < 5e-2, "ΔT = {dt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be positive")]
+    fn zero_fraction_rejected() {
+        let m = ThermalModel::hydex();
+        let _ = m.required_stability_kelvin(&Microring::paper_device(), 0.0);
+    }
+}

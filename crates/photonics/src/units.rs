@@ -1,0 +1,298 @@
+//! Typed physical quantities.
+//!
+//! Newtypes keep frequencies, wavelengths and powers statically distinct
+//! (C-NEWTYPE): a detuning in Hz cannot be confused with a wavelength in
+//! meters, and optical powers convert explicitly between watts and dBm.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::constants::SPEED_OF_LIGHT;
+
+/// Optical frequency in hertz.
+///
+/// # Examples
+///
+/// ```
+/// use qfc_photonics::units::Frequency;
+/// let f = Frequency::from_thz(193.1);
+/// assert!((f.ghz() - 193_100.0).abs() < 1e-6);
+/// assert!((f.wavelength().nm() - 1552.52).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Frequency(f64);
+
+impl Frequency {
+    /// Creates a frequency from hertz.
+    pub const fn from_hz(hz: f64) -> Self {
+        Self(hz)
+    }
+
+    /// Creates a frequency from gigahertz.
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self(ghz * 1e9)
+    }
+
+    /// Creates a frequency from terahertz.
+    pub fn from_thz(thz: f64) -> Self {
+        Self(thz * 1e12)
+    }
+
+    /// Value in hertz.
+    pub fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// Value in megahertz.
+    pub fn mhz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Value in gigahertz.
+    pub fn ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Value in terahertz.
+    pub fn thz(self) -> f64 {
+        self.0 / 1e12
+    }
+
+    /// Angular frequency `ω = 2πf` in rad/s.
+    pub fn angular(self) -> f64 {
+        2.0 * std::f64::consts::PI * self.0
+    }
+
+    /// Corresponding vacuum wavelength.
+    pub fn wavelength(self) -> Wavelength {
+        Wavelength::from_m(SPEED_OF_LIGHT / self.0)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Self(self.0.abs())
+    }
+}
+
+impl Add for Frequency {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Frequency {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Frequency {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self(-self.0)
+    }
+}
+
+impl Mul<f64> for Frequency {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Frequency {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Div for Frequency {
+    type Output = f64;
+    fn div(self, rhs: Self) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1e12 {
+            write!(f, "{:.4} THz", self.thz())
+        } else if self.0.abs() >= 1e9 {
+            write!(f, "{:.3} GHz", self.ghz())
+        } else {
+            write!(f, "{:.3} MHz", self.mhz())
+        }
+    }
+}
+
+/// Vacuum wavelength in meters.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Wavelength(f64);
+
+impl Wavelength {
+    /// Creates a wavelength from meters.
+    pub const fn from_m(m: f64) -> Self {
+        Self(m)
+    }
+
+    /// Creates a wavelength from nanometers.
+    pub fn from_nm(nm: f64) -> Self {
+        Self(nm * 1e-9)
+    }
+
+    /// Value in meters.
+    pub fn m(self) -> f64 {
+        self.0
+    }
+
+    /// Value in nanometers.
+    pub fn nm(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Value in micrometers.
+    pub fn um(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Corresponding optical frequency.
+    pub fn frequency(self) -> Frequency {
+        Frequency::from_hz(SPEED_OF_LIGHT / self.0)
+    }
+}
+
+impl fmt::Display for Wavelength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} nm", self.nm())
+    }
+}
+
+/// Optical power in watts.
+///
+/// ```
+/// use qfc_photonics::units::Power;
+/// let p = Power::from_mw(1.0);
+/// assert!((p.dbm() - 0.0).abs() < 1e-12);
+/// assert!((Power::from_dbm(10.0).mw() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Power(f64);
+
+impl Power {
+    /// Creates a power from watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is negative.
+    pub fn from_w(w: f64) -> Self {
+        assert!(w >= 0.0, "power must be non-negative");
+        Self(w)
+    }
+
+    /// Creates a power from milliwatts.
+    pub fn from_mw(mw: f64) -> Self {
+        Self::from_w(mw * 1e-3)
+    }
+
+    /// Creates a power from a dBm level.
+    pub fn from_dbm(dbm: f64) -> Self {
+        Self(1e-3 * 10f64.powf(dbm / 10.0))
+    }
+
+    /// Value in watts.
+    pub fn w(self) -> f64 {
+        self.0
+    }
+
+    /// Value in milliwatts.
+    pub fn mw(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Level in dBm (`-inf` for zero power).
+    pub fn dbm(self) -> f64 {
+        10.0 * (self.0 / 1e-3).log10()
+    }
+}
+
+impl Add for Power {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        assert!(rhs >= 0.0, "power scale factor must be non-negative");
+        Self(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} mW", self.mw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_conversions() {
+        let f = Frequency::from_ghz(200.0);
+        assert_eq!(f.hz(), 2e11);
+        assert_eq!(f.mhz(), 2e5);
+        assert!((f.thz() - 0.2).abs() < 1e-12);
+        assert!((f.angular() - 2.0 * std::f64::consts::PI * 2e11).abs() < 1.0);
+    }
+
+    #[test]
+    fn frequency_wavelength_roundtrip() {
+        let w = Wavelength::from_nm(1550.0);
+        let back = w.frequency().wavelength();
+        assert!((back.nm() - 1550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_arithmetic() {
+        let a = Frequency::from_ghz(100.0);
+        let b = Frequency::from_ghz(40.0);
+        assert_eq!((a + b).ghz(), 140.0);
+        assert_eq!((a - b).ghz(), 60.0);
+        assert_eq!((-b).ghz(), -40.0);
+        assert_eq!((a * 2.0).ghz(), 200.0);
+        assert_eq!((a / 2.0).ghz(), 50.0);
+        assert_eq!(a / b, 2.5);
+    }
+
+    #[test]
+    fn power_dbm_roundtrip() {
+        for &mw in &[0.1, 1.0, 15.0, 100.0] {
+            let p = Power::from_mw(mw);
+            assert!((Power::from_dbm(p.dbm()).mw() - mw).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_panics() {
+        let _ = Power::from_w(-1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Frequency::from_thz(193.1)), "193.1000 THz");
+        assert_eq!(format!("{}", Frequency::from_ghz(200.0)), "200.000 GHz");
+        assert_eq!(format!("{}", Frequency::from_hz(110e6)), "110.000 MHz");
+        assert_eq!(format!("{}", Wavelength::from_nm(1550.0)), "1550.00 nm");
+        assert_eq!(format!("{}", Power::from_mw(15.0)), "15.000 mW");
+    }
+}

@@ -1,0 +1,358 @@
+//! Density matrices of qubit registers, with the noise channels that
+//! model the experiment's imperfections.
+
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::cmatrix::CMatrix;
+use qfc_mathkit::complex::Complex64;
+use qfc_mathkit::hermitian::eigh;
+
+use crate::ops;
+use crate::state::PureState;
+
+/// A density matrix on an `n`-qubit register.
+///
+/// Maintains Hermiticity and unit trace by construction; positivity is
+/// checked via [`DensityMatrix::is_physical`].
+///
+/// # Examples
+///
+/// ```
+/// use qfc_quantum::density::DensityMatrix;
+/// use qfc_quantum::state::PureState;
+///
+/// let rho = DensityMatrix::from_pure(&PureState::plus());
+/// assert!((rho.purity() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityMatrix {
+    mat: CMatrix,
+    qubits: usize,
+}
+
+impl DensityMatrix {
+    /// The pure-state density matrix `|ψ⟩⟨ψ|`.
+    pub fn from_pure(state: &PureState) -> Self {
+        Self {
+            mat: ops::projector(state),
+            qubits: state.qubits(),
+        }
+    }
+
+    /// The maximally mixed state `I/2ⁿ`.
+    pub fn maximally_mixed(n: usize) -> Self {
+        assert!(n > 0 && n <= 20, "qubit count out of supported range");
+        Self {
+            mat: CMatrix::identity(1 << n).scale(1.0 / (1 << n) as f64),
+            qubits: n,
+        }
+    }
+
+    /// Builds a density matrix from a raw Hermitian, unit-trace matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when the matrix is not square power-of-two
+    /// dimensional, not Hermitian, or trace differs from 1 beyond `1e-6`.
+    pub fn from_matrix(mat: CMatrix) -> Option<Self> {
+        if !mat.is_square() {
+            return None;
+        }
+        let dim = mat.rows();
+        if dim < 2 || !dim.is_power_of_two() {
+            return None;
+        }
+        if !mat.is_hermitian(1e-8 * mat.max_abs().max(1.0)) {
+            return None;
+        }
+        if (mat.trace().re - 1.0).abs() > 1e-6 || mat.trace().im.abs() > 1e-6 {
+            return None;
+        }
+        Some(Self {
+            mat,
+            qubits: dim.trailing_zeros() as usize,
+        })
+    }
+
+    /// Convex mixture `Σ wᵢ ρᵢ` (weights renormalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list, mismatched dimensions, or non-positive
+    /// total weight.
+    pub fn mixture(parts: &[(f64, DensityMatrix)]) -> Self {
+        assert!(!parts.is_empty(), "mixture of nothing");
+        let qubits = parts[0].1.qubits;
+        let dim = 1usize << qubits;
+        let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0.0, "mixture needs positive total weight");
+        let mut acc = CMatrix::zeros(dim, dim);
+        for (w, rho) in parts {
+            assert_eq!(rho.qubits, qubits, "mixture dimension mismatch");
+            assert!(*w >= 0.0, "negative mixture weight");
+            acc = &acc + &rho.mat.scale(w / total);
+        }
+        Self { mat: acc, qubits }
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> usize {
+        self.qubits
+    }
+
+    /// Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        self.mat.rows()
+    }
+
+    /// The underlying matrix.
+    pub fn as_matrix(&self) -> &CMatrix {
+        &self.mat
+    }
+
+    /// Purity `Tr ρ²` (1 for pure states, `1/2ⁿ` for maximally mixed).
+    pub fn purity(&self) -> f64 {
+        (&self.mat * &self.mat).trace().re
+    }
+
+    /// Expectation value `Tr(ρA)` of a Hermitian observable.
+    pub fn expectation(&self, op: &CMatrix) -> f64 {
+        (&self.mat * op).trace().re
+    }
+
+    /// Probability of the outcome described by projector `p`:
+    /// `Tr(ρ·p)`, clamped to `[0, 1]` against round-off.
+    pub fn probability(&self, p: &CMatrix) -> f64 {
+        self.expectation(p).clamp(0.0, 1.0)
+    }
+
+    /// Unitary evolution `UρU†`.
+    pub fn evolve(&self, u: &CMatrix) -> Self {
+        Self {
+            mat: &(u * &self.mat) * &u.adjoint(),
+            qubits: self.qubits,
+        }
+    }
+
+    /// Tensor product with another register.
+    pub fn tensor(&self, other: &Self) -> Self {
+        Self {
+            mat: self.mat.kron(&other.mat),
+            qubits: self.qubits + other.qubits,
+        }
+    }
+
+    /// Partial trace keeping only the listed qubits (ascending order of
+    /// the result follows the order given in `keep`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty, has duplicates, or indexes out of range.
+    pub fn partial_trace_keep(&self, keep: &[usize]) -> Self {
+        let n = self.qubits;
+        assert!(!keep.is_empty(), "must keep at least one qubit");
+        assert!(keep.iter().all(|&q| q < n), "qubit index out of range");
+        let mut seen = vec![false; n];
+        for &q in keep {
+            assert!(!seen[q], "duplicate qubit in keep list");
+            seen[q] = true;
+        }
+        let traced: Vec<usize> = (0..n).filter(|q| !seen[*q]).collect();
+        let kd = 1usize << keep.len();
+        let td = 1usize << traced.len();
+
+        // Maps (kept-subsystem index, traced-subsystem index) → register
+        // basis index. Qubit 0 is the most significant bit.
+        let compose = |ki: usize, ti: usize| -> usize {
+            let mut idx = 0usize;
+            for (pos, &q) in keep.iter().enumerate() {
+                let bit = (ki >> (keep.len() - 1 - pos)) & 1;
+                idx |= bit << (n - 1 - q);
+            }
+            for (pos, &q) in traced.iter().enumerate() {
+                let bit = (ti >> (traced.len() - 1 - pos)) & 1;
+                idx |= bit << (n - 1 - q);
+            }
+            idx
+        };
+
+        let mut out = CMatrix::zeros(kd, kd);
+        for i in 0..kd {
+            for j in 0..kd {
+                let mut acc = Complex64::real(0.0);
+                for t in 0..td {
+                    acc += self.mat[(compose(i, t), compose(j, t))];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        Self {
+            mat: out,
+            qubits: keep.len(),
+        }
+    }
+
+    /// Eigenvalues of the density matrix (ascending).
+    pub fn eigenvalues(&self) -> Vec<f64> {
+        eigh(&self.mat).eigenvalues
+    }
+
+    /// `true` when all eigenvalues are ≥ `−tol` (positive semidefinite up
+    /// to numerical noise) and the trace is 1.
+    pub fn is_physical(&self, tol: f64) -> bool {
+        (self.mat.trace().re - 1.0).abs() <= tol
+            && self.eigenvalues().iter().all(|&l| l >= -tol)
+    }
+
+    /// Von Neumann entropy `−Σ λ ln λ` in nats.
+    pub fn von_neumann_entropy(&self) -> f64 {
+        self.eigenvalues()
+            .iter()
+            .filter(|&&l| l > 1e-15)
+            .map(|&l| -l * l.ln())
+            .sum()
+    }
+
+    /// Dephasing channel on qubit `k`: off-diagonal coherences involving
+    /// that qubit are scaled by `1 − strength` (`strength = 1` destroys
+    /// them) — the effect of interferometer phase noise on a time-bin
+    /// qubit.
+    pub fn dephase_qubit(&self, k: usize, strength: f64) -> Self {
+        assert!(k < self.qubits, "qubit index out of range");
+        let s = strength.clamp(0.0, 1.0);
+        let z = ops::embed(&ops::pauli_z(), k, self.qubits);
+        // ρ → (1 − s/2)·ρ + (s/2)·ZρZ scales coherences by (1 − s).
+        let zpz = &(&z * &self.mat) * &z;
+        Self {
+            mat: &self.mat.scale(1.0 - s / 2.0) + &zpz.scale(s / 2.0),
+            qubits: self.qubits,
+        }
+    }
+
+    /// Global depolarizing channel:
+    /// `ρ → (1 − p)·ρ + p·I/2ⁿ` — the effective white noise added by
+    /// accidental coincidences and multi-pair events.
+    pub fn depolarize(&self, p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        let mixed = Self::maximally_mixed(self.qubits);
+        Self::mixture(&[(1.0 - p, self.clone()), (p, mixed)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bell::bell_phi_plus;
+
+    #[test]
+    fn pure_state_properties() {
+        let rho = DensityMatrix::from_pure(&PureState::plus());
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!(rho.is_physical(1e-10));
+        assert!(rho.von_neumann_entropy() < 1e-9);
+    }
+
+    #[test]
+    fn maximally_mixed_properties() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        assert!((rho.purity() - 0.25).abs() < 1e-12);
+        assert!((rho.von_neumann_entropy() - (4.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_matrix_validation() {
+        assert!(DensityMatrix::from_matrix(CMatrix::identity(2).scale(0.5)).is_some());
+        // Wrong trace.
+        assert!(DensityMatrix::from_matrix(CMatrix::identity(2)).is_none());
+        // Not Hermitian.
+        let m = CMatrix::from_real_rows(&[&[0.5, 0.5], &[0.0, 0.5]]);
+        assert!(DensityMatrix::from_matrix(m).is_none());
+        // Not a power of two: 3×3.
+        let m3 = CMatrix::identity(3).scale(1.0 / 3.0);
+        assert!(DensityMatrix::from_matrix(m3).is_none());
+    }
+
+    #[test]
+    fn mixture_interpolates_purity() {
+        let pure = DensityMatrix::from_pure(&PureState::ket0());
+        let mixed = DensityMatrix::maximally_mixed(1);
+        let half = DensityMatrix::mixture(&[(0.5, pure), (0.5, mixed)]);
+        assert!(half.purity() < 1.0 && half.purity() > 0.5);
+        assert!((half.as_matrix().trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_trace_of_product_state() {
+        let a = DensityMatrix::from_pure(&PureState::ket1());
+        let b = DensityMatrix::from_pure(&PureState::plus());
+        let ab = a.tensor(&b);
+        let ra = ab.partial_trace_keep(&[0]);
+        let rb = ab.partial_trace_keep(&[1]);
+        assert!(ra.as_matrix().approx_eq(a.as_matrix(), 1e-12));
+        assert!(rb.as_matrix().approx_eq(b.as_matrix(), 1e-12));
+    }
+
+    #[test]
+    fn partial_trace_of_bell_state_is_mixed() {
+        let rho = DensityMatrix::from_pure(&bell_phi_plus());
+        let reduced = rho.partial_trace_keep(&[0]);
+        assert!((reduced.purity() - 0.5).abs() < 1e-12, "maximally mixed marginal");
+        // Entropy of entanglement = ln 2.
+        assert!((reduced.von_neumann_entropy() - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evolve_preserves_physicality() {
+        let rho = DensityMatrix::from_pure(&PureState::ket0());
+        let u = ops::ry(1.1);
+        let out = rho.evolve(&u);
+        assert!(out.is_physical(1e-10));
+        assert!((out.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dephasing_kills_coherence() {
+        let rho = DensityMatrix::from_pure(&PureState::plus());
+        let full = rho.dephase_qubit(0, 1.0);
+        // Fully dephased |+⟩ becomes I/2.
+        assert!(full
+            .as_matrix()
+            .approx_eq(DensityMatrix::maximally_mixed(1).as_matrix(), 1e-12));
+        let partial = rho.dephase_qubit(0, 0.4);
+        assert!((partial.as_matrix()[(0, 1)].re - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_channel_mixes() {
+        let rho = DensityMatrix::from_pure(&bell_phi_plus());
+        let noisy = rho.depolarize(0.2);
+        assert!(noisy.is_physical(1e-10));
+        assert!(noisy.purity() < 1.0);
+        // p = 1 gives maximally mixed.
+        let white = rho.depolarize(1.0);
+        assert!(white
+            .as_matrix()
+            .approx_eq(DensityMatrix::maximally_mixed(2).as_matrix(), 1e-12));
+    }
+
+    #[test]
+    fn probability_clamped() {
+        let rho = DensityMatrix::from_pure(&PureState::ket0());
+        let p = ops::projector(&PureState::ket0());
+        assert!((rho.probability(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep at least one")]
+    fn partial_trace_rejects_empty_keep() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        let _ = rho.partial_trace_keep(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn partial_trace_rejects_duplicates() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        let _ = rho.partial_trace_keep(&[0, 0]);
+    }
+}

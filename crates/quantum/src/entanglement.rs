@@ -1,0 +1,116 @@
+//! Entanglement measures beyond concurrence: negativity and entropy of
+//! entanglement.
+
+use qfc_mathkit::cmatrix::CMatrix;
+use qfc_mathkit::hermitian::eigh;
+
+use crate::density::DensityMatrix;
+
+/// Partial transpose over the *second* qubit of a bipartition where the
+/// first `k` qubits form subsystem A and the rest subsystem B.
+///
+/// # Panics
+///
+/// Panics unless `0 < k < n`.
+pub fn partial_transpose(rho: &DensityMatrix, k: usize) -> CMatrix {
+    let n = rho.qubits();
+    assert!(k > 0 && k < n, "bipartition cut out of range");
+    let da = 1usize << k;
+    let db = 1usize << (n - k);
+    let m = rho.as_matrix();
+    CMatrix::from_fn(da * db, da * db, |row, col| {
+        let (ia, ib) = (row / db, row % db);
+        let (ja, jb) = (col / db, col % db);
+        // Transpose subsystem B: swap ib ↔ jb.
+        m[(ia * db + jb, ja * db + ib)]
+    })
+}
+
+/// Negativity `N(ρ) = (‖ρ^{T_B}‖₁ − 1)/2` across the cut after qubit `k`.
+///
+/// `N = 1/2` for Bell states, `0` for PPT (unentangled two-qubit) states.
+pub fn negativity(rho: &DensityMatrix, k: usize) -> f64 {
+    let pt = partial_transpose(rho, k);
+    let eigs = eigh(&pt).eigenvalues;
+    let trace_norm: f64 = eigs.iter().map(|l| l.abs()).sum();
+    ((trace_norm - 1.0) / 2.0).max(0.0)
+}
+
+/// Logarithmic negativity `E_N = ln ‖ρ^{T_B}‖₁` in nats.
+pub fn log_negativity(rho: &DensityMatrix, k: usize) -> f64 {
+    (2.0 * negativity(rho, k) + 1.0).ln()
+}
+
+/// Entropy of entanglement of a *pure* bipartite state: the von Neumann
+/// entropy of the reduced state of the first `k` qubits, in nats.
+pub fn entropy_of_entanglement(rho: &DensityMatrix, k: usize) -> f64 {
+    assert!(k > 0 && k < rho.qubits(), "bipartition cut out of range");
+    let keep: Vec<usize> = (0..k).collect();
+    rho.partial_trace_keep(&keep).von_neumann_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bell::{bell_phi_plus, werner_state};
+    use crate::state::PureState;
+
+    #[test]
+    fn bell_state_negativity_is_half() {
+        let rho = DensityMatrix::from_pure(&bell_phi_plus());
+        assert!((negativity(&rho, 1) - 0.5).abs() < 1e-9);
+        assert!((log_negativity(&rho, 1) - 2.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn product_state_negativity_zero() {
+        let rho = DensityMatrix::from_pure(&PureState::plus().tensor(&PureState::ket0()));
+        assert!(negativity(&rho, 1) < 1e-10);
+    }
+
+    #[test]
+    fn werner_negativity_threshold() {
+        // Werner states are PPT (N = 0) for V ≤ 1/3.
+        assert!(negativity(&werner_state(0.3, 0.0), 1) < 1e-9);
+        assert!(negativity(&werner_state(0.5, 0.0), 1) > 0.05);
+    }
+
+    #[test]
+    fn entropy_of_entanglement_bell() {
+        let rho = DensityMatrix::from_pure(&bell_phi_plus());
+        assert!((entropy_of_entanglement(&rho, 1) - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_photon_product_has_two_ebits_across_middle() {
+        // |Φ⁺⟩₁₃ ⊗ |Φ⁺⟩₂₄ arrangement: across the 2|2 cut where each Bell
+        // pair straddles the cut, entropy = 2·ln 2.
+        // Build |Φ⁺⟩ ⊗ |Φ⁺⟩ on qubits (0,1),(2,3) then consider cut at 2:
+        // each pair is inside one side → zero entropy.
+        let pair = bell_phi_plus();
+        let four = pair.tensor(&pair);
+        let rho = DensityMatrix::from_pure(&four);
+        assert!(entropy_of_entanglement(&rho, 2) < 1e-9);
+        // Cut between the qubits of a single pair (after qubit 1): one
+        // Bell pair straddles → ln 2.
+        assert!((entropy_of_entanglement(&rho, 1) - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_transpose_involution() {
+        let rho = werner_state(0.8, 0.7);
+        let pt = partial_transpose(&rho, 1);
+        let ptpt = partial_transpose(
+            &DensityMatrix::from_matrix(pt).expect("PT of Werner is a valid matrix shape"),
+            1,
+        );
+        assert!(ptpt.approx_eq(rho.as_matrix(), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "cut out of range")]
+    fn cut_must_be_interior() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        let _ = negativity(&rho, 2);
+    }
+}

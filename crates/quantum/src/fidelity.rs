@@ -1,0 +1,111 @@
+//! State fidelity and trace distance.
+
+use qfc_mathkit::hermitian::{eigh, sqrtm_psd};
+
+use crate::density::DensityMatrix;
+use crate::state::PureState;
+
+/// Uhlmann fidelity `F(ρ, σ) = (Tr √(√ρ·σ·√ρ))²`, in `[0, 1]`.
+///
+/// This is the quantity the paper reports for tomography (64 % for the
+/// four-photon state).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+///
+/// ```
+/// use qfc_quantum::density::DensityMatrix;
+/// use qfc_quantum::bell::bell_phi_plus;
+/// use qfc_quantum::fidelity::state_fidelity;
+///
+/// let rho = DensityMatrix::from_pure(&bell_phi_plus());
+/// assert!((state_fidelity(&rho, &rho) - 1.0).abs() < 1e-9);
+/// ```
+pub fn state_fidelity(rho: &DensityMatrix, sigma: &DensityMatrix) -> f64 {
+    assert_eq!(rho.dim(), sigma.dim(), "fidelity dimension mismatch");
+    let sq = sqrtm_psd(rho.as_matrix());
+    let inner = &(&sq * sigma.as_matrix()) * &sq;
+    let root = sqrtm_psd(&inner);
+    let f = root.trace().re.powi(2);
+    f.clamp(0.0, 1.0 + 1e-9).min(1.0)
+}
+
+/// Fidelity of a density matrix with a pure target:
+/// `F = ⟨ψ|ρ|ψ⟩` (equal to Uhlmann fidelity for pure targets).
+pub fn fidelity_with_pure(rho: &DensityMatrix, target: &PureState) -> f64 {
+    assert_eq!(rho.dim(), target.dim(), "fidelity dimension mismatch");
+    rho.as_matrix()
+        .sandwich(target.as_vector(), target.as_vector())
+        .re
+        .clamp(0.0, 1.0)
+}
+
+/// Trace distance `D(ρ, σ) = ½·Tr|ρ − σ|`, in `[0, 1]`.
+pub fn trace_distance(rho: &DensityMatrix, sigma: &DensityMatrix) -> f64 {
+    assert_eq!(rho.dim(), sigma.dim(), "trace distance dimension mismatch");
+    let diff = rho.as_matrix() - sigma.as_matrix();
+    0.5 * eigh(&diff).eigenvalues.iter().map(|l| l.abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bell::{bell_phi_plus, bell_psi_minus, werner_state};
+
+    #[test]
+    fn fidelity_with_self_is_one() {
+        let rho = DensityMatrix::from_pure(&bell_phi_plus());
+        assert!((state_fidelity(&rho, &rho) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_pure_states_is_zero() {
+        let a = DensityMatrix::from_pure(&bell_phi_plus());
+        let b = DensityMatrix::from_pure(&bell_psi_minus());
+        assert!(state_fidelity(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn pure_target_shortcut_agrees_with_uhlmann() {
+        let rho = werner_state(0.7, 0.4);
+        let target = crate::bell::bell_phi(0.4);
+        let f1 = fidelity_with_pure(&rho, &target);
+        let f2 = state_fidelity(&rho, &DensityMatrix::from_pure(&target));
+        assert!((f1 - f2).abs() < 1e-6, "{f1} vs {f2}");
+    }
+
+    #[test]
+    fn fidelity_with_maximally_mixed() {
+        let rho = DensityMatrix::from_pure(&bell_phi_plus());
+        let mixed = DensityMatrix::maximally_mixed(2);
+        // F(|ψ⟩, I/4) = 1/4.
+        assert!((state_fidelity(&rho, &mixed) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fidelity_is_symmetric() {
+        let a = werner_state(0.6, 0.0);
+        let b = werner_state(0.9, 1.0);
+        assert!((state_fidelity(&a, &b) - state_fidelity(&b, &a)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn trace_distance_bounds() {
+        let a = DensityMatrix::from_pure(&bell_phi_plus());
+        let b = DensityMatrix::from_pure(&bell_psi_minus());
+        assert!((trace_distance(&a, &b) - 1.0).abs() < 1e-9, "orthogonal pure states");
+        assert!(trace_distance(&a, &a) < 1e-10);
+    }
+
+    #[test]
+    fn fuchs_van_de_graaf_inequality() {
+        // 1 − √F ≤ D ≤ √(1 − F)
+        let a = werner_state(0.83, 0.0);
+        let b = DensityMatrix::from_pure(&bell_phi_plus());
+        let f = state_fidelity(&a, &b);
+        let d = trace_distance(&a, &b);
+        assert!(1.0 - f.sqrt() <= d + 1e-9);
+        assert!(d <= (1.0 - f).sqrt() + 1e-9);
+    }
+}

@@ -1,0 +1,250 @@
+//! Pure quantum states of qubit registers.
+
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::cmatrix::CMatrix;
+use qfc_mathkit::complex::Complex64;
+use qfc_mathkit::cvector::CVector;
+
+/// A normalized pure state of an `n`-qubit register.
+///
+/// Basis ordering is big-endian: qubit 0 is the most significant bit of
+/// the computational-basis index, so `|10⟩` (qubit 0 = 1, qubit 1 = 0) is
+/// index `0b10 = 2`.
+///
+/// # Examples
+///
+/// ```
+/// use qfc_quantum::state::PureState;
+///
+/// let plus = PureState::plus();
+/// assert_eq!(plus.qubits(), 1);
+/// assert!((plus.probability(0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PureState {
+    amps: CVector,
+    qubits: usize,
+}
+
+impl PureState {
+    /// The all-zeros state `|0…0⟩` of `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 20` (dimension guard).
+    pub fn zero(n: usize) -> Self {
+        assert!(n > 0 && n <= 20, "qubit count out of supported range");
+        Self {
+            amps: CVector::basis(1 << n, 0),
+            qubits: n,
+        }
+    }
+
+    /// Single-qubit `|0⟩`.
+    pub fn ket0() -> Self {
+        Self::zero(1)
+    }
+
+    /// Single-qubit `|1⟩`.
+    pub fn ket1() -> Self {
+        Self {
+            amps: CVector::basis(2, 1),
+            qubits: 1,
+        }
+    }
+
+    /// Single-qubit `|+⟩ = (|0⟩ + |1⟩)/√2`.
+    pub fn plus() -> Self {
+        Self::from_amplitudes(CVector::from_real(&[1.0, 1.0])).expect("valid")
+    }
+
+    /// Single-qubit `|−⟩ = (|0⟩ − |1⟩)/√2`.
+    pub fn minus() -> Self {
+        Self::from_amplitudes(CVector::from_real(&[1.0, -1.0])).expect("valid")
+    }
+
+    /// Builds a state from raw amplitudes, normalizing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when the length is not a power of two ≥ 2 or the
+    /// vector is numerically zero.
+    pub fn from_amplitudes(amps: CVector) -> Option<Self> {
+        let dim = amps.dim();
+        if dim < 2 || !dim.is_power_of_two() {
+            return None;
+        }
+        if amps.norm() <= 0.0 {
+            return None;
+        }
+        Some(Self {
+            amps: amps.normalized(),
+            qubits: dim.trailing_zeros() as usize,
+        })
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> usize {
+        self.qubits
+    }
+
+    /// Hilbert-space dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        self.amps.dim()
+    }
+
+    /// Amplitude of computational-basis state `idx`.
+    pub fn amplitude(&self, idx: usize) -> Complex64 {
+        self.amps[idx]
+    }
+
+    /// Probability of measuring computational-basis outcome `idx`.
+    pub fn probability(&self, idx: usize) -> f64 {
+        self.amps[idx].norm_sqr()
+    }
+
+    /// All computational-basis probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The amplitude vector.
+    pub fn as_vector(&self) -> &CVector {
+        &self.amps
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn inner(&self, other: &Self) -> Complex64 {
+        self.amps.dot(&other.amps)
+    }
+
+    /// Squared overlap `|⟨self|other⟩|²` (pure-state fidelity).
+    pub fn overlap(&self, other: &Self) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Tensor product `self ⊗ other`.
+    pub fn tensor(&self, other: &Self) -> Self {
+        Self {
+            amps: self.amps.kron(&other.amps),
+            qubits: self.qubits + other.qubits,
+        }
+    }
+
+    /// Applies a unitary (or any operator, renormalizing) to the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator dimension does not match, or annihilates
+    /// the state.
+    pub fn apply(&self, op: &CMatrix) -> Self {
+        assert_eq!(op.cols(), self.dim(), "operator dimension mismatch");
+        let out = op.matvec(&self.amps);
+        Self::from_amplitudes(out).expect("operator annihilated the state")
+    }
+
+    /// Expectation value `⟨ψ|A|ψ⟩` (real part; `A` should be Hermitian).
+    pub fn expectation(&self, op: &CMatrix) -> f64 {
+        op.sandwich(&self.amps, &self.amps).re
+    }
+
+    /// `true` when both states match up to a global phase within `tol`.
+    pub fn approx_eq_up_to_phase(&self, other: &Self, tol: f64) -> bool {
+        if self.dim() != other.dim() {
+            return false;
+        }
+        (self.overlap(other) - 1.0).abs() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfc_mathkit::complex::C_I;
+
+    #[test]
+    fn zero_state_probabilities() {
+        let s = PureState::zero(2);
+        assert_eq!(s.qubits(), 2);
+        assert_eq!(s.dim(), 4);
+        assert_eq!(s.probability(0), 1.0);
+        assert_eq!(s.probability(3), 0.0);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = PureState::from_amplitudes(CVector::from_real(&[3.0, 4.0])).expect("valid");
+        assert!((s.probability(0) - 0.36).abs() < 1e-12);
+        assert!((s.probability(1) - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_rejects_bad_inputs() {
+        assert!(PureState::from_amplitudes(CVector::from_real(&[1.0, 0.0, 0.0])).is_none());
+        assert!(PureState::from_amplitudes(CVector::zeros(4)).is_none());
+        assert!(PureState::from_amplitudes(CVector::from_real(&[1.0])).is_none());
+    }
+
+    #[test]
+    fn plus_minus_orthogonal() {
+        let p = PureState::plus();
+        let m = PureState::minus();
+        assert!(p.inner(&m).approx_zero(1e-14));
+        assert!((p.overlap(&p) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tensor_builds_register() {
+        let s = PureState::ket1().tensor(&PureState::ket0());
+        assert_eq!(s.qubits(), 2);
+        // Big-endian: |10⟩ = index 2.
+        assert_eq!(s.probability(2), 1.0);
+    }
+
+    #[test]
+    fn apply_pauli_x() {
+        let x = CMatrix::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let s = PureState::ket0().apply(&x);
+        assert_eq!(s.probability(1), 1.0);
+    }
+
+    #[test]
+    fn expectation_of_z() {
+        let z = CMatrix::from_real_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        assert!((PureState::ket0().expectation(&z) - 1.0).abs() < 1e-14);
+        assert!((PureState::ket1().expectation(&z) + 1.0).abs() < 1e-14);
+        assert!(PureState::plus().expectation(&z).abs() < 1e-14);
+    }
+
+    #[test]
+    fn global_phase_equivalence() {
+        let s = PureState::plus();
+        let phased = PureState::from_amplitudes(s.as_vector().scale_c(C_I)).expect("valid");
+        assert!(s.approx_eq_up_to_phase(&phased, 1e-12));
+        assert!(!s.approx_eq_up_to_phase(&PureState::minus(), 1e-12));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let s = PureState::from_amplitudes(CVector::from_vec(vec![
+            Complex64::new(0.3, 0.1),
+            Complex64::new(-0.2, 0.7),
+            Complex64::new(0.0, 0.4),
+            Complex64::new(0.5, 0.0),
+        ]))
+        .expect("valid");
+        let total: f64 = s.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of supported range")]
+    fn zero_qubits_panics() {
+        let _ = PureState::zero(0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Coincidence analysis: windowed counting, start–stop histograms, and
+//! the coincidence-to-accidental ratio (CAR) — the §II–III figures of
+//! merit.
+
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::fit::fit_exponential_decay;
+use qfc_mathkit::stats::Histogram;
+
+use crate::events::TagStream;
+
+/// Counts coincidences between two sorted streams: pairs with
+/// `|t_b − t_a − offset| ≤ window/2`, each event used at most once
+/// (greedy two-pointer matching).
+///
+/// # Panics
+///
+/// Panics if `window_ps < 0`.
+pub fn count_coincidences(a: &TagStream, b: &TagStream, window_ps: i64, offset_ps: i64) -> u64 {
+    assert!(window_ps >= 0, "window must be non-negative");
+    let half = window_ps / 2;
+    let (ta, tb) = (a.as_slice(), b.as_slice());
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < ta.len() && j < tb.len() {
+        let delta = tb[j] - ta[i] - offset_ps;
+        if delta < -half {
+            j += 1;
+        } else if delta > half {
+            i += 1;
+        } else {
+            count += 1;
+            i += 1;
+            j += 1;
+        }
+    }
+    count
+}
+
+/// Start–stop cross-correlation histogram of delays `t_b − t_a` within
+/// `±range_ps`, binned at `bin_ps` — the §II time-resolved coincidence
+/// measurement.
+///
+/// # Panics
+///
+/// Panics if `range_ps <= 0` or `bin_ps <= 0`.
+pub fn cross_correlation_histogram(
+    a: &TagStream,
+    b: &TagStream,
+    range_ps: i64,
+    bin_ps: i64,
+) -> Histogram {
+    assert!(range_ps > 0, "range must be positive");
+    assert!(bin_ps > 0, "bin width must be positive");
+    let bins = (2 * range_ps / bin_ps).max(1) as usize;
+    let mut hist = Histogram::new(-(range_ps as f64), range_ps as f64, bins);
+    let (ta, tb) = (a.as_slice(), b.as_slice());
+    let mut j0 = 0usize;
+    for &t in ta {
+        // Advance the window start.
+        while j0 < tb.len() && tb[j0] < t - range_ps {
+            j0 += 1;
+        }
+        let mut j = j0;
+        while j < tb.len() && tb[j] <= t + range_ps {
+            hist.add((tb[j] - t) as f64);
+            j += 1;
+        }
+    }
+    hist
+}
+
+/// Result of a CAR measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CarResult {
+    /// True coincidences in the zero-delay window.
+    pub coincidences: u64,
+    /// Mean accidentals per window, from offset windows.
+    pub accidentals: f64,
+    /// Coincidence-to-accidental ratio. `f64::INFINITY` when no
+    /// accidentals were observed.
+    pub car: f64,
+}
+
+/// Measures the CAR: coincidences in the zero-delay window divided by the
+/// mean of coincidences in `n_offsets` displaced windows (spaced by
+/// `offset_step_ps`, starting one step away from zero delay).
+///
+/// # Panics
+///
+/// Panics if `n_offsets == 0` or `offset_step_ps <= window_ps`.
+pub fn measure_car(
+    a: &TagStream,
+    b: &TagStream,
+    window_ps: i64,
+    offset_step_ps: i64,
+    n_offsets: usize,
+) -> CarResult {
+    assert!(n_offsets > 0, "need at least one accidental window");
+    assert!(
+        offset_step_ps > window_ps,
+        "offset step must exceed the window"
+    );
+    let coincidences = count_coincidences(a, b, window_ps, 0);
+    let mut acc_total = 0u64;
+    for k in 1..=n_offsets {
+        acc_total += count_coincidences(a, b, window_ps, k as i64 * offset_step_ps);
+    }
+    let accidentals = acc_total as f64 / n_offsets as f64;
+    let car = if accidentals > 0.0 {
+        coincidences as f64 / accidentals
+    } else if coincidences > 0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    CarResult {
+        coincidences,
+        accidentals,
+        car,
+    }
+}
+
+/// Finds the relative delay between two streams by locating the peak of
+/// their cross-correlation — the cable/path-length calibration every
+/// real coincidence setup performs first.
+///
+/// Returns `None` when no correlation peak stands out (peak below
+/// `3 + 2·√floor` over the median bin count).
+pub fn find_delay(a: &TagStream, b: &TagStream, range_ps: i64, bin_ps: i64) -> Option<i64> {
+    let hist = cross_correlation_histogram(a, b, range_ps, bin_ps);
+    let (idx, peak) = hist.peak()?;
+    let mut counts: Vec<u64> = hist.counts().to_vec();
+    counts.sort_unstable();
+    let median = counts[counts.len() / 2] as f64;
+    if (peak as f64) < median + 3.0 + 2.0 * median.sqrt() {
+        return None;
+    }
+    Some(hist.bin_center(idx) as i64)
+}
+
+/// Result of extracting a photon-pair coherence time (and thus linewidth)
+/// from a time-resolved coincidence histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinewidthResult {
+    /// Fitted two-sided exponential decay constant, s.
+    pub decay_time_s: f64,
+    /// Inferred Lorentzian linewidth `Δν = 1/(2π·τ)`, Hz.
+    pub linewidth_hz: f64,
+    /// R² of the decay fit.
+    pub r_squared: f64,
+}
+
+/// Fits the two-sided exponential decay of a coincidence histogram and
+/// converts it to a linewidth — the §II analysis yielding Δν = 110 MHz.
+///
+/// The histogram's positive- and negative-delay wings are folded and fit
+/// jointly; the baseline (mean of the outermost 10 % of bins) is
+/// subtracted as the accidental floor.
+///
+/// # Panics
+///
+/// Panics if the histogram has no peak.
+pub fn extract_linewidth(hist: &Histogram) -> LinewidthResult {
+    let (peak_idx, _) = hist.peak().expect("histogram has no counts");
+    let bins = hist.bins();
+    // Accidental floor from the edges.
+    let edge = (bins / 10).max(1);
+    let mut floor = 0.0;
+    for i in 0..edge {
+        floor += hist.count(i) as f64 + hist.count(bins - 1 - i) as f64;
+    }
+    floor /= (2 * edge) as f64;
+
+    // Fold both wings around the peak.
+    let mut t: Vec<f64> = Vec::new();
+    let mut y: Vec<f64> = Vec::new();
+    for i in 0..bins {
+        let dt = (hist.bin_center(i) - hist.bin_center(peak_idx)).abs() * 1e-12; // ps → s
+        let v = hist.count(i) as f64 - floor;
+        if v > 0.0 {
+            t.push(dt);
+            y.push(v);
+        }
+    }
+    let fit = fit_exponential_decay(&t, &y);
+    LinewidthResult {
+        decay_time_s: fit.tau,
+        linewidth_hz: 1.0 / (2.0 * std::f64::consts::PI * fit.tau),
+        r_squared: fit.r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfc_mathkit::rng::{exponential, rng_from_seed};
+    use rand::Rng;
+
+    #[test]
+    fn exact_coincidences_counted() {
+        let a = TagStream::from_unsorted(vec![100, 200, 300]);
+        let b = TagStream::from_unsorted(vec![105, 250, 301]);
+        // Window ±10 ps: 100↔105 and 300↔301 match.
+        assert_eq!(count_coincidences(&a, &b, 20, 0), 2);
+        // Window ±1: only nothing (105−100 = 5 > 1, 301−300 = 1 ≤ 1... half = 0)
+        assert_eq!(count_coincidences(&a, &b, 2, 0), 1);
+    }
+
+    #[test]
+    fn each_event_used_once() {
+        let a = TagStream::from_unsorted(vec![100]);
+        let b = TagStream::from_unsorted(vec![99, 101, 102]);
+        assert_eq!(count_coincidences(&a, &b, 10, 0), 1);
+    }
+
+    #[test]
+    fn offset_window_finds_displaced_pairs() {
+        let a = TagStream::from_unsorted(vec![100, 200]);
+        let b = TagStream::from_unsorted(vec![1100, 1200]);
+        assert_eq!(count_coincidences(&a, &b, 10, 0), 0);
+        assert_eq!(count_coincidences(&a, &b, 10, 1000), 2);
+    }
+
+    #[test]
+    fn histogram_centers_delays() {
+        let a = TagStream::from_unsorted(vec![1000, 2000, 3000]);
+        let b = TagStream::from_unsorted(vec![1050, 2050, 3050]);
+        let h = cross_correlation_histogram(&a, &b, 500, 100);
+        let (idx, count) = h.peak().expect("peak exists");
+        assert_eq!(count, 3);
+        assert!((h.bin_center(idx) - 50.0).abs() <= 50.0);
+    }
+
+    #[test]
+    fn car_of_correlated_streams_is_high() {
+        let mut rng = rng_from_seed(7);
+        // 1000 correlated pairs + uniform noise on both channels.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..1000 {
+            let t = (rng.gen::<f64>() * 1e12) as i64;
+            a.push(t);
+            b.push(t + 5);
+        }
+        for _ in 0..300 {
+            a.push((rng.gen::<f64>() * 1e12) as i64);
+            b.push((rng.gen::<f64>() * 1e12) as i64);
+        }
+        let sa = TagStream::from_unsorted(a);
+        let sb = TagStream::from_unsorted(b);
+        let r = measure_car(&sa, &sb, 200, 10_000, 10);
+        assert!(r.coincidences >= 1000);
+        assert!(r.car > 50.0, "CAR = {}", r.car);
+    }
+
+    #[test]
+    fn car_of_uncorrelated_streams_near_one() {
+        let mut rng = rng_from_seed(8);
+        let a: Vec<i64> = (0..200_000).map(|_| (rng.gen::<f64>() * 1e12) as i64).collect();
+        let b: Vec<i64> = (0..200_000).map(|_| (rng.gen::<f64>() * 1e12) as i64).collect();
+        let sa = TagStream::from_unsorted(a);
+        let sb = TagStream::from_unsorted(b);
+        let r = measure_car(&sa, &sb, 1000, 100_000, 8);
+        assert!((r.car - 1.0).abs() < 0.3, "CAR = {}", r.car);
+    }
+
+    #[test]
+    fn linewidth_extraction_recovers_decay() {
+        let mut rng = rng_from_seed(9);
+        // Pairs with exponential |Δt| of τ = 1.45 ns (110 MHz linewidth).
+        let tau_s = 1.45e-9;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..60_000 {
+            let t = (rng.gen::<f64>() * 1e15) as i64;
+            let dt = exponential(&mut rng, 1.0 / tau_s) * 1e12;
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            a.push(t);
+            b.push(t + (sign * dt) as i64);
+        }
+        let h = cross_correlation_histogram(
+            &TagStream::from_unsorted(a),
+            &TagStream::from_unsorted(b),
+            15_000,
+            250,
+        );
+        let r = extract_linewidth(&h);
+        assert!(
+            (r.linewidth_hz - 110e6).abs() / 110e6 < 0.1,
+            "Δν = {} MHz",
+            r.linewidth_hz / 1e6
+        );
+        assert!(r.r_squared > 0.9);
+    }
+
+    #[test]
+    fn find_delay_recovers_cable_offset() {
+        let mut rng = rng_from_seed(10);
+        let true_delay = 12_345i64;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..5_000 {
+            let t = (rng.gen::<f64>() * 1e12) as i64;
+            a.push(t);
+            b.push(t + true_delay);
+        }
+        let sa = TagStream::from_unsorted(a);
+        let sb = TagStream::from_unsorted(b);
+        let found = find_delay(&sa, &sb, 50_000, 500).expect("clear peak");
+        assert!((found - true_delay).abs() <= 500, "found {found}");
+    }
+
+    #[test]
+    fn find_delay_rejects_uncorrelated_streams() {
+        let mut rng = rng_from_seed(11);
+        let a: Vec<i64> = (0..20_000).map(|_| (rng.gen::<f64>() * 1e12) as i64).collect();
+        let b: Vec<i64> = (0..20_000).map(|_| (rng.gen::<f64>() * 1e12) as i64).collect();
+        let found = find_delay(
+            &TagStream::from_unsorted(a),
+            &TagStream::from_unsorted(b),
+            50_000,
+            500,
+        );
+        assert!(found.is_none(), "spurious delay {found:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "offset step")]
+    fn car_rejects_overlapping_offsets() {
+        let s = TagStream::from_unsorted(vec![1, 2, 3]);
+        let _ = measure_car(&s, &s, 100, 50, 3);
+    }
+
+    #[test]
+    fn empty_streams_zero() {
+        let e = TagStream::new();
+        assert_eq!(count_coincidences(&e, &e, 100, 0), 0);
+        let r = measure_car(&e, &e, 100, 1000, 3);
+        assert_eq!(r.coincidences, 0);
+        assert_eq!(r.car, 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Single-photon detector model: efficiency, dark counts, timing jitter,
+//! and dead time — the four imperfections that shape every measured
+//! coincidence histogram in the paper.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::rng::{bernoulli, normal, poisson};
+
+use crate::events::TagStream;
+
+/// A click detector (non-number-resolving).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinglePhotonDetector {
+    /// Detection efficiency, 0‥1.
+    pub efficiency: f64,
+    /// Dark-count rate, Hz.
+    pub dark_count_rate_hz: f64,
+    /// Gaussian timing jitter (1σ), ps.
+    pub jitter_sigma_ps: f64,
+    /// Dead time after each click, ps.
+    pub dead_time_ps: i64,
+}
+
+impl SinglePhotonDetector {
+    /// Telecom InGaAs avalanche detector of the era (id Quantique
+    /// id201-class): η ≈ 15 %, kHz darks, ~100 ps jitter, µs dead time.
+    pub fn ingaas_paper() -> Self {
+        Self {
+            efficiency: 0.15,
+            dark_count_rate_hz: 1000.0,
+            jitter_sigma_ps: 100.0,
+            dead_time_ps: 10_000_000, // 10 µs
+        }
+    }
+
+    /// Superconducting nanowire detector, for comparison studies:
+    /// η ≈ 80 %, ~100 Hz darks, 30 ps jitter, short dead time.
+    pub fn snspd() -> Self {
+        Self {
+            efficiency: 0.80,
+            dark_count_rate_hz: 100.0,
+            jitter_sigma_ps: 30.0,
+            dead_time_ps: 50_000, // 50 ns
+        }
+    }
+
+    /// An ideal detector (for analysis-path unit tests).
+    pub fn ideal() -> Self {
+        Self {
+            efficiency: 1.0,
+            dark_count_rate_hz: 0.0,
+            jitter_sigma_ps: 0.0,
+            dead_time_ps: 0,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of physical range.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.efficiency),
+            "efficiency must be in [0, 1]"
+        );
+        assert!(self.dark_count_rate_hz >= 0.0, "dark rate must be ≥ 0");
+        assert!(self.jitter_sigma_ps >= 0.0, "jitter must be ≥ 0");
+        assert!(self.dead_time_ps >= 0, "dead time must be ≥ 0");
+    }
+
+    /// Simulates detection of photons with true arrival times
+    /// `arrivals_ps` over an observation window `[0, duration_ps)`:
+    /// applies efficiency loss, adds Gaussian jitter, injects uniform
+    /// dark counts, and enforces dead time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are invalid or `duration_ps <= 0`.
+    pub fn detect<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        arrivals_ps: &[i64],
+        duration_ps: i64,
+    ) -> TagStream {
+        self.validate();
+        assert!(duration_ps > 0, "duration must be positive");
+        let mut clicks: Vec<i64> = Vec::with_capacity(arrivals_ps.len());
+        for &t in arrivals_ps {
+            if !bernoulli(rng, self.efficiency) {
+                continue;
+            }
+            let t = if self.jitter_sigma_ps > 0.0 {
+                t + normal(rng, 0.0, self.jitter_sigma_ps).round() as i64
+            } else {
+                t
+            };
+            clicks.push(t);
+        }
+        // Dark counts: Poisson number, uniform over the window.
+        let expected_darks = self.dark_count_rate_hz * duration_ps as f64 * 1e-12;
+        let n_dark = poisson(rng, expected_darks);
+        for _ in 0..n_dark {
+            clicks.push((rng.gen::<f64>() * duration_ps as f64) as i64);
+        }
+        clicks.sort_unstable();
+        // Dead time: drop clicks within the hold-off of the last accepted.
+        if self.dead_time_ps > 0 {
+            let mut kept = Vec::with_capacity(clicks.len());
+            let mut last: Option<i64> = None;
+            for t in clicks {
+                if last.is_none_or(|l| t - l >= self.dead_time_ps) {
+                    kept.push(t);
+                    last = Some(t);
+                }
+            }
+            clicks = kept;
+        }
+        TagStream::from_sorted(clicks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfc_mathkit::rng::rng_from_seed;
+
+    const SECOND_PS: i64 = 1_000_000_000_000;
+
+    #[test]
+    fn ideal_detector_passes_everything() {
+        let mut rng = rng_from_seed(1);
+        let arrivals: Vec<i64> = (0..100).map(|i| i * 1_000_000).collect();
+        let out = SinglePhotonDetector::ideal().detect(&mut rng, &arrivals, SECOND_PS);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out.as_slice(), arrivals.as_slice());
+    }
+
+    #[test]
+    fn efficiency_thins_the_stream() {
+        let mut rng = rng_from_seed(2);
+        let arrivals: Vec<i64> = (0..100_000).map(|i| i * 1_000_000).collect();
+        let det = SinglePhotonDetector {
+            efficiency: 0.3,
+            dark_count_rate_hz: 0.0,
+            jitter_sigma_ps: 0.0,
+            dead_time_ps: 0,
+        };
+        let out = det.detect(&mut rng, &arrivals, 200 * SECOND_PS);
+        let frac = out.len() as f64 / arrivals.len() as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn dark_counts_at_expected_rate() {
+        let mut rng = rng_from_seed(3);
+        let det = SinglePhotonDetector {
+            efficiency: 1.0,
+            dark_count_rate_hz: 5000.0,
+            jitter_sigma_ps: 0.0,
+            dead_time_ps: 0,
+        };
+        let out = det.detect(&mut rng, &[], 10 * SECOND_PS);
+        let rate = out.rate_hz(10.0);
+        assert!((rate - 5000.0).abs() < 150.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn jitter_spreads_arrivals() {
+        let mut rng = rng_from_seed(4);
+        let arrivals = vec![500_000i64; 20_000];
+        let det = SinglePhotonDetector {
+            efficiency: 1.0,
+            dark_count_rate_hz: 0.0,
+            jitter_sigma_ps: 120.0,
+            dead_time_ps: 0,
+        };
+        let out = det.detect(&mut rng, &arrivals, SECOND_PS);
+        let mean: f64 =
+            out.as_slice().iter().map(|&t| t as f64).sum::<f64>() / out.len() as f64;
+        let var: f64 = out
+            .as_slice()
+            .iter()
+            .map(|&t| (t as f64 - mean).powi(2))
+            .sum::<f64>()
+            / out.len() as f64;
+        assert!((var.sqrt() - 120.0).abs() < 5.0, "σ = {}", var.sqrt());
+    }
+
+    #[test]
+    fn dead_time_enforced() {
+        let mut rng = rng_from_seed(5);
+        // Clicks every 100 ns, dead time 250 ns → keep every third.
+        let arrivals: Vec<i64> = (0..30).map(|i| i * 100_000).collect();
+        let det = SinglePhotonDetector {
+            efficiency: 1.0,
+            dark_count_rate_hz: 0.0,
+            jitter_sigma_ps: 0.0,
+            dead_time_ps: 250_000,
+        };
+        let out = det.detect(&mut rng, &arrivals, SECOND_PS);
+        assert_eq!(out.len(), 10);
+        assert!(out
+            .as_slice()
+            .windows(2)
+            .all(|w| w[1] - w[0] >= 250_000));
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        SinglePhotonDetector::ingaas_paper().validate();
+        SinglePhotonDetector::snspd().validate();
+        SinglePhotonDetector::ideal().validate();
+        assert!(SinglePhotonDetector::snspd().efficiency > SinglePhotonDetector::ingaas_paper().efficiency);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn invalid_efficiency_rejected() {
+        let mut det = SinglePhotonDetector::ideal();
+        det.efficiency = 1.5;
+        det.validate();
+    }
+}

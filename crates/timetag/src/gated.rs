@@ -1,0 +1,202 @@
+//! Gated detection and afterpulsing — the operating mode of the
+//! telecom InGaAs detectors used in the original experiments.
+//!
+//! Gating confines sensitivity (and dark counts) to short windows
+//! synchronized to the pump frames, improving the effective CAR;
+//! afterpulsing re-fires the detector with some probability after each
+//! click, adding correlated noise that gating alone cannot remove.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::rng::bernoulli;
+
+use crate::detector::SinglePhotonDetector;
+use crate::events::TagStream;
+
+/// A gated single-photon detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GatedDetector {
+    /// Underlying (free-running) detector parameters.
+    pub base: SinglePhotonDetector,
+    /// Gate repetition period, ps.
+    pub gate_period_ps: i64,
+    /// Gate open width, ps.
+    pub gate_width_ps: i64,
+    /// Probability that a click re-arms as an afterpulse in one of the
+    /// following gates.
+    pub afterpulse_probability: f64,
+    /// Exponential decay of afterpulsing over subsequent gates.
+    pub afterpulse_decay_gates: f64,
+}
+
+impl GatedDetector {
+    /// The id201-class gated InGaAs detector of the experiments: 10-MHz
+    /// gating with 2-ns gates, a few percent afterpulsing.
+    pub fn ingaas_paper() -> Self {
+        Self {
+            base: SinglePhotonDetector::ingaas_paper(),
+            gate_period_ps: 100_000, // 10 MHz
+            gate_width_ps: 2_000,
+            afterpulse_probability: 0.03,
+            afterpulse_decay_gates: 5.0,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of physical range.
+    pub fn validate(&self) {
+        self.base.validate();
+        assert!(self.gate_period_ps > 0, "gate period must be positive");
+        assert!(
+            self.gate_width_ps > 0 && self.gate_width_ps <= self.gate_period_ps,
+            "gate width must be positive and fit in the period"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.afterpulse_probability),
+            "afterpulse probability must be in [0, 1)"
+        );
+        assert!(self.afterpulse_decay_gates > 0.0, "decay must be positive");
+    }
+
+    /// Fraction of the time the detector is sensitive.
+    pub fn duty_cycle(&self) -> f64 {
+        self.gate_width_ps as f64 / self.gate_period_ps as f64
+    }
+
+    /// `true` when timestamp `t` falls inside an open gate.
+    pub fn in_gate(&self, t_ps: i64) -> bool {
+        t_ps.rem_euclid(self.gate_period_ps) < self.gate_width_ps
+    }
+
+    /// Effective dark counts per second (the free-running dark rate
+    /// suppressed by the duty cycle).
+    pub fn effective_dark_rate_hz(&self) -> f64 {
+        self.base.dark_count_rate_hz * self.duty_cycle()
+    }
+
+    /// Detects the photon stream: free-running detection, then the gate
+    /// mask, then afterpulsing injection.
+    pub fn detect<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        arrivals_ps: &[i64],
+        duration_ps: i64,
+    ) -> TagStream {
+        self.validate();
+        let raw = self.base.detect(rng, arrivals_ps, duration_ps);
+        let mut clicks: Vec<i64> = raw
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&t| self.in_gate(t))
+            .collect();
+        // Afterpulsing: each click may spawn one echo in a later gate,
+        // geometrically distributed with the configured decay.
+        let mut echoes = Vec::new();
+        for &t in &clicks {
+            if bernoulli(rng, self.afterpulse_probability) {
+                let gates_later = 1.0
+                    + (-self.afterpulse_decay_gates * rng.gen::<f64>().ln().abs()).abs();
+                let echo = t + (gates_later as i64) * self.gate_period_ps;
+                if echo < duration_ps {
+                    echoes.push(echo);
+                }
+            }
+        }
+        clicks.extend(echoes);
+        clicks.sort_unstable();
+        TagStream::from_sorted(clicks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfc_mathkit::rng::rng_from_seed;
+
+    const SECOND_PS: i64 = 1_000_000_000_000;
+
+    fn quiet_gated() -> GatedDetector {
+        GatedDetector {
+            base: SinglePhotonDetector {
+                efficiency: 1.0,
+                dark_count_rate_hz: 0.0,
+                jitter_sigma_ps: 0.0,
+                dead_time_ps: 0,
+            },
+            gate_period_ps: 100_000,
+            gate_width_ps: 2_000,
+            afterpulse_probability: 0.0,
+            afterpulse_decay_gates: 5.0,
+        }
+    }
+
+    #[test]
+    fn duty_cycle_and_dark_suppression() {
+        let d = GatedDetector::ingaas_paper();
+        assert!((d.duty_cycle() - 0.02).abs() < 1e-12);
+        assert!(
+            (d.effective_dark_rate_hz() - 0.02 * d.base.dark_count_rate_hz).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn in_gate_classification() {
+        let d = quiet_gated();
+        assert!(d.in_gate(0));
+        assert!(d.in_gate(1_999));
+        assert!(!d.in_gate(2_000));
+        assert!(!d.in_gate(99_999));
+        assert!(d.in_gate(100_000));
+        assert!(d.in_gate(-99_000)); // negative times wrap correctly
+    }
+
+    #[test]
+    fn gate_mask_drops_out_of_gate_photons() {
+        let mut rng = rng_from_seed(61);
+        let d = quiet_gated();
+        // One in-gate and one out-of-gate arrival per period.
+        let arrivals: Vec<i64> = (0..100)
+            .flat_map(|k| [k * 100_000 + 500, k * 100_000 + 50_000])
+            .collect();
+        let out = d.detect(&mut rng, &arrivals, SECOND_PS);
+        assert_eq!(out.len(), 100);
+        assert!(out.as_slice().iter().all(|&t| d.in_gate(t)));
+    }
+
+    #[test]
+    fn afterpulsing_adds_correlated_clicks() {
+        let mut rng = rng_from_seed(62);
+        let mut d = quiet_gated();
+        d.afterpulse_probability = 0.5;
+        let arrivals: Vec<i64> = (0..10_000).map(|k| k * 100_000 + 500).collect();
+        let out = d.detect(&mut rng, &arrivals, 2 * SECOND_PS);
+        let extra = out.len() as f64 / 10_000.0 - 1.0;
+        assert!((extra - 0.5).abs() < 0.1, "afterpulse fraction {extra}");
+        // Echoes land in gates too (multiples of the period later).
+        assert!(out.as_slice().iter().all(|&t| d.in_gate(t)));
+    }
+
+    #[test]
+    fn gating_improves_dark_contrast() {
+        let mut rng = rng_from_seed(63);
+        let mut d = quiet_gated();
+        d.base.dark_count_rate_hz = 10_000.0;
+        let out = d.detect(&mut rng, &[], 10 * SECOND_PS);
+        // Only the in-gate 2 % of darks survive.
+        let rate = out.rate_hz(10.0);
+        assert!((rate - 200.0).abs() < 40.0, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gate width")]
+    fn oversized_gate_rejected() {
+        let mut d = quiet_gated();
+        d.gate_width_ps = d.gate_period_ps + 1;
+        d.validate();
+    }
+}

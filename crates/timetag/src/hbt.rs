@@ -1,0 +1,174 @@
+//! Hanbury Brown–Twiss autocorrelation: measuring g²(τ) of a single
+//! beam with a 50/50 splitter and two detectors — the standard check
+//! that the unheralded comb arm is thermal (g²(0) = 2) and the heralded
+//! one antibunched (g²(0) ≪ 1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::stats::Histogram;
+
+use crate::coincidence::cross_correlation_histogram;
+use crate::events::TagStream;
+
+/// Splits one stream on a 50/50 beam splitter into two detector streams
+/// (each event routed randomly to one output).
+pub fn beam_split<R: Rng + ?Sized>(rng: &mut R, input: &TagStream) -> (TagStream, TagStream) {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for &t in input.as_slice() {
+        if rng.gen::<bool>() {
+            a.push(t);
+        } else {
+            b.push(t);
+        }
+    }
+    (TagStream::from_sorted(a), TagStream::from_sorted(b))
+}
+
+/// Result of a normalized g²(τ) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct G2Result {
+    /// The raw coincidence histogram between the two HBT arms.
+    pub histogram: Histogram,
+    /// Normalized g² per bin (unit baseline at large delay).
+    pub g2: Vec<f64>,
+    /// g² at zero delay.
+    pub g2_zero: f64,
+}
+
+/// Measures g²(τ) of a stream via an HBT setup: split, cross-correlate,
+/// and normalize by the uncorrelated (large-delay) baseline.
+///
+/// # Panics
+///
+/// Panics if the input has fewer than 100 events or parameters are out
+/// of range.
+pub fn measure_g2<R: Rng + ?Sized>(
+    rng: &mut R,
+    input: &TagStream,
+    range_ps: i64,
+    bin_ps: i64,
+) -> G2Result {
+    assert!(input.len() >= 100, "need at least 100 events for g2");
+    let (a, b) = beam_split(rng, input);
+    let histogram = cross_correlation_histogram(&a, &b, range_ps, bin_ps);
+    // Baseline from the outer 25 % of bins on each side.
+    let bins = histogram.bins();
+    let edge = (bins / 4).max(1);
+    let mut baseline = 0.0;
+    for i in 0..edge {
+        baseline += histogram.count(i) as f64 + histogram.count(bins - 1 - i) as f64;
+    }
+    baseline /= (2 * edge) as f64;
+    assert!(baseline > 0.0, "no baseline coincidences; extend the range");
+    let g2: Vec<f64> = (0..bins)
+        .map(|i| histogram.count(i) as f64 / baseline)
+        .collect();
+    // Zero delay sits on the boundary between the two central bins;
+    // average them.
+    let zero_bin = bins / 2;
+    let g2_zero = if zero_bin > 0 {
+        0.5 * (g2[zero_bin - 1] + g2[zero_bin])
+    } else {
+        g2[zero_bin]
+    };
+    G2Result {
+        histogram,
+        g2,
+        g2_zero,
+    }
+}
+
+/// Generates a thermal (bunched) photon stream with coherence time
+/// `tau_c_s` and mean rate `rate_hz` over `duration_s` — a
+/// discrete-time doubly stochastic (intensity-modulated) Poisson
+/// process. Useful for testing and for simulating the unheralded arm.
+pub fn thermal_stream<R: Rng + ?Sized>(
+    rng: &mut R,
+    rate_hz: f64,
+    tau_c_s: f64,
+    duration_s: f64,
+) -> TagStream {
+    assert!(rate_hz > 0.0 && tau_c_s > 0.0 && duration_s > 0.0);
+    // Slice time into cells of tau_c; each cell gets an exponentially
+    // distributed intensity (thermal single-mode statistics).
+    let cells = (duration_s / tau_c_s).ceil() as u64;
+    let mut times = Vec::new();
+    for c in 0..cells {
+        let intensity = qfc_mathkit::rng::exponential(rng, 1.0 / (rate_hz * tau_c_s));
+        let n = qfc_mathkit::rng::poisson(rng, intensity);
+        let t0 = c as f64 * tau_c_s;
+        for _ in 0..n {
+            let t = t0 + rng.gen::<f64>() * tau_c_s;
+            if t < duration_s {
+                times.push((t * 1e12) as i64);
+            }
+        }
+    }
+    TagStream::from_unsorted(times)
+}
+
+/// Generates a Poissonian (coherent) stream at `rate_hz`.
+pub fn poissonian_stream<R: Rng + ?Sized>(
+    rng: &mut R,
+    rate_hz: f64,
+    duration_s: f64,
+) -> TagStream {
+    let n = qfc_mathkit::rng::poisson(rng, rate_hz * duration_s);
+    (0..n)
+        .map(|_| (rng.gen::<f64>() * duration_s * 1e12) as i64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfc_mathkit::rng::rng_from_seed;
+
+    #[test]
+    fn beam_split_conserves_events() {
+        let mut rng = rng_from_seed(81);
+        let input: TagStream = (0..10_000i64).map(|k| k * 1000).collect();
+        let (a, b) = beam_split(&mut rng, &input);
+        assert_eq!(a.len() + b.len(), input.len());
+        let frac = a.len() as f64 / input.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "split fraction {frac}");
+    }
+
+    #[test]
+    fn poissonian_light_has_flat_g2() {
+        let mut rng = rng_from_seed(82);
+        let stream = poissonian_stream(&mut rng, 100_000.0, 8.0);
+        let g2 = measure_g2(&mut rng, &stream, 200_000, 10_000);
+        assert!((g2.g2_zero - 1.0).abs() < 0.1, "g2(0) = {}", g2.g2_zero);
+    }
+
+    #[test]
+    fn thermal_light_bunches() {
+        let mut rng = rng_from_seed(83);
+        // Coherence time 5 µs, bins well inside it.
+        let stream = thermal_stream(&mut rng, 60_000.0, 5e-6, 12.0);
+        let g2 = measure_g2(&mut rng, &stream, 50_000_000, 1_000_000);
+        assert!(g2.g2_zero > 1.6, "g2(0) = {}", g2.g2_zero);
+        // Bunching decays at large delay (baseline ≈ 1 by construction).
+        let tail = *g2.g2.first().expect("bins");
+        assert!(tail < 1.3, "tail {tail}");
+    }
+
+    #[test]
+    fn thermal_rate_matches_request() {
+        let mut rng = rng_from_seed(84);
+        let stream = thermal_stream(&mut rng, 50_000.0, 2e-6, 10.0);
+        let rate = stream.rate_hz(10.0);
+        assert!((rate - 50_000.0).abs() / 50_000.0 < 0.1, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 100 events")]
+    fn g2_needs_events() {
+        let mut rng = rng_from_seed(85);
+        let tiny: TagStream = (0..10i64).collect();
+        let _ = measure_g2(&mut rng, &tiny, 1000, 100);
+    }
+}

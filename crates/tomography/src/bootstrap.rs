@@ -1,0 +1,152 @@
+//! Bootstrap error bars for reconstructed quantities.
+//!
+//! Tomographic fidelities are nonlinear functions of Poissonian counts;
+//! the standard way to attach an uncertainty is the parametric
+//! bootstrap: resample each setting's counts from a multinomial with the
+//! observed frequencies, re-run the reconstructor, and take the spread.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::rng::discrete;
+use qfc_mathkit::stats::{mean, sample_std_dev};
+use qfc_quantum::density::DensityMatrix;
+
+use crate::counts::TomographyData;
+
+/// A bootstrap estimate: central value and 1σ spread.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapEstimate {
+    /// Mean over the bootstrap replicas.
+    pub value: f64,
+    /// Sample standard deviation over the replicas.
+    pub sigma: f64,
+    /// Number of replicas used.
+    pub replicas: usize,
+}
+
+/// Resamples a tomography data set once (parametric bootstrap: same
+/// per-setting totals, multinomial frequencies).
+pub fn resample<R: Rng + ?Sized>(rng: &mut R, data: &TomographyData) -> TomographyData {
+    let mut counts = Vec::with_capacity(data.counts.len());
+    for (s, setting_counts) in data.counts.iter().enumerate() {
+        let total = data.setting_total(s);
+        let weights: Vec<f64> = setting_counts.iter().map(|&c| c as f64).collect();
+        let mut new_counts = vec![0u64; setting_counts.len()];
+        if total > 0 && weights.iter().sum::<f64>() > 0.0 {
+            for _ in 0..total {
+                new_counts[discrete(rng, &weights)] += 1;
+            }
+        }
+        counts.push(new_counts);
+    }
+    TomographyData {
+        settings: data.settings.clone(),
+        counts,
+    }
+}
+
+/// Bootstraps a scalar functional of the reconstructed state (e.g. a
+/// fidelity): re-reconstructs `replicas` resampled data sets and reports
+/// mean ± σ of `functional`.
+///
+/// # Panics
+///
+/// Panics if `replicas < 2`.
+pub fn bootstrap_functional<R, F, G>(
+    rng: &mut R,
+    data: &TomographyData,
+    replicas: usize,
+    reconstruct: F,
+    functional: G,
+) -> BootstrapEstimate
+where
+    R: Rng + ?Sized,
+    F: Fn(&TomographyData) -> DensityMatrix,
+    G: Fn(&DensityMatrix) -> f64,
+{
+    assert!(replicas >= 2, "need at least two bootstrap replicas");
+    let values: Vec<f64> = (0..replicas)
+        .map(|_| {
+            let sample = resample(rng, data);
+            functional(&reconstruct(&sample))
+        })
+        .collect();
+    BootstrapEstimate {
+        value: mean(&values),
+        sigma: sample_std_dev(&values),
+        replicas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::simulate_counts;
+    use crate::reconstruct::linear_reconstruction;
+    use crate::settings::all_settings;
+    use qfc_mathkit::rng::rng_from_seed;
+    use qfc_quantum::bell::{bell_phi_plus, werner_state};
+    use qfc_quantum::fidelity::fidelity_with_pure;
+
+    #[test]
+    fn resample_preserves_totals() {
+        let mut rng = rng_from_seed(301);
+        let truth = werner_state(0.8, 0.0);
+        let data = simulate_counts(&mut rng, &truth, &all_settings(2), 500);
+        let re = resample(&mut rng, &data);
+        for s in 0..data.settings.len() {
+            assert_eq!(re.setting_total(s), data.setting_total(s));
+        }
+    }
+
+    #[test]
+    fn bootstrap_fidelity_has_sane_error_bar() {
+        let mut rng = rng_from_seed(302);
+        let truth = werner_state(0.83, 0.0);
+        let data = simulate_counts(&mut rng, &truth, &all_settings(2), 400);
+        let target = bell_phi_plus();
+        let est = bootstrap_functional(
+            &mut rng,
+            &data,
+            24,
+            linear_reconstruction,
+            |rho| fidelity_with_pure(rho, &target),
+        );
+        // Central value near the analytic Werner fidelity (3V+1)/4 = 0.8725.
+        assert!((est.value - 0.8725).abs() < 0.05, "F = {}", est.value);
+        // Error bar neither zero nor absurd at 400 shots/setting.
+        assert!(est.sigma > 1e-4 && est.sigma < 0.05, "σ = {}", est.sigma);
+        assert_eq!(est.replicas, 24);
+    }
+
+    #[test]
+    fn more_counts_shrink_the_error_bar() {
+        let mut rng = rng_from_seed(303);
+        let truth = werner_state(0.8, 0.0);
+        let target = bell_phi_plus();
+        let small = simulate_counts(&mut rng, &truth, &all_settings(2), 60);
+        let large = simulate_counts(&mut rng, &truth, &all_settings(2), 6000);
+        let est_small = bootstrap_functional(&mut rng, &small, 16, linear_reconstruction, |r| {
+            fidelity_with_pure(r, &target)
+        });
+        let est_large = bootstrap_functional(&mut rng, &large, 16, linear_reconstruction, |r| {
+            fidelity_with_pure(r, &target)
+        });
+        assert!(
+            est_large.sigma < est_small.sigma,
+            "large {} vs small {}",
+            est_large.sigma,
+            est_small.sigma
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two bootstrap replicas")]
+    fn too_few_replicas_rejected() {
+        let mut rng = rng_from_seed(304);
+        let truth = werner_state(0.8, 0.0);
+        let data = simulate_counts(&mut rng, &truth, &all_settings(2), 100);
+        let _ = bootstrap_functional(&mut rng, &data, 1, linear_reconstruction, |_| 0.0);
+    }
+}

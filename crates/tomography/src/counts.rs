@@ -1,0 +1,164 @@
+//! Simulated tomography counts: Monte-Carlo projective measurements of a
+//! density matrix under a set of tomography settings.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::rng::discrete;
+use qfc_quantum::density::DensityMatrix;
+
+use crate::settings::Setting;
+
+/// Measured (or simulated) counts for a full tomography run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TomographyData {
+    /// The settings, one per measured basis combination.
+    pub settings: Vec<Setting>,
+    /// `counts[s][o]` — events for outcome `o` of setting `s`.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl TomographyData {
+    /// Total events in one setting.
+    pub fn setting_total(&self, s: usize) -> u64 {
+        self.counts[s].iter().sum()
+    }
+
+    /// Total events across all settings.
+    pub fn grand_total(&self) -> u64 {
+        (0..self.settings.len()).map(|s| self.setting_total(s)).sum()
+    }
+
+    /// Number of qubits measured.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty setting list.
+    pub fn qubits(&self) -> usize {
+        self.settings.first().expect("nonempty settings").qubits()
+    }
+
+    /// Relative frequency of outcome `o` in setting `s` (`0` when the
+    /// setting recorded no events).
+    pub fn frequency(&self, s: usize, o: usize) -> f64 {
+        let total = self.setting_total(s);
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[s][o] as f64 / total as f64
+        }
+    }
+}
+
+/// Simulates `shots_per_setting` projective measurements of `rho` in each
+/// setting.
+///
+/// # Panics
+///
+/// Panics if settings don't match the state dimension.
+pub fn simulate_counts<R: Rng + ?Sized>(
+    rng: &mut R,
+    rho: &DensityMatrix,
+    settings: &[Setting],
+    shots_per_setting: u64,
+) -> TomographyData {
+    let mut counts = Vec::with_capacity(settings.len());
+    for setting in settings {
+        assert_eq!(
+            setting.qubits(),
+            rho.qubits(),
+            "setting does not match state size"
+        );
+        let probs: Vec<f64> = (0..setting.outcomes())
+            .map(|o| rho.probability(&setting.outcome_projector(o)))
+            .collect();
+        let mut c = vec![0u64; setting.outcomes()];
+        for _ in 0..shots_per_setting {
+            c[discrete(rng, &probs)] += 1;
+        }
+        counts.push(c);
+    }
+    TomographyData {
+        settings: settings.to_vec(),
+        counts,
+    }
+}
+
+/// Computes the *exact* outcome distribution instead of sampling —
+/// "infinite statistics" tomography used to validate reconstructors.
+pub fn exact_counts(rho: &DensityMatrix, settings: &[Setting], scale: u64) -> TomographyData {
+    let mut counts = Vec::with_capacity(settings.len());
+    for setting in settings {
+        assert_eq!(setting.qubits(), rho.qubits());
+        let c: Vec<u64> = (0..setting.outcomes())
+            .map(|o| {
+                (rho.probability(&setting.outcome_projector(o)) * scale as f64).round() as u64
+            })
+            .collect();
+        counts.push(c);
+    }
+    TomographyData {
+        settings: settings.to_vec(),
+        counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::{all_settings, PauliBasis};
+    use qfc_mathkit::rng::rng_from_seed;
+    use qfc_quantum::bell::bell_phi_plus;
+    use qfc_quantum::state::PureState;
+
+    #[test]
+    fn counts_respect_born_rule() {
+        let mut rng = rng_from_seed(21);
+        let rho = DensityMatrix::from_pure(&PureState::plus());
+        let settings = vec![Setting(vec![PauliBasis::X]), Setting(vec![PauliBasis::Z])];
+        let data = simulate_counts(&mut rng, &rho, &settings, 20_000);
+        // X basis: |+⟩ always gives outcome 0.
+        assert_eq!(data.counts[0][0], 20_000);
+        // Z basis: 50/50.
+        let f = data.frequency(1, 0);
+        assert!((f - 0.5).abs() < 0.02, "f = {f}");
+    }
+
+    #[test]
+    fn bell_state_correlations_in_counts() {
+        let mut rng = rng_from_seed(22);
+        let rho = DensityMatrix::from_pure(&bell_phi_plus());
+        let zz = Setting(vec![PauliBasis::Z, PauliBasis::Z]);
+        let data = simulate_counts(&mut rng, &rho, &[zz], 10_000);
+        // Only 00 and 11 outcomes.
+        assert_eq!(data.counts[0][1], 0);
+        assert_eq!(data.counts[0][2], 0);
+        assert!(data.counts[0][0] + data.counts[0][3] == 10_000);
+    }
+
+    #[test]
+    fn exact_counts_match_probabilities() {
+        let rho = DensityMatrix::from_pure(&bell_phi_plus());
+        let settings = all_settings(2);
+        let data = exact_counts(&rho, &settings, 1_000_000);
+        // XX on |Φ⁺⟩: perfectly correlated (outcomes 00 and 11 only).
+        let xx_index = 0; // lexicographic X<Y<Z → (X,X) first
+        assert_eq!(data.settings[xx_index].0, vec![PauliBasis::X, PauliBasis::X]);
+        assert_eq!(data.counts[xx_index][1], 0);
+        assert_eq!(data.counts[xx_index][2], 0);
+        assert!((data.frequency(xx_index, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let mut rng = rng_from_seed(23);
+        let rho = DensityMatrix::maximally_mixed(2);
+        let settings = all_settings(2);
+        let data = simulate_counts(&mut rng, &rho, &settings, 100);
+        assert_eq!(data.grand_total(), 900);
+        assert_eq!(data.qubits(), 2);
+        for s in 0..settings.len() {
+            assert_eq!(data.setting_total(s), 100);
+        }
+    }
+}

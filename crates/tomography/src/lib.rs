@@ -1,0 +1,35 @@
+//! # qfc-tomography
+//!
+//! Quantum state tomography substrate of the `qfc` workspace: Pauli-basis
+//! measurement settings (realized for time-bin qubits by arrival time and
+//! analyzer phases), simulated projective counts, linear-inversion
+//! reconstruction, and the iterative RρR maximum-likelihood algorithm used
+//! for the paper's §V fidelity numbers.
+//!
+//! ## Example
+//!
+//! ```
+//! use qfc_tomography::settings::all_settings;
+//! use qfc_tomography::counts::exact_counts;
+//! use qfc_tomography::reconstruct::linear_reconstruction;
+//! use qfc_quantum::bell::bell_phi_plus;
+//! use qfc_quantum::density::DensityMatrix;
+//! use qfc_quantum::fidelity::state_fidelity;
+//!
+//! let truth = DensityMatrix::from_pure(&bell_phi_plus());
+//! let data = exact_counts(&truth, &all_settings(2), 1_000_000);
+//! let rec = linear_reconstruction(&data);
+//! assert!(state_fidelity(&rec, &truth) > 0.999);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bootstrap;
+pub mod counts;
+pub mod reconstruct;
+pub mod settings;
+
+pub use counts::{exact_counts, simulate_counts, TomographyData};
+pub use reconstruct::{linear_reconstruction, mle_reconstruction, MleOptions, MleResult};
+pub use settings::{all_settings, PauliBasis, Setting};

@@ -1,0 +1,283 @@
+//! Density-matrix reconstruction: linear inversion and iterative
+//! maximum-likelihood (RρR).
+//!
+//! Linear inversion is unbiased but can return unphysical (negative-
+//! eigenvalue) matrices at finite counts; the paper-standard pipeline is
+//! the iterative RρR maximum-likelihood algorithm, which stays in the
+//! physical cone. The ablation bench `ablation_tomography` compares them.
+
+use serde::{Deserialize, Serialize};
+
+use qfc_mathkit::cmatrix::CMatrix;
+use qfc_mathkit::complex::Complex64;
+use qfc_mathkit::hermitian::psd_projection;
+use qfc_quantum::density::DensityMatrix;
+
+use crate::counts::TomographyData;
+use crate::settings::{pauli_string_matrix, PauliBasis};
+
+/// Reconstructs a Hermitian unit-trace matrix by Pauli-basis linear
+/// inversion: `ρ = 2⁻ⁿ Σ_s ⟨σ_s⟩ σ_s`, with each Pauli-string expectation
+/// averaged over every compatible measurement setting.
+///
+/// The result may have (slightly) negative eigenvalues at finite counts;
+/// pair with [`project_physical`] when a valid state is required.
+///
+/// # Panics
+///
+/// Panics if the data is empty or settings are inconsistent.
+pub fn linear_inversion(data: &TomographyData) -> CMatrix {
+    let n = data.qubits();
+    let dim = 1usize << n;
+    let mut rho = CMatrix::zeros(dim, dim);
+    // Enumerate all 4ⁿ Pauli strings as base-4 digits:
+    // 0 = I, 1 = X, 2 = Y, 3 = Z per qubit.
+    let strings = 4usize.pow(n as u32);
+    for code in 0..strings {
+        let digits: Vec<usize> = (0..n)
+            .map(|q| (code / 4usize.pow((n - 1 - q) as u32)) % 4)
+            .collect();
+        let string: Vec<Option<PauliBasis>> = digits
+            .iter()
+            .map(|&d| match d {
+                0 => None,
+                1 => Some(PauliBasis::X),
+                2 => Some(PauliBasis::Y),
+                _ => Some(PauliBasis::Z),
+            })
+            .collect();
+        // Expectation from all compatible settings.
+        let mut acc = 0.0;
+        let mut n_compat = 0usize;
+        let mask: usize = digits
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != 0)
+            .map(|(q, _)| 1usize << (n - 1 - q))
+            .sum();
+        for (s_idx, setting) in data.settings.iter().enumerate() {
+            let compatible = string.iter().zip(&setting.0).all(|(want, have)| {
+                want.is_none_or(|w| w == *have)
+            });
+            if !compatible || data.setting_total(s_idx) == 0 {
+                continue;
+            }
+            let mut exp = 0.0;
+            for o in 0..setting.outcomes() {
+                exp += data.frequency(s_idx, o) * setting.outcome_sign(o, mask);
+            }
+            acc += exp;
+            n_compat += 1;
+        }
+        assert!(
+            n_compat > 0,
+            "no compatible setting for Pauli string {digits:?}; \
+             tomography data is informationally incomplete"
+        );
+        let expectation = acc / n_compat as f64;
+        let sigma = pauli_string_matrix(&string);
+        rho = &rho + &sigma.scale(expectation / dim as f64);
+    }
+    rho
+}
+
+/// Projects a Hermitian matrix onto the physical state space: clips
+/// negative eigenvalues and renormalizes the trace to 1.
+///
+/// # Panics
+///
+/// Panics if the projected trace vanishes.
+pub fn project_physical(mat: &CMatrix) -> DensityMatrix {
+    let p = psd_projection(mat);
+    let tr = p.trace().re;
+    assert!(tr > 1e-12, "projection annihilated the matrix");
+    DensityMatrix::from_matrix(p.scale(1.0 / tr)).expect("projection yields a valid state")
+}
+
+/// Options for the iterative MLE reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MleOptions {
+    /// Maximum RρR iterations.
+    pub max_iterations: usize,
+    /// Stop when the Frobenius norm of the update falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for MleOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 300,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Result of an MLE reconstruction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MleResult {
+    /// The reconstructed physical state.
+    pub rho: DensityMatrix,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final update norm.
+    pub final_update: f64,
+}
+
+/// Iterative RρR maximum-likelihood reconstruction.
+///
+/// `ρ_{k+1} ∝ R ρ_k R` with `R = Σ_{s,o} (f_{s,o}/p_{s,o})·Π_{s,o}`,
+/// starting from the maximally mixed state. For informationally complete
+/// data this converges to the maximum-likelihood physical state.
+pub fn mle_reconstruction(data: &TomographyData, options: &MleOptions) -> MleResult {
+    let n = data.qubits();
+    let dim = 1usize << n;
+    let mut rho = CMatrix::identity(dim).scale(1.0 / dim as f64);
+
+    // Pre-build projectors and frequencies.
+    let mut projs: Vec<CMatrix> = Vec::new();
+    let mut freqs: Vec<f64> = Vec::new();
+    for (s_idx, setting) in data.settings.iter().enumerate() {
+        for o in 0..setting.outcomes() {
+            let f = data.frequency(s_idx, o);
+            if f > 0.0 {
+                projs.push(setting.outcome_projector(o));
+                freqs.push(f);
+            }
+        }
+    }
+
+    let mut iterations = 0;
+    let mut final_update = f64::INFINITY;
+    for _ in 0..options.max_iterations {
+        iterations += 1;
+        let mut r = CMatrix::zeros(dim, dim);
+        for (proj, &f) in projs.iter().zip(&freqs) {
+            let p = (&rho * proj).trace().re.max(1e-12);
+            r = &r + &proj.scale(f / p);
+        }
+        let mut next = &(&r * &rho) * &r;
+        let tr = next.trace().re;
+        next = next.scale(1.0 / tr);
+        final_update = (&next - &rho).frobenius_norm();
+        rho = next;
+        if final_update < options.tolerance {
+            break;
+        }
+    }
+    // Numerical cleanup: symmetrize and clip round-off negativity.
+    let herm = CMatrix::from_fn(dim, dim, |i, j| {
+        (rho[(i, j)] + rho[(j, i)].conj()).scale(0.5)
+    });
+    let rho = project_physical(&herm);
+    MleResult {
+        rho,
+        iterations,
+        final_update,
+    }
+}
+
+/// Convenience: full pipeline from data to a physical state via linear
+/// inversion + projection (the fast path).
+pub fn linear_reconstruction(data: &TomographyData) -> DensityMatrix {
+    project_physical(&linear_inversion(data))
+}
+
+/// Convenience accessor for matrix elements of a reconstruction in
+/// reports.
+pub fn element(rho: &DensityMatrix, i: usize, j: usize) -> Complex64 {
+    rho.as_matrix()[(i, j)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::{exact_counts, simulate_counts};
+    use crate::settings::all_settings;
+    use qfc_mathkit::rng::rng_from_seed;
+    use qfc_quantum::bell::{bell_phi_plus, werner_state};
+    use qfc_quantum::fidelity::state_fidelity;
+    use qfc_quantum::state::PureState;
+
+    #[test]
+    fn linear_inversion_exact_single_qubit() {
+        let rho = DensityMatrix::from_pure(&PureState::plus());
+        let data = exact_counts(&rho, &all_settings(1), 10_000_000);
+        let rec = linear_inversion(&data);
+        assert!(rec.approx_eq(rho.as_matrix(), 1e-4));
+    }
+
+    #[test]
+    fn linear_inversion_exact_bell_state() {
+        let rho = DensityMatrix::from_pure(&bell_phi_plus());
+        let data = exact_counts(&rho, &all_settings(2), 10_000_000);
+        let rec = project_physical(&linear_inversion(&data));
+        let f = state_fidelity(&rec, &rho);
+        assert!(f > 0.999, "F = {f}");
+    }
+
+    #[test]
+    fn mle_recovers_werner_state() {
+        let mut rng = rng_from_seed(31);
+        let rho = werner_state(0.83, 0.0);
+        let data = simulate_counts(&mut rng, &rho, &all_settings(2), 4000);
+        let result = mle_reconstruction(&data, &MleOptions::default());
+        let f = state_fidelity(&result.rho, &rho);
+        assert!(f > 0.99, "F = {f}");
+        assert!(result.rho.is_physical(1e-9));
+    }
+
+    #[test]
+    fn mle_beats_or_matches_linear_at_low_counts() {
+        let mut rng = rng_from_seed(32);
+        let truth = werner_state(0.9, 0.3);
+        let data = simulate_counts(&mut rng, &truth, &all_settings(2), 60);
+        let lin = linear_reconstruction(&data);
+        let mle = mle_reconstruction(&data, &MleOptions::default()).rho;
+        let f_lin = state_fidelity(&lin, &truth);
+        let f_mle = state_fidelity(&mle, &truth);
+        // MLE should not be (much) worse; both should be decent.
+        assert!(f_mle > f_lin - 0.05, "MLE {f_mle} vs linear {f_lin}");
+        assert!(f_mle > 0.8);
+    }
+
+    #[test]
+    fn mle_converges() {
+        let mut rng = rng_from_seed(33);
+        let rho = DensityMatrix::from_pure(&PureState::plus());
+        let data = simulate_counts(&mut rng, &rho, &all_settings(1), 5000);
+        let result = mle_reconstruction(&data, &MleOptions::default());
+        assert!(result.iterations < 300, "iterations {}", result.iterations);
+        assert!(result.final_update < 1e-8);
+    }
+
+    #[test]
+    fn projection_fixes_unphysical_matrix() {
+        use qfc_mathkit::complex::C_ONE;
+        // diag(1.2, −0.2): Hermitian, trace 1, not PSD.
+        let bad = CMatrix::diag(&[C_ONE.scale(1.2), C_ONE.scale(-0.2)]);
+        let fixed = project_physical(&bad);
+        assert!(fixed.is_physical(1e-10));
+        assert!((fixed.as_matrix().trace().re - 1.0).abs() < 1e-10);
+        assert_eq!(element(&fixed, 1, 1).re, 0.0);
+    }
+
+    #[test]
+    fn linear_inversion_finite_counts_near_truth() {
+        let mut rng = rng_from_seed(34);
+        let rho = werner_state(0.7, 0.0);
+        let data = simulate_counts(&mut rng, &rho, &all_settings(2), 20_000);
+        let rec = linear_reconstruction(&data);
+        let f = state_fidelity(&rec, &rho);
+        assert!(f > 0.995, "F = {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "informationally incomplete")]
+    fn incomplete_data_detected() {
+        use crate::settings::{PauliBasis, Setting};
+        let rho = DensityMatrix::from_pure(&PureState::plus());
+        // Only Z measured: X and Y strings uncovered.
+        let data = exact_counts(&rho, &[Setting(vec![PauliBasis::Z])], 1000);
+        let _ = linear_inversion(&data);
+    }
+}

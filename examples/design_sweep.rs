@@ -1,0 +1,49 @@
+//! Device-design exploration: how the coupling choice trades linewidth
+//! (quantum-memory compatibility), OPO threshold, pair rate, and field
+//! enhancement — the design space behind the paper's 110-MHz / 14-mW
+//! operating point.
+//!
+//! ```sh
+//! cargo run --release --example design_sweep
+//! ```
+
+use qfc::photonics::memory::{ring_memory_efficiency, MemoryProfile};
+use qfc::photonics::opo;
+use qfc::photonics::ring::MicroringBuilder;
+use qfc::photonics::units::{Frequency, Power};
+use qfc::photonics::waveguide::{Polarization, Waveguide};
+use qfc::photonics::fwm;
+
+fn main() {
+    println!("Sweeping the loaded linewidth of a 200-GHz Hydex ring");
+    println!("(pump fixed at 15 mW on-chip for the rate column)\n");
+    println!(
+        "{:>10}  {:>9}  {:>9}  {:>11}  {:>12}  {:>10}",
+        "linewidth", "loaded Q", "FE^2", "P_th (mW)", "rate (Hz)", "memory η"
+    );
+
+    let memory = MemoryProfile::atomic_100mhz();
+    for lw_mhz in [25.0, 50.0, 110.0, 220.0, 440.0, 880.0] {
+        let mut b = MicroringBuilder::new(Waveguide::hydex_paper());
+        b.anchor(Frequency::from_thz(193.4))
+            .radius_for_fsr(Frequency::from_ghz(200.0));
+        b.coupling_for_linewidth(Frequency::from_hz(lw_mhz * 1e6));
+        let ring = b.build();
+        let rate = fwm::pair_rate_cw(&ring, Polarization::Te, Power::from_mw(15.0), 1);
+        println!(
+            "{:>7.0} MHz  {:>9.2e}  {:>9.0}  {:>11.1}  {:>12.1}  {:>10.3}",
+            lw_mhz,
+            ring.q_loaded(),
+            ring.field_enhancement_power(),
+            opo::threshold(&ring).mw(),
+            rate,
+            ring_memory_efficiency(&ring, &memory),
+        );
+    }
+
+    println!(
+        "\nThe paper's choice (110 MHz) sits at the knee: narrow enough for\n\
+         ~50 % direct memory acceptance and a 14-mW threshold, wide enough\n\
+         to keep the per-channel pair rate in the tens of Hz."
+    );
+}

@@ -1,0 +1,48 @@
+//! Fiber-link reach of the comb's entanglement: how far the §IV time-bin
+//! Bell pairs can be distributed before the dark-count floor kills the
+//! CHSH violation — the deployment face of the paper's
+//! quantum-communications motivation.
+//!
+//! ```sh
+//! cargo run --release --example fiber_reach
+//! ```
+
+use qfc::core::link::{chsh_reach_km, link_budget};
+use qfc::core::source::QfcSource;
+use qfc::core::timebin::TimeBinConfig;
+
+fn main() {
+    let source = QfcSource::paper_device_timebin();
+    let config = TimeBinConfig::paper();
+    let frame_rate = 10.0e6;
+
+    println!("Channel-1 link budget over symmetric SMF-28 arms (0.2 dB/km):\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10} {:>14}",
+        "km/arm", "coinc (Hz)", "visibility", "S", "key (bit/s)"
+    );
+    let lengths = [0.0, 10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0];
+    for p in link_budget(&source, &config, 1, frame_rate, &lengths) {
+        println!(
+            "{:>10.0} {:>14.2} {:>14.3} {:>10.3} {:>14.2}{}",
+            p.length_km,
+            p.coincidence_rate_hz,
+            p.effective_visibility,
+            p.s_value,
+            p.key_rate_hz,
+            if p.violates_chsh() { "" } else { "   (no violation)" }
+        );
+    }
+
+    println!("\nCHSH reach per channel:");
+    for m in 1..=5 {
+        match chsh_reach_km(&source, &config, m, frame_rate) {
+            Some(km) => println!("  channel {m}: {km:.0} km per arm"),
+            None => println!("  channel {m}: no violation even locally"),
+        }
+    }
+    println!(
+        "\nThe reach is dark-count-limited: post-selected time-bin visibility\n\
+         ignores loss until the accidental floor catches the thinned signal."
+    );
+}

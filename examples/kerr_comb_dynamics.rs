@@ -1,0 +1,66 @@
+//! Dynamical Kerr-comb formation via the Lugiato–Lefever equation: the
+//! classical field dynamics behind the OPO threshold of §III — below
+//! threshold the intracavity field stays single-mode; above it,
+//! modulation instability spawns the comb.
+//!
+//! ```sh
+//! cargo run --release --example kerr_comb_dynamics
+//! ```
+
+use qfc::photonics::lle::{LleParameters, LleSimulator};
+
+fn print_spectrum(label: &str, sim: &LleSimulator) {
+    let spec = sim.state().spectrum();
+    let n = spec.len();
+    let peak = spec.iter().cloned().fold(0.0f64, f64::max).max(1e-300);
+    println!("\n{label}");
+    println!(
+        "mean intensity {:.3}, sideband fraction {:.4}",
+        sim.state().mean_intensity(),
+        sim.state().sideband_fraction()
+    );
+    // Show modes −10..=10 in dB relative to the strongest line.
+    for m in -10i64..=10 {
+        let idx = m.rem_euclid(n as i64) as usize;
+        let db = 10.0 * (spec[idx] / peak).log10();
+        let bar = "#".repeat(((db + 80.0).max(0.0) / 2.0) as usize);
+        println!("  mode {m:>4}: {db:>7.1} dBc  {bar}");
+    }
+}
+
+fn main() {
+    println!("Lugiato–Lefever comb dynamics (normalized units)");
+
+    let mut below = LleSimulator::new(LleParameters::below_threshold());
+    below.run(30_000);
+    print_spectrum(
+        &format!(
+            "== Below threshold (F = {:.2}): homogeneous field ==",
+            below.params().pump
+        ),
+        &below,
+    );
+
+    let mut above = LleSimulator::new(LleParameters::above_threshold());
+    // Watch the comb grow.
+    println!(
+        "\n== Above threshold (F = {:.2}): modulation instability ==",
+        above.params().pump
+    );
+    println!("{:>10} {:>16} {:>20}", "time", "mean |ψ|²", "sideband fraction");
+    for _ in 0..6 {
+        above.run(10_000);
+        println!(
+            "{:>10.1} {:>16.4} {:>20.6}",
+            above.state().time(),
+            above.state().mean_intensity(),
+            above.state().sideband_fraction()
+        );
+    }
+    print_spectrum("== Final comb spectrum ==", &above);
+
+    println!(
+        "\nThe static threshold of §III (14 mW, quadratic → linear) is the\n\
+         time-averaged face of exactly this instability."
+    );
+}

@@ -1,0 +1,66 @@
+//! Determinism: every experiment is bit-for-bit reproducible from its
+//! seed, and different seeds vary only statistically.
+
+use qfc::core::crosspol::{run_crosspol_experiment, CrossPolConfig};
+use qfc::core::heralded::{run_heralded_experiment, HeraldedConfig};
+use qfc::core::source::QfcSource;
+use qfc::core::timebin::{run_timebin_experiment, TimeBinConfig};
+
+#[test]
+fn heralded_experiment_is_deterministic() {
+    let source = QfcSource::paper_device();
+    let cfg = {
+        let mut c = HeraldedConfig::fast_demo();
+        c.duration_s = 2.0;
+        c.linewidth_pairs = 2000;
+        c
+    };
+    let a = run_heralded_experiment(&source, &cfg, 777);
+    let b = run_heralded_experiment(&source, &cfg, 777);
+    assert_eq!(a.coincidence_matrix, b.coincidence_matrix);
+    for (ca, cb) in a.channels.iter().zip(&b.channels) {
+        assert_eq!(ca.car.to_bits(), cb.car.to_bits());
+        assert_eq!(
+            ca.inferred_pair_rate_hz.to_bits(),
+            cb.inferred_pair_rate_hz.to_bits()
+        );
+    }
+    assert_eq!(
+        a.linewidth.linewidth_hz.to_bits(),
+        b.linewidth.linewidth_hz.to_bits()
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let source = QfcSource::paper_device();
+    let mut cfg = HeraldedConfig::fast_demo();
+    cfg.duration_s = 2.0;
+    cfg.linewidth_pairs = 2000;
+    let a = run_heralded_experiment(&source, &cfg, 1);
+    let b = run_heralded_experiment(&source, &cfg, 2);
+    assert_ne!(a.coincidence_matrix, b.coincidence_matrix);
+}
+
+#[test]
+fn crosspol_experiment_is_deterministic() {
+    let source = QfcSource::paper_device_type2();
+    let mut cfg = CrossPolConfig::fast_demo();
+    cfg.duration_s = 10.0;
+    let a = run_crosspol_experiment(&source, &cfg, 99);
+    let b = run_crosspol_experiment(&source, &cfg, 99);
+    assert_eq!(a.car.to_bits(), b.car.to_bits());
+    assert_eq!(a.te_singles_hz.to_bits(), b.te_singles_hz.to_bits());
+}
+
+#[test]
+fn timebin_experiment_is_deterministic() {
+    let source = QfcSource::paper_device_timebin();
+    let mut cfg = TimeBinConfig::fast_demo();
+    cfg.channels = 1;
+    cfg.frames_per_point = 1_000_000;
+    let a = run_timebin_experiment(&source, &cfg, 5);
+    let b = run_timebin_experiment(&source, &cfg, 5);
+    assert_eq!(a.fringes[0].points, b.fringes[0].points);
+    assert_eq!(a.chsh[0].s_value.to_bits(), b.chsh[0].s_value.to_bits());
+}

@@ -1,0 +1,96 @@
+//! End-to-end integration tests: each of the paper's four experiments run
+//! through the full stack (photonics → quantum states → detectors →
+//! analysis) at reduced statistics.
+
+use qfc::core::crosspol::{run_crosspol_experiment, run_power_sweep, CrossPolConfig};
+use qfc::core::heralded::{
+    run_heralded_experiment, run_stability_experiment, HeraldedConfig, StabilityConfig,
+};
+use qfc::core::multiphoton::{run_multiphoton_experiment, MultiPhotonConfig};
+use qfc::core::source::{EmissionRegime, QfcSource};
+use qfc::core::timebin::{run_timebin_experiment, TimeBinConfig};
+use qfc::photonics::pump::PumpConfig;
+use qfc::photonics::units::Power;
+
+#[test]
+fn section_2_heralded_photons_end_to_end() {
+    let source = QfcSource::paper_device();
+    assert_eq!(source.regime(), EmissionRegime::HeraldedSinglePhotons);
+    let report = run_heralded_experiment(&source, &HeraldedConfig::fast_demo(), 101);
+
+    // Coincidences on every measured channel, diagonal-dominated matrix.
+    for c in &report.channels {
+        assert!(c.coincidence_rate_hz > 0.1, "channel {} has no pairs", c.m);
+        assert!(c.car > 3.0, "channel {} CAR too low: {}", c.m, c.car);
+    }
+    assert!(report.matrix_contrast() > 3.0);
+    // Linewidth from the coincidence decay lands on the ring linewidth.
+    assert!((report.linewidth.linewidth_hz - 110e6).abs() / 110e6 < 0.2);
+}
+
+#[test]
+fn section_2_stability_contrast() {
+    let source = QfcSource::paper_device();
+    let cfg = StabilityConfig::paper();
+    let locked = run_stability_experiment(&source, &cfg, 102);
+    let free = run_stability_experiment(
+        &source.clone().with_pump(PumpConfig::ExternalCw {
+            power: Power::from_mw(15.0),
+            actively_stabilized: false,
+        }),
+        &cfg,
+        102,
+    );
+    assert!(locked.relative_fluctuation < 0.10, "locked {}", locked.relative_fluctuation);
+    assert!(free.relative_fluctuation > locked.relative_fluctuation);
+    assert_eq!(locked.series.len(), 21);
+}
+
+#[test]
+fn section_3_crosspol_end_to_end() {
+    let source = QfcSource::paper_device_type2();
+    assert_eq!(source.regime(), EmissionRegime::CrossPolarizedPairs);
+    let report = run_crosspol_experiment(&source, &CrossPolConfig::fast_demo(), 103);
+    assert!(report.car > 2.0, "CAR {}", report.car);
+    assert!(report.stimulated_response < 1e-4);
+
+    let sweep = run_power_sweep(&source, 10);
+    assert!((sweep.below_exponent - 2.0).abs() < 0.1);
+    assert!((sweep.above_exponent - 1.0).abs() < 0.1);
+    assert!((sweep.threshold_w - 0.014).abs() < 0.004);
+}
+
+#[test]
+fn section_4_timebin_end_to_end() {
+    let source = QfcSource::paper_device_timebin();
+    assert_eq!(source.regime(), EmissionRegime::TimeBinEntangled);
+    let report = run_timebin_experiment(&source, &TimeBinConfig::fast_demo(), 104);
+    // Visibility above the CHSH threshold on every channel; all violate.
+    for f in &report.fringes {
+        assert!(f.fit.visibility > 0.72, "m={}: V {}", f.m, f.fit.visibility);
+    }
+    assert_eq!(report.channels_violating(), report.chsh.len());
+}
+
+#[test]
+fn section_5_multiphoton_end_to_end() {
+    let source = QfcSource::paper_device_timebin();
+    let report = run_multiphoton_experiment(&source, &MultiPhotonConfig::fast_demo(), 105);
+    for b in &report.bell {
+        assert!(b.fidelity > 0.75, "m={}: F {}", b.m, b.fidelity);
+        assert!(b.concurrence > 0.4, "m={}: C {}", b.m, b.concurrence);
+    }
+    // Four-photon visibility above the pairwise visibility (fringe
+    // sharpening) and fidelity in the paper's band.
+    assert!(report.fringe.visibility > 0.8);
+    assert!(report.tomography.fidelity > 0.5 && report.tomography.fidelity < 0.8);
+}
+
+#[test]
+fn all_reports_render_nonempty_tables() {
+    let source = QfcSource::paper_device();
+    let heralded = run_heralded_experiment(&source, &HeraldedConfig::fast_demo(), 106);
+    let text = heralded.to_report().render();
+    assert!(text.contains("| F2"));
+    assert!(text.lines().count() > 5);
+}

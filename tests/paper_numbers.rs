@@ -1,0 +1,92 @@
+//! Paper-configuration assertions: the headline numbers at the full
+//! published operating points. These are heavier than the `fast_demo`
+//! integration tests; the heaviest are `#[ignore]`d by default — run
+//! them with `cargo test --release -- --ignored`.
+
+use qfc::core::crosspol::{run_crosspol_experiment, run_power_sweep, CrossPolConfig};
+use qfc::core::heralded::{
+    run_heralded_experiment, run_stability_experiment, HeraldedConfig, StabilityConfig,
+};
+use qfc::core::multiphoton::{run_multiphoton_experiment, MultiPhotonConfig};
+use qfc::core::purity::{run_purity_analysis, PurityConfig};
+use qfc::core::source::QfcSource;
+use qfc::core::timebin::{run_timebin_experiment, TimeBinConfig};
+
+const SEED: u64 = 20170327;
+
+#[test]
+fn f5_opo_threshold_and_exponents() {
+    let source = QfcSource::paper_device_type2();
+    let sweep = run_power_sweep(&source, 16);
+    assert!((sweep.threshold_w * 1e3 - 14.0).abs() < 3.0, "P_th {}", sweep.threshold_w);
+    assert!((sweep.below_exponent - 2.0).abs() < 0.05);
+    assert!((sweep.above_exponent - 1.0).abs() < 0.05);
+}
+
+#[test]
+fn f3_stability_under_5_percent() {
+    let source = QfcSource::paper_device();
+    let report = run_stability_experiment(&source, &StabilityConfig::paper(), SEED);
+    assert!(
+        report.relative_fluctuation < 0.05,
+        "fluctuation {}",
+        report.relative_fluctuation
+    );
+}
+
+#[test]
+fn purity_and_memory_claims() {
+    let source = QfcSource::paper_device_timebin();
+    let report = run_purity_analysis(&source, &PurityConfig::paper());
+    assert!(report.heralded_purity > 0.9);
+    assert!(report.heralded_g2 < 0.2);
+    assert!(report.memory_acceptance > 0.4);
+}
+
+#[test]
+#[ignore = "full §II Monte-Carlo (runs in seconds under --release)"]
+fn t1_f1_f2_full_heralded_run() {
+    let source = QfcSource::paper_device();
+    let report = run_heralded_experiment(&source, &HeraldedConfig::paper(), SEED);
+    let (car_lo, car_hi) = report.car_range();
+    assert!(car_lo > 5.0 && car_hi < 60.0, "CAR range {car_lo}..{car_hi}");
+    let (r_lo, r_hi) = report.rate_range();
+    assert!(r_lo > 7.0 && r_hi < 60.0, "rate range {r_lo}..{r_hi}");
+    assert!(report.matrix_contrast() > 5.0);
+    assert!((report.linewidth.linewidth_hz - 110e6).abs() / 110e6 < 0.15);
+}
+
+#[test]
+#[ignore = "full §III Monte-Carlo (runs in seconds under --release)"]
+fn f4_full_crosspol_run() {
+    let source = QfcSource::paper_device_type2();
+    let report = run_crosspol_experiment(&source, &CrossPolConfig::paper(), SEED);
+    assert!(report.car > 5.0 && report.car < 25.0, "CAR {}", report.car);
+    assert!(report.stimulated_response < 1e-4);
+}
+
+#[test]
+#[ignore = "full §IV run (runs in seconds under --release)"]
+fn f7_t2_full_timebin_run() {
+    let source = QfcSource::paper_device_timebin();
+    let report = run_timebin_experiment(&source, &TimeBinConfig::paper(), SEED);
+    assert!((report.mean_visibility() - 0.83).abs() < 0.06);
+    assert_eq!(report.channels_violating(), 5);
+}
+
+#[test]
+#[ignore = "full §V run incl. 4-qubit MLE (runs in ~a minute under --release)"]
+fn f8_t4_full_multiphoton_run() {
+    let source = QfcSource::paper_device_timebin();
+    let report = run_multiphoton_experiment(&source, &MultiPhotonConfig::paper(), SEED);
+    assert!((report.fringe.visibility - 0.89).abs() < 0.08, "V4 {}", report.fringe.visibility);
+    assert!(
+        (report.tomography.fidelity - 0.64).abs() < 0.08,
+        "F4 {}",
+        report.tomography.fidelity
+    );
+    for b in &report.bell {
+        assert!(b.fidelity > 0.85);
+        assert!(b.concurrence > 0.7);
+    }
+}
