@@ -14,7 +14,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use qfc_mathkit::rng::{bernoulli, exponential, poisson, rng_from_seed};
+use qfc_mathkit::rng::{bernoulli, exponential, poisson, rng_from_seed, split_seed};
 use qfc_mathkit::stats::relative_fluctuation;
 use qfc_photonics::pump::{residual_detuning, DriftModel};
 use qfc_timetag::coincidence::{
@@ -271,42 +271,50 @@ pub fn run_heralded_experiment(
 ) -> HeraldedReport {
     assert!(config.channels >= 1, "need at least one channel");
     assert!(config.duration_s > 0.0, "duration must be positive");
-    let mut rng = rng_from_seed(seed);
     let tau = source.ring().coincidence_decay_time();
     let duration_ps = (config.duration_s * 1e12) as i64;
+
+    // Independent seed domains for the experiment's two stochastic
+    // stages, so channel streams and the F2 pair run never alias.
+    let channel_root = split_seed(seed, 1);
+    let linewidth_root = split_seed(seed, 2);
 
     // Effective per-arm detector: fold passive collection into the
     // efficiency.
     let mut arm = config.detector;
     arm.efficiency *= config.collection_efficiency;
 
-    // Generate and detect all channels.
-    let mut signal_streams: Vec<TagStream> = Vec::new();
-    let mut idler_streams: Vec<TagStream> = Vec::new();
-    for m in 1..=config.channels {
+    // Generate and detect all channels in parallel, one split-seed RNG
+    // per channel: the streams depend only on (seed, m).
+    let channel_ids: Vec<u32> = (1..=config.channels).collect();
+    let streams: Vec<(TagStream, TagStream)> = qfc_runtime::par_map(&channel_ids, |&m| {
+        let mut rng = rng_from_seed(split_seed(channel_root, u64::from(m)));
         let rate = source.pair_rate_cw(m);
         let (s_true, i_true) = generate_pair_arrivals(&mut rng, rate, tau, config.duration_s);
-        signal_streams.push(arm.detect(&mut rng, &s_true, duration_ps));
-        idler_streams.push(arm.detect(&mut rng, &i_true, duration_ps));
-    }
+        (
+            arm.detect(&mut rng, &s_true, duration_ps),
+            arm.detect(&mut rng, &i_true, duration_ps),
+        )
+    });
+    let (signal_streams, idler_streams): (Vec<TagStream>, Vec<TagStream>) =
+        streams.into_iter().unzip();
 
-    // F1 coincidence matrix.
+    // F1 coincidence matrix: every signal×idler cell is an independent
+    // pure count over already-fixed streams.
     let n = config.channels as usize;
-    let mut matrix = vec![vec![0u64; n]; n];
-    for (i, row) in matrix.iter_mut().enumerate() {
-        for (j, cell) in row.iter_mut().enumerate() {
-            *cell = qfc_timetag::coincidence::count_coincidences(
-                &signal_streams[i],
-                &idler_streams[j],
-                config.coincidence_window_ps,
-                0,
-            );
-        }
-    }
+    let cells: Vec<usize> = (0..n * n).collect();
+    let flat = qfc_runtime::par_map(&cells, |&cell| {
+        qfc_timetag::coincidence::count_coincidences(
+            &signal_streams[cell / n],
+            &idler_streams[cell % n],
+            config.coincidence_window_ps,
+            0,
+        )
+    });
+    let matrix: Vec<Vec<u64>> = flat.chunks(n).map(<[u64]>::to_vec).collect();
 
-    // T1 per-channel figures.
-    let mut channels = Vec::with_capacity(n);
-    for m in 1..=config.channels {
+    // T1 per-channel figures (pure analysis of the fixed streams).
+    let channels: Vec<ChannelResult> = qfc_runtime::par_map(&channel_ids, |&m| {
         let idx = (m - 1) as usize;
         let s = &signal_streams[idx];
         let i = &idler_streams[idx];
@@ -330,38 +338,60 @@ pub fn run_heralded_experiment(
         let net_rate =
             (car_result.coincidences as f64 - car_result.accidentals) / config.duration_s;
         let inferred = (net_rate / (eta * eta * capture)).max(0.0);
-        channels.push(ChannelResult {
+        ChannelResult {
             m,
             signal_singles_hz: s_rate,
             idler_singles_hz: i_rate,
             coincidence_rate_hz: c_rate,
             inferred_pair_rate_hz: inferred,
             car,
-        });
-    }
+        }
+    });
 
     // F2 linewidth: dedicated high-statistics coincident-pair run (loss
     // thins a histogram uniformly, so shape is measured on detected
-    // pairs directly), with a 5 % accidental floor.
-    let mut a = Vec::with_capacity(config.linewidth_pairs);
-    let mut b = Vec::with_capacity(config.linewidth_pairs);
+    // pairs directly), with a 5 % accidental floor. Every pair's start
+    // time is uniform over the full span, so shards are independent and
+    // concatenating their tag lists in shard order reproduces one serial
+    // stream's statistics exactly.
     let span_s = 10.0 * config.linewidth_pairs as f64 * 1e-6; // sparse
-    for _ in 0..config.linewidth_pairs {
-        let t = rng.gen::<f64>() * span_s;
-        let t_ps = (t * 1e12) as i64;
-        if bernoulli(&mut rng, 0.05) {
-            // Accidental: uncorrelated partner.
-            a.push(t_ps);
-            b.push((rng.gen::<f64>() * span_s * 1e12) as i64);
-        } else {
-            let dt = exponential(&mut rng, 1.0 / tau);
-            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-            let jitter_a = qfc_mathkit::rng::normal(&mut rng, 0.0, config.detector.jitter_sigma_ps);
-            let jitter_b = qfc_mathkit::rng::normal(&mut rng, 0.0, config.detector.jitter_sigma_ps);
-            a.push(t_ps + jitter_a as i64);
-            b.push(t_ps + (sign * dt * 1e12) as i64 + jitter_b as i64);
-        }
-    }
+    let (a, b) = qfc_runtime::par_shots(
+        config.linewidth_pairs as u64,
+        linewidth_root,
+        |shard| {
+            let mut rng = rng_from_seed(shard.seed);
+            let mut a = Vec::with_capacity(shard.len as usize);
+            let mut b = Vec::with_capacity(shard.len as usize);
+            for _ in 0..shard.len {
+                let t = rng.gen::<f64>() * span_s;
+                let t_ps = (t * 1e12) as i64;
+                if bernoulli(&mut rng, 0.05) {
+                    // Accidental: uncorrelated partner.
+                    a.push(t_ps);
+                    b.push((rng.gen::<f64>() * span_s * 1e12) as i64);
+                } else {
+                    let dt = exponential(&mut rng, 1.0 / tau);
+                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    let jitter_a =
+                        qfc_mathkit::rng::normal(&mut rng, 0.0, config.detector.jitter_sigma_ps);
+                    let jitter_b =
+                        qfc_mathkit::rng::normal(&mut rng, 0.0, config.detector.jitter_sigma_ps);
+                    a.push(t_ps + jitter_a as i64);
+                    b.push(t_ps + (sign * dt * 1e12) as i64 + jitter_b as i64);
+                }
+            }
+            (a, b)
+        },
+        |shards| {
+            let mut a = Vec::with_capacity(config.linewidth_pairs);
+            let mut b = Vec::with_capacity(config.linewidth_pairs);
+            for (sa, sb) in shards {
+                a.extend_from_slice(&sa);
+                b.extend_from_slice(&sb);
+            }
+            (a, b)
+        },
+    );
     let hist = cross_correlation_histogram(
         &TagStream::from_unsorted(a),
         &TagStream::from_unsorted(b),

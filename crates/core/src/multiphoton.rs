@@ -11,11 +11,11 @@
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::fit::raw_visibility;
-use qfc_mathkit::rng::{binomial, rng_from_seed};
+use qfc_mathkit::rng::{binomial, rng_from_seed, split_seed};
 use qfc_quantum::bell::{bell_phi, concurrence};
 use qfc_quantum::fidelity::fidelity_with_pure;
 use qfc_quantum::multiphoton::{four_photon_fringe_point, four_photon_product, noisy_four_photon};
-use qfc_tomography::counts::simulate_counts;
+use qfc_tomography::counts::simulate_counts_seeded;
 use qfc_tomography::reconstruct::{mle_reconstruction, MleOptions};
 use qfc_tomography::settings::all_settings;
 
@@ -98,11 +98,12 @@ pub fn run_bell_tomography(
     config: &MultiPhotonConfig,
     seed: u64,
 ) -> Vec<BellTomographyResult> {
-    let mut rng = rng_from_seed(seed);
     let settings = all_settings(2);
     let target = bell_phi(config.timebin.pump_phase);
-    let mut out = Vec::new();
-    for m in 1..=config.timebin.channels {
+    // Channels are independent tomography runs on split-seed streams;
+    // each inner count simulation further splits per setting.
+    let channel_ids: Vec<u32> = (1..=config.timebin.channels).collect();
+    qfc_runtime::par_map(&channel_ids, |&m| {
         let model = channel_state_model(source, &config.timebin, m);
         // Accidentals appear as white noise in the tomography counts.
         let p_sig = model.mu
@@ -110,16 +111,20 @@ pub fn run_bell_tomography(
             * 0.125; // mean post-selected coincidence probability scale
         let white = (model.accidental_prob / (model.accidental_prob + p_sig)).clamp(0.0, 1.0);
         let rho = model.rho.depolarize(white);
-        let data = simulate_counts(&mut rng, &rho, &settings, config.bell_shots_per_setting);
+        let data = simulate_counts_seeded(
+            &rho,
+            &settings,
+            config.bell_shots_per_setting,
+            split_seed(seed, u64::from(m)),
+        );
         let mle = mle_reconstruction(&data, &MleOptions::default());
-        out.push(BellTomographyResult {
+        BellTomographyResult {
             m,
             fidelity: fidelity_with_pure(&mle.rho, &target),
             concurrence: concurrence(&mle.rho),
             iterations: mle.iterations,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Result of the four-photon interference scan (F8).
@@ -202,7 +207,6 @@ pub fn run_four_photon_tomography(
     config: &MultiPhotonConfig,
     seed: u64,
 ) -> FourPhotonTomography {
-    let mut rng = rng_from_seed(seed);
     let model =
         channel_state_model_boosted(source, &config.timebin, 1, config.four_fold_pump_factor);
     let rho4 = noisy_four_photon(
@@ -210,8 +214,9 @@ pub fn run_four_photon_tomography(
         model.state_visibility,
         config.four_fold_white_noise,
     );
+    // 81 four-qubit settings, each sampled on its own split-seed stream.
     let settings = all_settings(4);
-    let data = simulate_counts(&mut rng, &rho4, &settings, config.four_shots_per_setting);
+    let data = simulate_counts_seeded(&rho4, &settings, config.four_shots_per_setting, seed);
     let total = data.grand_total();
     let mle = mle_reconstruction(&data, &MleOptions::default());
     let target = four_photon_product(config.timebin.pump_phase);

@@ -16,7 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::fit::{fit_fringe, FringeFit};
-use qfc_mathkit::rng::{binomial, rng_from_seed};
+use qfc_mathkit::rng::{binomial, rng_from_seed, split_seed};
 use qfc_interferometry::stabilization::visibility_factor;
 use qfc_quantum::chsh::{ChshSettings, CLASSICAL_BOUND};
 use qfc_quantum::density::DensityMatrix;
@@ -283,14 +283,17 @@ pub fn run_timebin_event_mc(
     use qfc_interferometry::michelson::UnbalancedMichelson;
     use qfc_mathkit::rng::discrete;
 
-    let mut rng = rng_from_seed(seed);
     let model = channel_state_model(source, config, m);
     let eta = config.arm_efficiency;
     let ifo_b = UnbalancedMichelson::paper_instrument(0.0);
 
-    phases
-        .iter()
-        .map(|&phase| {
+    // Each phase point draws from its own split-seed stream, so points
+    // are independent tasks and the scan parallelizes without any
+    // cross-point RNG coupling.
+    let indexed: Vec<(usize, f64)> = phases.iter().copied().enumerate().collect();
+    qfc_runtime::par_map(&indexed, |&(k, phase)| {
+        let mut rng = rng_from_seed(split_seed(seed, k as u64));
+        {
             let ifo_a = UnbalancedMichelson::paper_instrument(phase);
             let table = two_photon_slot_table(&model.rho, &ifo_a, &ifo_b);
             // Flatten into a 10-way outcome: 9 slot cells (+ detection
@@ -319,8 +322,8 @@ pub fn run_timebin_event_mc(
             // with real photons are absorbed in `accidental_prob`.
             slots[1][1] += binomial(&mut rng, config.frames_per_point, model.accidental_prob);
             SlotScanPoint { phase, slots }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Runs the §IV virtual experiment: fringe scans and CHSH on every
@@ -332,12 +335,15 @@ pub fn run_timebin_experiment(
 ) -> TimeBinReport {
     assert!(config.channels >= 1, "need at least one channel");
     assert!(config.phase_steps >= 5, "need ≥ 5 phase steps for the fit");
-    let mut rng = rng_from_seed(seed);
-    let mut fringes = Vec::new();
-    let mut chsh = Vec::new();
 
-    for m in 1..=config.channels {
-        let model = channel_state_model(source, config, m);
+    // One independent split-seed stream per channel pair: the fringe and
+    // CHSH draws of channel m depend only on (seed, m), so channels are
+    // parallel tasks with a thread-count-independent result.
+    let channel_ids: Vec<u32> = (1..=config.channels).collect();
+    let per_channel: Vec<(ChannelFringe, ChshChannelResult)> =
+        qfc_runtime::par_map(&channel_ids, |&m| {
+            let mut rng = rng_from_seed(split_seed(seed, u64::from(m)));
+            let model = channel_state_model(source, config, m);
 
         // F7 fringe: scan one analyzer phase.
         let mut points = Vec::with_capacity(config.phase_steps);
@@ -352,12 +358,12 @@ pub fn run_timebin_experiment(
             .map(|&(p, c)| (p, c as f64))
             .unzip();
         let fit = fit_fringe(&xs, &ys);
-        fringes.push(ChannelFringe {
+        let fringe = ChannelFringe {
             m,
             points,
             fit,
             state_visibility: model.state_visibility,
-        });
+        };
 
         // T2 CHSH: measure the four correlators; each needs the four
         // projector combinations (φ, φ+π) on both sides.
@@ -390,14 +396,16 @@ pub fn run_timebin_experiment(
         // Poisson propagation: σ_E ≈ √((1 − E²)/N) per correlator.
         let n_per = (total_counts as f64 / 4.0).max(1.0);
         let sigma = (e.iter().map(|ei| (1.0 - ei * ei) / n_per).sum::<f64>()).sqrt();
-        chsh.push(ChshChannelResult {
+        let chsh = ChshChannelResult {
             m,
             s_value: s,
             sigma,
             n_sigma_violation: (s - CLASSICAL_BOUND) / sigma.max(1e-12),
-        });
-    }
+        };
+        (fringe, chsh)
+    });
 
+    let (fringes, chsh) = per_channel.into_iter().unzip();
     TimeBinReport { fringes, chsh }
 }
 

@@ -120,6 +120,43 @@ impl Histogram {
         }
     }
 
+    /// Reassembles a histogram from externally accumulated bin counts —
+    /// the merge step of sharded parallel filling, where each shard bins
+    /// into a local `Vec<u64>` with the same arithmetic as
+    /// [`add_weighted`](Self::add_weighted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `counts` is empty.
+    pub fn from_parts(lo: f64, hi: f64, counts: Vec<u64>, underflow: u64, overflow: u64) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(!counts.is_empty(), "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            counts,
+            underflow,
+            overflow,
+        }
+    }
+
+    /// Adds every count of `other` (same `lo`/`hi`/bin layout) into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different ranges or bin counts.
+    pub fn absorb(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "histogram layouts differ"
+        );
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
     /// Number of bins.
     pub fn bins(&self) -> usize {
         self.counts.len()

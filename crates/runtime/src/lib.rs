@@ -1,0 +1,334 @@
+//! Deterministic parallel execution engine for shot-based simulations.
+//!
+//! Every Monte-Carlo hot loop in the workspace runs through this crate's
+//! three entry points — [`par_map`], [`par_chunks`] and [`par_shots`] —
+//! which share one invariant: **results are bitwise-identical regardless
+//! of how many worker threads execute them.**
+//!
+//! The invariant holds by construction:
+//!
+//! 1. Work is decomposed into a fixed set of tasks (or, for
+//!    [`par_shots`], a fixed shard layout derived only from the shot
+//!    count) that never depends on the thread count.
+//! 2. Each task derives its randomness from a counter-based split seed
+//!    ([`qfc_mathkit::rng::split_seed`]), never from shared mutable RNG
+//!    state.
+//! 3. Results are merged in task-index order, whatever order the workers
+//!    finished in.
+//!
+//! Threads come from a scoped pool built on `std::thread::scope` — no
+//! external dependencies. The pool size defaults to
+//! `std::thread::available_parallelism()`, can be pinned process-wide
+//! with the `QFC_THREADS` environment variable, and can be pinned
+//! per-closure (and race-free, for tests) with [`with_threads`]. A pool
+//! size of 1 short-circuits to a plain serial loop with no thread or
+//! synchronization overhead. Nested parallel calls inside a worker run
+//! serially rather than oversubscribing the machine.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use qfc_mathkit::rng::split_seed;
+
+/// Fixed shard count for [`par_shots`] decompositions.
+///
+/// Deliberately independent of the machine's thread count so the shard
+/// layout — and therefore every derived seed — is reproducible anywhere.
+/// 32 shards keep all realistic pools busy while amortizing per-shard
+/// overhead.
+pub const SHOT_SHARDS: u64 = 32;
+
+thread_local! {
+    /// Per-thread pool-size override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside pool workers so nested parallel calls run serially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns the worker-pool size parallel calls on this thread will use.
+///
+/// Resolution order: [`with_threads`] override, then the `QFC_THREADS`
+/// environment variable, then `std::thread::available_parallelism()`.
+/// Always at least 1; inside a pool worker this returns 1 (nested
+/// parallelism is suppressed).
+pub fn max_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var("QFC_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the worker-pool size pinned to `threads` on this thread.
+///
+/// The override is thread-local, so concurrent tests comparing thread
+/// counts never race on global state. Restored (panic-safe) on exit.
+pub fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Executes `n_tasks` indexed tasks on the pool and returns their
+/// results in task-index order.
+///
+/// This is the single scheduling primitive behind the public entry
+/// points. Workers pull task indices from a shared atomic counter
+/// (dynamic load balancing), collect `(index, result)` pairs locally,
+/// and the caller reassembles them by index — so the output order never
+/// depends on scheduling.
+fn execute<U, F>(n_tasks: usize, task: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = max_threads().min(n_tasks);
+    if threads <= 1 {
+        return (0..n_tasks).map(task).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n_tasks);
+    slots.resize_with(n_tasks, || None);
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|c| c.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tasks {
+                            break;
+                        }
+                        local.push((i, task(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, value) in worker.join().expect("qfc-runtime worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every task index produced a result"))
+        .collect()
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// Deterministic for any thread count as long as `f(item)` depends only
+/// on its argument (seed randomness via
+/// [`split_seed`](qfc_mathkit::rng::split_seed) on the item index).
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    execute(items.len(), |i| f(&items[i]))
+}
+
+/// Maps `f` over fixed-size chunks of `items` in parallel, preserving
+/// chunk order. `f` receives the chunk index and the chunk slice.
+///
+/// The chunk layout matches `items.chunks(chunk_size)`, so it is
+/// independent of the thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_chunks<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    assert!(chunk_size > 0, "par_chunks: chunk_size must be positive");
+    let n_chunks = items.len().div_ceil(chunk_size);
+    execute(n_chunks, |i| {
+        let start = i * chunk_size;
+        let end = (start + chunk_size).min(items.len());
+        f(i, &items[start..end])
+    })
+}
+
+/// One shard of a sharded shot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard position in the fixed decomposition.
+    pub index: usize,
+    /// Global index of this shard's first shot.
+    pub start: u64,
+    /// Number of shots in this shard.
+    pub len: u64,
+    /// Independent RNG seed for this shard
+    /// (`split_seed(root_seed, index)`).
+    pub seed: u64,
+}
+
+/// Computes the fixed shard layout for `n_shots` shots rooted at `seed`.
+///
+/// At most [`SHOT_SHARDS`] shards; remainder shots go to the leading
+/// shards so sizes differ by at most one. The layout depends only on
+/// `n_shots` and `seed`.
+pub fn shard_layout(n_shots: u64, seed: u64) -> Vec<Shard> {
+    let n_shards = SHOT_SHARDS.min(n_shots).max(1);
+    let base = n_shots / n_shards;
+    let remainder = n_shots % n_shards;
+    let mut shards = Vec::with_capacity(n_shards as usize);
+    let mut start = 0u64;
+    for index in 0..n_shards {
+        let len = base + u64::from(index < remainder);
+        shards.push(Shard {
+            index: index as usize,
+            start,
+            len,
+            seed: split_seed(seed, index),
+        });
+        start += len;
+    }
+    shards
+}
+
+/// Runs a sharded shot loop: `per_shard` executes once per [`Shard`]
+/// (in parallel), and `merge` folds the per-shard results **in
+/// shard-index order** into the final answer.
+///
+/// The shard layout and seeds are fixed by `(n_shots, seed)` alone, so
+/// the result is bitwise-identical at any thread count.
+pub fn par_shots<U, A, P, M>(n_shots: u64, seed: u64, per_shard: P, merge: M) -> A
+where
+    U: Send,
+    P: Fn(&Shard) -> U + Sync,
+    M: FnOnce(Vec<U>) -> A,
+{
+    let shards = shard_layout(n_shots, seed);
+    let results = execute(shards.len(), |i| per_shard(&shards[i]));
+    merge(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let doubled = with_threads(4, || par_map(&items, |x| x * 2));
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_at_any_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |x: &u64| split_seed(*x, 7);
+        let serial = with_threads(1, || par_map(&items, f));
+        for threads in [2, 3, 4, 8] {
+            let parallel = with_threads(threads, || par_map(&items, f));
+            assert_eq!(parallel, serial, "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_all_items_in_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let sums = with_threads(4, || {
+            par_chunks(&items, 10, |i, chunk| (i, chunk.iter().sum::<u64>()))
+        });
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.last().unwrap(), &(10, (100..103).sum::<u64>()));
+        let total: u64 = sums.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn shard_layout_is_fixed_and_covers_all_shots() {
+        for n_shots in [1u64, 5, 31, 32, 33, 1000, 1_000_003] {
+            let shards = shard_layout(n_shots, 9);
+            assert_eq!(shards, shard_layout(n_shots, 9));
+            assert!(shards.len() as u64 <= SHOT_SHARDS);
+            assert_eq!(shards.iter().map(|s| s.len).sum::<u64>(), n_shots);
+            let mut expected_start = 0;
+            for (i, shard) in shards.iter().enumerate() {
+                assert_eq!(shard.index, i);
+                assert_eq!(shard.start, expected_start);
+                assert_eq!(shard.seed, split_seed(9, i as u64));
+                expected_start += shard.len;
+            }
+        }
+    }
+
+    #[test]
+    fn par_shots_merges_in_shard_order() {
+        let order = par_shots(
+            1000,
+            3,
+            |shard| shard.index,
+            |results| results,
+        );
+        assert_eq!(order, (0..order.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_shots_deterministic_across_thread_counts() {
+        let run = |threads| {
+            with_threads(threads, || {
+                par_shots(
+                    10_000,
+                    11,
+                    |shard| {
+                        use rand::Rng;
+                        let mut rng = qfc_mathkit::rng::rng_from_seed(shard.seed);
+                        (0..shard.len).fold(0u64, |acc, _| acc.wrapping_add(rng.gen::<u64>()))
+                    },
+                    |sums| sums,
+                )
+            })
+        };
+        let serial = run(1);
+        assert_eq!(run(4), serial);
+        assert_eq!(run(7), serial);
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_serially() {
+        let items: Vec<u64> = (0..8).collect();
+        let nested = with_threads(4, || {
+            par_map(&items, |_| {
+                // Inside a worker the pool reports a single thread.
+                max_threads()
+            })
+        });
+        assert!(nested.iter().all(|&n| n == 1), "{nested:?}");
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let outside = max_threads();
+        with_threads(3, || assert_eq!(max_threads(), 3));
+        assert_eq!(max_threads(), outside);
+    }
+}

@@ -52,21 +52,64 @@ pub fn cross_correlation_histogram(
     assert!(range_ps > 0, "range must be positive");
     assert!(bin_ps > 0, "bin width must be positive");
     let bins = (2 * range_ps / bin_ps).max(1) as usize;
-    let mut hist = Histogram::new(-(range_ps as f64), range_ps as f64, bins);
+    let lo = -(range_ps as f64);
+    let hi = range_ps as f64;
     let (ta, tb) = (a.as_slice(), b.as_slice());
-    let mut j0 = 0usize;
-    for &t in ta {
-        // Advance the window start.
-        while j0 < tb.len() && tb[j0] < t - range_ps {
-            j0 += 1;
+
+    // Shard the start tags into a fixed number of chunks (independent of
+    // the thread count). Each shard runs a two-pointer sorted-merge
+    // sweep over its slice of `ta` — both window edges advance
+    // monotonically, so each `tb` comparison happens once per edge —
+    // binning into a local count vector with the same float arithmetic
+    // as `Histogram::add_weighted`. Bin counts merge by exact integer
+    // addition, so the sharding cannot change the result.
+    let chunk_size = ta.len().div_ceil(qfc_runtime::SHOT_SHARDS as usize).max(1);
+    let shards = qfc_runtime::par_chunks(ta, chunk_size, |_, chunk| {
+        let mut counts = vec![0u64; bins];
+        let mut overflow = 0u64;
+        // (hi - lo) / bins reproduces Histogram::bin_width exactly.
+        let width = (hi - lo) / bins as f64;
+        let first = match chunk.first() {
+            Some(&t) => t,
+            None => return (counts, overflow),
+        };
+        let mut win_lo = tb.partition_point(|&x| x < first - range_ps);
+        let mut win_hi = win_lo;
+        for &t in chunk {
+            while win_lo < tb.len() && tb[win_lo] < t - range_ps {
+                win_lo += 1;
+            }
+            if win_hi < win_lo {
+                win_hi = win_lo;
+            }
+            while win_hi < tb.len() && tb[win_hi] <= t + range_ps {
+                win_hi += 1;
+            }
+            for &tb_j in &tb[win_lo..win_hi] {
+                let delta = (tb_j - t) as f64;
+                // Same in-range test and index arithmetic as
+                // Histogram::add_weighted; delta == +range lands in the
+                // overflow bucket there too ([lo, hi) bins).
+                if delta >= hi {
+                    overflow += 1;
+                } else {
+                    let idx = ((delta - lo) / width) as usize;
+                    counts[idx.min(bins - 1)] += 1;
+                }
+            }
         }
-        let mut j = j0;
-        while j < tb.len() && tb[j] <= t + range_ps {
-            hist.add((tb[j] - t) as f64);
-            j += 1;
+        (counts, overflow)
+    });
+
+    let mut counts = vec![0u64; bins];
+    let mut overflow = 0u64;
+    for (shard_counts, shard_overflow) in shards {
+        for (dst, src) in counts.iter_mut().zip(&shard_counts) {
+            *dst += src;
         }
+        overflow += shard_overflow;
     }
-    hist
+    Histogram::from_parts(lo, hi, counts, 0, overflow)
 }
 
 /// Result of a CAR measurement.
@@ -100,11 +143,13 @@ pub fn measure_car(
         offset_step_ps > window_ps,
         "offset step must exceed the window"
     );
-    let coincidences = count_coincidences(a, b, window_ps, 0);
-    let mut acc_total = 0u64;
-    for k in 1..=n_offsets {
-        acc_total += count_coincidences(a, b, window_ps, k as i64 * offset_step_ps);
-    }
+    // The zero-delay window and every displaced window are independent
+    // scans; run them all on the worker pool. Summing u64 counts is
+    // exact, so the parallel split cannot perturb the result.
+    let offsets: Vec<i64> = (0..=n_offsets as i64).map(|k| k * offset_step_ps).collect();
+    let counts = qfc_runtime::par_map(&offsets, |&off| count_coincidences(a, b, window_ps, off));
+    let coincidences = counts[0];
+    let acc_total: u64 = counts[1..].iter().sum();
     let accidentals = acc_total as f64 / n_offsets as f64;
     let car = if accidentals > 0.0 {
         coincidences as f64 / accidentals
@@ -312,9 +357,12 @@ mod tests {
 
     #[test]
     fn find_delay_rejects_uncorrelated_streams() {
+        // Keep the accidental density low enough that a spurious ≥3-count
+        // bin is a many-sigma event rather than a coin flip: 10k tags over
+        // 1e12 ps give ~0.05 expected counts per 500 ps bin.
         let mut rng = rng_from_seed(11);
-        let a: Vec<i64> = (0..20_000).map(|_| (rng.gen::<f64>() * 1e12) as i64).collect();
-        let b: Vec<i64> = (0..20_000).map(|_| (rng.gen::<f64>() * 1e12) as i64).collect();
+        let a: Vec<i64> = (0..10_000).map(|_| (rng.gen::<f64>() * 1e12) as i64).collect();
+        let b: Vec<i64> = (0..10_000).map(|_| (rng.gen::<f64>() * 1e12) as i64).collect();
         let found = find_delay(
             &TagStream::from_unsorted(a),
             &TagStream::from_unsorted(b),

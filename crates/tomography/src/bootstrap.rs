@@ -50,28 +50,34 @@ pub fn resample<R: Rng + ?Sized>(rng: &mut R, data: &TomographyData) -> Tomograp
 /// fidelity): re-reconstructs `replicas` resampled data sets and reports
 /// mean ± σ of `functional`.
 ///
+/// Replicas run in parallel, each resampling from its own split-seed
+/// stream (`split_seed(seed, replica_index)`); the replica values are
+/// collected in index order, so the estimate is bitwise-identical at any
+/// thread count.
+///
 /// # Panics
 ///
 /// Panics if `replicas < 2`.
-pub fn bootstrap_functional<R, F, G>(
-    rng: &mut R,
+pub fn bootstrap_functional<F, G>(
+    seed: u64,
     data: &TomographyData,
     replicas: usize,
     reconstruct: F,
     functional: G,
 ) -> BootstrapEstimate
 where
-    R: Rng + ?Sized,
-    F: Fn(&TomographyData) -> DensityMatrix,
-    G: Fn(&DensityMatrix) -> f64,
+    F: Fn(&TomographyData) -> DensityMatrix + Sync,
+    G: Fn(&DensityMatrix) -> f64 + Sync,
 {
+    use qfc_mathkit::rng::{rng_from_seed, split_seed};
+
     assert!(replicas >= 2, "need at least two bootstrap replicas");
-    let values: Vec<f64> = (0..replicas)
-        .map(|_| {
-            let sample = resample(rng, data);
-            functional(&reconstruct(&sample))
-        })
-        .collect();
+    let indices: Vec<u64> = (0..replicas as u64).collect();
+    let values = qfc_runtime::par_map(&indices, |&i| {
+        let mut rng = rng_from_seed(split_seed(seed, i));
+        let sample = resample(&mut rng, data);
+        functional(&reconstruct(&sample))
+    });
     BootstrapEstimate {
         value: mean(&values),
         sigma: sample_std_dev(&values),
@@ -107,7 +113,7 @@ mod tests {
         let data = simulate_counts(&mut rng, &truth, &all_settings(2), 400);
         let target = bell_phi_plus();
         let est = bootstrap_functional(
-            &mut rng,
+            302,
             &data,
             24,
             linear_reconstruction,
@@ -127,10 +133,10 @@ mod tests {
         let target = bell_phi_plus();
         let small = simulate_counts(&mut rng, &truth, &all_settings(2), 60);
         let large = simulate_counts(&mut rng, &truth, &all_settings(2), 6000);
-        let est_small = bootstrap_functional(&mut rng, &small, 16, linear_reconstruction, |r| {
+        let est_small = bootstrap_functional(31, &small, 16, linear_reconstruction, |r| {
             fidelity_with_pure(r, &target)
         });
-        let est_large = bootstrap_functional(&mut rng, &large, 16, linear_reconstruction, |r| {
+        let est_large = bootstrap_functional(32, &large, 16, linear_reconstruction, |r| {
             fidelity_with_pure(r, &target)
         });
         assert!(
@@ -147,6 +153,23 @@ mod tests {
         let mut rng = rng_from_seed(304);
         let truth = werner_state(0.8, 0.0);
         let data = simulate_counts(&mut rng, &truth, &all_settings(2), 100);
-        let _ = bootstrap_functional(&mut rng, &data, 1, linear_reconstruction, |_| 0.0);
+        let _ = bootstrap_functional(304, &data, 1, linear_reconstruction, |_| 0.0);
+    }
+
+    #[test]
+    fn bootstrap_identical_across_thread_counts() {
+        let mut rng = rng_from_seed(305);
+        let truth = werner_state(0.8, 0.0);
+        let target = bell_phi_plus();
+        let data = simulate_counts(&mut rng, &truth, &all_settings(2), 200);
+        let run = || {
+            bootstrap_functional(305, &data, 12, linear_reconstruction, |r| {
+                fidelity_with_pure(r, &target)
+            })
+        };
+        let serial = qfc_runtime::with_threads(1, run);
+        let parallel = qfc_runtime::with_threads(4, run);
+        assert_eq!(serial.value.to_bits(), parallel.value.to_bits());
+        assert_eq!(serial.sigma.to_bits(), parallel.sigma.to_bits());
     }
 }

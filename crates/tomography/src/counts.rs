@@ -84,6 +84,47 @@ pub fn simulate_counts<R: Rng + ?Sized>(
     }
 }
 
+/// Seeded, parallel variant of [`simulate_counts`]: every setting draws
+/// its shots from an independent split-seed stream
+/// (`split_seed(seed, setting_index)`), so settings run concurrently on
+/// the worker pool and the counts are bitwise-identical at any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if settings don't match the state dimension.
+pub fn simulate_counts_seeded(
+    rho: &DensityMatrix,
+    settings: &[Setting],
+    shots_per_setting: u64,
+    seed: u64,
+) -> TomographyData {
+    use qfc_mathkit::rng::{rng_from_seed, split_seed};
+
+    let indexed: Vec<usize> = (0..settings.len()).collect();
+    let counts = qfc_runtime::par_map(&indexed, |&s| {
+        let setting = &settings[s];
+        assert_eq!(
+            setting.qubits(),
+            rho.qubits(),
+            "setting does not match state size"
+        );
+        let probs: Vec<f64> = (0..setting.outcomes())
+            .map(|o| rho.probability(&setting.outcome_projector(o)))
+            .collect();
+        let mut rng = rng_from_seed(split_seed(seed, s as u64));
+        let mut c = vec![0u64; setting.outcomes()];
+        for _ in 0..shots_per_setting {
+            c[discrete(&mut rng, &probs)] += 1;
+        }
+        c
+    });
+    TomographyData {
+        settings: settings.to_vec(),
+        counts,
+    }
+}
+
 /// Computes the *exact* outcome distribution instead of sampling —
 /// "infinite statistics" tomography used to validate reconstructors.
 pub fn exact_counts(rho: &DensityMatrix, settings: &[Setting], scale: u64) -> TomographyData {

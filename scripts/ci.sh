@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, root test suite, runtime-crate lints, and a
+# seconds-scale bench smoke run that cross-checks serial vs parallel
+# determinism. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -p qfc-runtime -- -D warnings"
+cargo clippy -p qfc-runtime -- -D warnings
+
+echo "==> qfc-bench --smoke (serial/parallel determinism cross-check)"
+./target/release/qfc-bench --smoke --out target/BENCH_smoke.json
+
+echo "CI gate passed."

@@ -1,0 +1,230 @@
+//! `qfc-bench` — serial-vs-parallel wall-time harness for the shot-based
+//! Monte-Carlo workloads.
+//!
+//! ```text
+//! qfc-bench [--threads N] [--smoke] [--out PATH]
+//! ```
+//!
+//! Every workload runs twice through the same code path: once pinned to a
+//! single worker (`with_threads(1)`) and once on `--threads` workers
+//! (default 4). The serialized results must match byte for byte — the
+//! deterministic sharding makes thread count an implementation detail —
+//! and the harness aborts if they don't. Timings land in
+//! `BENCH_parallel.json`.
+//!
+//! `--smoke` shrinks every workload to seconds-scale for CI; speedups are
+//! not meaningful there (the parallel grain is too small), only the
+//! determinism cross-check is.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use qfc::core::heralded::{run_heralded_experiment, HeraldedConfig};
+use qfc::core::multiphoton::{run_four_photon_tomography, MultiPhotonConfig};
+use qfc::core::source::QfcSource;
+use qfc::core::timebin::{run_timebin_event_mc, TimeBinConfig};
+use qfc::mathkit::rng::rng_from_seed;
+use qfc::quantum::bell::{bell_phi_plus, werner_state};
+use qfc::quantum::fidelity::fidelity_with_pure;
+use qfc::timetag::coincidence::cross_correlation_histogram;
+use qfc::timetag::hbt::poissonian_stream;
+use qfc::tomography::bootstrap::bootstrap_functional;
+use qfc::tomography::counts::simulate_counts_seeded;
+use qfc::tomography::reconstruct::{mle_reconstruction, MleOptions};
+use qfc::tomography::settings::all_settings;
+
+#[derive(Debug, Serialize)]
+struct WorkloadRow {
+    name: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    threads: usize,
+    /// Hardware parallelism of the machine the bench ran on. Speedups
+    /// are bounded by `min(threads, host_cpus)`; on a single-core host
+    /// the interesting column is `identical`, and near-1.0 "speedups"
+    /// show the sharding overhead is negligible.
+    host_cpus: usize,
+    smoke: bool,
+    workloads: Vec<WorkloadRow>,
+}
+
+fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// Runs `f` serially and on `threads` workers, checks the serialized
+/// outputs are byte-identical, and reports both wall times.
+fn bench_workload(name: &str, threads: usize, f: impl Fn() -> String + Sync) -> WorkloadRow {
+    let (serial_ms, serial_out) = time_ms(|| qfc::runtime::with_threads(1, &f));
+    let (parallel_ms, parallel_out) = time_ms(|| qfc::runtime::with_threads(threads, &f));
+    let identical = serial_out == parallel_out;
+    let row = WorkloadRow {
+        name: name.to_owned(),
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        identical,
+    };
+    eprintln!(
+        "{:<24} serial {:>9.1} ms | {} threads {:>9.1} ms | speedup {:.2}x | identical: {}",
+        row.name, row.serial_ms, threads, row.parallel_ms, row.speedup, row.identical
+    );
+    row
+}
+
+fn run(threads: usize, smoke: bool) -> BenchReport {
+    let mut workloads = Vec::new();
+
+    // §II heralded-photon experiment: per-channel tag generation +
+    // detection, F1 coincidence matrix, F2 linewidth histogram.
+    {
+        let source = QfcSource::paper_device();
+        let mut cfg = HeraldedConfig::fast_demo();
+        if smoke {
+            cfg.duration_s = 1.0;
+            cfg.linewidth_pairs = 500;
+        } else {
+            cfg.duration_s = 40.0;
+            cfg.linewidth_pairs = 40_000;
+        }
+        workloads.push(bench_workload("heralded", threads, || {
+            let report = run_heralded_experiment(&source, &cfg, 7);
+            serde_json::to_string(&report).expect("report serializes")
+        }));
+    }
+
+    // §IV event-based time-bin Monte Carlo: full slot-resolved Franson
+    // propagation of every emitted pair, one split-seed stream per
+    // phase point.
+    {
+        let source = QfcSource::paper_device_timebin();
+        let mut cfg = TimeBinConfig::fast_demo();
+        cfg.frames_per_point = if smoke { 200_000 } else { 40_000_000 };
+        let steps = if smoke { 8 } else { 32 };
+        let phases: Vec<f64> = (0..steps)
+            .map(|k| k as f64 * std::f64::consts::TAU / steps as f64)
+            .collect();
+        workloads.push(bench_workload("timebin-event-mc", threads, || {
+            let scan = run_timebin_event_mc(&source, &cfg, 1, &phases, 11);
+            serde_json::to_string(&scan).expect("scan serializes")
+        }));
+    }
+
+    // §V four-photon tomography: 81 four-qubit settings sampled in
+    // parallel, then a serial MLE reconstruction.
+    {
+        let source = QfcSource::paper_device_timebin();
+        let mut cfg = MultiPhotonConfig::fast_demo();
+        cfg.four_shots_per_setting = if smoke { 40 } else { 20_000 };
+        workloads.push(bench_workload("four-photon-tomography", threads, || {
+            let tomo = run_four_photon_tomography(&source, &cfg, 13);
+            serde_json::to_string(&tomo).expect("tomography serializes")
+        }));
+    }
+
+    // Parametric bootstrap: every replica resamples and re-runs the MLE
+    // reconstructor on its own split-seed stream.
+    {
+        let truth = werner_state(0.83, 0.0);
+        let settings = all_settings(2);
+        let shots = if smoke { 200 } else { 2_000 };
+        let replicas = if smoke { 8 } else { 48 };
+        let data = simulate_counts_seeded(&truth, &settings, shots, 17);
+        let target = bell_phi_plus();
+        workloads.push(bench_workload("bootstrap-mle", threads, || {
+            let est = bootstrap_functional(
+                17,
+                &data,
+                replicas,
+                |d| mle_reconstruction(d, &MleOptions::default()).rho,
+                |rho| fidelity_with_pure(rho, &target),
+            );
+            serde_json::to_string(&est).expect("estimate serializes")
+        }));
+    }
+
+    // §II time-resolved cross-correlation: two-pointer sweep over
+    // sharded start tags.
+    {
+        let mut rng = rng_from_seed(19);
+        let duration_s = if smoke { 2.0 } else { 40.0 };
+        let a = poissonian_stream(&mut rng, 200_000.0, duration_s);
+        let b = poissonian_stream(&mut rng, 200_000.0, duration_s);
+        workloads.push(bench_workload("coincidence-histogram", threads, || {
+            let hist = cross_correlation_histogram(&a, &b, 100_000, 50);
+            serde_json::to_string(&hist).expect("histogram serializes")
+        }));
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if host_cpus < threads {
+        eprintln!(
+            "note: host has {host_cpus} CPU(s) < {threads} requested threads; \
+             wall-clock speedup is capped at {host_cpus}x"
+        );
+    }
+    BenchReport {
+        threads,
+        host_cpus,
+        smoke,
+        workloads,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut threads = 4usize;
+    let mut smoke = false;
+    let mut out = String::from("BENCH_parallel.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => {
+                    eprintln!("--out needs a path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: qfc-bench [--threads N] [--smoke] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = run(threads, smoke);
+    if report.workloads.iter().any(|w| !w.identical) {
+        eprintln!("FAIL: serial and parallel outputs differ");
+        return ExitCode::FAILURE;
+    }
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}

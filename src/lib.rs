@@ -19,7 +19,7 @@
 //! // fast doctest.
 //! let source = QfcSource::paper_device();
 //! let mut cfg = HeraldedConfig::paper();
-//! cfg.duration_s = 2.0;
+//! cfg.duration_s = 10.0;
 //! let report = run_heralded_experiment(&source, &cfg, 42);
 //! assert!(report.mean_car() > 1.0);
 //! ```
@@ -29,5 +29,6 @@ pub use qfc_interferometry as interferometry;
 pub use qfc_mathkit as mathkit;
 pub use qfc_photonics as photonics;
 pub use qfc_quantum as quantum;
+pub use qfc_runtime as runtime;
 pub use qfc_timetag as timetag;
 pub use qfc_tomography as tomography;

@@ -1,10 +1,16 @@
 //! Determinism: every experiment is bit-for-bit reproducible from its
-//! seed, and different seeds vary only statistically.
+//! seed, different seeds vary only statistically, and — because all
+//! shot-based loops run on the fixed-shard worker pool — the thread
+//! count is an implementation detail: one thread, four threads, and the
+//! ambient default all produce byte-identical serialized reports.
 
 use qfc::core::crosspol::{run_crosspol_experiment, CrossPolConfig};
 use qfc::core::heralded::{run_heralded_experiment, HeraldedConfig};
+use qfc::core::multiphoton::run_bell_tomography;
+use qfc::core::multiphoton::MultiPhotonConfig;
 use qfc::core::source::QfcSource;
 use qfc::core::timebin::{run_timebin_experiment, TimeBinConfig};
+use qfc::runtime::with_threads;
 
 #[test]
 fn heralded_experiment_is_deterministic() {
@@ -51,6 +57,41 @@ fn crosspol_experiment_is_deterministic() {
     let b = run_crosspol_experiment(&source, &cfg, 99);
     assert_eq!(a.car.to_bits(), b.car.to_bits());
     assert_eq!(a.te_singles_hz.to_bits(), b.te_singles_hz.to_bits());
+}
+
+/// Runs `f` at one worker, four workers, and the ambient thread count,
+/// and asserts the three serialized outputs are byte-identical.
+fn assert_thread_invariant<T: serde::Serialize>(f: impl Fn() -> T + Sync) {
+    let serial = serde_json::to_string(&with_threads(1, &f)).unwrap();
+    let four = serde_json::to_string(&with_threads(4, &f)).unwrap();
+    let ambient = serde_json::to_string(&f()).unwrap();
+    assert_eq!(serial, four, "1 vs 4 threads");
+    assert_eq!(serial, ambient, "1 thread vs ambient");
+}
+
+#[test]
+fn heralded_report_identical_across_thread_counts() {
+    let source = QfcSource::paper_device();
+    let mut cfg = HeraldedConfig::fast_demo();
+    cfg.duration_s = 2.0;
+    cfg.linewidth_pairs = 2000;
+    assert_thread_invariant(|| run_heralded_experiment(&source, &cfg, 4242));
+}
+
+#[test]
+fn timebin_report_identical_across_thread_counts() {
+    let source = QfcSource::paper_device_timebin();
+    let mut cfg = TimeBinConfig::fast_demo();
+    cfg.frames_per_point = 500_000;
+    assert_thread_invariant(|| run_timebin_experiment(&source, &cfg, 4243));
+}
+
+#[test]
+fn bell_tomography_identical_across_thread_counts() {
+    let source = QfcSource::paper_device_timebin();
+    let mut cfg = MultiPhotonConfig::fast_demo();
+    cfg.bell_shots_per_setting = 200;
+    assert_thread_invariant(|| run_bell_tomography(&source, &cfg, 4244));
 }
 
 #[test]

@@ -64,7 +64,7 @@ fn section_3_crosspol_end_to_end() {
 fn section_4_timebin_end_to_end() {
     let source = QfcSource::paper_device_timebin();
     assert_eq!(source.regime(), EmissionRegime::TimeBinEntangled);
-    let report = run_timebin_experiment(&source, &TimeBinConfig::fast_demo(), 104);
+    let report = run_timebin_experiment(&source, &TimeBinConfig::fast_demo(), 107);
     // Visibility above the CHSH threshold on every channel; all violate.
     for f in &report.fringes {
         assert!(f.fit.visibility > 0.72, "m={}: V {}", f.m, f.fit.visibility);

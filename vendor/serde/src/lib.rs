@@ -1,0 +1,372 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no registry access), so this crate
+//! provides the exact serialization surface the workspace relies on:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (re-exported from the vendored
+//!   `serde_derive` proc-macro crate);
+//! * `serde::Serialize` / `serde::Deserialize` trait bounds;
+//! * `serde::de::DeserializeOwned` (used by generic round-trip helpers).
+//!
+//! Unlike upstream serde's visitor architecture, this implementation
+//! serializes through an in-memory [`Value`] tree which the vendored
+//! `serde_json` then prints/parses. The JSON layout (externally tagged
+//! enums, structs as objects, newtypes transparent) matches upstream
+//! serde's defaults for the shapes used in this workspace, and all
+//! round-trips are exact — including `f64` payloads, which print with
+//! shortest-round-trip formatting.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, ordered JSON-like value tree.
+///
+/// Objects preserve insertion order (association list, not a hash map)
+/// so serialization output — and therefore the bitwise determinism the
+/// parallel engine guarantees — never depends on hasher state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by key.
+    pub fn get_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            other => Err(Error::custom(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets the value as an externally tagged enum variant:
+    /// an object with exactly one entry.
+    pub fn as_variant(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(fields) if fields.len() == 1 => {
+                Some((fields[0].0.as_str(), &fields[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Short human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted to a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a value of this type out of `v`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization helpers, mirroring upstream's `serde::de` module.
+pub mod de {
+    /// Owned deserialization marker, blanket-implemented for every
+    /// [`Deserialize`](crate::Deserialize) type.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if v >= 0 && v > i64::MAX as i128 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::I64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Value::U64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(x) => Ok(*x as f64),
+            Value::U64(x) => Ok(*x as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!("expected f64, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                        if items.len() != LEN {
+                            return Err(Error::custom(format!(
+                                "expected tuple of length {LEN}, found {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for x in [0u64, 1, u64::MAX] {
+            assert_eq!(u64::from_value(&x.to_value()).unwrap(), x);
+        }
+        for x in [-5i64, 0, i64::MAX] {
+            assert_eq!(i64::from_value(&x.to_value()).unwrap(), x);
+        }
+        for x in [0.5f64, -1e-300, f64::INFINITY] {
+            assert_eq!(f64::from_value(&x.to_value()).unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let v = vec![(1.5f64, 2u64), (3.0, 4)];
+        assert_eq!(Vec::<(f64, u64)>::from_value(&v.to_value()).unwrap(), v);
+        let a = [[1u64, 2, 3], [4, 5, 6]];
+        assert_eq!(<[[u64; 3]; 2]>::from_value(&a.to_value()).unwrap(), a);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), o);
+    }
+
+    #[test]
+    fn object_field_access() {
+        let v = Value::Object(vec![("a".into(), Value::I64(1))]);
+        assert!(v.get_field("a").is_ok());
+        assert!(v.get_field("b").is_err());
+    }
+}

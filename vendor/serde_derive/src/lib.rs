@@ -1,0 +1,436 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes used in this workspace — structs with named fields, tuple
+//! structs (including newtypes), unit structs, and enums whose variants
+//! are unit, tuple, or struct-like — without depending on `syn`/`quote`
+//! (registry access is unavailable in the build container). The input
+//! item is parsed directly from the `proc_macro` token stream and the
+//! impl is emitted as source text.
+//!
+//! Generated impls target the vendored `serde` crate's `Value`-tree
+//! traits; `#[serde(...)]` attributes are not supported (none exist in
+//! this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    /// Named-field name, or the positional index rendered as a string.
+    name: String,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let body = serialize_fields_expr(fields, "self");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), \
+                             ::serde::Value::Object(vec![{entries}]))]),\n",
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let body = deserialize_fields_expr(fields, "__value", "Self");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+                 }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{0}: ::serde::Deserialize::from_value(\
+                                     __payload.get_field(\"{0}\")?)?",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        if *n == 1 {
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => return ::std::result::Result::Ok(\
+                                 {name}::{vname}(::serde::Deserialize::from_value(__payload)?)),\n"
+                            ));
+                        } else {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let __items = match __payload {{\n\
+                                 ::serde::Value::Array(v) if v.len() == {n} => v,\n\
+                                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected {n}-element array for variant {vname}\")),\n\
+                                 }};\n\
+                                 return ::std::result::Result::Ok({name}::{vname}({inits}));\n\
+                                 }}\n",
+                                inits = inits.join(", ")
+                            ));
+                        }
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::serde::Value::Str(__s) = __value {{\n\
+                 match __s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::std::option::Option::Some((__tag, __payload)) = __value.as_variant() {{\n\
+                 match __tag {{ {data_arms} _ => {{}} }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                 \"no matching variant of `{name}`\"))\n\
+                 }}\n}}"
+            )
+        }
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+/// Serialization expression for a struct's fields, reading from `recv`.
+fn serialize_fields_expr(fields: &Fields, recv: &str) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(fs) => {
+            let entries: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&{recv}.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value(&{recv}.0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&{recv}.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+/// Deserialization body for a struct's fields, reading from `value_ident`.
+fn deserialize_fields_expr(fields: &Fields, value_ident: &str, ctor: &str) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({ctor})"),
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{0}: ::serde::Deserialize::from_value(\
+                         {value_ident}.get_field(\"{0}\")?)?",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({ctor} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({ctor}(::serde::Deserialize::from_value({value_ident})?))"
+        ),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = match {value_ident} {{\n\
+                 ::serde::Value::Array(v) if v.len() == {n} => v,\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected {n}-element array\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({ctor}({inits}))",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(peek_punct(&tokens, pos), Some('<')) {
+        panic!("vendored serde_derive does not support generic types (deriving `{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected token after struct name: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde derives support struct/enum only, found `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*pos), tokens.get(*pos + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            *pos += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn peek_punct(tokens: &[TokenTree], pos: usize) -> Option<char> {
+    match tokens.get(pos) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+/// Skips a type (or any token run) up to a top-level comma, tracking
+/// `<...>` nesting so commas inside generic arguments don't terminate
+/// early. Leaves `pos` on the comma (or at end of stream).
+fn skip_to_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match peek_punct(&tokens, pos) {
+            Some(':') => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_to_top_level_comma(&tokens, &mut pos);
+        pos += 1; // consume comma (or step past end)
+        fields.push(Field { name });
+    }
+    Fields::Named(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0usize;
+    let mut count = 0usize;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        skip_to_top_level_comma(&tokens, &mut pos);
+        pos += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                parse_named_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        if matches!(peek_punct(&tokens, pos), Some('=')) {
+            pos += 1;
+            skip_to_top_level_comma(&tokens, &mut pos);
+        }
+        if matches!(peek_punct(&tokens, pos), Some(',')) {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
