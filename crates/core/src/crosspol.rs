@@ -12,6 +12,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use qfc_faults::{Arm, FaultSchedule, HealthReport, QfcError, QfcResult};
 use qfc_mathkit::fit::fit_power_law;
 use qfc_mathkit::rng::{exponential, poisson, rng_from_seed};
 use qfc_photonics::fwm;
@@ -24,6 +25,7 @@ use qfc_timetag::detector::SinglePhotonDetector;
 
 use crate::report::{Comparison, Expectation, ExperimentReport};
 use crate::source::QfcSource;
+use crate::supervisor::{self, SupervisorPolicy};
 
 /// Configuration of the §III type-II coincidence run (F4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -126,6 +128,22 @@ impl CrossPolReport {
     }
 }
 
+/// A completed §III run: the physics report plus its health record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossPolRun {
+    /// The physics results.
+    pub report: CrossPolReport,
+    /// Faults injected and recovery actions taken.
+    pub health: HealthReport,
+}
+
+impl CrossPolRun {
+    /// Comparison rows with the health section attached.
+    pub fn to_report(&self) -> ExperimentReport {
+        self.report.to_report().with_health(self.health.clone())
+    }
+}
+
 /// Runs the F4 virtual experiment: type-II pairs split on a PBS,
 /// detected, and counted.
 ///
@@ -137,8 +155,63 @@ pub fn run_crosspol_experiment(
     config: &CrossPolConfig,
     seed: u64,
 ) -> CrossPolReport {
+    match try_run_crosspol_experiment(source, config, seed, &FaultSchedule::empty()) {
+        Ok(run) => run.report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible, fault-aware form of [`run_crosspol_experiment`]: the TE arm
+/// maps onto the channel-1 signal detector and the TM arm onto the
+/// channel-1 idler detector of the fault schedule.
+///
+/// # Errors
+///
+/// [`QfcError::InvalidParameter`] for a bad configuration,
+/// [`QfcError::RegimeMismatch`] when the source is not bichromatically
+/// pumped, [`QfcError::ChannelsExhausted`] when both arms are
+/// quarantined, and [`QfcError::LockReacquisitionFailed`] when the pump
+/// cannot be re-locked.
+pub fn try_run_crosspol_experiment(
+    source: &QfcSource,
+    config: &CrossPolConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> QfcResult<CrossPolRun> {
+    if config.duration_s.is_nan() || config.duration_s <= 0.0 {
+        return Err(QfcError::invalid("duration must be positive"));
+    }
+    if config.background_rate_hz.is_nan() || config.background_rate_hz < 0.0 {
+        return Err(QfcError::invalid("background rate must be ≥ 0"));
+    }
+    if !(0.0..=1.0).contains(&config.pbs_leakage) {
+        return Err(QfcError::invalid("PBS leakage must be in [0, 1]"));
+    }
+    if !(0.0..=1.0).contains(&config.collection_efficiency) {
+        return Err(QfcError::invalid("collection efficiency must be in [0, 1]"));
+    }
+    config.detector.try_validate()?;
+
+    let mut health = HealthReport::pristine();
+    let policy = SupervisorPolicy::default();
+    supervisor::record_schedule_faults(schedule, config.duration_s, &mut health);
+    let relocks =
+        supervisor::plan_pump_relocks(schedule, config.duration_s, &policy, seed, &mut health)?;
+    let live = supervisor::live_fraction(&relocks, config.duration_s);
+    supervisor::partition_channels(
+        schedule,
+        1,
+        config.duration_s,
+        &policy,
+        "crosspol experiment",
+        &mut health,
+    )?;
+
     let mut rng = rng_from_seed(seed);
-    let rate = source.type2_pair_rate(1);
+    let linewidth_hz = source.ring().linewidth().hz();
+    let rate = source.try_type2_pair_rate(1)?
+        * schedule.mean_pump_rate_factor(0.0, config.duration_s, linewidth_hz)
+        * live;
     let tau = source.ring().coincidence_decay_time();
     let duration_ps = (config.duration_s * 1e12) as i64;
 
@@ -171,11 +244,17 @@ pub fn run_crosspol_experiment(
     }
     te_true.sort_unstable();
     tm_true.sort_unstable();
+    // Sub-quarantine dropout windows kill arrivals (pure filter, no RNG).
+    te_true.retain(|&t| !schedule.detector_dead_at(1, Arm::Signal, t as f64 * 1e-12));
+    tm_true.retain(|&t| !schedule.detector_dead_at(1, Arm::Idler, t as f64 * 1e-12));
 
     let mut arm = config.detector;
     arm.efficiency *= config.collection_efficiency;
-    let te_stream = arm.detect(&mut rng, &te_true, duration_ps);
-    let tm_stream = arm.detect(&mut rng, &tm_true, duration_ps);
+    arm.dark_count_rate_hz *= schedule.mean_dark_multiplier(1, 0.0, config.duration_s);
+    let te_stream =
+        supervisor::apply_tdc_saturation(arm.detect(&mut rng, &te_true, duration_ps), schedule);
+    let tm_stream =
+        supervisor::apply_tdc_saturation(arm.detect(&mut rng, &tm_true, duration_ps), schedule);
 
     let car_result = measure_car(
         &te_stream,
@@ -190,14 +269,17 @@ pub fn run_crosspol_experiment(
         car_result.coincidences as f64
     };
 
-    CrossPolReport {
-        generated_pair_rate_hz: rate,
-        te_singles_hz: te_stream.rate_hz(config.duration_s),
-        tm_singles_hz: tm_stream.rate_hz(config.duration_s),
-        coincidence_rate_hz: car_result.coincidences as f64 / config.duration_s,
-        car,
-        stimulated_response: fwm::stimulated_suppression(source.ring()),
-    }
+    Ok(CrossPolRun {
+        report: CrossPolReport {
+            generated_pair_rate_hz: rate,
+            te_singles_hz: te_stream.rate_hz(config.duration_s),
+            tm_singles_hz: tm_stream.rate_hz(config.duration_s),
+            coincidence_rate_hz: car_result.coincidences as f64 / config.duration_s,
+            car,
+            stimulated_response: fwm::stimulated_suppression(source.ring()),
+        },
+        health,
+    })
 }
 
 /// Results of the F5 power sweep.
@@ -360,5 +442,44 @@ mod tests {
         assert_eq!(report.to_report().comparisons.len(), 2);
         let sweep = run_power_sweep(&src, 8).to_report();
         assert!(sweep.all_pass(), "{}", sweep.render());
+    }
+
+    #[test]
+    fn empty_schedule_matches_legacy_run() {
+        let src = QfcSource::paper_device_type2();
+        let cfg = CrossPolConfig::fast_demo();
+        let legacy = run_crosspol_experiment(&src, &cfg, 14);
+        let run = try_run_crosspol_experiment(&src, &cfg, 14, &FaultSchedule::empty())
+            .expect("clean run");
+        assert!(run.health.is_pristine());
+        assert_eq!(
+            serde_json::to_string(&legacy).expect("json"),
+            serde_json::to_string(&run.report).expect("json"),
+        );
+    }
+
+    #[test]
+    fn stress_schedule_survives_with_finite_car() {
+        let src = QfcSource::paper_device_type2();
+        let cfg = CrossPolConfig::fast_demo();
+        let schedule = FaultSchedule::stress(5, cfg.duration_s);
+        let run = try_run_crosspol_experiment(&src, &cfg, 14, &schedule)
+            .expect("run survives the stress schedule");
+        assert!(!run.health.is_pristine());
+        assert!(run.report.car.is_finite());
+        assert!(run.report.coincidence_rate_hz.is_finite());
+    }
+
+    #[test]
+    fn wrong_regime_is_a_taxonomy_error() {
+        // The CW paper device is not bichromatically pumped.
+        let err = try_run_crosspol_experiment(
+            &QfcSource::paper_device(),
+            &CrossPolConfig::fast_demo(),
+            1,
+            &FaultSchedule::empty(),
+        )
+        .expect_err("regime mismatch");
+        assert!(matches!(err, QfcError::RegimeMismatch { .. }));
     }
 }

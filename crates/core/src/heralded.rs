@@ -14,17 +14,19 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use qfc_faults::{Arm, FaultSchedule, HealthReport, QfcError, QfcResult};
 use qfc_mathkit::rng::{bernoulli, exponential, poisson, rng_from_seed, split_seed};
 use qfc_mathkit::stats::relative_fluctuation;
 use qfc_photonics::pump::{residual_detuning, DriftModel};
 use qfc_timetag::coincidence::{
-    cross_correlation_histogram, extract_linewidth, measure_car, LinewidthResult,
+    cross_correlation_histogram, measure_car, try_extract_linewidth, LinewidthResult,
 };
 use qfc_timetag::detector::SinglePhotonDetector;
 use qfc_timetag::events::TagStream;
 
 use crate::report::{Comparison, Expectation, ExperimentReport};
 use crate::source::QfcSource;
+use crate::supervisor::{self, SupervisorPolicy};
 
 /// Configuration of the §II heralded-photon run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -258,6 +260,22 @@ fn generate_pair_arrivals<R: Rng + ?Sized>(
     (signal, idler)
 }
 
+/// A completed §II run: the physics report plus its health record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeraldedRun {
+    /// The physics results.
+    pub report: HeraldedReport,
+    /// Faults injected and recovery actions taken.
+    pub health: HealthReport,
+}
+
+impl HeraldedRun {
+    /// Comparison rows with the health section attached.
+    pub fn to_report(&self) -> ExperimentReport {
+        self.report.to_report().with_health(self.health.clone())
+    }
+}
+
 /// Runs the §II virtual experiment.
 ///
 /// # Panics
@@ -269,10 +287,80 @@ pub fn run_heralded_experiment(
     config: &HeraldedConfig,
     seed: u64,
 ) -> HeraldedReport {
-    assert!(config.channels >= 1, "need at least one channel");
-    assert!(config.duration_s > 0.0, "duration must be positive");
+    match try_run_heralded_experiment(source, config, seed, &FaultSchedule::empty()) {
+        Ok(run) => run.report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible, fault-aware form of [`run_heralded_experiment`].
+///
+/// With [`FaultSchedule::empty`] the result is bit-identical to the
+/// panicking API (every physics RNG stream is untouched). With a
+/// non-empty schedule, pump faults thin the pair rate, detector dropouts
+/// kill arrivals inside their windows, dark bursts raise the dark rate,
+/// TDC saturation caps the click rate, and the supervisor re-locks the
+/// pump and quarantines channels whose detectors are dead for most of
+/// the run.
+///
+/// # Errors
+///
+/// [`QfcError::InvalidParameter`] for a bad configuration,
+/// [`QfcError::RegimeMismatch`] when the source is not CW-pumped,
+/// [`QfcError::ChannelsExhausted`] when every channel is quarantined,
+/// and [`QfcError::LockReacquisitionFailed`] when the pump cannot be
+/// re-locked.
+pub fn try_run_heralded_experiment(
+    source: &QfcSource,
+    config: &HeraldedConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> QfcResult<HeraldedRun> {
+    if config.channels < 1 {
+        return Err(QfcError::invalid("need at least one channel"));
+    }
+    if config.duration_s.is_nan() || config.duration_s <= 0.0 {
+        return Err(QfcError::invalid("duration must be positive"));
+    }
+    if !(0.0..=1.0).contains(&config.collection_efficiency) {
+        return Err(QfcError::invalid(format!(
+            "collection efficiency must be in [0, 1], got {}",
+            config.collection_efficiency
+        )));
+    }
+    config.detector.try_validate()?;
     let tau = source.ring().coincidence_decay_time();
+    let linewidth_hz = source.ring().linewidth().hz();
     let duration_ps = (config.duration_s * 1e12) as i64;
+
+    // Supervision: log the schedule, recover pump lock losses, and
+    // quarantine channels with mostly-dead detectors.
+    let mut health = HealthReport::pristine();
+    let policy = SupervisorPolicy::default();
+    supervisor::record_schedule_faults(schedule, config.duration_s, &mut health);
+    let relocks =
+        supervisor::plan_pump_relocks(schedule, config.duration_s, &policy, seed, &mut health)?;
+    let live = supervisor::live_fraction(&relocks, config.duration_s);
+    let survivors = supervisor::partition_channels(
+        schedule,
+        config.channels,
+        config.duration_s,
+        &policy,
+        "heralded experiment",
+        &mut health,
+    )?;
+
+    // Per-channel generation rates, with pump faults and lock-loss
+    // outages folded in. Multiplication by the exact 1.0 an empty
+    // schedule produces leaves the rate bit-identical.
+    let rates: Vec<f64> = survivors
+        .iter()
+        .map(|&m| {
+            source.try_pair_rate_cw(m).map(|r| {
+                r * schedule.mean_pump_rate_factor(0.0, config.duration_s, linewidth_hz) * live
+            })
+        })
+        .collect::<QfcResult<_>>()?;
 
     // Independent seed domains for the experiment's two stochastic
     // stages, so channel streams and the F2 pair run never alias.
@@ -285,23 +373,32 @@ pub fn run_heralded_experiment(
     arm.efficiency *= config.collection_efficiency;
 
     // Generate and detect all channels in parallel, one split-seed RNG
-    // per channel: the streams depend only on (seed, m).
-    let channel_ids: Vec<u32> = (1..=config.channels).collect();
-    let streams: Vec<(TagStream, TagStream)> = qfc_runtime::par_map(&channel_ids, |&m| {
+    // per channel: the streams depend only on (seed, m) — fault effects
+    // are pure functions of the schedule, so thread count cannot change
+    // the result.
+    let indexed: Vec<(usize, u32)> = survivors.iter().copied().enumerate().collect();
+    let streams: Vec<(TagStream, TagStream)> = qfc_runtime::par_map(&indexed, |&(idx, m)| {
         let mut rng = rng_from_seed(split_seed(channel_root, u64::from(m)));
-        let rate = source.pair_rate_cw(m);
-        let (s_true, i_true) = generate_pair_arrivals(&mut rng, rate, tau, config.duration_s);
+        let (mut s_true, mut i_true) =
+            generate_pair_arrivals(&mut rng, rates[idx], tau, config.duration_s);
+        // Sub-quarantine detector dropouts kill arrivals in their
+        // windows (no RNG draws — a pure filter).
+        s_true.retain(|&t| !schedule.detector_dead_at(m, Arm::Signal, t as f64 * 1e-12));
+        i_true.retain(|&t| !schedule.detector_dead_at(m, Arm::Idler, t as f64 * 1e-12));
+        let mut arm_m = arm;
+        arm_m.dark_count_rate_hz *=
+            schedule.mean_dark_multiplier(m, 0.0, config.duration_s);
         (
-            arm.detect(&mut rng, &s_true, duration_ps),
-            arm.detect(&mut rng, &i_true, duration_ps),
+            supervisor::apply_tdc_saturation(arm_m.detect(&mut rng, &s_true, duration_ps), schedule),
+            supervisor::apply_tdc_saturation(arm_m.detect(&mut rng, &i_true, duration_ps), schedule),
         )
     });
     let (signal_streams, idler_streams): (Vec<TagStream>, Vec<TagStream>) =
         streams.into_iter().unzip();
 
     // F1 coincidence matrix: every signal×idler cell is an independent
-    // pure count over already-fixed streams.
-    let n = config.channels as usize;
+    // pure count over already-fixed streams (surviving channels only).
+    let n = survivors.len();
     let cells: Vec<usize> = (0..n * n).collect();
     let flat = qfc_runtime::par_map(&cells, |&cell| {
         qfc_timetag::coincidence::count_coincidences(
@@ -314,8 +411,7 @@ pub fn run_heralded_experiment(
     let matrix: Vec<Vec<u64>> = flat.chunks(n).map(<[u64]>::to_vec).collect();
 
     // T1 per-channel figures (pure analysis of the fixed streams).
-    let channels: Vec<ChannelResult> = qfc_runtime::par_map(&channel_ids, |&m| {
-        let idx = (m - 1) as usize;
+    let channels: Vec<ChannelResult> = qfc_runtime::par_map(&indexed, |&(idx, m)| {
         let s = &signal_streams[idx];
         let i = &idler_streams[idx];
         let offset_step = (3 * config.coincidence_window_ps).max(20_000);
@@ -398,14 +494,17 @@ pub fn run_heralded_experiment(
         config.histogram_range_ps,
         config.histogram_bin_ps,
     );
-    let linewidth = extract_linewidth(&hist);
+    let linewidth = try_extract_linewidth(&hist)?;
 
-    HeraldedReport {
-        channels,
-        coincidence_matrix: matrix,
-        linewidth,
-        duration_s: config.duration_s,
-    }
+    Ok(HeraldedRun {
+        report: HeraldedReport {
+            channels,
+            coincidence_matrix: matrix,
+            linewidth,
+            duration_s: config.duration_s,
+        },
+        health,
+    })
 }
 
 /// Configuration of the F3 stability run.
@@ -606,5 +705,50 @@ mod tests {
         let mut cfg = HeraldedConfig::fast_demo();
         cfg.channels = 0;
         let _ = run_heralded_experiment(&fast_source(), &cfg, 1);
+    }
+
+    #[test]
+    fn empty_schedule_matches_legacy_run() {
+        let cfg = HeraldedConfig::fast_demo();
+        let legacy = run_heralded_experiment(&fast_source(), &cfg, 7);
+        let run =
+            try_run_heralded_experiment(&fast_source(), &cfg, 7, &FaultSchedule::empty())
+                .expect("clean run");
+        assert!(run.health.is_pristine());
+        assert_eq!(
+            serde_json::to_string(&legacy).expect("json"),
+            serde_json::to_string(&run.report).expect("json"),
+        );
+    }
+
+    #[test]
+    fn stress_schedule_completes_and_records_health() {
+        let cfg = HeraldedConfig::fast_demo();
+        let schedule = qfc_faults::FaultSchedule::stress(3, cfg.duration_s);
+        let run = try_run_heralded_experiment(&fast_source(), &cfg, 7, &schedule)
+            .expect("run survives the stress schedule");
+        assert!(!run.health.is_pristine());
+        assert_eq!(run.health.faults_injected.len(), schedule.events().len());
+        // The lock loss was recovered and cost integration time.
+        assert!(run.health.outage_s > 0.0);
+        for c in &run.report.channels {
+            assert!(c.car.is_finite(), "m={}: CAR {}", c.m, c.car);
+            assert!(c.inferred_pair_rate_hz.is_finite());
+        }
+        assert!(run.to_report().render().contains("health:"));
+    }
+
+    #[test]
+    fn zero_duration_is_invalid_parameter() {
+        let mut cfg = HeraldedConfig::fast_demo();
+        cfg.duration_s = 0.0;
+        let err = try_run_heralded_experiment(
+            &fast_source(),
+            &cfg,
+            1,
+            &FaultSchedule::empty(),
+        )
+        .expect_err("rejected");
+        assert!(matches!(err, QfcError::InvalidParameter { .. }));
     }
 }

@@ -12,7 +12,12 @@
 //! * [`qkd`] — BBM92 feasibility over the multiplexed comb (the intro's
 //!   quantum-communications motivation)
 //!
-//! plus typed paper-vs-measured reporting in [`report`].
+//! plus typed paper-vs-measured reporting in [`report`] and the
+//! fault-injection / graceful-degradation layer: every driver has a
+//! `try_run_*` form taking a [`qfc_faults::FaultSchedule`], returning a
+//! [`qfc_faults::HealthReport`] alongside its physics report, with
+//! recovery policies (pump re-lock, channel quarantine, estimator
+//! fallback) in [`supervisor`].
 //!
 //! ## Example
 //!
@@ -39,7 +44,12 @@ pub mod purity;
 pub mod qkd;
 pub mod report;
 pub mod source;
+pub mod supervisor;
 pub mod timebin;
 
+pub use qfc_faults::{
+    FaultEvent, FaultKind, FaultSchedule, HealthReport, QfcError, QfcResult,
+};
 pub use report::{Comparison, Expectation, ExperimentReport};
 pub use source::{EmissionRegime, QfcSource};
+pub use supervisor::SupervisorPolicy;

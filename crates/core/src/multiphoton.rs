@@ -10,18 +10,23 @@
 
 use serde::{Deserialize, Serialize};
 
+use qfc_faults::{Arm, FaultSchedule, HealthReport, QfcError, QfcResult};
 use qfc_mathkit::fit::raw_visibility;
 use qfc_mathkit::rng::{binomial, rng_from_seed, split_seed};
 use qfc_quantum::bell::{bell_phi, concurrence};
 use qfc_quantum::fidelity::fidelity_with_pure;
 use qfc_quantum::multiphoton::{four_photon_fringe_point, four_photon_product, noisy_four_photon};
 use qfc_tomography::counts::simulate_counts_seeded;
-use qfc_tomography::reconstruct::{mle_reconstruction, MleOptions};
+use qfc_tomography::reconstruct::MleOptions;
 use qfc_tomography::settings::all_settings;
 
 use crate::report::{Comparison, Expectation, ExperimentReport};
 use crate::source::QfcSource;
-use crate::timebin::{channel_state_model, channel_state_model_boosted, TimeBinConfig};
+use crate::supervisor::{self, SupervisorPolicy};
+use crate::timebin::{
+    channel_state_model_boosted, nominal_duration_s, try_channel_state_model_boosted,
+    ChannelStateModel, TimeBinConfig,
+};
 
 /// Configuration of the §V multi-photon runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -98,33 +103,92 @@ pub fn run_bell_tomography(
     config: &MultiPhotonConfig,
     seed: u64,
 ) -> Vec<BellTomographyResult> {
+    let channels: Vec<u32> = (1..=config.timebin.channels).collect();
+    let mut health = HealthReport::pristine();
+    match try_run_bell_tomography(
+        source,
+        config,
+        seed,
+        &FaultSchedule::empty(),
+        nominal_duration_s(&config.timebin),
+        1.0,
+        &channels,
+        &mut health,
+    ) {
+        Ok(bell) => bell,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Parameterized T3 body: `amp` is the fault-induced pump amplitude
+/// factor and `survivors` the channels that escaped quarantine.
+#[allow(clippy::too_many_arguments)]
+fn try_run_bell_tomography(
+    source: &QfcSource,
+    config: &MultiPhotonConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+    duration_s: f64,
+    amp: f64,
+    survivors: &[u32],
+    health: &mut HealthReport,
+) -> QfcResult<Vec<BellTomographyResult>> {
     let settings = all_settings(2);
     let target = bell_phi(config.timebin.pump_phase);
+    // Pre-build the fault-adjusted per-channel operating points serially
+    // (cheap, RNG-free, fallible) before the parallel sampling stage.
+    let models: Vec<(u32, TimeBinConfig, ChannelStateModel)> = survivors
+        .iter()
+        .map(|&m| {
+            let mut c = config.timebin;
+            c.pump_phase += schedule.mean_phase_offset(0.0, duration_s);
+            c.dark_prob_per_gate *= schedule.mean_dark_multiplier(m, 0.0, duration_s);
+            let thin_s = 1.0 - schedule.dead_fraction(m, Arm::Signal, 0.0, duration_s);
+            let thin_i = 1.0 - schedule.dead_fraction(m, Arm::Idler, 0.0, duration_s);
+            c.arm_efficiency *= (thin_s * thin_i).sqrt();
+            try_channel_state_model_boosted(source, &c, m, amp).map(|model| (m, c, model))
+        })
+        .collect::<QfcResult<_>>()?;
     // Channels are independent tomography runs on split-seed streams;
-    // each inner count simulation further splits per setting.
-    let channel_ids: Vec<u32> = (1..=config.timebin.channels).collect();
-    qfc_runtime::par_map(&channel_ids, |&m| {
-        let model = channel_state_model(source, &config.timebin, m);
-        // Accidentals appear as white noise in the tomography counts.
-        let p_sig = model.mu
-            * config.timebin.arm_efficiency.powi(2)
-            * 0.125; // mean post-selected coincidence probability scale
-        let white = (model.accidental_prob / (model.accidental_prob + p_sig)).clamp(0.0, 1.0);
-        let rho = model.rho.depolarize(white);
-        let data = simulate_counts_seeded(
-            &rho,
-            &settings,
-            config.bell_shots_per_setting,
-            split_seed(seed, u64::from(m)),
-        );
-        let mle = mle_reconstruction(&data, &MleOptions::default());
-        BellTomographyResult {
-            m,
-            fidelity: fidelity_with_pure(&mle.rho, &target),
-            concurrence: concurrence(&mle.rho),
-            iterations: mle.iterations,
-        }
-    })
+    // each inner count simulation further splits per setting. MLE
+    // divergence is handled per channel with a local health record,
+    // absorbed after the parallel stage so the closure stays pure.
+    let per_channel: Vec<QfcResult<(BellTomographyResult, HealthReport)>> =
+        qfc_runtime::par_map(&models, |(m, c, model)| {
+            let m = *m;
+            let mut local = HealthReport::pristine();
+            // Accidentals appear as white noise in the tomography counts.
+            let p_sig = model.mu
+                * c.arm_efficiency.powi(2)
+                * 0.125; // mean post-selected coincidence probability scale
+            let white =
+                (model.accidental_prob / (model.accidental_prob + p_sig)).clamp(0.0, 1.0);
+            let rho = model.rho.depolarize(white);
+            let data = simulate_counts_seeded(
+                &rho,
+                &settings,
+                config.bell_shots_per_setting,
+                split_seed(seed, u64::from(m)),
+            );
+            let mle =
+                supervisor::reconstruct_with_fallback(&data, &MleOptions::default(), &mut local)?;
+            Ok((
+                BellTomographyResult {
+                    m,
+                    fidelity: fidelity_with_pure(&mle.rho, &target),
+                    concurrence: concurrence(&mle.rho),
+                    iterations: mle.iterations,
+                },
+                local,
+            ))
+        });
+    let mut bell = Vec::with_capacity(per_channel.len());
+    for entry in per_channel {
+        let (result, local) = entry?;
+        health.absorb(local);
+        bell.push(result);
+    }
+    Ok(bell)
 }
 
 /// Result of the four-photon interference scan (F8).
@@ -143,19 +207,38 @@ pub fn run_four_photon_fringe(
     config: &MultiPhotonConfig,
     seed: u64,
 ) -> FourPhotonFringe {
+    match try_four_photon_fringe(
+        source,
+        config,
+        seed,
+        &config.timebin,
+        config.four_fold_pump_factor,
+    ) {
+        Ok(f) => f,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Parameterized F8 body: `tb` is the (possibly fault-adjusted) time-bin
+/// operating point and `pump_factor` the total pump amplitude factor.
+fn try_four_photon_fringe(
+    source: &QfcSource,
+    config: &MultiPhotonConfig,
+    seed: u64,
+    tb: &TimeBinConfig,
+    pump_factor: f64,
+) -> QfcResult<FourPhotonFringe> {
     let mut rng = rng_from_seed(seed);
-    let model =
-        channel_state_model_boosted(source, &config.timebin, 1, config.four_fold_pump_factor);
+    let model = try_channel_state_model_boosted(source, tb, 1, pump_factor)?;
     let rho4 = noisy_four_photon(
-        config.timebin.pump_phase,
+        tb.pump_phase,
         model.state_visibility,
         config.four_fold_white_noise,
     );
     // Two pairs must be emitted in the same frame; all four photons
     // detected and post-selected.
-    let model2 =
-        channel_state_model_boosted(source, &config.timebin, 2, config.four_fold_pump_factor);
-    let p4_scale = model.mu * model2.mu * config.timebin.arm_efficiency.powi(4);
+    let model2 = try_channel_state_model_boosted(source, tb, 2, pump_factor)?;
+    let p4_scale = model.mu * model2.mu * tb.arm_efficiency.powi(4);
     // Phase-independent accidental floor, referenced to the fringe mean.
     let mean_point = {
         let steps = 16;
@@ -183,10 +266,15 @@ pub fn run_four_photon_fringe(
     // background-uncorrected raw visibility (max − min)/(max + min) —
     // exactly what the paper quotes.
     let ys: Vec<f64> = points.iter().map(|&(_, c)| c as f64).collect();
-    FourPhotonFringe {
-        visibility: raw_visibility(&ys),
-        points,
-    }
+    // A fully dark fringe (every four-fold count zero, e.g. under a
+    // savage fault schedule) carries no interference information; report
+    // zero visibility instead of the 0/0 NaN the raw estimator yields.
+    let visibility = if ys.iter().all(|&y| y == 0.0) {
+        0.0
+    } else {
+        raw_visibility(&ys)
+    };
+    Ok(FourPhotonFringe { visibility, points })
 }
 
 /// Result of the four-photon tomography (T4).
@@ -207,10 +295,32 @@ pub fn run_four_photon_tomography(
     config: &MultiPhotonConfig,
     seed: u64,
 ) -> FourPhotonTomography {
-    let model =
-        channel_state_model_boosted(source, &config.timebin, 1, config.four_fold_pump_factor);
+    let mut health = HealthReport::pristine();
+    match try_four_photon_tomography(
+        source,
+        config,
+        seed,
+        &config.timebin,
+        config.four_fold_pump_factor,
+        &mut health,
+    ) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Parameterized T4 body with the MLE-divergence fallback.
+fn try_four_photon_tomography(
+    source: &QfcSource,
+    config: &MultiPhotonConfig,
+    seed: u64,
+    tb: &TimeBinConfig,
+    pump_factor: f64,
+    health: &mut HealthReport,
+) -> QfcResult<FourPhotonTomography> {
+    let model = try_channel_state_model_boosted(source, tb, 1, pump_factor)?;
     let rho4 = noisy_four_photon(
-        config.timebin.pump_phase,
+        tb.pump_phase,
         model.state_visibility,
         config.four_fold_white_noise,
     );
@@ -218,13 +328,15 @@ pub fn run_four_photon_tomography(
     let settings = all_settings(4);
     let data = simulate_counts_seeded(&rho4, &settings, config.four_shots_per_setting, seed);
     let total = data.grand_total();
-    let mle = mle_reconstruction(&data, &MleOptions::default());
+    let mle = supervisor::reconstruct_with_fallback(&data, &MleOptions::default(), health)?;
+    // The analysis targets the state the experimenter *intended* to
+    // write, so a fault-induced phase offset shows up as lost fidelity.
     let target = four_photon_product(config.timebin.pump_phase);
-    FourPhotonTomography {
+    Ok(FourPhotonTomography {
         fidelity: fidelity_with_pure(&mle.rho, &target),
         iterations: mle.iterations,
         total_counts: total,
-    }
+    })
 }
 
 /// One row of the pump-power trade scan.
@@ -330,17 +442,136 @@ impl MultiPhotonReport {
     }
 }
 
+/// A fault-aware §V run: the report plus the health record of the
+/// supervision that produced it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiPhotonRun {
+    /// The physics report (identical to the legacy API when the fault
+    /// schedule is empty).
+    pub report: MultiPhotonReport,
+    /// What went wrong and what the supervisor did about it.
+    pub health: HealthReport,
+}
+
+impl MultiPhotonRun {
+    /// Comparison rows with the health record attached.
+    pub fn to_report(&self) -> ExperimentReport {
+        self.report.to_report().with_health(self.health.clone())
+    }
+}
+
 /// Runs the full §V suite.
 pub fn run_multiphoton_experiment(
     source: &QfcSource,
     config: &MultiPhotonConfig,
     seed: u64,
 ) -> MultiPhotonReport {
-    MultiPhotonReport {
-        bell: run_bell_tomography(source, config, seed),
-        fringe: run_four_photon_fringe(source, config, seed.wrapping_add(1)),
-        tomography: run_four_photon_tomography(source, config, seed.wrapping_add(2)),
+    match try_run_multiphoton_experiment(source, config, seed, &FaultSchedule::empty()) {
+        Ok(run) => run.report,
+        Err(e) => panic!("{e}"),
     }
+}
+
+/// Fallible, fault-aware form of [`run_multiphoton_experiment`].
+///
+/// The §V suite is frame-based like §IV, so faults enter as pure
+/// modifiers of the per-frame probabilities: pump faults and lock-loss
+/// outages scale the pump amplitude, phase jumps offset the pump phase,
+/// dark bursts raise the accidental floor, and sub-quarantine detector
+/// dropouts thin the arm efficiencies. The four-photon runs additionally
+/// fall back from MLE to linear inversion when the reconstruction fails
+/// to converge. The RNG draw sequence is untouched by an empty schedule,
+/// which therefore reproduces the panicking API bit for bit at any
+/// thread count.
+///
+/// # Errors
+///
+/// [`QfcError::InvalidParameter`] for a bad configuration,
+/// [`QfcError::RegimeMismatch`] when the source is not double-pulsed,
+/// [`QfcError::ChannelsExhausted`] when every channel is quarantined,
+/// and [`QfcError::LockReacquisitionFailed`] when the pump cannot be
+/// re-locked.
+pub fn try_run_multiphoton_experiment(
+    source: &QfcSource,
+    config: &MultiPhotonConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> QfcResult<MultiPhotonRun> {
+    if config.timebin.channels < 1 {
+        return Err(QfcError::invalid("need at least one channel"));
+    }
+    if config.four_fold_phase_steps < 2 {
+        return Err(QfcError::invalid(
+            "need ≥ 2 phase steps for the four-photon fringe",
+        ));
+    }
+
+    let duration_s = nominal_duration_s(&config.timebin);
+    let mut health = HealthReport::pristine();
+    let policy = SupervisorPolicy::default();
+    supervisor::record_schedule_faults(schedule, duration_s, &mut health);
+    let relocks =
+        supervisor::plan_pump_relocks(schedule, duration_s, &policy, seed, &mut health)?;
+    let live = supervisor::live_fraction(&relocks, duration_s);
+    let survivors = supervisor::partition_channels(
+        schedule,
+        config.timebin.channels,
+        duration_s,
+        &policy,
+        "multiphoton experiment",
+        &mut health,
+    )?;
+
+    // μ ∝ (pump amplitude)², so the mean rate factor maps to an
+    // amplitude factor via its square root; exactly 1.0 when clean.
+    let linewidth_hz = source.ring().linewidth().hz();
+    let amp = (schedule.mean_pump_rate_factor(0.0, duration_s, linewidth_hz) * live)
+        .max(1e-6)
+        .sqrt();
+
+    // T3 runs on every surviving channel at the (fault-scaled) §IV pump.
+    let bell = try_run_bell_tomography(
+        source, config, seed, schedule, duration_s, amp, &survivors, &mut health,
+    )?;
+
+    // F8/T4 post-select four-folds from channels 1 and 2, so their
+    // operating point carries the phase offset, the channel-1 dark
+    // floor, and the geometric-mean thinning of all four arms involved.
+    let mut tb4 = config.timebin;
+    tb4.pump_phase += schedule.mean_phase_offset(0.0, duration_s);
+    tb4.dark_prob_per_gate *= schedule.mean_dark_multiplier(1, 0.0, duration_s);
+    let thin = [
+        (1, Arm::Signal),
+        (1, Arm::Idler),
+        (2, Arm::Signal),
+        (2, Arm::Idler),
+    ]
+    .iter()
+    .map(|&(m, arm)| 1.0 - schedule.dead_fraction(m, arm, 0.0, duration_s))
+    .product::<f64>()
+    .powf(0.25);
+    tb4.arm_efficiency *= thin;
+    let pump4 = config.four_fold_pump_factor * amp;
+
+    let fringe =
+        try_four_photon_fringe(source, config, seed.wrapping_add(1), &tb4, pump4)?;
+    let tomography = try_four_photon_tomography(
+        source,
+        config,
+        seed.wrapping_add(2),
+        &tb4,
+        pump4,
+        &mut health,
+    )?;
+
+    Ok(MultiPhotonRun {
+        report: MultiPhotonReport {
+            bell,
+            fringe,
+            tomography,
+        },
+        health,
+    })
 }
 
 #[cfg(test)]
@@ -395,6 +626,48 @@ mod tests {
         let report = run_multiphoton_experiment(&source(), &MultiPhotonConfig::fast_demo(), 55);
         let rows = report.to_report();
         assert!(rows.all_pass(), "{}", rows.render());
+    }
+
+    #[test]
+    fn empty_schedule_matches_legacy_run() {
+        let cfg = MultiPhotonConfig::fast_demo();
+        let legacy = run_multiphoton_experiment(&source(), &cfg, 55);
+        let run = try_run_multiphoton_experiment(&source(), &cfg, 55, &FaultSchedule::empty())
+            .expect("clean run");
+        assert!(run.health.is_pristine(), "{}", run.health.render());
+        assert_eq!(
+            serde_json::to_string(&legacy).expect("json"),
+            serde_json::to_string(&run.report).expect("json"),
+        );
+    }
+
+    #[test]
+    fn stress_schedule_survives_with_finite_figures() {
+        let cfg = MultiPhotonConfig::fast_demo();
+        let duration = nominal_duration_s(&cfg.timebin);
+        let schedule = FaultSchedule::stress(11, duration);
+        let run = try_run_multiphoton_experiment(&source(), &cfg, 55, &schedule)
+            .expect("run survives the stress schedule");
+        assert!(!run.health.is_pristine());
+        for b in &run.report.bell {
+            assert!(b.fidelity.is_finite() && b.concurrence.is_finite(), "m={}", b.m);
+        }
+        assert!(run.report.fringe.visibility.is_finite());
+        assert!(run.report.tomography.fidelity.is_finite());
+        let rendered = run.to_report().render();
+        assert!(rendered.contains("health:"), "{rendered}");
+    }
+
+    #[test]
+    fn wrong_regime_is_a_taxonomy_error() {
+        let err = try_run_multiphoton_experiment(
+            &QfcSource::paper_device(),
+            &MultiPhotonConfig::fast_demo(),
+            1,
+            &FaultSchedule::empty(),
+        )
+        .expect_err("CW source cannot run the multi-photon experiment");
+        assert!(matches!(err, QfcError::RegimeMismatch { .. }));
     }
 
     #[test]

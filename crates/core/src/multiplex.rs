@@ -82,7 +82,9 @@ pub fn plan_star_network(
     let comb = source.comb(user_pairs);
     let mut users = Vec::with_capacity(user_pairs as usize);
     for m in 1..=user_pairs {
-        let pair = comb.pair(m).expect("within grid");
+        let pair = comb
+            .pair(m)
+            .unwrap_or_else(|| unreachable!("comb was built with {user_pairs} channels"));
         let model = channel_state_model(source, config, m);
         // Phase-averaged post-selected coincidence probability per frame.
         let p_mean = model.mu * config.arm_efficiency.powi(2) / 16.0 + model.accidental_prob;

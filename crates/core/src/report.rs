@@ -3,6 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use qfc_faults::HealthReport;
+
 /// How a measured value is judged against the paper's value.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Expectation {
@@ -87,15 +89,25 @@ pub struct ExperimentReport {
     pub title: String,
     /// The comparison rows.
     pub comparisons: Vec<Comparison>,
+    /// Run health: injected faults and the recovery actions taken.
+    /// [`HealthReport::pristine`] for a clean run.
+    pub health: HealthReport,
 }
 
 impl ExperimentReport {
-    /// Creates an empty report.
+    /// Creates an empty report with pristine health.
     pub fn new(title: &str) -> Self {
         Self {
             title: title.to_owned(),
             comparisons: Vec::new(),
+            health: HealthReport::pristine(),
         }
+    }
+
+    /// Attaches a health report (builder style).
+    pub fn with_health(mut self, health: HealthReport) -> Self {
+        self.health = health;
+        self
     }
 
     /// Adds a row.
@@ -136,6 +148,10 @@ impl ExperimentReport {
                 c.unit,
                 if c.passes() { "yes" } else { "NO" }
             ));
+        }
+        if !self.health.is_pristine() {
+            out.push('\n');
+            out.push_str(&self.health.render());
         }
         out
     }
@@ -204,5 +220,17 @@ mod tests {
         let back: ExperimentReport = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(back.title, "serde");
         assert_eq!(back.comparisons.len(), 1);
+        assert!(back.health.is_pristine());
+    }
+
+    #[test]
+    fn degraded_health_appears_in_render() {
+        let mut r = ExperimentReport::new("health");
+        r.push(Comparison::new("A", "q", 1.0, 1.0, "u", Expectation::AtLeast));
+        assert!(!r.render().contains("health:"));
+        let mut h = HealthReport::pristine();
+        h.record_quarantine(2, "dead signal detector");
+        let r = r.with_health(h);
+        assert!(r.render().contains("channel 2 quarantined"));
     }
 }

@@ -4,6 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use qfc_faults::{QfcError, QfcResult};
 use qfc_photonics::comb::CombGrid;
 use qfc_photonics::fwm;
 use qfc_photonics::pump::PumpConfig;
@@ -104,6 +105,16 @@ impl QfcSource {
         self
     }
 
+    /// Short name of the current pump variant, for error messages.
+    fn pump_variant_name(&self) -> &'static str {
+        match self.pump {
+            PumpConfig::SelfLockedCw { .. } => "SelfLockedCw",
+            PumpConfig::ExternalCw { .. } => "ExternalCw",
+            PumpConfig::BichromaticOrthogonal { .. } => "BichromaticOrthogonal",
+            PumpConfig::DoublePulse { .. } => "DoublePulse",
+        }
+    }
+
     /// Which state family the current pump produces.
     pub fn regime(&self) -> EmissionRegime {
         match self.pump {
@@ -146,16 +157,28 @@ impl QfcSource {
     ///
     /// Panics if the pump is not a CW configuration or `m == 0`.
     pub fn pair_rate_cw(&self, m: u32) -> f64 {
+        match self.try_pair_rate_cw(m) {
+            Ok(r) => r,
+            Err(e) => panic!("pair_rate_cw requires a CW pump configuration ({e})"),
+        }
+    }
+
+    /// Fallible form of [`Self::pair_rate_cw`]: returns
+    /// [`QfcError::RegimeMismatch`] when the pump is not CW.
+    pub fn try_pair_rate_cw(&self, m: u32) -> QfcResult<f64> {
         match self.pump {
             PumpConfig::SelfLockedCw { power } | PumpConfig::ExternalCw { power, .. } => {
-                fwm::pair_rate_cw(
+                Ok(fwm::pair_rate_cw(
                     &self.ring,
                     Polarization::Te,
                     power * self.pump_coupling,
                     m,
-                ) * self.coupler_factor(m)
+                ) * self.coupler_factor(m))
             }
-            _ => panic!("pair_rate_cw requires a CW pump configuration"),
+            _ => Err(QfcError::RegimeMismatch {
+                expected: "CW pump configuration".to_owned(),
+                actual: self.pump_variant_name().to_owned(),
+            }),
         }
     }
 
@@ -166,14 +189,27 @@ impl QfcSource {
     ///
     /// Panics if the pump is not bichromatic or `m == 0`.
     pub fn type2_pair_rate(&self, m: u32) -> f64 {
+        match self.try_type2_pair_rate(m) {
+            Ok(r) => r,
+            Err(e) => panic!("type2_pair_rate requires the bichromatic pump ({e})"),
+        }
+    }
+
+    /// Fallible form of [`Self::type2_pair_rate`].
+    pub fn try_type2_pair_rate(&self, m: u32) -> QfcResult<f64> {
         match self.pump {
-            PumpConfig::BichromaticOrthogonal { power_te, power_tm } => fwm::type2_pair_rate(
-                &self.ring,
-                power_te * self.pump_coupling,
-                power_tm * self.pump_coupling,
-                m,
-            ) * self.coupler_factor(m),
-            _ => panic!("type2_pair_rate requires the bichromatic pump"),
+            PumpConfig::BichromaticOrthogonal { power_te, power_tm } => {
+                Ok(fwm::type2_pair_rate(
+                    &self.ring,
+                    power_te * self.pump_coupling,
+                    power_tm * self.pump_coupling,
+                    m,
+                ) * self.coupler_factor(m))
+            }
+            _ => Err(QfcError::RegimeMismatch {
+                expected: "bichromatic orthogonal pump".to_owned(),
+                actual: self.pump_variant_name().to_owned(),
+            }),
         }
     }
 
@@ -184,19 +220,30 @@ impl QfcSource {
     ///
     /// Panics if the pump is not a double-pulse configuration.
     pub fn pairs_per_frame(&self, m: u32) -> f64 {
+        match self.try_pairs_per_frame(m) {
+            Ok(r) => r,
+            Err(e) => panic!("pairs_per_frame requires the double-pulse pump ({e})"),
+        }
+    }
+
+    /// Fallible form of [`Self::pairs_per_frame`].
+    pub fn try_pairs_per_frame(&self, m: u32) -> QfcResult<f64> {
         match self.pump {
             PumpConfig::DoublePulse { peak_power, .. } => {
                 // Each of the two pulses contributes μ(peak)/2 at half
                 // the peak amplitude budget (the writer splits the pump
                 // energy across the bins).
-                2.0 * fwm::mean_pairs_per_pulse(
+                Ok(2.0 * fwm::mean_pairs_per_pulse(
                     &self.ring,
                     Polarization::Te,
                     peak_power * self.pump_coupling * 0.5,
                     m,
-                ) * self.coupler_factor(m)
+                ) * self.coupler_factor(m))
             }
-            _ => panic!("pairs_per_frame requires the double-pulse pump"),
+            _ => Err(QfcError::RegimeMismatch {
+                expected: "double-pulse pump".to_owned(),
+                actual: self.pump_variant_name().to_owned(),
+            }),
         }
     }
 
@@ -266,6 +313,19 @@ mod tests {
     #[should_panic(expected = "CW pump")]
     fn cw_rate_needs_cw_pump() {
         let _ = QfcSource::paper_device_timebin().pair_rate_cw(1);
+    }
+
+    #[test]
+    fn try_rates_report_regime_mismatch() {
+        let timebin = QfcSource::paper_device_timebin();
+        let err = timebin.try_pair_rate_cw(1).unwrap_err();
+        assert!(matches!(err, QfcError::RegimeMismatch { .. }));
+        assert!(err.to_string().contains("CW pump"));
+        assert!(timebin.try_type2_pair_rate(1).is_err());
+        assert!(timebin.try_pairs_per_frame(1).is_ok());
+        let cw = QfcSource::paper_device();
+        assert!(cw.try_pair_rate_cw(1).is_ok());
+        assert!(cw.try_pairs_per_frame(1).is_err());
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! Experiment supervision: turns scheduled faults into recovery actions.
+//!
+//! The supervisor owns the three degradation policies of the pipeline:
+//!
+//! * **pump re-lock** — each [`FaultKind::PumpLockLoss`] window costs its
+//!   own outage plus an exponential-backoff re-acquisition sequence;
+//! * **channel quarantine** — a multiplexed channel whose detectors are
+//!   dead for too large a fraction of the run is dropped from the
+//!   analysis instead of poisoning it;
+//! * **estimator fallback** — a diverging MLE reconstruction falls back
+//!   to linear inversion + physical projection.
+//!
+//! Everything here is deterministic in the run seed: re-lock attempt
+//! draws come from the dedicated fault seed domain
+//! ([`FAULT_SEED_DOMAIN`]), split per lock-loss event, so results are
+//! identical at any thread count.
+//!
+//! [`FaultKind::PumpLockLoss`]: qfc_faults::FaultKind::PumpLockLoss
+
+use serde::{Deserialize, Serialize};
+
+use qfc_faults::{
+    Arm, FaultSchedule, HealthReport, QfcError, QfcResult, FAULT_SEED_DOMAIN,
+};
+use qfc_mathkit::rng::{bernoulli, rng_from_seed, split_seed};
+use qfc_tomography::counts::TomographyData;
+use qfc_tomography::reconstruct::{
+    mle_reconstruction, try_linear_reconstruction, MleOptions, MleResult,
+};
+
+/// The seed of fault-handling lane `lane` of a run seeded with `seed`.
+///
+/// All supervisor randomness (re-lock attempts, …) lives in the
+/// [`FAULT_SEED_DOMAIN`] sub-tree of the run seed, so an empty fault
+/// schedule leaves every physics RNG stream untouched and fault handling
+/// itself is thread-count invariant.
+pub fn fault_stream(seed: u64, lane: u64) -> u64 {
+    split_seed(split_seed(seed, FAULT_SEED_DOMAIN), lane)
+}
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorPolicy {
+    /// Maximum pump re-lock attempts before the run is abandoned.
+    pub max_relock_attempts: u32,
+    /// Outage cost of the first re-lock attempt, s; attempt `k` costs
+    /// `relock_base_s · 2^(k−1)` (exponential backoff).
+    pub relock_base_s: f64,
+    /// Per-attempt re-lock success probability.
+    pub relock_success_prob: f64,
+    /// A channel whose signal or idler detector is dead for at least this
+    /// fraction of the run is quarantined.
+    pub quarantine_dead_fraction: f64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        Self {
+            max_relock_attempts: 6,
+            relock_base_s: 0.02,
+            relock_success_prob: 0.7,
+            quarantine_dead_fraction: 0.5,
+        }
+    }
+}
+
+/// One recovered pump-lock loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelockOutcome {
+    /// When the lock was lost, s into the run.
+    pub start_s: f64,
+    /// Length of the scheduled lock-loss window, s.
+    pub fault_duration_s: f64,
+    /// Re-lock attempts needed.
+    pub attempts: u32,
+    /// Integration time spent backing off between attempts, s.
+    pub backoff_s: f64,
+}
+
+impl RelockOutcome {
+    /// Total integration time lost to this event, s.
+    pub fn total_outage_s(&self) -> f64 {
+        self.fault_duration_s + self.backoff_s
+    }
+}
+
+/// Records every scheduled fault overlapping `[0, duration_s)` in the
+/// health report (drivers call this once, up front).
+pub fn record_schedule_faults(
+    schedule: &FaultSchedule,
+    duration_s: f64,
+    health: &mut HealthReport,
+) {
+    for e in schedule.overlapping(0.0, duration_s) {
+        health.record_fault(e.kind.label(), e.start_s, e.duration_s);
+    }
+}
+
+/// Plans the recovery of every pump lock-loss window in the schedule:
+/// each event draws re-lock attempts (success probability
+/// [`SupervisorPolicy::relock_success_prob`] per attempt, exponential
+/// backoff) from its own [`fault_stream`] lane, and the outages are
+/// recorded in `health`.
+///
+/// # Errors
+///
+/// [`QfcError::LockReacquisitionFailed`] when any event exhausts
+/// [`SupervisorPolicy::max_relock_attempts`].
+pub fn plan_pump_relocks(
+    schedule: &FaultSchedule,
+    duration_s: f64,
+    policy: &SupervisorPolicy,
+    seed: u64,
+    health: &mut HealthReport,
+) -> QfcResult<Vec<RelockOutcome>> {
+    let events = schedule.lock_loss_events(duration_s);
+    let mut outcomes = Vec::with_capacity(events.len());
+    for (k, e) in events.iter().enumerate() {
+        // Lane 0 is reserved; lock-loss event k uses lane k + 1.
+        let mut rng = rng_from_seed(fault_stream(seed, k as u64 + 1));
+        let mut attempts = 0u32;
+        let mut backoff_s = 0.0;
+        loop {
+            if attempts >= policy.max_relock_attempts {
+                return Err(QfcError::LockReacquisitionFailed { attempts });
+            }
+            attempts += 1;
+            backoff_s += policy.relock_base_s * f64::from(1u32 << (attempts - 1).min(20));
+            if bernoulli(&mut rng, policy.relock_success_prob) {
+                break;
+            }
+        }
+        let outcome = RelockOutcome {
+            start_s: e.start_s,
+            fault_duration_s: e.overlap_s(0.0, duration_s),
+            attempts,
+            backoff_s,
+        };
+        health.record_relock(attempts, outcome.total_outage_s());
+        outcomes.push(outcome);
+    }
+    Ok(outcomes)
+}
+
+/// Live-time fraction of the run after the planned outages (clamped to a
+/// small positive floor so rate normalizations stay finite).
+pub fn live_fraction(outcomes: &[RelockOutcome], duration_s: f64) -> f64 {
+    if duration_s <= 0.0 {
+        return 1.0;
+    }
+    let lost: f64 = outcomes.iter().map(RelockOutcome::total_outage_s).sum();
+    (1.0 - lost / duration_s).clamp(1e-3, 1.0)
+}
+
+/// Partitions channels `1..=channels` into survivors and quarantined:
+/// a channel is quarantined when either arm's detector is dead for at
+/// least [`SupervisorPolicy::quarantine_dead_fraction`] of the run.
+///
+/// # Errors
+///
+/// [`QfcError::ChannelsExhausted`] when no channel survives.
+pub fn partition_channels(
+    schedule: &FaultSchedule,
+    channels: u32,
+    duration_s: f64,
+    policy: &SupervisorPolicy,
+    context: &str,
+    health: &mut HealthReport,
+) -> QfcResult<Vec<u32>> {
+    let mut survivors = Vec::with_capacity(channels as usize);
+    for m in 1..=channels {
+        let dead_sig = schedule.dead_fraction(m, Arm::Signal, 0.0, duration_s);
+        let dead_idl = schedule.dead_fraction(m, Arm::Idler, 0.0, duration_s);
+        let worst = dead_sig.max(dead_idl);
+        if worst >= policy.quarantine_dead_fraction {
+            let arm = if dead_sig >= dead_idl { "signal" } else { "idler" };
+            health.record_quarantine(
+                m,
+                format!("{arm} detector dead for {:.0} % of the run", worst * 100.0),
+            );
+        } else {
+            survivors.push(m);
+        }
+    }
+    if survivors.is_empty() {
+        return Err(QfcError::ChannelsExhausted {
+            context: context.to_owned(),
+        });
+    }
+    Ok(survivors)
+}
+
+/// An MLE run whose last RρR update is still at least this large (or
+/// non-finite) after exhausting its iteration budget is diverging rather
+/// than merely converging slowly: slow convergence leaves updates
+/// orders of magnitude below this while still missing a tight tolerance,
+/// and those reconstructions are perfectly usable.
+pub const MLE_DIVERGENCE_UPDATE: f64 = 1e-4;
+
+/// MLE reconstruction with the divergence fallback: when the RρR
+/// iteration *diverges* (its final update is non-finite or still above
+/// [`MLE_DIVERGENCE_UPDATE`] when the iteration budget runs out), the
+/// supervisor swaps in linear inversion + physical projection and
+/// records the fallback. A run that merely misses a tight tolerance is
+/// returned as-is with `converged: false`.
+///
+/// # Errors
+///
+/// Propagates the linear-inversion error when the fallback itself cannot
+/// produce a state (informationally incomplete data).
+pub fn reconstruct_with_fallback(
+    data: &TomographyData,
+    options: &MleOptions,
+    health: &mut HealthReport,
+) -> QfcResult<MleResult> {
+    let mle = mle_reconstruction(data, options);
+    let settled =
+        mle.converged || (mle.final_update.is_finite() && mle.final_update < MLE_DIVERGENCE_UPDATE);
+    if settled {
+        return Ok(mle);
+    }
+    health.record_fallback("MLE", "linear inversion");
+    let rho = try_linear_reconstruction(data)?;
+    Ok(MleResult {
+        rho,
+        iterations: mle.iterations,
+        final_update: mle.final_update,
+        converged: false,
+    })
+}
+
+/// Drops clicks that exceed an active TDC saturation cap: within each
+/// saturation window, only the earliest `cap · window` clicks survive.
+/// Pure (no RNG), so it preserves determinism and is an exact no-op for
+/// schedules without saturation events.
+pub fn apply_tdc_saturation(
+    stream: qfc_timetag::events::TagStream,
+    schedule: &FaultSchedule,
+) -> qfc_timetag::events::TagStream {
+    let windows: Vec<(f64, f64, f64)> = schedule
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            qfc_faults::FaultKind::TdcSaturation { max_rate_hz } => {
+                Some((e.start_s, e.end_s(), max_rate_hz))
+            }
+            _ => None,
+        })
+        .collect();
+    if windows.is_empty() {
+        return stream;
+    }
+    let mut kept = Vec::with_capacity(stream.len());
+    let mut counts = vec![0usize; windows.len()];
+    'clicks: for &t in stream.as_slice() {
+        let t_s = t as f64 * 1e-12;
+        for (w, &(a, b, cap)) in windows.iter().enumerate() {
+            if t_s >= a && t_s < b {
+                let allowed = ((b - a) * cap.max(0.0)).floor() as usize;
+                if counts[w] >= allowed {
+                    continue 'clicks;
+                }
+                counts[w] += 1;
+            }
+        }
+        kept.push(t);
+    }
+    qfc_timetag::events::TagStream::from_sorted(kept)
+}
+
+/// Runs `f` up to `max_attempts` times, recording a retry in `health`
+/// for every failed attempt that is retried; returns the first success
+/// or the last error.
+pub fn with_retries<T>(
+    stage: &str,
+    max_attempts: u32,
+    health: &mut HealthReport,
+    mut f: impl FnMut(u32) -> QfcResult<T>,
+) -> QfcResult<T> {
+    let mut last: Option<QfcError> = None;
+    for attempt in 0..max_attempts.max(1) {
+        match f(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt + 1 < max_attempts {
+                    health.record_retry(stage);
+                }
+                last = Some(e);
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        QfcError::invalid(format!("{stage}: retry loop made no attempts"))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfc_faults::{FaultEvent, FaultKind};
+
+    fn lock_loss_schedule(n: usize) -> FaultSchedule {
+        let mut s = FaultSchedule::empty();
+        for k in 0..n {
+            s = s.with(FaultEvent::new(
+                1.0 + k as f64,
+                0.2,
+                FaultKind::PumpLockLoss,
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn relocks_are_deterministic_and_recorded() {
+        let schedule = lock_loss_schedule(3);
+        let policy = SupervisorPolicy::default();
+        let mut h1 = HealthReport::pristine();
+        let out1 = plan_pump_relocks(&schedule, 10.0, &policy, 99, &mut h1)
+            .expect("relocks succeed");
+        let mut h2 = HealthReport::pristine();
+        let out2 = plan_pump_relocks(&schedule, 10.0, &policy, 99, &mut h2)
+            .expect("relocks succeed");
+        assert_eq!(out1, out2);
+        assert_eq!(h1, h2);
+        assert_eq!(out1.len(), 3);
+        assert!(h1.outage_s > 0.0);
+        assert_eq!(h1.recovery_actions.len(), 3);
+        for o in &out1 {
+            assert!(o.attempts >= 1 && o.attempts <= policy.max_relock_attempts);
+            assert!(o.backoff_s >= policy.relock_base_s);
+        }
+    }
+
+    #[test]
+    fn impossible_relock_fails_with_taxonomy_error() {
+        let schedule = lock_loss_schedule(1);
+        let policy = SupervisorPolicy {
+            relock_success_prob: 0.0,
+            ..SupervisorPolicy::default()
+        };
+        let mut h = HealthReport::pristine();
+        let err = plan_pump_relocks(&schedule, 10.0, &policy, 7, &mut h)
+            .expect_err("cannot relock");
+        assert!(matches!(err, QfcError::LockReacquisitionFailed { .. }));
+        assert!(err.to_string().contains("reacquisition failed"));
+    }
+
+    #[test]
+    fn live_fraction_accounts_for_outages() {
+        let outcomes = [RelockOutcome {
+            start_s: 1.0,
+            fault_duration_s: 1.0,
+            attempts: 1,
+            backoff_s: 0.5,
+        }];
+        let f = live_fraction(&outcomes, 10.0);
+        assert!((f - 0.85).abs() < 1e-12, "f = {f}");
+        assert_eq!(live_fraction(&[], 10.0), 1.0);
+    }
+
+    #[test]
+    fn quarantine_partitions_channels() {
+        // Channel 2's idler dead for 80 % of a 10 s run.
+        let schedule = FaultSchedule::empty().with(FaultEvent::new(
+            1.0,
+            8.0,
+            FaultKind::DetectorDropout {
+                channel: 2,
+                arm: Arm::Idler,
+            },
+        ));
+        let policy = SupervisorPolicy::default();
+        let mut h = HealthReport::pristine();
+        let survivors =
+            partition_channels(&schedule, 3, 10.0, &policy, "test", &mut h)
+                .expect("survivors remain");
+        assert_eq!(survivors, vec![1, 3]);
+        assert_eq!(h.quarantined_channels, vec![2]);
+        assert!(h.is_degraded());
+    }
+
+    #[test]
+    fn all_channels_dead_is_an_error() {
+        let mut schedule = FaultSchedule::empty();
+        for m in 1..=2 {
+            schedule = schedule.with(FaultEvent::new(
+                0.0,
+                10.0,
+                FaultKind::DetectorDropout {
+                    channel: m,
+                    arm: Arm::Signal,
+                },
+            ));
+        }
+        let mut h = HealthReport::pristine();
+        let err = partition_channels(
+            &schedule,
+            2,
+            10.0,
+            &SupervisorPolicy::default(),
+            "heralded",
+            &mut h,
+        )
+        .expect_err("nothing survives");
+        assert!(matches!(err, QfcError::ChannelsExhausted { .. }));
+        assert!(err.to_string().contains("heralded"));
+    }
+
+    #[test]
+    fn diverging_mle_falls_back_to_linear_inversion() {
+        use qfc_quantum::bell::bell_phi;
+        use qfc_quantum::density::DensityMatrix;
+        use qfc_tomography::counts::simulate_counts_seeded;
+        use qfc_tomography::settings::all_settings;
+
+        let rho = DensityMatrix::from_pure(&bell_phi(0.0));
+        let data =
+            simulate_counts_seeded(&rho, &all_settings(2), 400, 11);
+        // A one-iteration budget with an unreachable tolerance diverges.
+        let opts = MleOptions {
+            max_iterations: 1,
+            tolerance: 1e-30,
+        };
+        let mut h = HealthReport::pristine();
+        let res = reconstruct_with_fallback(&data, &opts, &mut h)
+            .expect("fallback succeeds");
+        assert!(!res.converged);
+        assert!(h.is_degraded());
+        assert!(h
+            .recovery_actions
+            .iter()
+            .any(|a| matches!(a, qfc_faults::RecoveryAction::Fallback { .. })));
+        // The fallback state is still a valid density matrix near the
+        // target.
+        let f = qfc_quantum::fidelity::fidelity_with_pure(&res.rho, &bell_phi(0.0));
+        assert!(f > 0.8, "fallback fidelity {f}");
+    }
+
+    #[test]
+    fn with_retries_records_and_recovers() {
+        let mut h = HealthReport::pristine();
+        let result = with_retries("linewidth fit", 3, &mut h, |attempt| {
+            if attempt < 2 {
+                Err(QfcError::invalid("flaky"))
+            } else {
+                Ok(attempt)
+            }
+        })
+        .expect("third attempt succeeds");
+        assert_eq!(result, 2);
+        assert_eq!(h.recovery_actions.len(), 2);
+
+        let mut h2 = HealthReport::pristine();
+        let err = with_retries("always fails", 2, &mut h2, |_| {
+            Err::<(), _>(QfcError::invalid("broken"))
+        })
+        .expect_err("exhausted");
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn empty_schedule_is_a_no_op() {
+        let mut h = HealthReport::pristine();
+        let policy = SupervisorPolicy::default();
+        let out = plan_pump_relocks(&FaultSchedule::empty(), 10.0, &policy, 1, &mut h)
+            .expect("nothing to relock");
+        assert!(out.is_empty());
+        let survivors =
+            partition_channels(&FaultSchedule::empty(), 5, 10.0, &policy, "x", &mut h)
+                .expect("all survive");
+        assert_eq!(survivors, vec![1, 2, 3, 4, 5]);
+        record_schedule_faults(&FaultSchedule::empty(), 10.0, &mut h);
+        assert!(h.is_pristine());
+    }
+}

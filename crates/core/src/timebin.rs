@@ -15,6 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use qfc_faults::{Arm, FaultSchedule, HealthReport, QfcError, QfcResult};
 use qfc_mathkit::fit::{fit_fringe, FringeFit};
 use qfc_mathkit::rng::{binomial, rng_from_seed, split_seed};
 use qfc_interferometry::stabilization::visibility_factor;
@@ -24,6 +25,10 @@ use qfc_quantum::timebin::{dephased_timebin_bell, middle_slot_coincidence};
 
 use crate::report::{Comparison, Expectation, ExperimentReport};
 use crate::source::QfcSource;
+use crate::supervisor::{self, SupervisorPolicy};
+
+/// Frame rate of the double-pulse pump, Hz (the paper's 10 MHz).
+pub const FRAME_RATE_HZ: f64 = 10.0e6;
 
 /// Configuration of the §IV time-bin run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -101,6 +106,19 @@ pub fn channel_state_model(
     channel_state_model_boosted(source, config, m, 1.0)
 }
 
+/// Fallible form of [`channel_state_model`].
+///
+/// # Errors
+///
+/// [`QfcError::RegimeMismatch`] when the source is not double-pulsed.
+pub fn try_channel_state_model(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    m: u32,
+) -> QfcResult<ChannelStateModel> {
+    try_channel_state_model_boosted(source, config, m, 1.0)
+}
+
 /// Like [`channel_state_model`], with the pump *amplitude* scaled by
 /// `power_factor` (the §V four-photon runs pump harder, trading pairwise
 /// visibility for four-fold rate: `μ ∝ P²`).
@@ -115,8 +133,28 @@ pub fn channel_state_model_boosted(
     m: u32,
     power_factor: f64,
 ) -> ChannelStateModel {
-    assert!(power_factor > 0.0, "power factor must be positive");
-    let mu = source.pairs_per_frame(m) * power_factor * power_factor;
+    match try_channel_state_model_boosted(source, config, m, power_factor) {
+        Ok(model) => model,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`channel_state_model_boosted`].
+///
+/// # Errors
+///
+/// [`QfcError::InvalidParameter`] for a non-positive `power_factor`,
+/// [`QfcError::RegimeMismatch`] when the source is not double-pulsed.
+pub fn try_channel_state_model_boosted(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    m: u32,
+    power_factor: f64,
+) -> QfcResult<ChannelStateModel> {
+    if power_factor.is_nan() || power_factor <= 0.0 {
+        return Err(QfcError::invalid("power factor must be positive"));
+    }
+    let mu = source.try_pairs_per_frame(m)? * power_factor * power_factor;
     let v_multipair =
         qfc_quantum::fock::TwoModeSqueezedVacuum::new(mu).multipair_visibility_limit();
     // Pump interferometer + two analyzers, each with the residual noise.
@@ -126,13 +164,13 @@ pub fn channel_state_model_boosted(
     // Accidentals: uncorrelated middle-slot singles on both arms.
     let p_single = mu * config.arm_efficiency / 2.0 + config.dark_prob_per_gate;
     let accidental_prob = p_single * p_single;
-    ChannelStateModel {
+    Ok(ChannelStateModel {
         m,
         mu,
         state_visibility: v,
         rho,
         accidental_prob,
-    }
+    })
 }
 
 /// Coincidence probability per frame at analyzer phases `(a, b)`.
@@ -326,6 +364,29 @@ pub fn run_timebin_event_mc(
     })
 }
 
+/// A completed §IV run: the physics report plus its health record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeBinRun {
+    /// The physics results.
+    pub report: TimeBinReport,
+    /// Faults injected and recovery actions taken.
+    pub health: HealthReport,
+}
+
+impl TimeBinRun {
+    /// Comparison rows with the health section attached.
+    pub fn to_report(&self) -> ExperimentReport {
+        self.report.to_report().with_health(self.health.clone())
+    }
+}
+
+/// Nominal wall-clock length of the §IV scan, s: every channel
+/// integrates `frames_per_point` frames at [`FRAME_RATE_HZ`] for each
+/// of the `phase_steps` fringe points and the 16 CHSH projector cells.
+pub fn nominal_duration_s(config: &TimeBinConfig) -> f64 {
+    config.frames_per_point as f64 * (config.phase_steps as f64 + 16.0) / FRAME_RATE_HZ
+}
+
 /// Runs the §IV virtual experiment: fringe scans and CHSH on every
 /// channel pair.
 pub fn run_timebin_experiment(
@@ -333,24 +394,94 @@ pub fn run_timebin_experiment(
     config: &TimeBinConfig,
     seed: u64,
 ) -> TimeBinReport {
-    assert!(config.channels >= 1, "need at least one channel");
-    assert!(config.phase_steps >= 5, "need ≥ 5 phase steps for the fit");
+    match try_run_timebin_experiment(source, config, seed, &FaultSchedule::empty()) {
+        Ok(run) => run.report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible, fault-aware form of [`run_timebin_experiment`].
+///
+/// The §IV driver is frame-based, so faults enter as pure modifiers of
+/// the per-frame probabilities: pump faults and lock-loss outages scale
+/// `μ`, phase jumps offset the pump phase, dark bursts raise the
+/// accidental floor, and sub-quarantine detector dropouts thin the arm
+/// efficiency. The RNG draw sequence is untouched, so an empty schedule
+/// reproduces the panicking API bit for bit at any thread count.
+///
+/// # Errors
+///
+/// [`QfcError::InvalidParameter`] for a bad configuration,
+/// [`QfcError::RegimeMismatch`] when the source is not double-pulsed,
+/// [`QfcError::ChannelsExhausted`] when every channel is quarantined,
+/// and [`QfcError::LockReacquisitionFailed`] when the pump cannot be
+/// re-locked.
+pub fn try_run_timebin_experiment(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> QfcResult<TimeBinRun> {
+    if config.channels < 1 {
+        return Err(QfcError::invalid("need at least one channel"));
+    }
+    if config.phase_steps < 5 {
+        return Err(QfcError::invalid("need ≥ 5 phase steps for the fit"));
+    }
+
+    let duration_s = nominal_duration_s(config);
+    let mut health = HealthReport::pristine();
+    let policy = SupervisorPolicy::default();
+    supervisor::record_schedule_faults(schedule, duration_s, &mut health);
+    let relocks =
+        supervisor::plan_pump_relocks(schedule, duration_s, &policy, seed, &mut health)?;
+    let live = supervisor::live_fraction(&relocks, duration_s);
+    let survivors = supervisor::partition_channels(
+        schedule,
+        config.channels,
+        duration_s,
+        &policy,
+        "timebin experiment",
+        &mut health,
+    )?;
+
+    // Pump faults scale the pair rate; μ ∝ (amplitude factor)², so the
+    // rate factor maps to an amplitude factor via its square root. An
+    // empty schedule produces exactly 1.0 here.
+    let linewidth_hz = source.ring().linewidth().hz();
+    let amp = (schedule.mean_pump_rate_factor(0.0, duration_s, linewidth_hz) * live)
+        .max(1e-6)
+        .sqrt();
+
+    // Pre-build the per-channel fault-adjusted operating points (cheap
+    // and RNG-free) so regime errors surface before the draw stage.
+    let models: Vec<(u32, TimeBinConfig, ChannelStateModel)> = survivors
+        .iter()
+        .map(|&m| {
+            let mut c = *config;
+            c.pump_phase += schedule.mean_phase_offset(0.0, duration_s);
+            c.dark_prob_per_gate *= schedule.mean_dark_multiplier(m, 0.0, duration_s);
+            let thin_s = 1.0 - schedule.dead_fraction(m, Arm::Signal, 0.0, duration_s);
+            let thin_i = 1.0 - schedule.dead_fraction(m, Arm::Idler, 0.0, duration_s);
+            c.arm_efficiency *= (thin_s * thin_i).sqrt();
+            try_channel_state_model_boosted(source, &c, m, amp).map(|model| (m, c, model))
+        })
+        .collect::<QfcResult<_>>()?;
 
     // One independent split-seed stream per channel pair: the fringe and
     // CHSH draws of channel m depend only on (seed, m), so channels are
     // parallel tasks with a thread-count-independent result.
-    let channel_ids: Vec<u32> = (1..=config.channels).collect();
     let per_channel: Vec<(ChannelFringe, ChshChannelResult)> =
-        qfc_runtime::par_map(&channel_ids, |&m| {
+        qfc_runtime::par_map(&models, |(m, c, model)| {
+            let m = *m;
             let mut rng = rng_from_seed(split_seed(seed, u64::from(m)));
-            let model = channel_state_model(source, config, m);
 
         // F7 fringe: scan one analyzer phase.
-        let mut points = Vec::with_capacity(config.phase_steps);
-        for k in 0..config.phase_steps {
-            let phi = 2.0 * std::f64::consts::PI * k as f64 / config.phase_steps as f64;
-            let p = coincidence_probability(&model, config, phi, 0.0);
-            let counts = binomial(&mut rng, config.frames_per_point, p);
+        let mut points = Vec::with_capacity(c.phase_steps);
+        for k in 0..c.phase_steps {
+            let phi = 2.0 * std::f64::consts::PI * k as f64 / c.phase_steps as f64;
+            let p = coincidence_probability(model, c, phi, 0.0);
+            let counts = binomial(&mut rng, c.frames_per_point, p);
             points.push((phi, counts));
         }
         let (xs, ys): (Vec<f64>, Vec<f64>) = points
@@ -380,8 +511,8 @@ pub fn run_timebin_experiment(
             let mut n = [[0u64; 2]; 2];
             for (i, da) in [0.0, std::f64::consts::PI].iter().enumerate() {
                 for (j, db) in [0.0, std::f64::consts::PI].iter().enumerate() {
-                    let p = coincidence_probability(&model, config, alpha + da, beta + db);
-                    n[i][j] = binomial(&mut rng, config.frames_per_point, p);
+                    let p = coincidence_probability(model, c, alpha + da, beta + db);
+                    n[i][j] = binomial(&mut rng, c.frames_per_point, p);
                 }
             }
             let sum = (n[0][0] + n[0][1] + n[1][0] + n[1][1]) as f64;
@@ -406,7 +537,10 @@ pub fn run_timebin_experiment(
     });
 
     let (fringes, chsh) = per_channel.into_iter().unzip();
-    TimeBinReport { fringes, chsh }
+    Ok(TimeBinRun {
+        report: TimeBinReport { fringes, chsh },
+        health,
+    })
 }
 
 #[cfg(test)]
@@ -484,6 +618,47 @@ mod tests {
         let mut cfg = TimeBinConfig::fast_demo();
         cfg.phase_steps = 3;
         let _ = run_timebin_experiment(&source(), &cfg, 1);
+    }
+
+    #[test]
+    fn empty_schedule_matches_legacy_run() {
+        let cfg = TimeBinConfig::fast_demo();
+        let legacy = run_timebin_experiment(&source(), &cfg, 47);
+        let run = try_run_timebin_experiment(&source(), &cfg, 47, &FaultSchedule::empty())
+            .expect("clean run");
+        assert!(run.health.is_pristine());
+        assert_eq!(
+            serde_json::to_string(&legacy).expect("json"),
+            serde_json::to_string(&run.report).expect("json"),
+        );
+    }
+
+    #[test]
+    fn stress_schedule_survives_with_finite_figures() {
+        let cfg = TimeBinConfig::fast_demo();
+        let duration = nominal_duration_s(&cfg);
+        let schedule = FaultSchedule::stress(9, duration);
+        let run = try_run_timebin_experiment(&source(), &cfg, 47, &schedule)
+            .expect("run survives the stress schedule");
+        assert!(!run.health.is_pristine());
+        for f in &run.report.fringes {
+            assert!(f.fit.visibility.is_finite());
+        }
+        for c in &run.report.chsh {
+            assert!(c.s_value.is_finite());
+        }
+    }
+
+    #[test]
+    fn wrong_regime_is_a_taxonomy_error() {
+        let err = try_run_timebin_experiment(
+            &QfcSource::paper_device(),
+            &TimeBinConfig::fast_demo(),
+            1,
+            &FaultSchedule::empty(),
+        )
+        .expect_err("CW source cannot run the time-bin experiment");
+        assert!(matches!(err, QfcError::RegimeMismatch { .. }));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! The workspace-wide error taxonomy.
+//!
+//! Every fallible library API in the workspace returns [`QfcError`] (or a
+//! crate-local error convertible into it, like
+//! [`qfc_mathkit::fit::FitError`]). The variants are organized around how
+//! a supervisor should react, not where the error came from:
+//!
+//! * [`QfcError::InvalidParameter`] — caller bug; fail fast, never retry.
+//! * [`QfcError::RegimeMismatch`] — the source's pump configuration does
+//!   not produce the state family the experiment needs; fail fast.
+//! * [`QfcError::NonFinite`] / [`QfcError::SingularSystem`] — numerical
+//!   degeneracy; a supervisor may fall back to a simpler estimator.
+//! * [`QfcError::FitDivergence`] — an iterative algorithm failed to
+//!   converge; fall back (e.g. MLE → linear inversion).
+//! * [`QfcError::InsufficientData`] — the run produced too few events to
+//!   analyze; retry with longer integration.
+//! * [`QfcError::ChannelsExhausted`] — every multiplexed channel was
+//!   quarantined; the degraded run has nothing left to measure.
+//! * [`QfcError::LockReacquisitionFailed`] — the pump lock could not be
+//!   recovered within the retry budget.
+
+use serde::{Deserialize, Serialize};
+
+/// Unified error type for the QFC simulation stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QfcError {
+    /// A configuration or argument is outside its valid range.
+    InvalidParameter {
+        /// What was wrong.
+        context: String,
+    },
+    /// The experiment needs a different pump regime than the source has.
+    RegimeMismatch {
+        /// The regime the experiment requires.
+        expected: String,
+        /// The regime the source is actually in.
+        actual: String,
+    },
+    /// A computation produced NaN or infinity where a finite value is
+    /// required.
+    NonFinite {
+        /// Where the non-finite value appeared.
+        context: String,
+    },
+    /// A linear system was singular (or numerically indistinguishable
+    /// from singular).
+    SingularSystem {
+        /// Which system.
+        context: String,
+    },
+    /// An iterative algorithm exceeded its iteration budget without
+    /// meeting its tolerance.
+    FitDivergence {
+        /// Which algorithm.
+        context: String,
+    },
+    /// Not enough events/points to run the analysis.
+    InsufficientData {
+        /// Which analysis.
+        context: String,
+    },
+    /// All channels of a multiplexed experiment were quarantined.
+    ChannelsExhausted {
+        /// Which experiment.
+        context: String,
+    },
+    /// The pump lock was lost and could not be reacquired within the
+    /// supervisor's retry budget.
+    LockReacquisitionFailed {
+        /// Re-lock attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl QfcError {
+    /// Shorthand for an [`QfcError::InvalidParameter`].
+    pub fn invalid(context: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            context: context.into(),
+        }
+    }
+
+    /// Shorthand for a [`QfcError::NonFinite`].
+    pub fn non_finite(context: impl Into<String>) -> Self {
+        Self::NonFinite {
+            context: context.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for QfcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
+            Self::RegimeMismatch { expected, actual } => {
+                write!(f, "regime mismatch: requires {expected}, source is {actual}")
+            }
+            Self::NonFinite { context } => write!(f, "non-finite value in {context}"),
+            Self::SingularSystem { context } => write!(f, "singular system in {context}"),
+            Self::FitDivergence { context } => write!(f, "divergence in {context}"),
+            Self::InsufficientData { context } => write!(f, "insufficient data for {context}"),
+            Self::ChannelsExhausted { context } => {
+                write!(f, "all channels quarantined in {context}")
+            }
+            Self::LockReacquisitionFailed { attempts } => {
+                write!(f, "pump lock reacquisition failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QfcError {}
+
+impl From<qfc_mathkit::fit::FitError> for QfcError {
+    fn from(e: qfc_mathkit::fit::FitError) -> Self {
+        use qfc_mathkit::fit::FitError;
+        match e {
+            FitError::LengthMismatch => Self::invalid("fit: length mismatch"),
+            FitError::InsufficientData => Self::InsufficientData {
+                context: "fit".to_owned(),
+            },
+            FitError::Degenerate => Self::SingularSystem {
+                context: "fit".to_owned(),
+            },
+            FitError::NonFinite => Self::non_finite("fit"),
+        }
+    }
+}
+
+/// Result alias for fallible QFC operations.
+pub type QfcResult<T> = Result<T, QfcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = QfcError::invalid("need at least one channel");
+        assert!(e.to_string().contains("at least one channel"));
+        let e = QfcError::RegimeMismatch {
+            expected: "CW pump configuration".into(),
+            actual: "DoublePulse".into(),
+        };
+        assert!(e.to_string().contains("CW pump"));
+    }
+
+    #[test]
+    fn fit_error_converts() {
+        let e: QfcError = qfc_mathkit::fit::FitError::NonFinite.into();
+        assert!(matches!(e, QfcError::NonFinite { .. }));
+    }
+}

@@ -1,0 +1,28 @@
+//! `qfc-faults` — deterministic fault injection, the workspace error
+//! taxonomy, and run-health reporting.
+//!
+//! The crate sits just above `qfc-mathkit` in the dependency order so
+//! every other crate (photonics, timetag, tomography, core) can share
+//! one [`QfcError`] type, consume [`FaultSchedule`]s, and emit
+//! [`HealthReport`]s.
+//!
+//! Design invariants:
+//!
+//! * **Empty schedule = identity.** Every schedule query returns its
+//!   neutral element (`1.0` rate factor, `0.0` dead fraction, …) when
+//!   the schedule is empty, and drivers draw from their fault RNG
+//!   domains only when the schedule is non-empty — so runs with
+//!   `FaultSchedule::empty()` are byte-identical to runs predating the
+//!   fault layer.
+//! * **Determinism at any thread count.** Schedule queries are pure
+//!   functions of `(schedule, time window)`; fault realization RNG is
+//!   derived via `split_seed(seed, FAULT_SEED_DOMAIN)` and then split
+//!   per channel/shard, never shared across parallel tasks.
+
+pub mod error;
+pub mod health;
+pub mod schedule;
+
+pub use error::{QfcError, QfcResult};
+pub use health::{FaultRecord, HealthReport, RecoveryAction};
+pub use schedule::{Arm, FaultEvent, FaultKind, FaultSchedule, FAULT_SEED_DOMAIN};

@@ -1,8 +1,38 @@
 //! Least-squares fits used to extract the paper's observables:
 //! exponential coincidence decays (→ linewidth), interference fringes
 //! (→ visibility), and power laws (→ OPO threshold slopes).
+//!
+//! Every fit exists in two forms: a fallible `try_*` function returning
+//! [`FitError`] on degenerate input, and the original panicking wrapper
+//! kept for call sites where a failure is a programming error.
 
 use serde::{Deserialize, Serialize};
+
+/// Why a fit could not be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitError {
+    /// `x` and `y` have different lengths.
+    LengthMismatch,
+    /// Too few (usable) points for the model's degrees of freedom.
+    InsufficientData,
+    /// The normal equations are singular (degenerate abscissae).
+    Degenerate,
+    /// A NaN or infinity appeared in the input or during elimination.
+    NonFinite,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LengthMismatch => write!(f, "length mismatch"),
+            Self::InsufficientData => write!(f, "insufficient data"),
+            Self::Degenerate => write!(f, "degenerate (singular) system"),
+            Self::NonFinite => write!(f, "non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
 
 /// Result of an ordinary linear least-squares fit `y = slope·x + intercept`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -13,6 +43,51 @@ pub struct LinearFit {
     pub intercept: f64,
     /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
     pub r_squared: f64,
+}
+
+/// Fallible form of [`fit_linear`].
+pub fn try_fit_linear(x: &[f64], y: &[f64]) -> Result<LinearFit, FitError> {
+    if x.len() != y.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    if x.len() < 2 {
+        return Err(FitError::InsufficientData);
+    }
+    let n = x.len() as f64;
+    let sx: f64 = x.iter().sum();
+    let sy: f64 = y.iter().sum();
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    let denom = n * sxx - sx * sx;
+    if !denom.is_finite() {
+        return Err(FitError::NonFinite);
+    }
+    if denom.abs() == 0.0 {
+        return Err(FitError::Degenerate);
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    if !slope.is_finite() || !intercept.is_finite() {
+        return Err(FitError::NonFinite);
+    }
+
+    let mean_y = sy / n;
+    let ss_tot: f64 = y.iter().map(|v| (v - mean_y).powi(2)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (b - (slope * a + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// Fits `y = slope·x + intercept` by ordinary least squares.
@@ -29,34 +104,9 @@ pub struct LinearFit {
 /// assert!((f.r_squared - 1.0).abs() < 1e-12);
 /// ```
 pub fn fit_linear(x: &[f64], y: &[f64]) -> LinearFit {
-    assert_eq!(x.len(), y.len(), "fit_linear: length mismatch");
-    assert!(x.len() >= 2, "fit_linear: need at least two points");
-    let n = x.len() as f64;
-    let sx: f64 = x.iter().sum();
-    let sy: f64 = y.iter().sum();
-    let sxx: f64 = x.iter().map(|v| v * v).sum();
-    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
-    let denom = n * sxx - sx * sx;
-    assert!(denom.abs() > 0.0, "fit_linear: degenerate x values");
-    let slope = (n * sxy - sx * sy) / denom;
-    let intercept = (sy - slope * sx) / n;
-
-    let mean_y = sy / n;
-    let ss_tot: f64 = y.iter().map(|v| (v - mean_y).powi(2)).sum();
-    let ss_res: f64 = x
-        .iter()
-        .zip(y)
-        .map(|(a, b)| (b - (slope * a + intercept)).powi(2))
-        .sum();
-    let r_squared = if ss_tot > 0.0 {
-        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
-    } else {
-        1.0
-    };
-    LinearFit {
-        slope,
-        intercept,
-        r_squared,
+    match try_fit_linear(x, y) {
+        Ok(f) => f,
+        Err(e) => panic!("fit_linear: {e}"),
     }
 }
 
@@ -71,36 +121,41 @@ pub struct ExponentialFit {
     pub r_squared: f64,
 }
 
-/// Fits an exponential decay via weighted log-linear least squares.
+/// Fallible form of [`fit_exponential_decay`].
 ///
 /// Points with `y <= 0` are ignored (they carry no logarithmic
 /// information); each retained point is weighted by `y`, the
 /// inverse-variance weight for Poisson counts in the log domain.
-///
-/// # Panics
-///
-/// Panics if fewer than two positive points remain.
-pub fn fit_exponential_decay(t: &[f64], y: &[f64]) -> ExponentialFit {
-    assert_eq!(t.len(), y.len(), "fit_exponential_decay: length mismatch");
+pub fn try_fit_exponential_decay(t: &[f64], y: &[f64]) -> Result<ExponentialFit, FitError> {
+    if t.len() != y.len() {
+        return Err(FitError::LengthMismatch);
+    }
     let pts: Vec<(f64, f64, f64)> = t
         .iter()
         .zip(y)
         .filter(|&(_, &yv)| yv > 0.0)
         .map(|(&tv, &yv)| (tv, yv.ln(), yv))
         .collect();
-    assert!(
-        pts.len() >= 2,
-        "fit_exponential_decay: need ≥ 2 positive points"
-    );
+    if pts.len() < 2 {
+        return Err(FitError::InsufficientData);
+    }
     let sw: f64 = pts.iter().map(|p| p.2).sum();
     let swx: f64 = pts.iter().map(|p| p.2 * p.0).sum();
     let swy: f64 = pts.iter().map(|p| p.2 * p.1).sum();
     let swxx: f64 = pts.iter().map(|p| p.2 * p.0 * p.0).sum();
     let swxy: f64 = pts.iter().map(|p| p.2 * p.0 * p.1).sum();
     let denom = sw * swxx - swx * swx;
-    assert!(denom.abs() > 0.0, "fit_exponential_decay: degenerate t");
+    if !denom.is_finite() {
+        return Err(FitError::NonFinite);
+    }
+    if denom.abs() == 0.0 {
+        return Err(FitError::Degenerate);
+    }
     let slope = (sw * swxy - swx * swy) / denom;
     let intercept = (swy - slope * swx) / sw;
+    if !slope.is_finite() || !intercept.is_finite() {
+        return Err(FitError::NonFinite);
+    }
 
     let mean_y = swy / sw;
     let ss_tot: f64 = pts.iter().map(|p| p.2 * (p.1 - mean_y).powi(2)).sum();
@@ -113,10 +168,22 @@ pub fn fit_exponential_decay(t: &[f64], y: &[f64]) -> ExponentialFit {
     } else {
         1.0
     };
-    ExponentialFit {
+    Ok(ExponentialFit {
         amplitude: intercept.exp(),
         tau: -1.0 / slope,
         r_squared,
+    })
+}
+
+/// Fits an exponential decay via weighted log-linear least squares.
+///
+/// # Panics
+///
+/// Panics if fewer than two positive points remain.
+pub fn fit_exponential_decay(t: &[f64], y: &[f64]) -> ExponentialFit {
+    match try_fit_exponential_decay(t, y) {
+        Ok(f) => f,
+        Err(e) => panic!("fit_exponential_decay: {e}"),
     }
 }
 
@@ -130,6 +197,11 @@ pub struct FringeFit {
     pub visibility: f64,
     /// Phase of the cosine at `φ = 0`.
     pub phase0: f64,
+}
+
+/// Fallible form of [`fit_fringe`].
+pub fn try_fit_fringe(phase: &[f64], y: &[f64]) -> Result<FringeFit, FitError> {
+    try_fit_fringe_harmonic(phase, y, 1)
 }
 
 /// Fits an interference fringe `y = a0 + a1·cos φ + a2·sin φ` by linear
@@ -146,18 +218,21 @@ pub fn fit_fringe(phase: &[f64], y: &[f64]) -> FringeFit {
     fit_fringe_harmonic(phase, y, 1)
 }
 
-/// Fringe fit against `cos(k·φ)` — `k = 2` is used for the four-photon
-/// interference of §V where the coincidence rate oscillates at twice the
-/// analyzer phase when scanning the common phase of two Bell pairs.
-///
-/// # Panics
-///
-/// Panics if fewer than three points are given, lengths differ, or
-/// `harmonic == 0`.
-pub fn fit_fringe_harmonic(phase: &[f64], y: &[f64], harmonic: u32) -> FringeFit {
-    assert_eq!(phase.len(), y.len(), "fit_fringe: length mismatch");
-    assert!(phase.len() >= 3, "fit_fringe: need ≥ 3 points");
-    assert!(harmonic > 0, "fit_fringe: harmonic must be ≥ 1");
+/// Fallible form of [`fit_fringe_harmonic`].
+pub fn try_fit_fringe_harmonic(
+    phase: &[f64],
+    y: &[f64],
+    harmonic: u32,
+) -> Result<FringeFit, FitError> {
+    if phase.len() != y.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    if phase.len() < 3 {
+        return Err(FitError::InsufficientData);
+    }
+    if harmonic == 0 {
+        return Err(FitError::InsufficientData);
+    }
     let k = harmonic as f64;
     // Normal equations for basis [1, cos kφ, sin kφ].
     let mut ata = [[0.0f64; 3]; 3];
@@ -171,33 +246,51 @@ pub fn fit_fringe_harmonic(phase: &[f64], y: &[f64], harmonic: u32) -> FringeFit
             atb[i] += basis[i] * v;
         }
     }
-    let coeffs = solve3(ata, atb);
+    let coeffs = try_solve3(ata, atb)?;
     let a0 = coeffs[0];
     let amp = (coeffs[1] * coeffs[1] + coeffs[2] * coeffs[2]).sqrt();
     // y = a0 + amp·cos(kφ + phase0) with phase0 = atan2(−a2, a1).
     let phase0 = (-coeffs[2]).atan2(coeffs[1]);
     let visibility = if a0.abs() > 0.0 { amp / a0 } else { 0.0 };
-    FringeFit {
+    Ok(FringeFit {
         offset: a0,
         visibility,
         phase0,
+    })
+}
+
+/// Fringe fit against `cos(k·φ)` — `k = 2` is used for the four-photon
+/// interference of §V where the coincidence rate oscillates at twice the
+/// analyzer phase when scanning the common phase of two Bell pairs.
+///
+/// # Panics
+///
+/// Panics if fewer than three points are given, lengths differ, or
+/// `harmonic == 0`.
+pub fn fit_fringe_harmonic(phase: &[f64], y: &[f64], harmonic: u32) -> FringeFit {
+    match try_fit_fringe_harmonic(phase, y, harmonic) {
+        Ok(f) => f,
+        Err(FitError::Degenerate) => panic!("singular system in fringe fit"),
+        Err(e) => panic!("fit_fringe: {e}"),
     }
 }
 
-/// Solves a 3×3 linear system by Gaussian elimination with partial pivoting.
-fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting. Returns [`FitError::NonFinite`] if the system contains NaN
+/// and [`FitError::Degenerate`] if a pivot vanishes.
+pub fn try_solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Result<[f64; 3], FitError> {
+    if a.iter().flatten().any(|v| !v.is_finite()) || b.iter().any(|v| !v.is_finite()) {
+        return Err(FitError::NonFinite);
+    }
     for col in 0..3 {
         let pivot = (col..3)
-            .max_by(|&i, &j| {
-                a[i][col]
-                    .abs()
-                    .partial_cmp(&a[j][col].abs())
-                    .expect("NaN in solve3")
-            })
-            .expect("nonempty");
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap_or(col);
         a.swap(col, pivot);
         b.swap(col, pivot);
-        assert!(a[col][col].abs() > 1e-300, "singular system in fringe fit");
+        if a[col][col].abs() <= 1e-300 {
+            return Err(FitError::Degenerate);
+        }
         for row in (col + 1)..3 {
             let f = a[row][col] / a[col][col];
             let pivot_row = a[col];
@@ -215,7 +308,10 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
         }
         x[row] = s / a[row][row];
     }
-    x
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(FitError::NonFinite);
+    }
+    Ok(x)
 }
 
 /// Result of a power-law fit `y = prefactor · x^exponent`.
@@ -229,6 +325,28 @@ pub struct PowerLawFit {
     pub r_squared: f64,
 }
 
+/// Fallible form of [`fit_power_law`]. Non-positive points are ignored.
+pub fn try_fit_power_law(x: &[f64], y: &[f64]) -> Result<PowerLawFit, FitError> {
+    if x.len() != y.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    let (lx, ly): (Vec<f64>, Vec<f64>) = x
+        .iter()
+        .zip(y)
+        .filter(|&(&a, &b)| a > 0.0 && b > 0.0)
+        .map(|(&a, &b)| (a.ln(), b.ln()))
+        .unzip();
+    if lx.len() < 2 {
+        return Err(FitError::InsufficientData);
+    }
+    let f = try_fit_linear(&lx, &ly)?;
+    Ok(PowerLawFit {
+        exponent: f.slope,
+        prefactor: f.intercept.exp(),
+        r_squared: f.r_squared,
+    })
+}
+
 /// Fits `y = prefactor · x^exponent` by linear regression in log-log space.
 ///
 /// Non-positive points are ignored. Used to verify the §III claim that the
@@ -239,19 +357,9 @@ pub struct PowerLawFit {
 ///
 /// Panics if fewer than two strictly positive points remain.
 pub fn fit_power_law(x: &[f64], y: &[f64]) -> PowerLawFit {
-    assert_eq!(x.len(), y.len(), "fit_power_law: length mismatch");
-    let (lx, ly): (Vec<f64>, Vec<f64>) = x
-        .iter()
-        .zip(y)
-        .filter(|&(&a, &b)| a > 0.0 && b > 0.0)
-        .map(|(&a, &b)| (a.ln(), b.ln()))
-        .unzip();
-    assert!(lx.len() >= 2, "fit_power_law: need ≥ 2 positive points");
-    let f = fit_linear(&lx, &ly);
-    PowerLawFit {
-        exponent: f.slope,
-        prefactor: f.intercept.exp(),
-        r_squared: f.r_squared,
+    match try_fit_power_law(x, y) {
+        Ok(f) => f,
+        Err(e) => panic!("fit_power_law: {e}"),
     }
 }
 
@@ -367,5 +475,56 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn linear_fit_length_mismatch() {
         let _ = fit_linear(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_solve3_rejects_nan() {
+        let a = [[1.0, 0.0, 0.0], [0.0, f64::NAN, 0.0], [0.0, 0.0, 1.0]];
+        assert_eq!(try_solve3(a, [1.0, 1.0, 1.0]), Err(FitError::NonFinite));
+    }
+
+    #[test]
+    fn try_solve3_rejects_singular() {
+        let a = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.5, 1.0, 1.5]];
+        assert_eq!(try_solve3(a, [1.0, 2.0, 0.5]), Err(FitError::Degenerate));
+    }
+
+    #[test]
+    fn try_fit_linear_errors() {
+        assert_eq!(
+            try_fit_linear(&[1.0], &[1.0, 2.0]),
+            Err(FitError::LengthMismatch)
+        );
+        assert_eq!(try_fit_linear(&[1.0], &[1.0]), Err(FitError::InsufficientData));
+        assert_eq!(
+            try_fit_linear(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(FitError::Degenerate)
+        );
+        assert_eq!(
+            try_fit_linear(&[0.0, f64::NAN], &[1.0, 2.0]),
+            Err(FitError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn try_fit_fringe_degenerate_phases() {
+        // All phases identical → singular harmonic basis.
+        let phases = vec![0.3; 8];
+        let y = vec![1.0; 8];
+        assert_eq!(
+            try_fit_fringe(&phases, &y),
+            Err(FitError::Degenerate)
+        );
+    }
+
+    #[test]
+    fn try_fit_fringe_nan_input() {
+        let phases: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect();
+        let mut y: Vec<f64> = phases.iter().map(|&p| 1.0 + p.cos()).collect();
+        y[3] = f64::NAN;
+        assert_eq!(
+            try_fit_fringe(&phases, &y),
+            Err(FitError::NonFinite)
+        );
     }
 }

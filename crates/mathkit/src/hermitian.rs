@@ -152,7 +152,9 @@ pub fn eigh_with(a: &CMatrix, strategy: JacobiStrategy) -> EigenDecomposition {
 
     let mut idx: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
-    idx.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("NaN eigenvalue"));
+    // total_cmp keeps degenerate (NaN-bearing) matrices from panicking the
+    // eigensolver: NaN eigenvalues sort to the end instead.
+    idx.sort_by(|&i, &j| diag[i].total_cmp(&diag[j]));
 
     let eigenvalues: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
     let eigenvectors = CMatrix::from_fn(n, n, |i, j| v[(i, idx[j])]);

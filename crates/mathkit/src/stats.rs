@@ -67,7 +67,7 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "percentile q out of range");
     assert!(!xs.is_empty(), "percentile of empty sample");
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile"));
+    v.sort_by(f64::total_cmp);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -12,6 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use qfc_faults::{QfcError, QfcResult};
 use qfc_mathkit::complex::Complex64;
 
 use crate::constants::SPEED_OF_LIGHT;
@@ -79,6 +80,16 @@ impl MicroringBuilder {
         self
     }
 
+    /// Fallible form of [`Self::self_coupling`]: rejects `r` outside
+    /// `(0, 1)` with [`QfcError::InvalidParameter`] instead of panicking.
+    pub fn try_self_coupling(&mut self, r: f64) -> QfcResult<&mut Self> {
+        if !(r > 0.0 && r < 1.0) {
+            return Err(QfcError::invalid("self-coupling must be in (0, 1)"));
+        }
+        self.self_coupling = r;
+        Ok(self)
+    }
+
     /// Sets the amplitude self-coupling coefficient `r` of both couplers
     /// (`t² = 1 − r²` is the power cross-coupling).
     ///
@@ -86,9 +97,10 @@ impl MicroringBuilder {
     ///
     /// Panics unless `0 < r < 1`.
     pub fn self_coupling(&mut self, r: f64) -> &mut Self {
-        assert!(r > 0.0 && r < 1.0, "self-coupling must be in (0, 1)");
-        self.self_coupling = r;
-        self
+        match self.try_self_coupling(r) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Chooses the coupler so the loaded linewidth equals `target` at the
@@ -121,14 +133,42 @@ impl MicroringBuilder {
         self
     }
 
-    /// Builds the ring.
-    pub fn build(&self) -> Microring {
-        Microring {
+    /// Fallible form of [`Self::build`]: validates the accumulated
+    /// geometry instead of trusting it.
+    pub fn try_build(&self) -> QfcResult<Microring> {
+        if !(self.radius.is_finite() && self.radius > 0.0) {
+            return Err(QfcError::invalid(format!(
+                "ring radius must be positive and finite, got {}",
+                self.radius
+            )));
+        }
+        if !(self.self_coupling > 0.0 && self.self_coupling < 1.0) {
+            return Err(QfcError::invalid("self-coupling must be in (0, 1)"));
+        }
+        if !(self.anchor_te.hz().is_finite() && self.anchor_te.hz() > 0.0) {
+            return Err(QfcError::invalid(
+                "anchor frequency must be positive and finite",
+            ));
+        }
+        Ok(Microring {
             waveguide: self.waveguide,
             radius: self.radius,
             self_coupling: self.self_coupling,
             anchor_te: self.anchor_te,
             te_tm_offset: self.te_tm_offset,
+        })
+    }
+
+    /// Builds the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulated geometry is invalid (see
+    /// [`Self::try_build`]).
+    pub fn build(&self) -> Microring {
+        match self.try_build() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -432,6 +472,26 @@ mod tests {
     #[should_panic(expected = "self-coupling")]
     fn builder_rejects_bad_coupling() {
         MicroringBuilder::new(Waveguide::hydex_paper()).self_coupling(1.5);
+    }
+
+    #[test]
+    fn try_self_coupling_reports_invalid_parameter() {
+        let mut b = MicroringBuilder::new(Waveguide::hydex_paper());
+        let err = b.try_self_coupling(1.5).unwrap_err();
+        assert!(matches!(err, QfcError::InvalidParameter { .. }));
+        assert!(err.to_string().contains("self-coupling"));
+        assert!(b.try_self_coupling(f64::NAN).is_err());
+        assert!(b.try_self_coupling(0.5).is_ok());
+    }
+
+    #[test]
+    fn try_build_rejects_bad_radius() {
+        let mut b = MicroringBuilder::new(Waveguide::hydex_paper());
+        b.radius(-1.0);
+        let err = b.try_build().unwrap_err();
+        assert!(err.to_string().contains("radius"));
+        b.radius(140e-6);
+        assert!(b.try_build().is_ok());
     }
 
     #[test]

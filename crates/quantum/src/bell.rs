@@ -21,12 +21,14 @@ pub fn bell_phi_minus() -> PureState {
 
 /// `|Ψ⁺⟩ = (|01⟩ + |10⟩)/√2`.
 pub fn bell_psi_plus() -> PureState {
-    PureState::from_amplitudes(CVector::from_real(&[0.0, 1.0, 1.0, 0.0])).expect("valid")
+    PureState::from_amplitudes(CVector::from_real(&[0.0, 1.0, 1.0, 0.0]))
+        .unwrap_or_else(|| unreachable!("Bell amplitudes are valid"))
 }
 
 /// `|Ψ⁻⟩ = (|01⟩ − |10⟩)/√2`.
 pub fn bell_psi_minus() -> PureState {
-    PureState::from_amplitudes(CVector::from_real(&[0.0, 1.0, -1.0, 0.0])).expect("valid")
+    PureState::from_amplitudes(CVector::from_real(&[0.0, 1.0, -1.0, 0.0]))
+        .unwrap_or_else(|| unreachable!("Bell amplitudes are valid"))
 }
 
 /// Phase-parametrized Bell state `(|00⟩ + e^{iφ}|11⟩)/√2` — what the
@@ -36,7 +38,7 @@ pub fn bell_phi(phi: f64) -> PureState {
     let mut v = CVector::zeros(4);
     v[0] = Complex64::real(std::f64::consts::FRAC_1_SQRT_2);
     v[3] = Complex64::cis(phi).scale(std::f64::consts::FRAC_1_SQRT_2);
-    PureState::from_amplitudes(v).expect("valid")
+    PureState::from_amplitudes(v).unwrap_or_else(|| unreachable!("Bell amplitudes are valid"))
 }
 
 /// Wootters concurrence of a two-qubit density matrix — `1` for Bell
@@ -61,7 +63,7 @@ pub fn concurrence(rho: &DensityMatrix) -> f64 {
         .iter()
         .map(|&l| l.max(0.0).sqrt())
         .collect();
-    lambdas.sort_by(|a, b| b.partial_cmp(a).expect("NaN eigenvalue"));
+    lambdas.sort_by(|a, b| b.total_cmp(a));
     let _ = prod; // spectrum equivalence documented above
     (lambdas[0] - lambdas[1] - lambdas[2] - lambdas[3]).max(0.0)
 }

@@ -56,12 +56,12 @@ impl PureState {
 
     /// Single-qubit `|+⟩ = (|0⟩ + |1⟩)/√2`.
     pub fn plus() -> Self {
-        Self::from_amplitudes(CVector::from_real(&[1.0, 1.0])).expect("valid")
+        Self::from_amplitudes(CVector::from_real(&[1.0, 1.0])).unwrap_or_else(|| unreachable!("|+> amplitudes are valid"))
     }
 
     /// Single-qubit `|−⟩ = (|0⟩ − |1⟩)/√2`.
     pub fn minus() -> Self {
-        Self::from_amplitudes(CVector::from_real(&[1.0, -1.0])).expect("valid")
+        Self::from_amplitudes(CVector::from_real(&[1.0, -1.0])).unwrap_or_else(|| unreachable!("|-> amplitudes are valid"))
     }
 
     /// Builds a state from raw amplitudes, normalizing them.
@@ -145,7 +145,7 @@ impl PureState {
     pub fn apply(&self, op: &CMatrix) -> Self {
         assert_eq!(op.cols(), self.dim(), "operator dimension mismatch");
         let out = op.matvec(&self.amps);
-        Self::from_amplitudes(out).expect("operator annihilated the state")
+        Self::from_amplitudes(out).unwrap_or_else(|| panic!("operator annihilated the state"))
     }
 
     /// Expectation value `⟨ψ|A|ψ⟩` (real part; `A` should be Hermitian).

@@ -125,7 +125,13 @@ where
             })
             .collect();
         for worker in workers {
-            for (i, value) in worker.join().expect("qfc-runtime worker panicked") {
+            let local = match worker.join() {
+                Ok(local) => local,
+                // Re-raise the worker's panic on the caller thread so a
+                // panicking task behaves exactly like serial execution.
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (i, value) in local {
                 slots[i] = Some(value);
             }
         }
@@ -133,7 +139,7 @@ where
 
     slots
         .into_iter()
-        .map(|slot| slot.expect("every task index produced a result"))
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("every task index produced a result")))
         .collect()
 }
 

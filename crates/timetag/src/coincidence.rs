@@ -4,7 +4,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use qfc_mathkit::fit::fit_exponential_decay;
+use qfc_faults::{QfcError, QfcResult};
+use qfc_mathkit::fit::try_fit_exponential_decay;
 use qfc_mathkit::stats::Histogram;
 
 use crate::events::TagStream;
@@ -206,7 +207,21 @@ pub struct LinewidthResult {
 ///
 /// Panics if the histogram has no peak.
 pub fn extract_linewidth(hist: &Histogram) -> LinewidthResult {
-    let (peak_idx, _) = hist.peak().expect("histogram has no counts");
+    match try_extract_linewidth(hist) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`extract_linewidth`]: an empty histogram or a
+/// degenerate decay fit becomes a [`QfcError`] instead of a panic, so a
+/// supervisor can retry with longer integration.
+pub fn try_extract_linewidth(hist: &Histogram) -> QfcResult<LinewidthResult> {
+    let Some((peak_idx, _)) = hist.peak() else {
+        return Err(QfcError::InsufficientData {
+            context: "linewidth extraction: histogram has no counts".to_owned(),
+        });
+    };
     let bins = hist.bins();
     // Accidental floor from the edges.
     let edge = (bins / 10).max(1);
@@ -227,12 +242,12 @@ pub fn extract_linewidth(hist: &Histogram) -> LinewidthResult {
             y.push(v);
         }
     }
-    let fit = fit_exponential_decay(&t, &y);
-    LinewidthResult {
+    let fit = try_fit_exponential_decay(&t, &y)?;
+    Ok(LinewidthResult {
         decay_time_s: fit.tau,
         linewidth_hz: 1.0 / (2.0 * std::f64::consts::PI * fit.tau),
         r_squared: fit.r_squared,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use qfc_faults::{QfcError, QfcResult};
 use qfc_mathkit::rng::{bernoulli, normal, poisson};
 
 use crate::events::TagStream;
@@ -55,19 +56,62 @@ impl SinglePhotonDetector {
         }
     }
 
+    /// Fallible constructor: validates every parameter and returns
+    /// [`QfcError::InvalidParameter`] on the first violation.
+    pub fn try_new(
+        efficiency: f64,
+        dark_count_rate_hz: f64,
+        jitter_sigma_ps: f64,
+        dead_time_ps: i64,
+    ) -> QfcResult<Self> {
+        let det = Self {
+            efficiency,
+            dark_count_rate_hz,
+            jitter_sigma_ps,
+            dead_time_ps,
+        };
+        det.try_validate()?;
+        Ok(det)
+    }
+
+    /// Fallible form of [`Self::validate`].
+    pub fn try_validate(&self) -> QfcResult<()> {
+        if !(0.0..=1.0).contains(&self.efficiency) {
+            return Err(QfcError::invalid(format!(
+                "detector efficiency must be in [0, 1], got {}",
+                self.efficiency
+            )));
+        }
+        if self.dark_count_rate_hz.is_nan() || self.dark_count_rate_hz < 0.0 {
+            return Err(QfcError::invalid(format!(
+                "detector dark rate must be ≥ 0, got {}",
+                self.dark_count_rate_hz
+            )));
+        }
+        if self.jitter_sigma_ps.is_nan() || self.jitter_sigma_ps < 0.0 {
+            return Err(QfcError::invalid(format!(
+                "detector jitter must be ≥ 0, got {}",
+                self.jitter_sigma_ps
+            )));
+        }
+        if self.dead_time_ps < 0 {
+            return Err(QfcError::invalid(format!(
+                "detector dead time must be ≥ 0, got {}",
+                self.dead_time_ps
+            )));
+        }
+        Ok(())
+    }
+
     /// Validates parameter ranges.
     ///
     /// # Panics
     ///
     /// Panics if any parameter is out of physical range.
     pub fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.efficiency),
-            "efficiency must be in [0, 1]"
-        );
-        assert!(self.dark_count_rate_hz >= 0.0, "dark rate must be ≥ 0");
-        assert!(self.jitter_sigma_ps >= 0.0, "jitter must be ≥ 0");
-        assert!(self.dead_time_ps >= 0, "dead time must be ≥ 0");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     /// Simulates detection of photons with true arrival times
@@ -221,5 +265,17 @@ mod tests {
         let mut det = SinglePhotonDetector::ideal();
         det.efficiency = 1.5;
         det.validate();
+    }
+
+    #[test]
+    fn try_new_validates_every_field() {
+        assert!(SinglePhotonDetector::try_new(0.15, 1000.0, 100.0, 10_000_000).is_ok());
+        let err = SinglePhotonDetector::try_new(1.5, 0.0, 0.0, 0).unwrap_err();
+        assert!(matches!(err, QfcError::InvalidParameter { .. }));
+        assert!(err.to_string().contains("efficiency"));
+        assert!(SinglePhotonDetector::try_new(0.5, -1.0, 0.0, 0).is_err());
+        assert!(SinglePhotonDetector::try_new(0.5, f64::NAN, 0.0, 0).is_err());
+        assert!(SinglePhotonDetector::try_new(0.5, 0.0, -1.0, 0).is_err());
+        assert!(SinglePhotonDetector::try_new(0.5, 0.0, 0.0, -1).is_err());
     }
 }

@@ -35,7 +35,7 @@ impl TomographyData {
     ///
     /// Panics on an empty setting list.
     pub fn qubits(&self) -> usize {
-        self.settings.first().expect("nonempty settings").qubits()
+        self.settings.first().map_or(0, |s| s.qubits())
     }
 
     /// Relative frequency of outcome `o` in setting `s` (`0` when the

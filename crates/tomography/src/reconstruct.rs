@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use qfc_faults::{QfcError, QfcResult};
 use qfc_mathkit::cmatrix::CMatrix;
 use qfc_mathkit::complex::Complex64;
 use qfc_mathkit::hermitian::psd_projection;
@@ -27,6 +28,16 @@ use crate::settings::{pauli_string_matrix, PauliBasis};
 ///
 /// Panics if the data is empty or settings are inconsistent.
 pub fn linear_inversion(data: &TomographyData) -> CMatrix {
+    match try_linear_inversion(data) {
+        Ok(rho) => rho,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`linear_inversion`]: returns
+/// [`QfcError::InsufficientData`] for informationally incomplete data
+/// instead of panicking.
+pub fn try_linear_inversion(data: &TomographyData) -> QfcResult<CMatrix> {
     let n = data.qubits();
     let dim = 1usize << n;
     let mut rho = CMatrix::zeros(dim, dim);
@@ -69,16 +80,19 @@ pub fn linear_inversion(data: &TomographyData) -> CMatrix {
             acc += exp;
             n_compat += 1;
         }
-        assert!(
-            n_compat > 0,
-            "no compatible setting for Pauli string {digits:?}; \
-             tomography data is informationally incomplete"
-        );
+        if n_compat == 0 {
+            return Err(QfcError::InsufficientData {
+                context: format!(
+                    "no compatible setting for Pauli string {digits:?}; \
+                     tomography data is informationally incomplete"
+                ),
+            });
+        }
         let expectation = acc / n_compat as f64;
         let sigma = pauli_string_matrix(&string);
         rho = &rho + &sigma.scale(expectation / dim as f64);
     }
-    rho
+    Ok(rho)
 }
 
 /// Projects a Hermitian matrix onto the physical state space: clips
@@ -88,10 +102,25 @@ pub fn linear_inversion(data: &TomographyData) -> CMatrix {
 ///
 /// Panics if the projected trace vanishes.
 pub fn project_physical(mat: &CMatrix) -> DensityMatrix {
+    match try_project_physical(mat) {
+        Ok(rho) => rho,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`project_physical`]: reports a vanishing projected
+/// trace (or a non-Hermitian input the density-matrix constructor
+/// rejects) instead of panicking.
+pub fn try_project_physical(mat: &CMatrix) -> QfcResult<DensityMatrix> {
     let p = psd_projection(mat);
     let tr = p.trace().re;
-    assert!(tr > 1e-12, "projection annihilated the matrix");
-    DensityMatrix::from_matrix(p.scale(1.0 / tr)).expect("projection yields a valid state")
+    if tr.is_nan() || tr <= 1e-12 {
+        return Err(QfcError::SingularSystem {
+            context: "physical projection: projection annihilated the matrix".to_owned(),
+        });
+    }
+    DensityMatrix::from_matrix(p.scale(1.0 / tr))
+        .ok_or_else(|| QfcError::non_finite("physical projection"))
 }
 
 /// Options for the iterative MLE reconstruction.
@@ -121,6 +150,10 @@ pub struct MleResult {
     pub iterations: usize,
     /// Final update norm.
     pub final_update: f64,
+    /// `true` when the final update met the tolerance within the
+    /// iteration budget — `false` signals divergence and is the trigger
+    /// for the supervisor's linear-inversion fallback.
+    pub converged: bool,
 }
 
 /// Iterative RρR maximum-likelihood reconstruction.
@@ -172,6 +205,7 @@ pub fn mle_reconstruction(data: &TomographyData, options: &MleOptions) -> MleRes
     MleResult {
         rho,
         iterations,
+        converged: final_update < options.tolerance,
         final_update,
     }
 }
@@ -180,6 +214,11 @@ pub fn mle_reconstruction(data: &TomographyData, options: &MleOptions) -> MleRes
 /// inversion + projection (the fast path).
 pub fn linear_reconstruction(data: &TomographyData) -> DensityMatrix {
     project_physical(&linear_inversion(data))
+}
+
+/// Fallible form of [`linear_reconstruction`].
+pub fn try_linear_reconstruction(data: &TomographyData) -> QfcResult<DensityMatrix> {
+    try_project_physical(&try_linear_inversion(data)?)
 }
 
 /// Convenience accessor for matrix elements of a reconstruction in
@@ -248,6 +287,30 @@ mod tests {
         let result = mle_reconstruction(&data, &MleOptions::default());
         assert!(result.iterations < 300, "iterations {}", result.iterations);
         assert!(result.final_update < 1e-8);
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn mle_divergence_flagged() {
+        let mut rng = rng_from_seed(35);
+        let rho = werner_state(0.83, 0.0);
+        let data = simulate_counts(&mut rng, &rho, &all_settings(2), 4000);
+        // One iteration against an unattainable tolerance cannot converge.
+        let opts = MleOptions {
+            max_iterations: 1,
+            tolerance: 1e-30,
+        };
+        let result = mle_reconstruction(&data, &opts);
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn try_linear_inversion_reports_incomplete_data() {
+        use crate::settings::{PauliBasis, Setting};
+        let rho = DensityMatrix::from_pure(&PureState::plus());
+        let data = exact_counts(&rho, &[Setting(vec![PauliBasis::Z])], 1000);
+        let err = try_linear_inversion(&data).unwrap_err();
+        assert!(err.to_string().contains("informationally incomplete"));
     }
 
     #[test]

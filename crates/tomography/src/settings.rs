@@ -89,7 +89,7 @@ impl Setting {
                 Some(m) => m.kron(&p),
             });
         }
-        acc.expect("setting has at least one qubit")
+        acc.unwrap_or_else(|| unreachable!("setting has at least one qubit"))
     }
 
     /// Eigenvalue product `Πq (±1)` of outcome `o` over the qubits in

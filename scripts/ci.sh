@@ -14,7 +14,19 @@ cargo test -q
 echo "==> cargo clippy -p qfc-runtime -- -D warnings"
 cargo clippy -p qfc-runtime -- -D warnings
 
+# Library crates must not panic via unwrap/expect: every fallible path
+# either returns a QfcError or panics through a validated legacy wrapper.
+echo "==> cargo clippy (library no-unwrap gate)"
+cargo clippy --no-deps --lib \
+  -p qfc-mathkit -p qfc-faults -p qfc-runtime -p qfc-photonics \
+  -p qfc-quantum -p qfc-timetag -p qfc-interferometry -p qfc-tomography \
+  -p qfc-core \
+  -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "==> qfc-bench --smoke (serial/parallel determinism cross-check)"
 ./target/release/qfc-bench --smoke --out target/BENCH_smoke.json
+
+echo "==> fault matrix (graceful-degradation smoke run)"
+cargo run --release --example fault_matrix > target/FAULT_MATRIX.md
 
 echo "CI gate passed."

@@ -25,6 +25,7 @@
 //! ```
 
 pub use qfc_core as core;
+pub use qfc_faults as faults;
 pub use qfc_interferometry as interferometry;
 pub use qfc_mathkit as mathkit;
 pub use qfc_photonics as photonics;
