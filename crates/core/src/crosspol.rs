@@ -191,7 +191,10 @@ pub fn try_run_crosspol_experiment(
         return Err(QfcError::invalid("collection efficiency must be in [0, 1]"));
     }
     config.detector.try_validate()?;
+    let _driver_span = qfc_obs::span("driver.crosspol");
+    crate::report::record_manifest(seed, config, schedule);
 
+    let source_span = qfc_obs::span("driver.crosspol.source");
     let mut health = HealthReport::pristine();
     let policy = SupervisorPolicy::default();
     supervisor::record_schedule_faults(schedule, config.duration_s, &mut health);
@@ -215,9 +218,12 @@ pub fn try_run_crosspol_experiment(
     let tau = source.ring().coincidence_decay_time();
     let duration_ps = (config.duration_s * 1e12) as i64;
 
+    drop(source_span);
     // True pair arrivals; PBS routes TE → arm A, TM → arm B with a small
     // leakage probability that swaps the routing.
+    let timetag_span = qfc_obs::span("driver.crosspol.timetag");
     let n = poisson(&mut rng, rate * config.duration_s);
+    qfc_obs::counter_add("shots_simulated", n);
     let mut te_true = Vec::new();
     let mut tm_true = Vec::new();
     for _ in 0..n {
@@ -255,7 +261,9 @@ pub fn try_run_crosspol_experiment(
         supervisor::apply_tdc_saturation(arm.detect(&mut rng, &te_true, duration_ps), schedule);
     let tm_stream =
         supervisor::apply_tdc_saturation(arm.detect(&mut rng, &tm_true, duration_ps), schedule);
+    drop(timetag_span);
 
+    let analysis_span = qfc_obs::span("driver.crosspol.analysis");
     let car_result = measure_car(
         &te_stream,
         &tm_stream,
@@ -268,7 +276,9 @@ pub fn try_run_crosspol_experiment(
     } else {
         car_result.coincidences as f64
     };
+    drop(analysis_span);
 
+    let _report_span = qfc_obs::span("driver.crosspol.report");
     Ok(CrossPolRun {
         report: CrossPolReport {
             generated_pair_rate_hz: rate,

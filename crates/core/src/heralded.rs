@@ -246,6 +246,7 @@ fn generate_pair_arrivals<R: Rng + ?Sized>(
     duration_s: f64,
 ) -> (Vec<i64>, Vec<i64>) {
     let n = poisson(rng, rate_hz * duration_s);
+    qfc_obs::counter_add("shots_simulated", n);
     let mut signal = Vec::with_capacity(n as usize);
     let mut idler = Vec::with_capacity(n as usize);
     for _ in 0..n {
@@ -329,12 +330,15 @@ pub fn try_run_heralded_experiment(
         )));
     }
     config.detector.try_validate()?;
+    let _driver_span = qfc_obs::span("driver.heralded");
+    crate::report::record_manifest(seed, config, schedule);
     let tau = source.ring().coincidence_decay_time();
     let linewidth_hz = source.ring().linewidth().hz();
     let duration_ps = (config.duration_s * 1e12) as i64;
 
     // Supervision: log the schedule, recover pump lock losses, and
     // quarantine channels with mostly-dead detectors.
+    let source_span = qfc_obs::span("driver.heralded.source");
     let mut health = HealthReport::pristine();
     let policy = SupervisorPolicy::default();
     supervisor::record_schedule_faults(schedule, config.duration_s, &mut health);
@@ -361,6 +365,7 @@ pub fn try_run_heralded_experiment(
             })
         })
         .collect::<QfcResult<_>>()?;
+    drop(source_span);
 
     // Independent seed domains for the experiment's two stochastic
     // stages, so channel streams and the F2 pair run never alias.
@@ -377,6 +382,7 @@ pub fn try_run_heralded_experiment(
     // are pure functions of the schedule, so thread count cannot change
     // the result.
     let indexed: Vec<(usize, u32)> = survivors.iter().copied().enumerate().collect();
+    let timetag_span = qfc_obs::span("driver.heralded.timetag");
     let streams: Vec<(TagStream, TagStream)> = qfc_runtime::par_map(&indexed, |&(idx, m)| {
         let mut rng = rng_from_seed(split_seed(channel_root, u64::from(m)));
         let (mut s_true, mut i_true) =
@@ -395,6 +401,8 @@ pub fn try_run_heralded_experiment(
     });
     let (signal_streams, idler_streams): (Vec<TagStream>, Vec<TagStream>) =
         streams.into_iter().unzip();
+    drop(timetag_span);
+    let analysis_span = qfc_obs::span("driver.heralded.analysis");
 
     // F1 coincidence matrix: every signal×idler cell is an independent
     // pure count over already-fixed streams (surviving channels only).
@@ -451,6 +459,7 @@ pub fn try_run_heralded_experiment(
     // concatenating their tag lists in shard order reproduces one serial
     // stream's statistics exactly.
     let span_s = 10.0 * config.linewidth_pairs as f64 * 1e-6; // sparse
+    qfc_obs::counter_add("shots_simulated", config.linewidth_pairs as u64);
     let (a, b) = qfc_runtime::par_shots(
         config.linewidth_pairs as u64,
         linewidth_root,
@@ -495,7 +504,9 @@ pub fn try_run_heralded_experiment(
         config.histogram_bin_ps,
     );
     let linewidth = try_extract_linewidth(&hist)?;
+    drop(analysis_span);
 
+    let _report_span = qfc_obs::span("driver.heralded.report");
     Ok(HeraldedRun {
         report: HeraldedReport {
             channels,

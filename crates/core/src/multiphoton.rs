@@ -156,6 +156,10 @@ fn try_run_bell_tomography(
     let per_channel: Vec<QfcResult<(BellTomographyResult, HealthReport)>> =
         qfc_runtime::par_map(&models, |(m, c, model)| {
             let m = *m;
+            qfc_obs::counter_add(
+                "shots_simulated",
+                config.bell_shots_per_setting.saturating_mul(settings.len() as u64),
+            );
             let mut local = HealthReport::pristine();
             // Accidentals appear as white noise in the tomography counts.
             let p_sig = model.mu
@@ -254,6 +258,12 @@ fn try_four_photon_fringe(
     };
     let p_acc = config.four_fold_accidental_fraction * p4_scale * mean_point;
 
+    qfc_obs::counter_add(
+        "shots_simulated",
+        config
+            .four_fold_frames_per_point
+            .saturating_mul(config.four_fold_phase_steps as u64),
+    );
     let mut points = Vec::with_capacity(config.four_fold_phase_steps);
     for k in 0..config.four_fold_phase_steps {
         let phi = std::f64::consts::PI * k as f64 / config.four_fold_phase_steps as f64;
@@ -326,6 +336,10 @@ fn try_four_photon_tomography(
     );
     // 81 four-qubit settings, each sampled on its own split-seed stream.
     let settings = all_settings(4);
+    qfc_obs::counter_add(
+        "shots_simulated",
+        config.four_shots_per_setting.saturating_mul(settings.len() as u64),
+    );
     let data = simulate_counts_seeded(&rho4, &settings, config.four_shots_per_setting, seed);
     let total = data.grand_total();
     let mle = supervisor::reconstruct_with_fallback(&data, &MleOptions::default(), health)?;
@@ -505,7 +519,10 @@ pub fn try_run_multiphoton_experiment(
             "need ≥ 2 phase steps for the four-photon fringe",
         ));
     }
+    let _driver_span = qfc_obs::span("driver.multiphoton");
+    crate::report::record_manifest(seed, config, schedule);
 
+    let source_span = qfc_obs::span("driver.multiphoton.source");
     let duration_s = nominal_duration_s(&config.timebin);
     let mut health = HealthReport::pristine();
     let policy = SupervisorPolicy::default();
@@ -528,11 +545,16 @@ pub fn try_run_multiphoton_experiment(
     let amp = (schedule.mean_pump_rate_factor(0.0, duration_s, linewidth_hz) * live)
         .max(1e-6)
         .sqrt();
+    drop(source_span);
 
     // T3 runs on every surviving channel at the (fault-scaled) §IV pump.
+    let timetag_span = qfc_obs::span("driver.multiphoton.timetag");
     let bell = try_run_bell_tomography(
         source, config, seed, schedule, duration_s, amp, &survivors, &mut health,
     )?;
+    drop(timetag_span);
+
+    let analysis_span = qfc_obs::span("driver.multiphoton.analysis");
 
     // F8/T4 post-select four-folds from channels 1 and 2, so their
     // operating point carries the phase offset, the channel-1 dark
@@ -563,7 +585,9 @@ pub fn try_run_multiphoton_experiment(
         pump4,
         &mut health,
     )?;
+    drop(analysis_span);
 
+    let _report_span = qfc_obs::span("driver.multiphoton.report");
     Ok(MultiPhotonRun {
         report: MultiPhotonReport {
             bell,

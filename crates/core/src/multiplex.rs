@@ -52,11 +52,20 @@ impl StarNetwork {
     }
 
     /// `true` when no two users share a wavelength.
+    ///
+    /// Frequencies are compared exactly via `f64::to_bits` — an `as i64`
+    /// cast would truncate fractional Hz (collapsing distinct channels
+    /// within 1 Hz) and saturate on non-finite values.
     pub fn wavelengths_disjoint(&self) -> bool {
-        let mut freqs: Vec<i64> = self
+        let mut freqs: Vec<u64> = self
             .users
             .iter()
-            .flat_map(|u| [u.alice_frequency.hz() as i64, u.bob_frequency.hz() as i64])
+            .flat_map(|u| {
+                [
+                    u.alice_frequency.hz().to_bits(),
+                    u.bob_frequency.hz().to_bits(),
+                ]
+            })
             .collect();
         let n = freqs.len();
         freqs.sort_unstable();
@@ -145,6 +154,25 @@ mod tests {
         assert!(bands.contains(&TelecomBand::C));
         assert!(bands.contains(&TelecomBand::L));
         assert!(net.wavelengths_disjoint());
+    }
+
+    #[test]
+    fn near_degenerate_channels_stay_disjoint() {
+        // Regression: two distinct frequencies 0.25 Hz apart used to
+        // collapse to the same i64 under the `hz() as i64` comparison and
+        // report a (false) collision.
+        let mut net = network(2);
+        let base = net.users[0].alice_frequency.hz();
+        net.users[1].alice_frequency = Frequency::from_hz(base + 0.25);
+        assert_ne!(
+            net.users[0].alice_frequency.hz(),
+            net.users[1].alice_frequency.hz()
+        );
+        assert!(net.wavelengths_disjoint());
+
+        // Exact duplicates are still caught.
+        net.users[1].alice_frequency = net.users[0].alice_frequency;
+        assert!(!net.wavelengths_disjoint());
     }
 
     #[test]

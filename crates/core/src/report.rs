@@ -3,7 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use qfc_faults::HealthReport;
+use qfc_faults::{FaultSchedule, HealthReport};
+use qfc_obs::RunManifest;
 
 /// How a measured value is judged against the paper's value.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -64,7 +65,17 @@ impl Comparison {
     }
 
     /// `true` when the measurement satisfies its expectation.
+    ///
+    /// A NaN measured value never passes, whatever the expectation — a
+    /// degenerate analysis (e.g. a guarded [`relative_fluctuation`]
+    /// returning NaN) must surface as a failing row, not slip through a
+    /// comparison whose ordering happens to be vacuous.
+    ///
+    /// [`relative_fluctuation`]: qfc_mathkit::stats::relative_fluctuation
     pub fn passes(&self) -> bool {
+        if self.measured_value.is_nan() {
+            return false;
+        }
         match self.expectation {
             Expectation::Within { rel_tol } => {
                 if self.paper_value == 0.0 {
@@ -83,7 +94,12 @@ impl Comparison {
 }
 
 /// A full experiment report: a set of comparison rows with a title.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serde impls are hand-written (the vendored serde has no
+/// `skip_serializing_if`): the `manifest` field is only emitted when
+/// present, so reports from uninstrumented runs stay byte-identical to
+/// the pre-observability format.
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Experiment title, e.g. `"§II heralded single photons"`.
     pub title: String,
@@ -92,15 +108,102 @@ pub struct ExperimentReport {
     /// Run health: injected faults and the recovery actions taken.
     /// [`HealthReport::pristine`] for a clean run.
     pub health: HealthReport,
+    /// Run manifest recorded by an installed [`qfc_obs::Collector`];
+    /// `None` for uninstrumented runs.
+    pub manifest: Option<RunManifest>,
+}
+
+impl Serialize for ExperimentReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("title".to_owned(), self.title.to_value()),
+            ("comparisons".to_owned(), self.comparisons.to_value()),
+            ("health".to_owned(), self.health.to_value()),
+        ];
+        if let Some(m) = &self.manifest {
+            fields.push(("manifest".to_owned(), manifest_to_value(m)));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ExperimentReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            title: String::from_value(v.get_field("title")?)?,
+            comparisons: Vec::from_value(v.get_field("comparisons")?)?,
+            health: HealthReport::from_value(v.get_field("health")?)?,
+            manifest: match v.get_field("manifest") {
+                Ok(field) => Some(manifest_from_value(field)?),
+                Err(_) => None,
+            },
+        })
+    }
+}
+
+fn manifest_to_value(m: &RunManifest) -> serde::Value {
+    serde::Value::Object(vec![
+        ("seed".to_owned(), m.seed.to_value()),
+        ("config_digest".to_owned(), m.config_digest.to_value()),
+        ("threads".to_owned(), m.threads.to_value()),
+        ("qfc_threads_env".to_owned(), m.qfc_threads_env.to_value()),
+        ("fault_events".to_owned(), m.fault_events.to_value()),
+        ("fault_kinds".to_owned(), m.fault_kinds.to_value()),
+        ("crate_version".to_owned(), m.crate_version.to_value()),
+    ])
+}
+
+fn manifest_from_value(v: &serde::Value) -> Result<RunManifest, serde::Error> {
+    Ok(RunManifest {
+        seed: u64::from_value(v.get_field("seed")?)?,
+        config_digest: String::from_value(v.get_field("config_digest")?)?,
+        threads: usize::from_value(v.get_field("threads")?)?,
+        qfc_threads_env: Option::from_value(v.get_field("qfc_threads_env")?)?,
+        fault_events: usize::from_value(v.get_field("fault_events")?)?,
+        fault_kinds: Vec::from_value(v.get_field("fault_kinds")?)?,
+        crate_version: String::from_value(v.get_field("crate_version")?)?,
+    })
+}
+
+/// Records a [`RunManifest`] for the current driver invocation on the
+/// installed observability collector (no-op when none is installed).
+///
+/// The digest is FNV-1a 64 over the config's JSON serialization; the
+/// thread count is the pool size the run resolved to.
+pub fn record_manifest<C: Serialize>(seed: u64, config: &C, schedule: &FaultSchedule) {
+    if !qfc_obs::enabled() {
+        return;
+    }
+    let config_json = serde_json::to_string(config).unwrap_or_default();
+    let mut fault_kinds: Vec<String> = schedule
+        .events()
+        .iter()
+        .map(|e| e.kind.label())
+        .collect();
+    fault_kinds.sort();
+    fault_kinds.dedup();
+    qfc_obs::set_manifest(RunManifest {
+        seed,
+        config_digest: RunManifest::digest_hex(config_json.as_bytes()),
+        threads: qfc_runtime::max_threads(),
+        qfc_threads_env: std::env::var("QFC_THREADS").ok(),
+        fault_events: schedule.events().len(),
+        fault_kinds,
+        crate_version: env!("CARGO_PKG_VERSION").to_owned(),
+    });
 }
 
 impl ExperimentReport {
-    /// Creates an empty report with pristine health.
+    /// Creates an empty report with pristine health, picking up the
+    /// manifest recorded on the installed observability collector (if
+    /// any) — uninstrumented runs carry `None` and serialize exactly as
+    /// before.
     pub fn new(title: &str) -> Self {
         Self {
             title: title.to_owned(),
             comparisons: Vec::new(),
             health: HealthReport::pristine(),
+            manifest: qfc_obs::current_manifest(),
         }
     }
 
@@ -152,6 +255,12 @@ impl ExperimentReport {
         if !self.health.is_pristine() {
             out.push('\n');
             out.push_str(&self.health.render());
+        }
+        if let Some(m) = &self.manifest {
+            out.push_str(&format!(
+                "\nmanifest: seed={} config={} threads={} faults={} v{}\n",
+                m.seed, m.config_digest, m.threads, m.fault_events, m.crate_version
+            ));
         }
         out
     }
@@ -210,6 +319,68 @@ mod tests {
         r.push(Comparison::new("B", "q2", 1.0, 2.0, "u", Expectation::Within { rel_tol: 0.1 }));
         assert!(!r.all_pass());
         assert!(r.render().contains("NO"));
+    }
+
+    #[test]
+    fn nan_measured_value_never_passes() {
+        // Regression: NaN used to pass AtMost/AtLeast vacuously-false
+        // orderings? No — NaN fails all orderings, but the audit pins the
+        // guarantee for every arm, including the zero-reference Within.
+        let expectations = [
+            Expectation::Within { rel_tol: 0.5 },
+            Expectation::AtLeast,
+            Expectation::AtMost,
+            Expectation::InRange {
+                lo: f64::NEG_INFINITY,
+                hi: f64::INFINITY,
+            },
+        ];
+        for e in expectations {
+            let c = Comparison::new("x", "q", 1.0, f64::NAN, "", e);
+            assert!(!c.passes(), "{e:?} passed a NaN measurement");
+        }
+        let zero_ref = Comparison::new(
+            "x",
+            "q",
+            0.0,
+            f64::NAN,
+            "",
+            Expectation::Within { rel_tol: 1.0 },
+        );
+        assert!(!zero_ref.passes());
+        // A guarded relative_fluctuation (negative-mean sample → NaN) can
+        // no longer sneak past the paper's ≤5 % stability cap.
+        let fluct = qfc_mathkit::stats::relative_fluctuation(&[-1.0, -2.0]);
+        assert!(!Comparison::new("F3", "fluct", 0.05, fluct, "", Expectation::AtMost).passes());
+    }
+
+    #[test]
+    fn manifest_absent_keeps_legacy_json() {
+        let mut r = ExperimentReport::new("plain");
+        r.push(Comparison::new("A", "q", 1.0, 1.1, "u", Expectation::AtLeast));
+        let json = serde_json::to_string(&r).expect("serializes");
+        assert!(!json.contains("manifest"));
+        let back: ExperimentReport = serde_json::from_str(&json).expect("deserializes");
+        assert!(back.manifest.is_none());
+    }
+
+    #[test]
+    fn manifest_round_trips_when_present() {
+        let mut r = ExperimentReport::new("instrumented");
+        r.manifest = Some(RunManifest {
+            seed: 42,
+            config_digest: "00000000deadbeef".to_owned(),
+            threads: 8,
+            qfc_threads_env: Some("8".to_owned()),
+            fault_events: 2,
+            fault_kinds: vec!["pump power drop".to_owned()],
+            crate_version: "0.1.0".to_owned(),
+        });
+        let json = serde_json::to_string(&r).expect("serializes");
+        assert!(json.contains("\"config_digest\""));
+        let back: ExperimentReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.manifest, r.manifest);
+        assert!(r.render().contains("manifest: seed=42"));
     }
 
     #[test]

@@ -428,7 +428,10 @@ pub fn try_run_timebin_experiment(
     if config.phase_steps < 5 {
         return Err(QfcError::invalid("need ≥ 5 phase steps for the fit"));
     }
+    let _driver_span = qfc_obs::span("driver.timebin");
+    crate::report::record_manifest(seed, config, schedule);
 
+    let source_span = qfc_obs::span("driver.timebin.source");
     let duration_s = nominal_duration_s(config);
     let mut health = HealthReport::pristine();
     let policy = SupervisorPolicy::default();
@@ -467,13 +470,19 @@ pub fn try_run_timebin_experiment(
             try_channel_state_model_boosted(source, &c, m, amp).map(|model| (m, c, model))
         })
         .collect::<QfcResult<_>>()?;
+    drop(source_span);
 
     // One independent split-seed stream per channel pair: the fringe and
     // CHSH draws of channel m depend only on (seed, m), so channels are
     // parallel tasks with a thread-count-independent result.
+    let timetag_span = qfc_obs::span("driver.timebin.timetag");
     let per_channel: Vec<(ChannelFringe, ChshChannelResult)> =
         qfc_runtime::par_map(&models, |(m, c, model)| {
             let m = *m;
+            qfc_obs::counter_add(
+                "shots_simulated",
+                c.frames_per_point.saturating_mul(c.phase_steps as u64 + 16),
+            );
             let mut rng = rng_from_seed(split_seed(seed, u64::from(m)));
 
         // F7 fringe: scan one analyzer phase.
@@ -535,8 +544,13 @@ pub fn try_run_timebin_experiment(
         };
         (fringe, chsh)
     });
+    drop(timetag_span);
 
+    let analysis_span = qfc_obs::span("driver.timebin.analysis");
     let (fringes, chsh) = per_channel.into_iter().unzip();
+    drop(analysis_span);
+
+    let _report_span = qfc_obs::span("driver.timebin.report");
     Ok(TimeBinRun {
         report: TimeBinReport { fringes, chsh },
         health,

@@ -88,7 +88,15 @@ impl HealthReport {
     }
 
     /// Records an injected fault.
+    ///
+    /// Every `record_*` method also bumps the matching `qfc_obs` counter
+    /// (`faults_injected`, `recovery_*`) when a collector is installed,
+    /// so the observability registry mirrors the health section without
+    /// separate wiring at every call site. [`absorb`](Self::absorb)
+    /// deliberately does *not* re-count — sub-experiment records were
+    /// counted when first recorded.
     pub fn record_fault(&mut self, description: String, start_s: f64, duration_s: f64) {
+        qfc_obs::counter_add("faults_injected", 1);
         self.faults_injected.push(FaultRecord {
             description,
             start_s,
@@ -98,6 +106,7 @@ impl HealthReport {
 
     /// Records a successful pump re-lock.
     pub fn record_relock(&mut self, attempts: u32, outage_s: f64) {
+        qfc_obs::counter_add("recovery_relocks", 1);
         self.recovery_actions
             .push(RecoveryAction::PumpRelock { attempts });
         self.outage_s += outage_s;
@@ -106,6 +115,7 @@ impl HealthReport {
     /// Records a channel quarantine (keeps the channel list sorted and
     /// deduplicated).
     pub fn record_quarantine(&mut self, channel: u32, reason: impl Into<String>) {
+        qfc_obs::counter_add("recovery_quarantines", 1);
         self.recovery_actions.push(RecoveryAction::ChannelQuarantined {
             channel,
             reason: reason.into(),
@@ -117,6 +127,7 @@ impl HealthReport {
 
     /// Records an estimator fallback.
     pub fn record_fallback(&mut self, from: impl Into<String>, to: impl Into<String>) {
+        qfc_obs::counter_add("recovery_fallbacks", 1);
         self.recovery_actions.push(RecoveryAction::Fallback {
             from: from.into(),
             to: to.into(),
@@ -125,6 +136,7 @@ impl HealthReport {
 
     /// Records a retried stage.
     pub fn record_retry(&mut self, stage: impl Into<String>) {
+        qfc_obs::counter_add("recovery_retries", 1);
         self.recovery_actions.push(RecoveryAction::Retry {
             stage: stage.into(),
         });

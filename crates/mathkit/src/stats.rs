@@ -38,14 +38,21 @@ pub fn sample_std_dev(xs: &[f64]) -> f64 {
 /// Relative fluctuation: peak-to-peak range divided by the mean.
 ///
 /// The paper's §II stability claim ("less than 5 % fluctuation over weeks")
-/// is stated in exactly this measure.
+/// is stated in exactly this measure, which is only meaningful for a
+/// strictly positive mean (count rates). A zero, negative, or non-finite
+/// mean returns `NaN` — previously it produced `±inf` or a *negative*
+/// "fluctuation" that could spuriously satisfy an at-most bound.
 pub fn relative_fluctuation(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
+    let m = mean(xs);
+    if !m.is_finite() || m <= 0.0 {
+        return f64::NAN;
+    }
     let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-    (max - min) / mean(xs)
+    (max - min) / m
 }
 
 /// Minimum of a sample (`NaN` if empty).
@@ -230,34 +237,76 @@ impl Histogram {
     }
 
     /// Full width at half maximum in x-units, by linear interpolation of the
-    /// bin profile around the peak. Returns `None` when all bins are empty.
+    /// bin profile around the peak.
+    ///
+    /// Returns `None` when all bins are empty **or when either half-max
+    /// crossing lies outside the histogram range** — the profile is then
+    /// truncated and any width would be a confidently wrong lower bound
+    /// (this feeds the §II Δν = 110 MHz linewidth comparison).
+    /// [`fwhm_estimate`](Self::fwhm_estimate) exposes the clamped width
+    /// for callers that can tolerate it.
     pub fn fwhm(&self) -> Option<f64> {
+        let est = self.fwhm_estimate()?;
+        if est.left_clamped || est.right_clamped {
+            None
+        } else {
+            Some(est.width)
+        }
+    }
+
+    /// Like [`fwhm`](Self::fwhm), but always returns the interpolated
+    /// width when a peak exists, with explicit flags marking whether
+    /// either crossing had to be clamped to the histogram edge (i.e. the
+    /// true width is wider than the range can show).
+    pub fn fwhm_estimate(&self) -> Option<FwhmEstimate> {
         let (peak_idx, peak) = self.peak()?;
         let half = peak as f64 / 2.0;
         // Walk left.
         let mut left = self.bin_center(0);
+        let mut left_clamped = true;
         for i in (0..peak_idx).rev() {
             if (self.counts[i] as f64) < half {
                 let c0 = self.counts[i] as f64;
                 let c1 = self.counts[i + 1] as f64;
                 let frac = if c1 > c0 { (half - c0) / (c1 - c0) } else { 0.5 };
                 left = self.bin_center(i) + frac * self.bin_width();
+                left_clamped = false;
                 break;
             }
         }
         // Walk right.
         let mut right = self.bin_center(self.bins() - 1);
+        let mut right_clamped = true;
         for i in peak_idx + 1..self.bins() {
             if (self.counts[i] as f64) < half {
                 let c0 = self.counts[i - 1] as f64;
                 let c1 = self.counts[i] as f64;
                 let frac = if c0 > c1 { (c0 - half) / (c0 - c1) } else { 0.5 };
                 right = self.bin_center(i - 1) + frac * self.bin_width();
+                right_clamped = false;
                 break;
             }
         }
-        Some(right - left)
+        Some(FwhmEstimate {
+            width: right - left,
+            left_clamped,
+            right_clamped,
+        })
     }
+}
+
+/// Result of [`Histogram::fwhm_estimate`]: an interpolated width plus
+/// flags recording whether either half-max crossing fell outside the
+/// histogram range and was clamped to the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FwhmEstimate {
+    /// Interpolated full width at half maximum (clamped to the range
+    /// when a crossing is missing — see the flags).
+    pub width: f64,
+    /// The left crossing was not found inside the range.
+    pub left_clamped: bool,
+    /// The right crossing was not found inside the range.
+    pub right_clamped: bool,
 }
 
 #[cfg(test)]
@@ -335,6 +384,55 @@ mod tests {
         assert_eq!(peak, 16);
         let fwhm = h.fwhm().expect("peak exists");
         assert!(fwhm > 1.0 && fwhm < 4.0, "fwhm {fwhm}");
+    }
+
+    #[test]
+    fn relative_fluctuation_guards_nonpositive_mean() {
+        // Regression: a negative mean used to yield a *negative*
+        // fluctuation (range / mean < 0), which spuriously satisfies any
+        // at-most bound; a zero mean yielded ±inf.
+        assert!(relative_fluctuation(&[-1.0, -2.0, -3.0]).is_nan());
+        assert!(relative_fluctuation(&[-1.0, 1.0]).is_nan());
+        assert!(relative_fluctuation(&[0.0, 0.0]).is_nan());
+        assert!(relative_fluctuation(&[f64::INFINITY, 1.0]).is_nan());
+        // Positive-mean samples are unaffected.
+        assert!((relative_fluctuation(&[95.0, 100.0, 105.0]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fwhm_returns_none_when_crossing_outside_range() {
+        // Regression: a profile whose half-max crossing lies outside the
+        // histogram used to silently clamp to the range edges and report
+        // the full range as the width.
+        let mut h = Histogram::new(0.0, 5.0, 5);
+        // Monotone decreasing from an edge peak; right side never drops
+        // below half (16/2 = 8), left side has no bins at all.
+        for (i, &c) in [16u64, 12, 10, 9, 8].iter().enumerate() {
+            h.add_weighted(i as f64 + 0.5, c);
+        }
+        assert_eq!(h.fwhm(), None);
+        let est = h.fwhm_estimate().expect("peak exists");
+        assert!(est.left_clamped && est.right_clamped);
+
+        // One-sided truncation is also flagged.
+        let mut h = Histogram::new(0.0, 5.0, 5);
+        for (i, &c) in [16u64, 12, 7, 2, 1].iter().enumerate() {
+            h.add_weighted(i as f64 + 0.5, c);
+        }
+        assert_eq!(h.fwhm(), None);
+        let est = h.fwhm_estimate().expect("peak exists");
+        assert!(est.left_clamped && !est.right_clamped);
+    }
+
+    #[test]
+    fn fwhm_estimate_matches_fwhm_when_contained() {
+        let mut h = Histogram::new(0.0, 9.0, 9);
+        for (i, &c) in [1u64, 2, 4, 8, 16, 8, 4, 2, 1].iter().enumerate() {
+            h.add_weighted(i as f64 + 0.5, c);
+        }
+        let est = h.fwhm_estimate().expect("peak exists");
+        assert!(!est.left_clamped && !est.right_clamped);
+        assert_eq!(h.fwhm(), Some(est.width));
     }
 
     #[test]

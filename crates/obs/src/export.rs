@@ -1,0 +1,291 @@
+//! Trace exporters: full JSON (with wall-times), deterministic JSON
+//! (thread-count-invariant view), and a human-readable tree.
+//!
+//! The JSON writer is hand-rolled so the crate stays zero-dependency;
+//! keys are emitted in fixed order and objects never pass through a hash
+//! map, so output is byte-stable for a given snapshot.
+
+use crate::manifest::RunManifest;
+
+/// One aggregated span node in a [`TraceSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanData {
+    /// Span name, e.g. `driver.heralded.analysis`.
+    pub name: String,
+    /// How many times this span was entered.
+    pub calls: u64,
+    /// Total wall-time across all entries, in nanoseconds.
+    pub total_ns: u128,
+    /// Child spans in first-entry order (deterministic: spans only open
+    /// on the driver thread).
+    pub children: Vec<SpanData>,
+}
+
+/// A consistent copy of a collector's trace tree, metrics registry, and
+/// manifest, ready for export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSnapshot {
+    /// Root of the span tree (synthetic `run` node).
+    pub spans: SpanData,
+    /// Counters in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges in registration order.
+    pub gauges: Vec<(String, f64)>,
+    /// The run manifest, when one was recorded.
+    pub manifest: Option<RunManifest>,
+}
+
+impl TraceSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Full JSON export: span tree with wall-times, counters, gauges,
+    /// and the manifest. Wall-times vary run-to-run; for a
+    /// byte-comparable view use [`Self::to_deterministic_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"spans\":");
+        write_span(&mut out, &self.spans, true);
+        out.push_str(",\"counters\":");
+        write_counters(&mut out, &self.counters);
+        out.push_str(",\"gauges\":[");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_string(&mut out, name);
+            out.push_str(",\"value\":");
+            write_f64(&mut out, *value);
+            out.push('}');
+        }
+        out.push_str("],\"manifest\":");
+        match &self.manifest {
+            Some(m) => write_manifest(&mut out, m),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Deterministic JSON export: span structure and call counts plus
+    /// counters only. Omits wall-times (nondeterministic), gauges and
+    /// the manifest (both record the actual execution environment, e.g.
+    /// thread count) — so this view is byte-identical across thread
+    /// counts for a deterministic workload.
+    pub fn to_deterministic_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"spans\":");
+        write_span(&mut out, &self.spans, false);
+        out.push_str(",\"counters\":");
+        write_counters(&mut out, &self.counters);
+        out.push('}');
+        out
+    }
+
+    /// Human-readable rendering: indented span tree with timings,
+    /// followed by the metrics registry and the manifest.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("trace:\n");
+        render_span(&mut out, &self.spans, 1);
+        out.push_str("counters:\n");
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name:<24} {value}\n"));
+        }
+        out.push_str("gauges:\n");
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("  {name:<24} {value}\n"));
+        }
+        if let Some(m) = &self.manifest {
+            out.push_str("manifest:\n");
+            out.push_str(&format!("  {:<24} {}\n", "seed", m.seed));
+            out.push_str(&format!("  {:<24} {}\n", "config_digest", m.config_digest));
+            out.push_str(&format!("  {:<24} {}\n", "threads", m.threads));
+            out.push_str(&format!(
+                "  {:<24} {}\n",
+                "qfc_threads_env",
+                m.qfc_threads_env.as_deref().unwrap_or("-")
+            ));
+            out.push_str(&format!("  {:<24} {}\n", "fault_events", m.fault_events));
+            if !m.fault_kinds.is_empty() {
+                out.push_str(&format!(
+                    "  {:<24} {}\n",
+                    "fault_kinds",
+                    m.fault_kinds.join(", ")
+                ));
+            }
+            out.push_str(&format!("  {:<24} {}\n", "crate_version", m.crate_version));
+        }
+        out
+    }
+}
+
+fn render_span(out: &mut String, span: &SpanData, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", span.name);
+    if span.calls > 0 {
+        let ms = span.total_ns as f64 / 1e6;
+        out.push_str(&format!("{label:<40} calls={:<6} wall={ms:.3}ms\n", span.calls));
+    } else {
+        out.push_str(&format!("{label}\n"));
+    }
+    for child in &span.children {
+        render_span(out, child, depth + 1);
+    }
+}
+
+fn write_counters(out: &mut String, counters: &[(String, u64)]) {
+    out.push('[');
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_string(out, name);
+        out.push_str(&format!(",\"value\":{value}}}"));
+    }
+    out.push(']');
+}
+
+fn write_span(out: &mut String, span: &SpanData, with_timings: bool) {
+    out.push_str("{\"name\":");
+    write_string(out, &span.name);
+    out.push_str(&format!(",\"calls\":{}", span.calls));
+    if with_timings {
+        out.push_str(&format!(",\"wall_ns\":{}", span.total_ns));
+    }
+    out.push_str(",\"children\":[");
+    for (i, child) in span.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_span(out, child, with_timings);
+    }
+    out.push_str("]}");
+}
+
+fn write_manifest(out: &mut String, m: &RunManifest) {
+    out.push_str(&format!("{{\"seed\":{}", m.seed));
+    out.push_str(",\"config_digest\":");
+    write_string(out, &m.config_digest);
+    out.push_str(&format!(",\"threads\":{}", m.threads));
+    out.push_str(",\"qfc_threads_env\":");
+    match &m.qfc_threads_env {
+        Some(s) => write_string(out, s),
+        None => out.push_str("null"),
+    }
+    out.push_str(&format!(",\"fault_events\":{}", m.fault_events));
+    out.push_str(",\"fault_kinds\":[");
+    for (i, kind) in m.fault_kinds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(out, kind);
+    }
+    out.push_str("],\"crate_version\":");
+    write_string(out, &m.crate_version);
+    out.push('}');
+}
+
+/// Writes a JSON string literal with standard escaping.
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an f64 with shortest-round-trip formatting (JSON `null` for
+/// non-finite values, which JSON cannot represent).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_snapshot() -> TraceSnapshot {
+        TraceSnapshot {
+            spans: SpanData {
+                name: "run".into(),
+                calls: 0,
+                total_ns: 0,
+                children: vec![SpanData {
+                    name: "driver.demo".into(),
+                    calls: 2,
+                    total_ns: 1_500_000,
+                    children: Vec::new(),
+                }],
+            },
+            counters: vec![("shots_simulated".into(), 64)],
+            gauges: vec![("pool_threads".into(), 4.0)],
+            manifest: Some(RunManifest {
+                seed: 7,
+                config_digest: "00000000deadbeef".into(),
+                threads: 4,
+                qfc_threads_env: None,
+                fault_events: 1,
+                fault_kinds: vec!["dark-count burst ×5".into()],
+                crate_version: "0.1.0".into(),
+            }),
+        }
+    }
+
+    #[test]
+    fn full_json_contains_everything() {
+        let json = demo_snapshot().to_json();
+        assert!(json.contains("\"wall_ns\":1500000"));
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\"pool_threads\""));
+        assert!(json.contains("dark-count burst"));
+    }
+
+    #[test]
+    fn deterministic_json_omits_environment() {
+        let json = demo_snapshot().to_deterministic_json();
+        assert!(!json.contains("wall_ns"));
+        assert!(!json.contains("pool_threads"));
+        assert!(!json.contains("seed"));
+        assert!(json.contains("\"calls\":2"));
+        assert!(json.contains("\"shots_simulated\""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn render_is_human_readable() {
+        let text = demo_snapshot().render();
+        assert!(text.contains("trace:"));
+        assert!(text.contains("driver.demo"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("manifest:"));
+        assert!(text.contains("config_digest"));
+    }
+}

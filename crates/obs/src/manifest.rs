@@ -1,0 +1,75 @@
+//! Run manifests: the machine-readable record tying a report to the
+//! exact inputs that produced it.
+
+/// Everything needed to attribute (and in principle replay) a run:
+/// seed, config digest, effective thread count, environment override,
+/// fault-schedule summary, and the workspace version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Root RNG seed of the run.
+    pub seed: u64,
+    /// FNV-1a 64 digest (16 hex digits) of the driver config's JSON
+    /// serialization.
+    pub config_digest: String,
+    /// Effective worker-pool size the run resolved to.
+    pub threads: usize,
+    /// Raw `QFC_THREADS` environment override, when set.
+    pub qfc_threads_env: Option<String>,
+    /// Number of events in the fault schedule (0 for a clean run).
+    pub fault_events: usize,
+    /// Sorted, deduplicated labels of the scheduled fault kinds.
+    pub fault_kinds: Vec<String>,
+    /// `CARGO_PKG_VERSION` of the crate that recorded the manifest.
+    pub crate_version: String,
+}
+
+impl RunManifest {
+    /// Builds a manifest for a clean (no faults) run, capturing the
+    /// `QFC_THREADS` override from the environment.
+    pub fn clean(seed: u64, config_digest: String, threads: usize, crate_version: &str) -> Self {
+        Self {
+            seed,
+            config_digest,
+            threads,
+            qfc_threads_env: std::env::var("QFC_THREADS").ok(),
+            fault_events: 0,
+            fault_kinds: Vec::new(),
+            crate_version: crate_version.to_owned(),
+        }
+    }
+
+    /// Formats a byte digest as the canonical 16-hex-digit string.
+    pub fn digest_hex(bytes: &[u8]) -> String {
+        format!("{:016x}", fnv1a64(bytes))
+    }
+}
+
+/// FNV-1a 64-bit hash — the workspace's standard config digest.
+/// Deterministic, dependency-free, and stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    bytes.iter().fold(OFFSET, |hash, &b| {
+        (hash ^ u64::from(b)).wrapping_mul(PRIME)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn digest_is_16_hex_digits() {
+        let d = RunManifest::digest_hex(b"{\"duration_s\":10.0}");
+        assert_eq!(d.len(), 16);
+        assert!(d.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -99,8 +99,20 @@ where
     F: Fn(usize) -> U + Sync,
 {
     let threads = max_threads().min(n_tasks);
+    // Observability: one span per execute call, a gauge for the resolved
+    // pool size, and the collector handle captured on the caller thread
+    // so pool workers can keep counters flowing. Task bodies run in
+    // qfc_obs task mode on the serial path and on workers alike, so the
+    // exported span tree never depends on scheduling. All of this is a
+    // no-op when no collector is installed.
+    let obs = qfc_obs::current();
+    let _span = qfc_obs::span("runtime.execute");
+    qfc_obs::gauge_set("pool_threads", threads.max(1) as f64);
     if threads <= 1 {
-        return (0..n_tasks).map(task).collect();
+        return match &obs {
+            Some(collector) => collector.run_task(|| (0..n_tasks).map(&task).collect()),
+            None => (0..n_tasks).map(task).collect(),
+        };
     }
 
     let next = AtomicUsize::new(0);
@@ -108,19 +120,28 @@ where
     slots.resize_with(n_tasks, || None);
 
     std::thread::scope(|scope| {
+        let obs = &obs;
+        let next = &next;
+        let task = &task;
         let workers: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| {
+                scope.spawn(move || {
                     IN_WORKER.with(|c| c.set(true));
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n_tasks {
-                            break;
+                    let drain = || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_tasks {
+                                break;
+                            }
+                            local.push((i, task(i)));
                         }
-                        local.push((i, task(i)));
+                        local
+                    };
+                    match obs {
+                        Some(collector) => collector.run_task(drain),
+                        None => drain(),
                     }
-                    local
                 })
             })
             .collect();
@@ -232,6 +253,7 @@ where
     M: FnOnce(Vec<U>) -> A,
 {
     let shards = shard_layout(n_shots, seed);
+    qfc_obs::counter_add("shards_executed", shards.len() as u64);
     let results = execute(shards.len(), |i| per_shard(&shards[i]));
     merge(results)
 }
@@ -329,6 +351,40 @@ mod tests {
             })
         });
         assert!(nested.iter().all(|&n| n == 1), "{nested:?}");
+    }
+
+    #[test]
+    fn collector_counters_flow_through_workers() {
+        let collector = qfc_obs::Collector::new();
+        let items: Vec<u64> = (0..64).collect();
+        collector.install(|| {
+            with_threads(4, || {
+                par_map(&items, |_| qfc_obs::counter_add("shots_simulated", 1))
+            });
+        });
+        assert_eq!(collector.snapshot().counter("shots_simulated"), Some(64));
+    }
+
+    #[test]
+    fn trace_is_thread_count_invariant() {
+        let trace_at = |threads: usize| {
+            let collector = qfc_obs::Collector::new();
+            collector.install(|| {
+                with_threads(threads, || {
+                    let _outer = qfc_obs::span("workload");
+                    par_shots(
+                        1000,
+                        5,
+                        |shard| qfc_obs::counter_add("shots_simulated", shard.len),
+                        |_| (),
+                    );
+                });
+            });
+            collector.snapshot().to_deterministic_json()
+        };
+        let serial = trace_at(1);
+        assert_eq!(trace_at(4), serial);
+        assert_eq!(trace_at(8), serial);
     }
 
     #[test]

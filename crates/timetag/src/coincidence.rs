@@ -34,6 +34,7 @@ pub fn count_coincidences(a: &TagStream, b: &TagStream, window_ps: i64, offset_p
             j += 1;
         }
     }
+    qfc_obs::counter_add("coincidences_counted", count);
     count
 }
 

@@ -72,6 +72,7 @@ where
     use qfc_mathkit::rng::{rng_from_seed, split_seed};
 
     assert!(replicas >= 2, "need at least two bootstrap replicas");
+    qfc_obs::counter_add("bootstrap_replicas", replicas as u64);
     let indices: Vec<u64> = (0..replicas as u64).collect();
     let values = qfc_runtime::par_map(&indices, |&i| {
         let mut rng = rng_from_seed(split_seed(seed, i));

@@ -197,6 +197,7 @@ pub fn mle_reconstruction(data: &TomographyData, options: &MleOptions) -> MleRes
             break;
         }
     }
+    qfc_obs::counter_add("mle_iterations", iterations as u64);
     // Numerical cleanup: symmetrize and clip round-off negativity.
     let herm = CMatrix::from_fn(dim, dim, |i, j| {
         (rho[(i, j)] + rho[(j, i)].conj()).scale(0.5)

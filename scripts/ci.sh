@@ -18,13 +18,17 @@ cargo clippy -p qfc-runtime -- -D warnings
 # either returns a QfcError or panics through a validated legacy wrapper.
 echo "==> cargo clippy (library no-unwrap gate)"
 cargo clippy --no-deps --lib \
-  -p qfc-mathkit -p qfc-faults -p qfc-runtime -p qfc-photonics \
+  -p qfc-mathkit -p qfc-faults -p qfc-runtime -p qfc-obs -p qfc-photonics \
   -p qfc-quantum -p qfc-timetag -p qfc-interferometry -p qfc-tomography \
   -p qfc-core \
   -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "==> qfc-bench --smoke (serial/parallel determinism cross-check)"
 ./target/release/qfc-bench --smoke --out target/BENCH_smoke.json
+if grep -q '"oversubscribed": true' target/BENCH_smoke.json; then
+  echo "WARNING: bench ran more threads than host CPUs; speedup figures" \
+       "are oversubscription noise (only the determinism check is valid)." >&2
+fi
 
 echo "==> fault matrix (graceful-degradation smoke run)"
 cargo run --release --example fault_matrix > target/FAULT_MATRIX.md

@@ -6,11 +6,14 @@
 //! ```
 //!
 //! Every workload runs twice through the same code path: once pinned to a
-//! single worker (`with_threads(1)`) and once on `--threads` workers
-//! (default 4). The serialized results must match byte for byte — the
-//! deterministic sharding makes thread count an implementation detail —
-//! and the harness aborts if they don't. Timings land in
-//! `BENCH_parallel.json`.
+//! single worker (`with_threads(1)`) and once on the parallel thread
+//! count — `--threads` when given, otherwise 4 clamped to the host's
+//! `available_parallelism` (timing more workers than cores only measures
+//! oversubscription noise). The serialized results must match byte for
+//! byte — the deterministic sharding makes thread count an implementation
+//! detail — and the harness aborts if they don't. Timings land in
+//! `BENCH_parallel.json`; the observability trace of the whole run lands
+//! next to it as `<out stem>.trace.json`.
 //!
 //! `--smoke` shrinks every workload to seconds-scale for CI; speedups are
 //! not meaningful there (the parallel grain is too small), only the
@@ -46,12 +49,20 @@ struct WorkloadRow {
 
 #[derive(Debug, Serialize)]
 struct BenchReport {
-    threads: usize,
+    /// Thread count asked for on the command line (or the default 4).
+    requested_threads: usize,
+    /// Thread count the parallel leg actually ran with. Equals
+    /// `requested_threads` unless the default was clamped to the host.
+    effective_threads: usize,
     /// Hardware parallelism of the machine the bench ran on. Speedups
-    /// are bounded by `min(threads, host_cpus)`; on a single-core host
-    /// the interesting column is `identical`, and near-1.0 "speedups"
-    /// show the sharding overhead is negligible.
+    /// are bounded by `min(effective_threads, host_cpus)`; on a
+    /// single-core host the interesting column is `identical`, and
+    /// near-1.0 "speedups" show the sharding overhead is negligible.
     host_cpus: usize,
+    /// `true` when the parallel leg ran more workers than the host has
+    /// CPUs — wall-clock "speedups" in that regime are scheduling noise,
+    /// only the determinism cross-check is meaningful.
+    oversubscribed: bool,
     smoke: bool,
     workloads: Vec<WorkloadRow>,
 }
@@ -82,7 +93,7 @@ fn bench_workload(name: &str, threads: usize, f: impl Fn() -> String + Sync) -> 
     row
 }
 
-fn run(threads: usize, smoke: bool) -> BenchReport {
+fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> BenchReport {
     let mut workloads = Vec::new();
 
     // §II heralded-photon experiment: per-channel tag generation +
@@ -166,7 +177,6 @@ fn run(threads: usize, smoke: bool) -> BenchReport {
         }));
     }
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     if host_cpus < threads {
         eprintln!(
             "note: host has {host_cpus} CPU(s) < {threads} requested threads; \
@@ -174,15 +184,17 @@ fn run(threads: usize, smoke: bool) -> BenchReport {
         );
     }
     BenchReport {
-        threads,
+        requested_threads: requested,
+        effective_threads: threads,
         host_cpus,
+        oversubscribed: threads > host_cpus,
         smoke,
         workloads,
     }
 }
 
 fn main() -> ExitCode {
-    let mut threads = 4usize;
+    let mut requested: Option<usize> = None;
     let mut smoke = false;
     let mut out = String::from("BENCH_parallel.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -190,7 +202,7 @@ fn main() -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--threads" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(n) if n >= 1 => threads = n,
+                Some(n) if n >= 1 => requested = Some(n),
                 _ => {
                     eprintln!("--threads needs a positive integer argument");
                     return ExitCode::FAILURE;
@@ -215,7 +227,16 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = run(threads, smoke);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // An explicit --threads is honored (and flagged as oversubscribed when
+    // it exceeds the host); only the default is clamped to the hardware.
+    let (requested, threads) = match requested {
+        Some(n) => (n, n),
+        None => (4, 4usize.min(host_cpus)),
+    };
+
+    let collector = qfc::obs::Collector::new();
+    let report = collector.install(|| run(requested, threads, host_cpus, smoke));
     if report.workloads.iter().any(|w| !w.identical) {
         eprintln!("FAIL: serial and parallel outputs differ");
         return ExitCode::FAILURE;
@@ -226,5 +247,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out}");
+    let trace_out = match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.trace.json"),
+        None => format!("{out}.trace.json"),
+    };
+    if let Err(e) = std::fs::write(&trace_out, collector.snapshot().to_json() + "\n") {
+        eprintln!("cannot write {trace_out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {trace_out}");
     ExitCode::SUCCESS
 }

@@ -28,6 +28,7 @@ pub use qfc_core as core;
 pub use qfc_faults as faults;
 pub use qfc_interferometry as interferometry;
 pub use qfc_mathkit as mathkit;
+pub use qfc_obs as obs;
 pub use qfc_photonics as photonics;
 pub use qfc_quantum as quantum;
 pub use qfc_runtime as runtime;

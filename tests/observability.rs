@@ -1,0 +1,182 @@
+//! Observability-layer contract (C-OBS): the trace/metrics collector is
+//! inert by default (enabled vs disabled runs produce byte-identical
+//! physics output), and the collected telemetry itself is
+//! thread-count-invariant — the deterministic export aggregates spans by
+//! name and nesting, never by scheduling order.
+
+use qfc::core::heralded::{try_run_heralded_experiment, HeraldedConfig};
+use qfc::core::source::QfcSource;
+use qfc::core::timebin::{try_run_timebin_experiment, TimeBinConfig};
+use qfc::faults::FaultSchedule;
+use qfc::obs::Collector;
+use qfc::runtime::with_threads;
+
+fn heralded_cfg() -> HeraldedConfig {
+    let mut cfg = HeraldedConfig::fast_demo();
+    cfg.duration_s = 1.0;
+    cfg.channels = 2;
+    cfg.linewidth_pairs = 500;
+    cfg
+}
+
+/// Runs the §II driver under a fresh collector on `threads` workers and
+/// returns (physics JSON, deterministic trace JSON, full trace JSON).
+fn traced_heralded(threads: usize) -> (String, String, String) {
+    let source = QfcSource::paper_device();
+    let cfg = heralded_cfg();
+    let collector = Collector::new();
+    let run = with_threads(threads, || {
+        collector.install(|| {
+            try_run_heralded_experiment(&source, &cfg, 77, &FaultSchedule::empty())
+                .expect("clean run")
+        })
+    });
+    let snap = collector.snapshot();
+    (
+        serde_json::to_string(&run.report).expect("report serializes"),
+        snap.to_deterministic_json(),
+        snap.to_json(),
+    )
+}
+
+#[test]
+fn trace_and_physics_are_thread_count_invariant() {
+    let (physics_1, trace_1, _) = traced_heralded(1);
+    let (physics_4, trace_4, _) = traced_heralded(4);
+    let (physics_8, trace_8, _) = traced_heralded(8);
+    assert_eq!(physics_1, physics_4);
+    assert_eq!(physics_1, physics_8);
+    assert_eq!(trace_1, trace_4, "deterministic trace differs at 4 threads");
+    assert_eq!(trace_1, trace_8, "deterministic trace differs at 8 threads");
+}
+
+#[test]
+fn disabled_collector_leaves_output_byte_identical() {
+    let source = QfcSource::paper_device();
+    let cfg = heralded_cfg();
+    let baseline = try_run_heralded_experiment(&source, &cfg, 77, &FaultSchedule::empty())
+        .expect("clean run");
+    let (instrumented, _, _) = traced_heralded(qfc::runtime::max_threads());
+    assert_eq!(
+        serde_json::to_string(&baseline.report).expect("json"),
+        instrumented,
+        "installing a collector changed the physics output"
+    );
+}
+
+#[test]
+fn trace_records_driver_phases_and_counters() {
+    let source = QfcSource::paper_device();
+    let cfg = heralded_cfg();
+    let collector = Collector::new();
+    collector.install(|| {
+        try_run_heralded_experiment(&source, &cfg, 77, &FaultSchedule::empty())
+            .expect("clean run")
+    });
+    let snap = collector.snapshot();
+    let driver = &snap.spans.children[0];
+    assert_eq!(driver.name, "driver.heralded");
+    let phases: Vec<&str> = driver.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(
+        phases,
+        [
+            "driver.heralded.source",
+            "driver.heralded.timetag",
+            "driver.heralded.analysis",
+            "driver.heralded.report",
+        ]
+    );
+    assert!(snap.counter("shots_simulated").unwrap_or(0) > 0);
+    assert!(snap.counter("coincidences_counted").unwrap_or(0) > 0);
+    assert!(snap.counter("shards_executed").unwrap_or(0) > 0);
+    // The human rendering carries the same sections.
+    let text = snap.render();
+    assert!(text.contains("driver.heralded.timetag"), "{text}");
+    assert!(text.contains("shots_simulated"), "{text}");
+}
+
+#[test]
+fn full_export_carries_the_run_manifest() {
+    let (_, deterministic, full) = traced_heralded(2);
+    assert!(full.contains("\"manifest\""), "{full}");
+    assert!(full.contains("\"seed\":77"), "{full}");
+    assert!(
+        !deterministic.contains("manifest"),
+        "deterministic export must omit the (environment-dependent) manifest"
+    );
+    assert!(!deterministic.contains("wall_ns"));
+    assert!(!deterministic.contains("gauges"));
+}
+
+#[test]
+fn experiment_report_attaches_manifest_only_when_collected() {
+    let source = QfcSource::paper_device();
+    let cfg = heralded_cfg();
+    let run = try_run_heralded_experiment(&source, &cfg, 77, &FaultSchedule::empty())
+        .expect("clean run");
+    // Outside any collector: the legacy report shape, byte for byte.
+    let bare = run.to_report();
+    assert!(bare.manifest.is_none());
+    assert!(!serde_json::to_string(&bare).expect("json").contains("manifest"));
+
+    // Under a collector the driver records the manifest and to_report()
+    // picks it up, stamped with the run's actual seed and thread count.
+    let collector = Collector::new();
+    let attached = collector.install(|| {
+        let run = try_run_heralded_experiment(&source, &cfg, 77, &FaultSchedule::empty())
+            .expect("clean run");
+        run.to_report()
+    });
+    let manifest = attached.manifest.clone().expect("manifest attached");
+    assert_eq!(manifest.seed, 77);
+    assert_eq!(manifest.threads, qfc::runtime::max_threads());
+    assert_eq!(manifest.config_digest.len(), 16);
+    assert!(manifest.config_digest.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_eq!(manifest.fault_events, 0);
+    assert!(attached.render().contains("manifest:"));
+}
+
+#[test]
+fn timebin_trace_is_thread_count_invariant() {
+    let source = QfcSource::paper_device_timebin();
+    let cfg = TimeBinConfig::fast_demo();
+    let traced = |threads: usize| {
+        let collector = Collector::new();
+        let run = with_threads(threads, || {
+            collector.install(|| {
+                try_run_timebin_experiment(&source, &cfg, 41, &FaultSchedule::empty())
+                    .expect("clean run")
+            })
+        });
+        (
+            serde_json::to_string(&run.report).expect("json"),
+            collector.snapshot().to_deterministic_json(),
+        )
+    };
+    let (physics_1, trace_1) = traced(1);
+    let (physics_4, trace_4) = traced(4);
+    assert_eq!(physics_1, physics_4);
+    assert_eq!(trace_1, trace_4);
+}
+
+#[test]
+fn faulty_run_counts_recovery_actions() {
+    let source = QfcSource::paper_device_timebin();
+    let cfg = TimeBinConfig::fast_demo();
+    let duration = qfc::core::timebin::nominal_duration_s(&cfg);
+    let schedule = FaultSchedule::stress(9, duration);
+    let collector = Collector::new();
+    let run = collector.install(|| {
+        try_run_timebin_experiment(&source, &cfg, 47, &schedule)
+            .expect("run survives the stress schedule")
+    });
+    assert!(!run.health.is_pristine());
+    let snap = collector.snapshot();
+    assert!(
+        snap.counter("faults_injected").unwrap_or(0) > 0,
+        "stress schedule must register injected faults"
+    );
+    let manifest = snap.manifest.expect("manifest recorded");
+    assert!(manifest.fault_events > 0);
+    assert!(!manifest.fault_kinds.is_empty());
+}
