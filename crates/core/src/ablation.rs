@@ -2,6 +2,7 @@
 //! scheme (the paper's central §II claim), the tomography reconstructor,
 //! and the coincidence-window choice behind every CAR figure.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::rng::split_seed;
@@ -85,7 +86,7 @@ pub fn tomography_ablation(shots: &[u64], seed: u64) -> Vec<TomographyAblationRo
     // split-seed stream, independent of the others.
     let indexed: Vec<(usize, u64)> = shots.iter().copied().enumerate().collect();
     qfc_runtime::par_map(&indexed, |&(row, n)| {
-        let data = simulate_counts_seeded(&truth, &settings, n, split_seed(seed, row as u64));
+        let data = simulate_counts_seeded(&truth, &settings, n, split_seed(seed, cast::usize_to_u64(row)));
         let lin = linear_reconstruction(&data);
         let mle = mle_reconstruction(&data, &MleOptions::default()).rho;
         TomographyAblationRow {

@@ -9,6 +9,7 @@
 //! * **F6** — suppression of the *stimulated* FWM process by the TE/TM
 //!   resonance-grid offset (the device-design ablation).
 
+use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -157,7 +158,7 @@ pub fn run_crosspol_experiment(
 ) -> CrossPolReport {
     match try_run_crosspol_experiment(source, config, seed, &FaultSchedule::empty()) {
         Ok(run) => run.report,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -216,7 +217,7 @@ pub fn try_run_crosspol_experiment(
         * schedule.mean_pump_rate_factor(0.0, config.duration_s, linewidth_hz)
         * live;
     let tau = source.ring().coincidence_decay_time();
-    let duration_ps = (config.duration_s * 1e12) as i64;
+    let duration_ps = cast::f64_to_i64(config.duration_s * 1e12);
 
     drop(source_span);
     // True pair arrivals; PBS routes TE → arm A, TM → arm B with a small
@@ -230,7 +231,7 @@ pub fn try_run_crosspol_experiment(
         let t = rng.gen::<f64>() * config.duration_s;
         let dt = exponential(&mut rng, 1.0 / tau);
         let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-        let (a, b) = ((t * 1e12) as i64, ((t + sign * dt) * 1e12) as i64);
+        let (a, b) = (cast::f64_to_i64(t * 1e12), cast::f64_to_i64((t + sign * dt) * 1e12));
         if rng.gen::<f64>() < config.pbs_leakage {
             te_true.push(b);
             tm_true.push(a);
@@ -242,17 +243,17 @@ pub fn try_run_crosspol_experiment(
     // Uncorrelated background photons on each arm.
     let n_bg = poisson(&mut rng, config.background_rate_hz * config.duration_s);
     for _ in 0..n_bg {
-        te_true.push((rng.gen::<f64>() * config.duration_s * 1e12) as i64);
+        te_true.push(cast::f64_to_i64(rng.gen::<f64>() * config.duration_s * 1e12));
     }
     let n_bg = poisson(&mut rng, config.background_rate_hz * config.duration_s);
     for _ in 0..n_bg {
-        tm_true.push((rng.gen::<f64>() * config.duration_s * 1e12) as i64);
+        tm_true.push(cast::f64_to_i64(rng.gen::<f64>() * config.duration_s * 1e12));
     }
     te_true.sort_unstable();
     tm_true.sort_unstable();
     // Sub-quarantine dropout windows kill arrivals (pure filter, no RNG).
-    te_true.retain(|&t| !schedule.detector_dead_at(1, Arm::Signal, t as f64 * 1e-12));
-    tm_true.retain(|&t| !schedule.detector_dead_at(1, Arm::Idler, t as f64 * 1e-12));
+    te_true.retain(|&t| !schedule.detector_dead_at(1, Arm::Signal, cast::to_f64(t) * 1e-12));
+    tm_true.retain(|&t| !schedule.detector_dead_at(1, Arm::Idler, cast::to_f64(t) * 1e-12));
 
     let mut arm = config.detector;
     arm.efficiency *= config.collection_efficiency;
@@ -274,7 +275,7 @@ pub fn try_run_crosspol_experiment(
     let car = if car_result.car.is_finite() {
         car_result.car
     } else {
-        car_result.coincidences as f64
+        cast::to_f64(car_result.coincidences)
     };
     drop(analysis_span);
 
@@ -284,7 +285,7 @@ pub fn try_run_crosspol_experiment(
             generated_pair_rate_hz: rate,
             te_singles_hz: te_stream.rate_hz(config.duration_s),
             tm_singles_hz: tm_stream.rate_hz(config.duration_s),
-            coincidence_rate_hz: car_result.coincidences as f64 / config.duration_s,
+            coincidence_rate_hz: cast::to_f64(car_result.coincidences) / config.duration_s,
             car,
             stimulated_response: fwm::stimulated_suppression(source.ring()),
         },

@@ -11,6 +11,7 @@
 //! * **F3** — the weeks-long stability of the self-locked scheme
 //!   (< 5 % fluctuation) against free-running operation.
 
+use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -128,7 +129,7 @@ pub struct HeraldedReport {
 impl HeraldedReport {
     /// Mean CAR across channels.
     pub fn mean_car(&self) -> f64 {
-        self.channels.iter().map(|c| c.car).sum::<f64>() / self.channels.len().max(1) as f64
+        self.channels.iter().map(|c| c.car).sum::<f64>() / cast::to_f64(self.channels.len().max(1))
     }
 
     /// (min, max) CAR across channels.
@@ -175,7 +176,7 @@ impl HeraldedReport {
         if max_off == 0 {
             f64::INFINITY
         } else {
-            min_diag as f64 / max_off as f64
+            cast::to_f64(min_diag) / cast::to_f64(max_off)
         }
     }
 
@@ -247,14 +248,14 @@ fn generate_pair_arrivals<R: Rng + ?Sized>(
 ) -> (Vec<i64>, Vec<i64>) {
     let n = poisson(rng, rate_hz * duration_s);
     qfc_obs::counter_add("shots_simulated", n);
-    let mut signal = Vec::with_capacity(n as usize);
-    let mut idler = Vec::with_capacity(n as usize);
+    let mut signal = Vec::with_capacity(cast::u64_to_usize(n));
+    let mut idler = Vec::with_capacity(cast::u64_to_usize(n));
     for _ in 0..n {
         let t = rng.gen::<f64>() * duration_s;
         let dt = exponential(rng, 1.0 / tau_s);
         let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-        signal.push((t * 1e12) as i64);
-        idler.push(((t + sign * dt) * 1e12) as i64);
+        signal.push(cast::f64_to_i64(t * 1e12));
+        idler.push(cast::f64_to_i64((t + sign * dt) * 1e12));
     }
     signal.sort_unstable();
     idler.sort_unstable();
@@ -290,7 +291,7 @@ pub fn run_heralded_experiment(
 ) -> HeraldedReport {
     match try_run_heralded_experiment(source, config, seed, &FaultSchedule::empty()) {
         Ok(run) => run.report,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -334,7 +335,7 @@ pub fn try_run_heralded_experiment(
     crate::report::record_manifest(seed, config, schedule);
     let tau = source.ring().coincidence_decay_time();
     let linewidth_hz = source.ring().linewidth().hz();
-    let duration_ps = (config.duration_s * 1e12) as i64;
+    let duration_ps = cast::f64_to_i64(config.duration_s * 1e12);
 
     // Supervision: log the schedule, recover pump lock losses, and
     // quarantine channels with mostly-dead detectors.
@@ -389,8 +390,8 @@ pub fn try_run_heralded_experiment(
             generate_pair_arrivals(&mut rng, rates[idx], tau, config.duration_s);
         // Sub-quarantine detector dropouts kill arrivals in their
         // windows (no RNG draws — a pure filter).
-        s_true.retain(|&t| !schedule.detector_dead_at(m, Arm::Signal, t as f64 * 1e-12));
-        i_true.retain(|&t| !schedule.detector_dead_at(m, Arm::Idler, t as f64 * 1e-12));
+        s_true.retain(|&t| !schedule.detector_dead_at(m, Arm::Signal, cast::to_f64(t) * 1e-12));
+        i_true.retain(|&t| !schedule.detector_dead_at(m, Arm::Idler, cast::to_f64(t) * 1e-12));
         let mut arm_m = arm;
         arm_m.dark_count_rate_hz *=
             schedule.mean_dark_multiplier(m, 0.0, config.duration_s);
@@ -427,20 +428,20 @@ pub fn try_run_heralded_experiment(
         let car = if car_result.car.is_finite() {
             car_result.car
         } else {
-            car_result.coincidences as f64
+            cast::to_f64(car_result.coincidences)
         };
         let s_rate = s.rate_hz(config.duration_s);
         let i_rate = i.rate_hz(config.duration_s);
-        let c_rate = car_result.coincidences as f64 / config.duration_s;
+        let c_rate = cast::to_f64(car_result.coincidences) / config.duration_s;
         // Inferred generation rate via the calibrated arm efficiencies:
         // R = (C − A)/(η_s·η_i·capture), where `capture` is the fraction
         // of the two-sided-exponential correlation inside the window.
         // (The textbook S_s·S_i/C estimator needs signal-dominated
         // singles; with dark-dominated InGaAs singles it is unusable.)
         let eta = config.detector.efficiency * config.collection_efficiency;
-        let capture = 1.0 - (-(config.coincidence_window_ps as f64 * 0.5e-12) / tau).exp();
+        let capture = 1.0 - (-(cast::to_f64(config.coincidence_window_ps) * 0.5e-12) / tau).exp();
         let net_rate =
-            (car_result.coincidences as f64 - car_result.accidentals) / config.duration_s;
+            (cast::to_f64(car_result.coincidences) - car_result.accidentals) / config.duration_s;
         let inferred = (net_rate / (eta * eta * capture)).max(0.0);
         ChannelResult {
             m,
@@ -458,22 +459,22 @@ pub fn try_run_heralded_experiment(
     // time is uniform over the full span, so shards are independent and
     // concatenating their tag lists in shard order reproduces one serial
     // stream's statistics exactly.
-    let span_s = 10.0 * config.linewidth_pairs as f64 * 1e-6; // sparse
-    qfc_obs::counter_add("shots_simulated", config.linewidth_pairs as u64);
+    let span_s = 10.0 * cast::to_f64(config.linewidth_pairs) * 1e-6; // sparse
+    qfc_obs::counter_add("shots_simulated", cast::usize_to_u64(config.linewidth_pairs));
     let (a, b) = qfc_runtime::par_shots(
-        config.linewidth_pairs as u64,
+        cast::usize_to_u64(config.linewidth_pairs),
         linewidth_root,
         |shard| {
             let mut rng = rng_from_seed(shard.seed);
-            let mut a = Vec::with_capacity(shard.len as usize);
-            let mut b = Vec::with_capacity(shard.len as usize);
+            let mut a = Vec::with_capacity(cast::u64_to_usize(shard.len));
+            let mut b = Vec::with_capacity(cast::u64_to_usize(shard.len));
             for _ in 0..shard.len {
                 let t = rng.gen::<f64>() * span_s;
-                let t_ps = (t * 1e12) as i64;
+                let t_ps = cast::f64_to_i64(t * 1e12);
                 if bernoulli(&mut rng, 0.05) {
                     // Accidental: uncorrelated partner.
                     a.push(t_ps);
-                    b.push((rng.gen::<f64>() * span_s * 1e12) as i64);
+                    b.push(cast::f64_to_i64(rng.gen::<f64>() * span_s * 1e12));
                 } else {
                     let dt = exponential(&mut rng, 1.0 / tau);
                     let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
@@ -481,8 +482,8 @@ pub fn try_run_heralded_experiment(
                         qfc_mathkit::rng::normal(&mut rng, 0.0, config.detector.jitter_sigma_ps);
                     let jitter_b =
                         qfc_mathkit::rng::normal(&mut rng, 0.0, config.detector.jitter_sigma_ps);
-                    a.push(t_ps + jitter_a as i64);
-                    b.push(t_ps + (sign * dt * 1e12) as i64 + jitter_b as i64);
+                    a.push(t_ps + cast::f64_to_i64(jitter_a));
+                    b.push(t_ps + cast::f64_to_i64(sign * dt * 1e12) + cast::f64_to_i64(jitter_b));
                 }
             }
             (a, b)
@@ -606,17 +607,17 @@ pub fn run_stability_experiment(
     let mut walk = 0.0f64;
     let total_samples = config.days * config.samples_per_day;
     for k in 0..total_samples {
-        let t_days = (k + 1) as f64 / config.samples_per_day as f64;
+        let t_days = cast::to_f64(k + 1) / cast::to_f64(config.samples_per_day);
         // Random-walk excursion in units of the per-√day sigma.
         walk += qfc_mathkit::rng::standard_normal(&mut rng)
-            / (config.samples_per_day as f64).sqrt();
+            / (cast::to_f64(config.samples_per_day)).sqrt();
         let det = residual_detuning(source.pump(), &config.drift, walk / t_days.sqrt(), t_days);
         // Pump power response of the resonance (both pump photons).
         let response = qfc_mathkit::special::lorentzian(det.hz(), 0.0, lw);
         let rate = detected * response * response;
         // Shot noise of the sample.
         let counts = poisson(&mut rng, rate * config.sample_integration_s);
-        series.push((t_days, counts as f64 / config.sample_integration_s));
+        series.push((t_days, cast::to_f64(counts) / config.sample_integration_s));
     }
     let rates: Vec<f64> = series.iter().map(|s| s.1).collect();
     StabilityReport {

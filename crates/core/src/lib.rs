@@ -31,6 +31,7 @@
 //! assert!(model.state_visibility > 0.8);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

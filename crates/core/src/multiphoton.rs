@@ -8,6 +8,7 @@
 //! * **T4** — four-photon state tomography with 64 % fidelity to the
 //!   ideal two-Bell-pair product.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_faults::{Arm, FaultSchedule, HealthReport, QfcError, QfcResult};
@@ -116,7 +117,7 @@ pub fn run_bell_tomography(
         &mut health,
     ) {
         Ok(bell) => bell,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -158,7 +159,7 @@ fn try_run_bell_tomography(
             let m = *m;
             qfc_obs::counter_add(
                 "shots_simulated",
-                config.bell_shots_per_setting.saturating_mul(settings.len() as u64),
+                config.bell_shots_per_setting.saturating_mul(cast::usize_to_u64(settings.len())),
             );
             let mut local = HealthReport::pristine();
             // Accidentals appear as white noise in the tomography counts.
@@ -219,7 +220,7 @@ pub fn run_four_photon_fringe(
         config.four_fold_pump_factor,
     ) {
         Ok(f) => f,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -250,11 +251,11 @@ fn try_four_photon_fringe(
             .map(|k| {
                 four_photon_fringe_point(
                     &rho4,
-                    std::f64::consts::PI * k as f64 / steps as f64,
+                    std::f64::consts::PI * cast::to_f64(k) / cast::to_f64(steps),
                 )
             })
             .sum::<f64>()
-            / steps as f64
+            / cast::to_f64(steps)
     };
     let p_acc = config.four_fold_accidental_fraction * p4_scale * mean_point;
 
@@ -262,11 +263,11 @@ fn try_four_photon_fringe(
         "shots_simulated",
         config
             .four_fold_frames_per_point
-            .saturating_mul(config.four_fold_phase_steps as u64),
+            .saturating_mul(cast::usize_to_u64(config.four_fold_phase_steps)),
     );
     let mut points = Vec::with_capacity(config.four_fold_phase_steps);
     for k in 0..config.four_fold_phase_steps {
-        let phi = std::f64::consts::PI * k as f64 / config.four_fold_phase_steps as f64;
+        let phi = std::f64::consts::PI * cast::to_f64(k) / cast::to_f64(config.four_fold_phase_steps);
         let p = p4_scale * four_photon_fringe_point(&rho4, phi) + p_acc;
         let counts = binomial(&mut rng, config.four_fold_frames_per_point, p);
         points.push((phi, counts));
@@ -275,7 +276,7 @@ fn try_four_photon_fringe(
     // carries a 4φ harmonic), so the honest figure is the
     // background-uncorrected raw visibility (max − min)/(max + min) —
     // exactly what the paper quotes.
-    let ys: Vec<f64> = points.iter().map(|&(_, c)| c as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, c)| cast::to_f64(c)).collect();
     // A fully dark fringe (every four-fold count zero, e.g. under a
     // savage fault schedule) carries no interference information; report
     // zero visibility instead of the 0/0 NaN the raw estimator yields.
@@ -315,7 +316,7 @@ pub fn run_four_photon_tomography(
         &mut health,
     ) {
         Ok(t) => t,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -338,7 +339,7 @@ fn try_four_photon_tomography(
     let settings = all_settings(4);
     qfc_obs::counter_add(
         "shots_simulated",
-        config.four_shots_per_setting.saturating_mul(settings.len() as u64),
+        config.four_shots_per_setting.saturating_mul(cast::usize_to_u64(settings.len())),
     );
     let data = simulate_counts_seeded(&rho4, &settings, config.four_shots_per_setting, seed);
     let total = data.grand_total();
@@ -482,7 +483,7 @@ pub fn run_multiphoton_experiment(
 ) -> MultiPhotonReport {
     match try_run_multiphoton_experiment(source, config, seed, &FaultSchedule::empty()) {
         Ok(run) => run.report,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 

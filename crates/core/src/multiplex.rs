@@ -4,6 +4,7 @@
 //! source in the middle distributing entanglement on standard DWDM
 //! wavelengths.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_photonics::comb::TelecomBand;
@@ -89,11 +90,11 @@ pub fn plan_star_network(
 ) -> StarNetwork {
     assert!(user_pairs > 0, "need at least one user pair");
     let comb = source.comb(user_pairs);
-    let mut users = Vec::with_capacity(user_pairs as usize);
+    let mut users = Vec::with_capacity(cast::u32_to_usize(user_pairs));
     for m in 1..=user_pairs {
         let pair = comb
             .pair(m)
-            .unwrap_or_else(|| unreachable!("comb was built with {user_pairs} channels"));
+            .unwrap_or_else(|| unreachable!("comb was built with {user_pairs} channels")); // qfc-lint: allow(panic-surface) — invariant: the comb was just built with exactly user_pairs channels
         let model = channel_state_model(source, config, m);
         // Phase-averaged post-selected coincidence probability per frame.
         let p_mean = model.mu * config.arm_efficiency.powi(2) / 16.0 + model.accidental_prob;

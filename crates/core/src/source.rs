@@ -2,6 +2,7 @@
 //! object: one microring, many quantum-state families, selected purely by
 //! the pump configuration.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_faults::{QfcError, QfcResult};
@@ -133,7 +134,7 @@ impl QfcSource {
 
     /// Per-mode emission scaling from coupler wavelength dependence.
     fn coupler_factor(&self, m: u32) -> f64 {
-        let f = 1.0 + self.coupling_dispersion_per_mode * m as f64;
+        let f = 1.0 + self.coupling_dispersion_per_mode * cast::to_f64(m);
         (f.max(0.0)).powi(2)
     }
 
@@ -159,7 +160,7 @@ impl QfcSource {
     pub fn pair_rate_cw(&self, m: u32) -> f64 {
         match self.try_pair_rate_cw(m) {
             Ok(r) => r,
-            Err(e) => panic!("pair_rate_cw requires a CW pump configuration ({e})"),
+            Err(e) => panic!("pair_rate_cw requires a CW pump configuration ({e})"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 
@@ -191,7 +192,7 @@ impl QfcSource {
     pub fn type2_pair_rate(&self, m: u32) -> f64 {
         match self.try_type2_pair_rate(m) {
             Ok(r) => r,
-            Err(e) => panic!("type2_pair_rate requires the bichromatic pump ({e})"),
+            Err(e) => panic!("type2_pair_rate requires the bichromatic pump ({e})"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 
@@ -222,7 +223,7 @@ impl QfcSource {
     pub fn pairs_per_frame(&self, m: u32) -> f64 {
         match self.try_pairs_per_frame(m) {
             Ok(r) => r,
-            Err(e) => panic!("pairs_per_frame requires the double-pulse pump ({e})"),
+            Err(e) => panic!("pairs_per_frame requires the double-pulse pump ({e})"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 

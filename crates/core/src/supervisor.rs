@@ -17,6 +17,7 @@
 //!
 //! [`FaultKind::PumpLockLoss`]: qfc_faults::FaultKind::PumpLockLoss
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_faults::{
@@ -117,7 +118,7 @@ pub fn plan_pump_relocks(
     let mut outcomes = Vec::with_capacity(events.len());
     for (k, e) in events.iter().enumerate() {
         // Lane 0 is reserved; lock-loss event k uses lane k + 1.
-        let mut rng = rng_from_seed(fault_stream(seed, k as u64 + 1));
+        let mut rng = rng_from_seed(fault_stream(seed, cast::usize_to_u64(k) + 1));
         let mut attempts = 0u32;
         let mut backoff_s = 0.0;
         loop {
@@ -167,7 +168,7 @@ pub fn partition_channels(
     context: &str,
     health: &mut HealthReport,
 ) -> QfcResult<Vec<u32>> {
-    let mut survivors = Vec::with_capacity(channels as usize);
+    let mut survivors = Vec::with_capacity(cast::u32_to_usize(channels));
     for m in 1..=channels {
         let dead_sig = schedule.dead_fraction(m, Arm::Signal, 0.0, duration_s);
         let dead_idl = schedule.dead_fraction(m, Arm::Idler, 0.0, duration_s);
@@ -253,10 +254,10 @@ pub fn apply_tdc_saturation(
     let mut kept = Vec::with_capacity(stream.len());
     let mut counts = vec![0usize; windows.len()];
     'clicks: for &t in stream.as_slice() {
-        let t_s = t as f64 * 1e-12;
+        let t_s = cast::to_f64(t) * 1e-12;
         for (w, &(a, b, cap)) in windows.iter().enumerate() {
             if t_s >= a && t_s < b {
-                let allowed = ((b - a) * cap.max(0.0)).floor() as usize;
+                let allowed = cast::f64_to_usize(((b - a) * cap.max(0.0)).floor());
                 if counts[w] >= allowed {
                     continue 'clicks;
                 }

@@ -13,6 +13,7 @@
 //! and pulse-mode overlap; accidental coincidences add a
 //! phase-independent floor. Counts are then drawn frame-by-frame.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_faults::{Arm, FaultSchedule, HealthReport, QfcError, QfcResult};
@@ -135,7 +136,7 @@ pub fn channel_state_model_boosted(
 ) -> ChannelStateModel {
     match try_channel_state_model_boosted(source, config, m, power_factor) {
         Ok(model) => model,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -230,7 +231,7 @@ impl TimeBinReport {
     /// Mean fitted raw visibility across channels.
     pub fn mean_visibility(&self) -> f64 {
         self.fringes.iter().map(|f| f.fit.visibility).sum::<f64>()
-            / self.fringes.len().max(1) as f64
+            / cast::to_f64(self.fringes.len().max(1))
     }
 
     /// Number of channels violating CHSH (by ≥ 2σ).
@@ -252,8 +253,8 @@ impl TimeBinReport {
         r.push(Comparison::new(
             "T2",
             "channels violating CHSH (paper: all measured)",
-            self.chsh.len() as f64,
-            self.channels_violating() as f64,
+            cast::to_f64(self.chsh.len()),
+            cast::to_f64(self.channels_violating()),
             "",
             Expectation::AtLeast,
         ));
@@ -330,7 +331,7 @@ pub fn run_timebin_event_mc(
     // cross-point RNG coupling.
     let indexed: Vec<(usize, f64)> = phases.iter().copied().enumerate().collect();
     qfc_runtime::par_map(&indexed, |&(k, phase)| {
-        let mut rng = rng_from_seed(split_seed(seed, k as u64));
+        let mut rng = rng_from_seed(split_seed(seed, cast::usize_to_u64(k)));
         {
             let ifo_a = UnbalancedMichelson::paper_instrument(phase);
             let table = two_photon_slot_table(&model.rho, &ifo_a, &ifo_b);
@@ -384,7 +385,7 @@ impl TimeBinRun {
 /// integrates `frames_per_point` frames at [`FRAME_RATE_HZ`] for each
 /// of the `phase_steps` fringe points and the 16 CHSH projector cells.
 pub fn nominal_duration_s(config: &TimeBinConfig) -> f64 {
-    config.frames_per_point as f64 * (config.phase_steps as f64 + 16.0) / FRAME_RATE_HZ
+    cast::to_f64(config.frames_per_point) * (cast::to_f64(config.phase_steps) + 16.0) / FRAME_RATE_HZ
 }
 
 /// Runs the §IV virtual experiment: fringe scans and CHSH on every
@@ -396,7 +397,7 @@ pub fn run_timebin_experiment(
 ) -> TimeBinReport {
     match try_run_timebin_experiment(source, config, seed, &FaultSchedule::empty()) {
         Ok(run) => run.report,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -481,21 +482,21 @@ pub fn try_run_timebin_experiment(
             let m = *m;
             qfc_obs::counter_add(
                 "shots_simulated",
-                c.frames_per_point.saturating_mul(c.phase_steps as u64 + 16),
+                c.frames_per_point.saturating_mul(cast::usize_to_u64(c.phase_steps) + 16),
             );
             let mut rng = rng_from_seed(split_seed(seed, u64::from(m)));
 
         // F7 fringe: scan one analyzer phase.
         let mut points = Vec::with_capacity(c.phase_steps);
         for k in 0..c.phase_steps {
-            let phi = 2.0 * std::f64::consts::PI * k as f64 / c.phase_steps as f64;
+            let phi = 2.0 * std::f64::consts::PI * cast::to_f64(k) / cast::to_f64(c.phase_steps);
             let p = coincidence_probability(model, c, phi, 0.0);
             let counts = binomial(&mut rng, c.frames_per_point, p);
             points.push((phi, counts));
         }
         let (xs, ys): (Vec<f64>, Vec<f64>) = points
             .iter()
-            .map(|&(p, c)| (p, c as f64))
+            .map(|&(p, c)| (p, cast::to_f64(c)))
             .unzip();
         let fit = fit_fringe(&xs, &ys);
         let fringe = ChannelFringe {
@@ -524,17 +525,17 @@ pub fn try_run_timebin_experiment(
                     n[i][j] = binomial(&mut rng, c.frames_per_point, p);
                 }
             }
-            let sum = (n[0][0] + n[0][1] + n[1][0] + n[1][1]) as f64;
+            let sum = cast::to_f64(n[0][0] + n[0][1] + n[1][0] + n[1][1]);
             total_counts += n[0][0] + n[0][1] + n[1][0] + n[1][1];
             e[idx] = if sum > 0.0 {
-                (n[0][0] as f64 + n[1][1] as f64 - n[0][1] as f64 - n[1][0] as f64) / sum
+                (cast::to_f64(n[0][0]) + cast::to_f64(n[1][1]) - cast::to_f64(n[0][1]) - cast::to_f64(n[1][0])) / sum
             } else {
                 0.0
             };
         }
         let s = (e[0] + e[1] + e[2] - e[3]).abs();
         // Poisson propagation: σ_E ≈ √((1 − E²)/N) per correlator.
-        let n_per = (total_counts as f64 / 4.0).max(1.0);
+        let n_per = (cast::to_f64(total_counts) / 4.0).max(1.0);
         let sigma = (e.iter().map(|ei| (1.0 - ei * ei) / n_per).sum::<f64>()).sqrt();
         let chsh = ChshChannelResult {
             m,

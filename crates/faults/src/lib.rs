@@ -19,6 +19,8 @@
 //!   derived via `split_seed(seed, FAULT_SEED_DOMAIN)` and then split
 //!   per channel/shard, never shared across parallel tasks.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod health;
 pub mod schedule;

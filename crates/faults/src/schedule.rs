@@ -10,6 +10,7 @@
 //! dedicated split-seed domain that is never drawn from when the
 //! schedule is empty).
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::rng::split_seed;
@@ -180,7 +181,7 @@ impl FaultSchedule {
     pub fn stress(seed: u64, duration_s: f64) -> Self {
         // Derive window positions from the seed without an RNG object so
         // the layout is a trivially auditable function of the seed.
-        let frac = |k: u64| (split_seed(seed, k) % 1000) as f64 / 1000.0;
+        let frac = |k: u64| cast::to_f64(split_seed(seed, k) % 1000) / 1000.0;
         let w = duration_s / 12.0;
         let at = |k: u64| frac(k) * duration_s * 0.8;
         Self::from_events(vec![
@@ -188,7 +189,7 @@ impl FaultSchedule {
                 at(1),
                 2.0 * w,
                 FaultKind::DetectorDropout {
-                    channel: 1 + (split_seed(seed, 8) % 3) as u32,
+                    channel: 1 + cast::u64_low32(split_seed(seed, 8) % 3),
                     arm: if split_seed(seed, 9).is_multiple_of(2) {
                         Arm::Signal
                     } else {
@@ -301,11 +302,11 @@ impl FaultSchedule {
         if self.is_empty() || t1 <= t0 {
             return 1.0;
         }
-        let dt = (t1 - t0) / MEAN_SAMPLES as f64;
+        let dt = (t1 - t0) / cast::to_f64(MEAN_SAMPLES);
         (0..MEAN_SAMPLES)
-            .map(|i| self.pump_rate_factor(t0 + (i as f64 + 0.5) * dt, linewidth_hz))
+            .map(|i| self.pump_rate_factor(t0 + (cast::to_f64(i) + 0.5) * dt, linewidth_hz))
             .sum::<f64>()
-            / MEAN_SAMPLES as f64
+            / cast::to_f64(MEAN_SAMPLES)
     }
 
     /// Fraction of `[t0, t1)` during which the detector on `(channel,
@@ -371,11 +372,11 @@ impl FaultSchedule {
         if self.is_empty() || t1 <= t0 {
             return 1.0;
         }
-        let dt = (t1 - t0) / MEAN_SAMPLES as f64;
+        let dt = (t1 - t0) / cast::to_f64(MEAN_SAMPLES);
         (0..MEAN_SAMPLES)
-            .map(|i| self.dark_multiplier(channel, t0 + (i as f64 + 0.5) * dt))
+            .map(|i| self.dark_multiplier(channel, t0 + (cast::to_f64(i) + 0.5) * dt))
             .sum::<f64>()
-            / MEAN_SAMPLES as f64
+            / cast::to_f64(MEAN_SAMPLES)
     }
 
     /// Instantaneous interferometer phase offset at `t_s` (sum of active
@@ -396,11 +397,11 @@ impl FaultSchedule {
         if self.is_empty() || t1 <= t0 {
             return 0.0;
         }
-        let dt = (t1 - t0) / MEAN_SAMPLES as f64;
+        let dt = (t1 - t0) / cast::to_f64(MEAN_SAMPLES);
         (0..MEAN_SAMPLES)
-            .map(|i| self.phase_offset(t0 + (i as f64 + 0.5) * dt))
+            .map(|i| self.phase_offset(t0 + (cast::to_f64(i) + 0.5) * dt))
             .sum::<f64>()
-            / MEAN_SAMPLES as f64
+            / cast::to_f64(MEAN_SAMPLES)
     }
 
     /// Tightest TDC saturation cap active at `t_s`, Hz.

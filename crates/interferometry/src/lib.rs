@@ -17,6 +17,7 @@
 //! assert!((p[1] - 0.5).abs() < 1e-12); // constructive middle slot
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

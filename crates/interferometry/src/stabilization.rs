@@ -7,6 +7,7 @@
 //! and a proportional–integral lock loop, and exposes the resulting
 //! visibility penalty.
 
+use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -102,7 +103,7 @@ pub fn simulate_lock<R: Rng + ?Sized>(
         phase += correction;
         residuals.push(phase);
     }
-    let rms = (residuals.iter().map(|r| r * r).sum::<f64>() / steps as f64).sqrt();
+    let rms = (residuals.iter().map(|r| r * r).sum::<f64>() / cast::to_f64(steps)).sqrt();
     LockResult {
         residuals_rad: residuals,
         residual_rms_rad: rms,

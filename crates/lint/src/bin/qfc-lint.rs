@@ -1,0 +1,137 @@
+//! `qfc-lint` CLI: lint the workspace, print the human report, write the
+//! canonical JSON report, and (with `--deny`) fail on any finding.
+//!
+//! ```text
+//! qfc-lint [--root DIR] [--json PATH] [--deny] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
+//! `--deny`, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qfc_lint::{find_workspace_root, report, rules, run};
+
+struct Options {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    deny: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: None,
+        deny: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json requires a path argument")?;
+                opts.json = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: qfc-lint [--root DIR] [--json PATH] [--deny] [--list-rules]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::RULES {
+            let summary: String = rule
+                .summary
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ");
+            let allow = if rule.allowable {
+                "allowable"
+            } else {
+                "not allowable"
+            };
+            println!("{:<16} [{allow}] {summary}", rule.name);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let run_report = match run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let json_path = opts
+        .json
+        .unwrap_or_else(|| root.join("target").join("LINT_REPORT.json"));
+    let json = report::to_json(&run_report);
+    if let Some(parent) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("cannot create {}: {e}", parent.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    print!("{}", report::to_human(&run_report));
+    println!("  report: {}", json_path.display());
+
+    if opts.deny && !run_report.findings.is_empty() {
+        eprintln!(
+            "qfc-lint --deny: {} finding(s) — fix them or add a justified \
+             `// qfc-lint: allow(<rule>) — <why>` at the offending line",
+            run_report.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,453 @@
+//! A minimal Rust lexer: just enough to classify identifiers, literals,
+//! lifetimes, comments, and punctuation with line/column positions.
+//!
+//! The lint rules only need a *token* view of the source — no parse tree.
+//! What the lexer must get right is the stuff that breaks naive regex
+//! scanning: string and char literals (so `"as f64"` inside a message is
+//! not a cast), raw strings, nested block comments, and the lifetime
+//! (`'a`) versus char-literal (`'a'`) ambiguity.
+
+/// Classification of a single token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`as`, `fn`, `HashMap`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A numeric literal, including any type suffix (`1_000u64`, `0.5e-3`).
+    Number,
+    /// A string literal (`"…"`, `r#"…"#`, `b"…"`).
+    StrLit,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// A `//` comment; `text` holds everything after the two slashes.
+    LineComment,
+    /// A `/* … */` comment (nesting handled); `text` holds the body.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Identifier name, comment body, or punctuation character;
+    /// empty for literals (the rules never inspect literal contents).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+/// Lexes `src` into a token stream. Never fails: unrecognizable bytes
+/// are emitted as single-character punctuation tokens.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == '"' {
+                self.bump();
+                self.string_body();
+                self.push(TokKind::StrLit, String::new(), line, col);
+            } else if c == '\'' {
+                self.quote(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed(line, col);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(TokKind::BlockComment, text, line, col);
+    }
+
+    /// Body of a non-raw string literal; the opening quote is consumed.
+    fn string_body(&mut self) {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('"') | None => break,
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Raw string body after the `r`/`br` prefix: `hashes` `#`s, then a
+    /// quote, then content until a quote followed by the same `#` run.
+    fn raw_string_body(&mut self, hashes: usize) {
+        for _ in 0..=hashes {
+            self.bump(); // the '#'s and the opening '"'
+        }
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    if (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                None => break,
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// A `'`: lifetime/label (`'a`) or char literal (`'a'`, `'\n'`).
+    fn quote(&mut self, line: u32, col: u32) {
+        let one = self.peek(1);
+        let two = self.peek(2);
+        if let Some(c1) = one {
+            if is_ident_start(c1) && two != Some('\'') {
+                // Lifetime or loop label: consume the quote and the ident.
+                self.bump();
+                let mut text = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line, col);
+                return;
+            }
+        }
+        // Char literal: consume until the closing quote, honoring escapes.
+        self.bump();
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('\'') | None => break,
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::CharLit, String::new(), line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let radix_prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'b' | 'B' | 'o' | 'O'));
+        let mut prev = '\0';
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                prev = c;
+                self.bump();
+            } else if c == '.'
+                && !seen_dot
+                && self.peek(1).map(|d| d.is_ascii_digit()).unwrap_or(false)
+            {
+                seen_dot = true;
+                prev = '.';
+                self.bump();
+            } else if (c == '+' || c == '-') && matches!(prev, 'e' | 'E') && !radix_prefixed {
+                prev = c;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, String::new(), line, col);
+    }
+
+    /// An identifier, possibly a raw-string/byte prefix (`r"…"`, `br#"…"#`,
+    /// `b'…'`) or a raw identifier (`r#type`).
+    fn ident_or_prefixed(&mut self, line: u32, col: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let next = self.peek(0);
+        match (name.as_str(), next) {
+            ("r" | "br" | "rb", Some('"')) => {
+                self.raw_string_body(0);
+                self.push(TokKind::StrLit, String::new(), line, col);
+            }
+            ("r" | "br" | "rb", Some('#')) => {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    self.raw_string_body(hashes);
+                    self.push(TokKind::StrLit, String::new(), line, col);
+                } else if name == "r" {
+                    // Raw identifier `r#type`: emit the bare ident.
+                    self.bump(); // '#'
+                    let mut raw = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if is_ident_continue(c) {
+                            raw.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, raw, line, col);
+                } else {
+                    self.push(TokKind::Ident, name, line, col);
+                }
+            }
+            ("b", Some('"')) => {
+                self.bump();
+                self.string_body();
+                self.push(TokKind::StrLit, String::new(), line, col);
+            }
+            ("b", Some('\'')) => {
+                self.bump();
+                loop {
+                    match self.bump() {
+                        Some('\\') => {
+                            self.bump();
+                        }
+                        Some('\'') | None => break,
+                        Some(_) => {}
+                    }
+                }
+                self.push(TokKind::CharLit, String::new(), line, col);
+            }
+            _ => self.push(TokKind::Ident, name, line, col),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = kinds("let x = y as f64;");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "y".into()));
+        assert_eq!(toks[4], (TokKind::Ident, "as".into()));
+        assert_eq!(toks[5], (TokKind::Ident, "f64".into()));
+        assert_eq!(toks[6], (TokKind::Punct, ";".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "x as f64"; t"#);
+        assert!(toks.iter().all(|(_, t)| t != "as"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::StrLit));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let s = r#"panic! as f64 "#; r#as"##);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::StrLit).count(),
+            1
+        );
+        // `r#as` is a raw identifier spelled `as` — it is still the `as`
+        // token textually, but appears after the string, proving the raw
+        // string body was skipped correctly.
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("as"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::CharLit).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let c = '\''; let d = '\n'; let e = '\u{1F600}';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::CharLit).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner as f64 */ still comment */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn line_comment_text_is_captured() {
+        let toks = kinds("x // qfc-lint: allow(lossy-cast) — reason\ny");
+        assert_eq!(toks[1].0, TokKind::LineComment);
+        assert!(toks[1].1.contains("qfc-lint: allow(lossy-cast)"));
+    }
+
+    #[test]
+    fn numeric_literals_with_suffixes_and_exponents() {
+        let toks = kinds("0xFF_u64 1.5e-3 1_000usize 0.5 7f64 0..10");
+        let numbers = toks.iter().filter(|(k, _)| *k == TokKind::Number).count();
+        // `0..10` is two numbers and two dots.
+        assert_eq!(numbers, 7);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokKind::Punct && t == ".")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        let toks = kinds("x.0.abs()");
+        assert_eq!(toks[0], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2].0, TokKind::Number);
+        assert_eq!(toks[4], (TokKind::Ident, "abs".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"b"as f64" b'\'' x"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::StrLit).count(),
+            1
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::CharLit).count(),
+            1
+        );
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("x"));
+    }
+}

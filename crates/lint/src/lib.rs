@@ -1,0 +1,98 @@
+//! # qfc-lint
+//!
+//! A deterministic, zero-dependency, domain-invariant static-analysis
+//! pass over this workspace's own Rust sources.
+//!
+//! The paper's headline claim is metrological stability — CAR,
+//! visibility, and fidelity figures reproducible over weeks. The
+//! software analogue enforced here is that every published number is a
+//! pure, byte-identical function of explicit seeds at any thread count.
+//! PR 3's bug crop (`as i64` frequency comparison, unguarded mean
+//! division) showed that the defects threatening that claim are a
+//! *class*; `qfc-lint` machine-checks the class instead of trusting
+//! review:
+//!
+//! * **lossy-cast** — no `as` numeric casts in library crates,
+//! * **determinism** — no wall clock, ambient entropy, or unordered
+//!   iteration in result-affecting code,
+//! * **rng-lane** — drivers derive RNGs only through `split_seed` lanes,
+//! * **panic-surface** — panics confined to annotated legacy wrappers,
+//! * **error-taxonomy** — public fallible fns return `QfcError`,
+//!
+//! plus the workspace checks **forbid-unsafe** and **ci-roster**, and
+//! directive hygiene (**bad-directive**, **unused-allow**).
+//!
+//! A violation is silenced only by an in-source scoped directive with a
+//! mandatory justification:
+//!
+//! ```text
+//! // qfc-lint: allow(lossy-cast) — exact: bin counts stay far below 2^53
+//! ```
+//!
+//! Reports are emitted in canonical deterministic order as both a human
+//! listing and machine-readable JSON; two runs over identical sources
+//! are byte-identical. See `DESIGN.md` §11 for the taxonomy and the
+//! policy for adding rules.
+//!
+//! ## Example
+//!
+//! ```
+//! use qfc_lint::engine::lint_source;
+//! let r = lint_source("qfc-core", "demo.rs", "fn f(n: usize) -> f64 { n as f64 }\n");
+//! assert_eq!(r.findings.len(), 1);
+//! assert_eq!(r.findings[0].rule, "lossy-cast");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use engine::{lint_source, Finding};
+pub use workspace::{find_workspace_root, run, RunReport};
+
+/// Errors from the filesystem-facing layer (`run`, `find_workspace_root`).
+///
+/// `qfc-lint` sits below `qfc-faults` in the dependency graph (it is
+/// zero-dependency by design), so it carries its own error type rather
+/// than `QfcError`; the `error-taxonomy` scope list records this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintError {
+    /// An I/O operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The I/O error kind (stable, deterministic rendering).
+        kind: std::io::ErrorKind,
+    },
+    /// No enclosing Cargo workspace was found.
+    NotAWorkspace(String),
+}
+
+impl LintError {
+    /// Builds an [`LintError::Io`] from a path and error.
+    pub fn io(path: &std::path::Path, err: &std::io::Error) -> Self {
+        LintError::Io {
+            path: path.display().to_string(),
+            kind: err.kind(),
+        }
+    }
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io { path, kind } => write!(f, "I/O error ({kind:?}) at {path}"),
+            LintError::NotAWorkspace(start) => {
+                write!(f, "no Cargo workspace found above {start}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}

@@ -1,0 +1,191 @@
+//! Canonical report rendering: a human-readable text report and a
+//! byte-stable machine-readable JSON document.
+//!
+//! Determinism contract: two runs over identical sources produce
+//! byte-identical output. Everything is sorted, no timestamps, no
+//! absolute paths, no floating-point values.
+
+use std::collections::BTreeMap;
+
+use crate::rules::RULES;
+use crate::workspace::RunReport;
+
+/// Renders the machine-readable report (`target/LINT_REPORT.json`).
+pub fn to_json(r: &RunReport) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"qfc-lint/1\",\n");
+    out.push_str(&format!(
+        "  \"tool_version\": {},\n",
+        json_str(env!("CARGO_PKG_VERSION"))
+    ));
+    out.push_str("  \"crates\": [");
+    for (i, c) in r.crates.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(c));
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
+    out.push_str("  \"rules\": [");
+    for (i, rule) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"name\": ");
+        out.push_str(&json_str(rule.name));
+        out.push_str(", \"allowable\": ");
+        out.push_str(if rule.allowable { "true" } else { "false" });
+        out.push_str(", \"summary\": ");
+        out.push_str(&json_str(&normalize_ws(rule.summary)));
+        out.push('}');
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"allow_directives\": {{\"total\": {}, \"used\": {}}},\n",
+        r.allows_total, r.allows_used
+    ));
+    out.push_str("  \"index_audit\": {");
+    for (i, (file, count)) in r.index_audit.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json_str(file));
+        out.push_str(&format!(": {count}"));
+    }
+    if !r.index_audit.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+    out.push_str("  \"findings\": [");
+    for (i, f) in r.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": ");
+        out.push_str(&json_str(f.rule));
+        out.push_str(", \"file\": ");
+        out.push_str(&json_str(&f.file));
+        out.push_str(&format!(
+            ", \"line\": {}, \"col\": {}, \"message\": ",
+            f.line, f.col
+        ));
+        out.push_str(&json_str(&f.message));
+        out.push_str(", \"snippet\": ");
+        out.push_str(&json_str(&f.snippet));
+        out.push('}');
+    }
+    if !r.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    let by_rule = count_by_rule(r);
+    out.push_str("  \"summary\": {");
+    out.push_str(&format!("\"total\": {}", r.findings.len()));
+    for (rule, count) in &by_rule {
+        out.push_str(&format!(", {}: {}", json_str(rule), count));
+    }
+    out.push_str("}\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the human report printed to stdout.
+pub fn to_human(r: &RunReport) -> String {
+    let mut out = String::new();
+    for f in &r.findings {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n",
+            f.file, f.line, f.col, f.rule, f.message
+        ));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", f.snippet));
+        }
+    }
+    let by_rule = count_by_rule(r);
+    out.push_str(&format!(
+        "qfc-lint: {} finding(s) across {} file(s) in {} crate(s); \
+         {} of {} allow directive(s) in use\n",
+        r.findings.len(),
+        r.files_scanned,
+        r.crates.len(),
+        r.allows_used,
+        r.allows_total
+    ));
+    if !by_rule.is_empty() {
+        let parts: Vec<String> = by_rule
+            .iter()
+            .map(|(rule, count)| format!("{rule}: {count}"))
+            .collect();
+        out.push_str(&format!("  by rule: {}\n", parts.join(", ")));
+    }
+    let audited: u64 = r.index_audit.values().sum();
+    out.push_str(&format!(
+        "  slice-index audit: {audited} indexing expression(s) outside tests \
+         (informational)\n"
+    ));
+    out
+}
+
+fn count_by_rule(r: &RunReport) -> BTreeMap<&'static str, usize> {
+    let mut by_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in &r.findings {
+        *by_rule.entry(f.rule).or_insert(0) += 1;
+    }
+    by_rule
+}
+
+/// Collapses the multi-line indentation of raw string summaries.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Minimal JSON string escaping (RFC 8259): quotes, backslashes, and
+/// control characters; everything else passes through as UTF-8.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("em—dash"), "\"em—dash\"");
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_stable() {
+        let r = RunReport {
+            crates: vec!["qfc-core".to_string()],
+            files_scanned: 0,
+            findings: Vec::new(),
+            index_audit: BTreeMap::new(),
+            allows_total: 0,
+            allows_used: 0,
+        };
+        let a = to_json(&r);
+        let b = to_json(&r);
+        assert_eq!(a, b);
+        assert!(a.contains("\"total\": 0"));
+        assert!(a.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,163 @@
+//! The rule taxonomy: names, summaries, and per-crate applicability.
+//!
+//! Rules encode *domain* invariants of this workspace — the software
+//! analogue of the paper's metrological-stability claim is that every
+//! published number is a pure, byte-identical function of explicit
+//! seeds, so anything that injects wall-clock time, ambient entropy,
+//! unordered iteration, silent value truncation, or an unstructured
+//! panic into a library crate is a defect class, not a style nit.
+
+/// Static description of one lint rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable kebab-case rule name (used in reports and allow directives).
+    pub name: &'static str,
+    /// One-line summary shown by `qfc-lint --list-rules`.
+    pub summary: &'static str,
+    /// Whether a `// qfc-lint: allow(<rule>) — <justification>` directive
+    /// may suppress this rule at a specific line.
+    pub allowable: bool,
+}
+
+/// Every rule the engine can emit, in canonical (report) order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "lossy-cast",
+        summary: "no `as` numeric casts in library crates — use qfc_mathkit::cast, \
+                  From/try_from, to_bits, or total_cmp",
+        allowable: true,
+    },
+    Rule {
+        name: "determinism",
+        summary: "no wall-clock, ambient entropy, or unordered-iteration types \
+                  (Instant/SystemTime/thread_rng/from_entropy/HashMap/HashSet) \
+                  in result-affecting crates",
+        allowable: true,
+    },
+    Rule {
+        name: "rng-lane",
+        summary: "drivers obtain RNGs only via qfc_mathkit::rng split_seed lanes, \
+                  never raw seed_from_u64/from_seed",
+        allowable: true,
+    },
+    Rule {
+        name: "panic-surface",
+        summary: "no panic!/unreachable!/todo!/unimplemented! in library crates \
+                  outside annotated validated legacy wrappers",
+        allowable: true,
+    },
+    Rule {
+        name: "error-taxonomy",
+        summary: "public fallible fns in library crates return QfcError/QfcResult",
+        allowable: true,
+    },
+    Rule {
+        name: "forbid-unsafe",
+        summary: "every library crate root declares #![forbid(unsafe_code)]",
+        allowable: false,
+    },
+    Rule {
+        name: "ci-roster",
+        summary: "scripts/ci.sh derives its clippy roster from the workspace and \
+                  invokes qfc-lint, so no crate can silently skip a gate",
+        allowable: false,
+    },
+    Rule {
+        name: "bad-directive",
+        summary: "a qfc-lint allow directive must name known rules and carry a \
+                  non-empty justification",
+        allowable: false,
+    },
+    Rule {
+        name: "unused-allow",
+        summary: "an allow directive whose target line has no matching finding is \
+                  stale and must be removed",
+        allowable: false,
+    },
+];
+
+/// Looks up a rule by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Crate directories under `crates/` that are *not* library crates and
+/// are therefore outside the lint scope (the bench harness trades rigor
+/// for throughput by design).
+pub const NON_LIBRARY_DIRS: &[&str] = &["bench"];
+
+/// Crates exempt from `error-taxonomy`: they sit *below* `qfc-faults`
+/// in the dependency graph (or are zero-dependency by design) and so
+/// cannot name `QfcError`. Their local error types convert into
+/// `QfcError` at the faults boundary.
+const ERROR_TAXONOMY_EXEMPT: &[&str] = &["qfc-mathkit", "qfc-obs", "qfc-runtime", "qfc-lint"];
+
+/// Crates exempt from `rng-lane`: `qfc-mathkit` *implements* the lane
+/// discipline (`rng_from_seed`/`split_seed`), so it is the one place a
+/// raw `seed_from_u64` is legitimate.
+const RNG_LANE_EXEMPT: &[&str] = &["qfc-mathkit"];
+
+/// Whether `rule` applies to `crate_name` (a library crate).
+pub fn rule_applies(rule: &str, crate_name: &str) -> bool {
+    match rule {
+        "error-taxonomy" => !ERROR_TAXONOMY_EXEMPT.contains(&crate_name),
+        "rng-lane" => !RNG_LANE_EXEMPT.contains(&crate_name),
+        _ => true,
+    }
+}
+
+/// Primitive numeric type names, the right-hand side of a flagged `as`.
+pub const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Identifiers flagged by the `determinism` rule.
+pub const DETERMINISM_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "HashMap",
+    "HashSet",
+];
+
+/// Identifiers flagged by the `rng-lane` rule.
+pub const RNG_LANE_IDENTS: &[&str] = &["seed_from_u64", "from_seed"];
+
+/// Macro names flagged by the `panic-surface` rule (when followed by `!`).
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_are_unique_and_kebab_case() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(
+                r.name.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{}",
+                r.name
+            );
+            assert!(RULES[i + 1..].iter().all(|s| s.name != r.name));
+        }
+    }
+
+    #[test]
+    fn scoping_encodes_the_dependency_graph() {
+        assert!(!rule_applies("error-taxonomy", "qfc-mathkit"));
+        assert!(rule_applies("error-taxonomy", "qfc-core"));
+        assert!(!rule_applies("rng-lane", "qfc-mathkit"));
+        assert!(rule_applies("rng-lane", "qfc-core"));
+        assert!(rule_applies("lossy-cast", "qfc-mathkit"));
+    }
+
+    #[test]
+    fn lookup_finds_every_rule() {
+        for r in RULES {
+            assert!(rule_by_name(r.name).is_some());
+        }
+        assert!(rule_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,272 @@
+//! Workspace discovery, the whole-tree lint run, and the two
+//! workspace-level checks (`forbid-unsafe`, `ci-roster`).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::engine::{lint_source, Finding};
+use crate::lexer::{lex, TokKind};
+use crate::rules::NON_LIBRARY_DIRS;
+use crate::LintError;
+
+/// Aggregate result of linting the workspace.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Library crates that were scanned, sorted by name.
+    pub crates: Vec<String>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings in canonical order (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Per-file count of slice/array indexing expressions (files with a
+    /// non-zero count only) — the panic-surface audit metric.
+    pub index_audit: BTreeMap<String, u64>,
+    /// Total allow directives seen.
+    pub allows_total: u64,
+    /// Allow directives that suppressed at least one finding.
+    pub allows_used: u64,
+}
+
+/// One discovered library crate.
+struct CrateInfo {
+    /// Package name from `Cargo.toml` (e.g. `qfc-core`).
+    name: String,
+    /// Directory under `crates/`.
+    dir: PathBuf,
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(LintError::NotAWorkspace(start.display().to_string()));
+        }
+    }
+}
+
+/// Runs the full lint pass over every library crate under `root/crates`.
+pub fn run(root: &Path) -> Result<RunReport, LintError> {
+    let mut crates = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut entries: Vec<PathBuf> = read_dir_sorted(&crates_dir)?;
+    entries.retain(|p| p.is_dir());
+    for dir in entries {
+        let Some(dirname) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        if NON_LIBRARY_DIRS.contains(&dirname.as_str()) {
+            continue;
+        }
+        let name = package_name(&dir.join("Cargo.toml"))?.unwrap_or(format!("qfc-{dirname}"));
+        crates.push(CrateInfo { name, dir });
+    }
+    crates.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut report = RunReport {
+        crates: crates.iter().map(|c| c.name.clone()).collect(),
+        files_scanned: 0,
+        findings: Vec::new(),
+        index_audit: BTreeMap::new(),
+        allows_total: 0,
+        allows_used: 0,
+    };
+
+    for info in &crates {
+        let src_dir = info.dir.join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        let mut saw_forbid_unsafe = false;
+        for path in files {
+            let rel = rel_path(root, &path);
+            let text = fs::read_to_string(&path).map_err(|e| LintError::io(&path, &e))?;
+            if path.file_name().and_then(|n| n.to_str()) == Some("lib.rs")
+                && path.parent() == Some(src_dir.as_path())
+            {
+                saw_forbid_unsafe = has_forbid_unsafe(&text);
+            }
+            let file_report = lint_source(&info.name, &rel, &text);
+            report.files_scanned += 1;
+            report.allows_total += file_report.allows_total;
+            report.allows_used += file_report.allows_used;
+            if file_report.index_audit > 0 {
+                report
+                    .index_audit
+                    .insert(rel.clone(), file_report.index_audit);
+            }
+            report.findings.extend(file_report.findings);
+        }
+        if !saw_forbid_unsafe {
+            report.findings.push(Finding {
+                rule: "forbid-unsafe",
+                file: rel_path(root, &src_dir.join("lib.rs")),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "library crate `{}` must declare #![forbid(unsafe_code)] in its \
+                     crate root",
+                    info.name
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+
+    check_ci_roster(root, &report.crates, &mut report.findings);
+
+    report.findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    Ok(report)
+}
+
+/// The `ci-roster` check: `scripts/ci.sh` must (a) invoke `qfc-lint` and
+/// (b) either derive its clippy roster from `crates/*` (the `for d in
+/// crates/*/` idiom) or hand-list every library crate.
+fn check_ci_roster(root: &Path, crates: &[String], findings: &mut Vec<Finding>) {
+    let ci_path = root.join("scripts").join("ci.sh");
+    let rel = rel_path(root, &ci_path);
+    let push = |findings: &mut Vec<Finding>, message: String| {
+        findings.push(Finding {
+            rule: "ci-roster",
+            file: rel.clone(),
+            line: 1,
+            col: 1,
+            message,
+            snippet: String::new(),
+        });
+    };
+    let Ok(text) = fs::read_to_string(&ci_path) else {
+        push(
+            findings,
+            "scripts/ci.sh is missing — the CI gate is gone".to_string(),
+        );
+        return;
+    };
+    if !text.contains("qfc-lint") {
+        push(
+            findings,
+            "scripts/ci.sh does not invoke qfc-lint — the static-analysis gate is \
+             not wired into CI"
+                .to_string(),
+        );
+    }
+    let derives_dynamically = text.contains("crates/*/");
+    if !derives_dynamically {
+        let missing: Vec<&String> = crates
+            .iter()
+            .filter(|c| !text.contains(&format!("-p {c}")))
+            .collect();
+        if !missing.is_empty() {
+            push(
+                findings,
+                format!(
+                    "scripts/ci.sh hand-lists its clippy roster but omits {} — derive \
+                     the roster from crates/* so new crates cannot skip the gate",
+                    missing
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            );
+        }
+    }
+}
+
+/// Whether the crate-root source declares `#![forbid(unsafe_code)]`.
+pub fn has_forbid_unsafe(lib_rs: &str) -> bool {
+    let toks = lex(lib_rs);
+    let code: Vec<&crate::lexer::Token> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    code.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    })
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let rd = fs::read_dir(dir).map_err(|e| LintError::io(dir, &e))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| LintError::io(dir, &e))?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (canonical report form).
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Extracts `name = "…"` from a Cargo manifest's `[package]` section.
+fn package_name(manifest: &Path) -> Result<Option<String>, LintError> {
+    let text = fs::read_to_string(manifest).map_err(|e| LintError::io(manifest, &e))?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let v = rest.trim().trim_matches('"');
+                return Ok(Some(v.to_string()));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        assert!(has_forbid_unsafe(
+            "//! docs\n#![forbid(unsafe_code)]\npub fn f() {}\n"
+        ));
+        assert!(!has_forbid_unsafe("#![warn(missing_docs)]\n"));
+        // A mention inside a comment does not count.
+        assert!(!has_forbid_unsafe("// #![forbid(unsafe_code)]\n"));
+    }
+}

@@ -1,0 +1,17 @@
+//@ crate: qfc-core
+// qfc-lint: allow(lossy-cast)
+//~^ ERROR bad-directive
+pub fn missing_justification(n: usize) -> f64 {
+    n as f64 //~ ERROR lossy-cast
+}
+
+// qfc-lint: allow(no-such-rule) — justification present
+//~^ ERROR bad-directive
+pub fn unknown_rule() {}
+
+// qfc-lint: allow(forbid-unsafe) — workspace rules cannot be suppressed
+//~^ ERROR bad-directive
+pub fn unsuppressable_rule() {}
+
+/// Doc comments may describe the `qfc-lint: allow(...)` grammar freely.
+pub fn doc_comments_are_not_directives() {}

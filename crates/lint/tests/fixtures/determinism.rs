@@ -1,0 +1,15 @@
+//@ crate: qfc-core
+use std::collections::HashMap; //~ ERROR determinism
+use std::time::Instant; //~ ERROR determinism
+
+pub fn stamp() {
+    let _t0 = Instant::now(); //~ ERROR determinism
+}
+
+pub fn ambient_entropy() {
+    let _rng = thread_rng(); //~ ERROR determinism
+}
+
+pub fn ordered_is_fine() {
+    let _m: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+}

@@ -1,0 +1,28 @@
+//@ crate: qfc-core
+pub fn bad() -> Result<u8, String> { //~ ERROR error-taxonomy
+    Ok(1)
+}
+
+pub fn bad_io() -> std::io::Result<u8> { //~ ERROR error-taxonomy
+    Ok(1)
+}
+
+pub fn good() -> QfcResult<u8> {
+    Ok(2)
+}
+
+pub fn also_good() -> Result<u8, QfcError> {
+    Ok(3)
+}
+
+pub(crate) fn internal_is_unscoped() -> Result<u8, String> {
+    Ok(4)
+}
+
+fn private_is_unscoped() -> Result<u8, String> {
+    Ok(5)
+}
+
+pub fn infallible(x: u8) -> u8 {
+    x
+}

@@ -1,0 +1,19 @@
+//@ crate: qfc-core
+pub fn ratio(num: usize, den: usize) -> f64 {
+    let n = num as f64; //~ ERROR lossy-cast
+    let d = den as f64; //~ ERROR lossy-cast
+    n / d
+}
+
+pub fn truncate(x: f64) -> i64 {
+    x as i64 //~ ERROR lossy-cast
+}
+
+pub fn allowed(n: usize) -> f64 {
+    // qfc-lint: allow(lossy-cast) — fixture: exact below 2^53
+    n as f64
+}
+
+pub fn reinterpreting_enums_is_not_numeric(x: SomeEnum) -> SomeEnum {
+    x
+}

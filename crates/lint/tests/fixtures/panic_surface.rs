@@ -1,0 +1,27 @@
+//@ crate: qfc-quantum
+pub fn boom() {
+    panic!("bad"); //~ ERROR panic-surface
+}
+
+pub fn not_yet() {
+    todo!() //~ ERROR panic-surface
+}
+
+pub fn never(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!("exhaustive"), //~ ERROR panic-surface
+    }
+}
+
+pub fn wrapped() {
+    panic!("documented"); // qfc-lint: allow(panic-surface) — fixture: documented panicking wrapper
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_panics_are_free() {
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,12 @@
+//@ crate: qfc-core
+pub fn raw_seed_bypasses_lanes() {
+    let _rng = StdRng::seed_from_u64(42); //~ ERROR rng-lane
+}
+
+pub fn raw_state_bypasses_lanes() {
+    let _rng = StdRng::from_seed([0u8; 32]); //~ ERROR rng-lane
+}
+
+pub fn lanes_are_fine(seed: u64) {
+    let _rng = rng_from_seed(split_seed(seed, 3));
+}

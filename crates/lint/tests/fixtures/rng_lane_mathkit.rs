@@ -1,0 +1,6 @@
+//@ crate: qfc-mathkit
+// qfc-mathkit implements the lane discipline itself, so the rng-lane
+// rule is scoped out of it: no marker, no finding expected.
+pub fn implementing_the_lanes() {
+    let _rng = StdRng::seed_from_u64(42);
+}

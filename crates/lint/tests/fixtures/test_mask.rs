@@ -1,0 +1,20 @@
+//@ crate: qfc-core
+pub fn library_code() -> u8 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper(n: usize) -> f64 {
+        n as f64
+    }
+
+    #[test]
+    fn casts_and_panics_are_free_in_tests() {
+        if helper(1) < 0.0 {
+            panic!("tests may panic");
+        }
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u8, 2u8);
+    }
+}

@@ -1,0 +1,4 @@
+//@ crate: qfc-core
+// qfc-lint: allow(determinism) — fixture: there is nothing to suppress below
+//~^ ERROR unused-allow
+pub fn clean() {}

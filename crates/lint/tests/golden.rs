@@ -1,0 +1,108 @@
+//! Golden-file tests: every fixture under `tests/fixtures/` declares its
+//! crate context on the first line (`//@ crate: <name>`) and marks each
+//! expected finding with a trailing `//~ ERROR <rule>` (this line) or a
+//! standalone `//~^ ERROR <rule>` (previous line). The harness runs the
+//! engine over the fixture and demands an exact match — no missing and
+//! no surplus findings.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use qfc_lint::lint_source;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Parses `//@ crate: <name>` from the fixture's first line.
+fn crate_context(src: &str, name: &str) -> String {
+    src.lines()
+        .next()
+        .and_then(|l| l.trim().strip_prefix("//@ crate:"))
+        .unwrap_or_else(|| panic!("fixture {name} missing `//@ crate: <name>` header"))
+        .trim()
+        .to_string()
+}
+
+/// Collects `(line, rule)` expectations from `//~ ERROR` markers.
+fn expected_findings(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let line_no = u32::try_from(i + 1).unwrap_or(u32::MAX);
+        if let Some(pos) = line.find("//~") {
+            let marker = &line[pos + 3..];
+            let (target, rest) = match marker.strip_prefix('^') {
+                Some(rest) => (line_no - 1, rest),
+                None => (line_no, marker),
+            };
+            let rule = rest
+                .trim_start()
+                .strip_prefix("ERROR")
+                .unwrap_or_else(|| panic!("marker on line {line_no} must read `ERROR <rule>`"))
+                .trim()
+                .split_whitespace()
+                .next()
+                .unwrap_or_else(|| panic!("marker on line {line_no} names no rule"))
+                .to_string();
+            out.push((target, rule));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn every_fixture_matches_its_markers_exactly() {
+    let mut rules_covered: BTreeSet<String> = BTreeSet::new();
+    let mut fixtures = 0usize;
+    let mut paths: Vec<PathBuf> = fs::read_dir(fixture_dir())
+        .expect("fixtures dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no fixtures found");
+
+    for path in paths {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("fixture name")
+            .to_string();
+        let src = fs::read_to_string(&path).expect("read fixture");
+        let crate_name = crate_context(&src, &name);
+        let expected = expected_findings(&src);
+
+        let mut got: Vec<(u32, String)> = lint_source(&crate_name, &name, &src)
+            .findings
+            .into_iter()
+            .map(|f| (f.line, f.rule.to_string()))
+            .collect();
+        got.sort();
+
+        assert_eq!(
+            got, expected,
+            "fixture {name} (crate {crate_name}): findings disagree with //~ markers"
+        );
+        rules_covered.extend(expected.into_iter().map(|(_, r)| r));
+        fixtures += 1;
+    }
+
+    // Every file-level rule must be proven to fire by at least one fixture
+    // (forbid-unsafe and ci-roster are workspace-level; see workspace_rules.rs).
+    for rule in [
+        "lossy-cast",
+        "determinism",
+        "rng-lane",
+        "panic-surface",
+        "error-taxonomy",
+        "bad-directive",
+        "unused-allow",
+    ] {
+        assert!(
+            rules_covered.contains(rule),
+            "no fixture exercises rule `{rule}` ({fixtures} fixtures scanned)"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Self-hosting: qfc-lint's own sources must pass qfc-lint. The tool is
+//! in-scope for every rule it enforces (its crate name appears in the
+//! rule scope lists like any other library crate).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use qfc_lint::lint_source;
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read src dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn qfc_lint_is_clean_on_its_own_source() {
+    let src_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut files = Vec::new();
+    collect_rs(&src_dir, &mut files);
+    assert!(
+        files.len() >= 5,
+        "expected the full module set, got {files:?}"
+    );
+
+    let mut all = Vec::new();
+    for path in &files {
+        let text = fs::read_to_string(path).expect("read source");
+        let rel = path.display().to_string();
+        all.extend(lint_source("qfc-lint", &rel, &text).findings);
+    }
+    assert!(
+        all.is_empty(),
+        "qfc-lint does not pass its own rules:\n{}",
+        all.iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,88 @@
+//! The two workspace-level rules (`forbid-unsafe`, `ci-roster`) need a
+//! filesystem to fire against; these tests synthesize a miniature
+//! workspace under `CARGO_TARGET_TMPDIR`, prove both rules fire, then
+//! repair it and prove the run goes clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn mini_workspace(tag: &str) -> PathBuf {
+    let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("qfc_lint_mini_{tag}"));
+    let _ = fs::remove_dir_all(&base);
+    fs::create_dir_all(base.join("crates/alpha/src")).expect("mkdir");
+    fs::write(
+        base.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/alpha\"]\n",
+    )
+    .expect("root manifest");
+    fs::write(
+        base.join("crates/alpha/Cargo.toml"),
+        "[package]\nname = \"qfc-alpha\"\nversion = \"0.1.0\"\n",
+    )
+    .expect("crate manifest");
+    base
+}
+
+fn rules_fired(root: &Path) -> Vec<String> {
+    let report = qfc_lint::run(root).expect("lint run");
+    let mut rules: Vec<String> = report.findings.iter().map(|f| f.rule.to_string()).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn forbid_unsafe_and_ci_roster_fire_then_clear() {
+    let root = mini_workspace("fire");
+    // No #![forbid(unsafe_code)], no scripts/ci.sh: both rules must fire.
+    fs::write(root.join("crates/alpha/src/lib.rs"), "pub fn f() {}\n").expect("lib.rs");
+    let fired = rules_fired(&root);
+    assert!(
+        fired.contains(&"forbid-unsafe".to_string()),
+        "forbid-unsafe did not fire: {fired:?}"
+    );
+    assert!(
+        fired.contains(&"ci-roster".to_string()),
+        "ci-roster did not fire: {fired:?}"
+    );
+
+    // Repair both: the run must go fully clean.
+    fs::write(
+        root.join("crates/alpha/src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    )
+    .expect("lib.rs");
+    fs::create_dir_all(root.join("scripts")).expect("scripts dir");
+    fs::write(
+        root.join("scripts/ci.sh"),
+        "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\nfor d in crates/*/; do :; done\n",
+    )
+    .expect("ci.sh");
+    let report = qfc_lint::run(&root).expect("lint run");
+    assert!(
+        report.findings.is_empty(),
+        "repaired mini workspace still has findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn hand_listed_roster_must_name_every_crate() {
+    let root = mini_workspace("roster");
+    fs::write(
+        root.join("crates/alpha/src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    )
+    .expect("lib.rs");
+    fs::create_dir_all(root.join("scripts")).expect("scripts dir");
+    // Invokes qfc-lint, hand-lists a roster, but omits qfc-alpha.
+    fs::write(
+        root.join("scripts/ci.sh"),
+        "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\ncargo clippy -p qfc-other\n",
+    )
+    .expect("ci.sh");
+    let fired = rules_fired(&root);
+    assert!(
+        fired.contains(&"ci-roster".to_string()),
+        "ci-roster did not flag the incomplete hand-listed roster: {fired:?}"
+    );
+}

@@ -1,0 +1,286 @@
+//! Vetted numeric conversions — the only place library code may spell an
+//! `as` cast.
+//!
+//! The workspace-wide `qfc-lint` pass forbids raw `as` numeric casts in
+//! library crates (rule `lossy-cast`): the PR-3 bug crop showed that a
+//! silent `as` at a comparison or statistics site is a whole defect
+//! class (an `as i64` frequency comparison collapsed distinct channels).
+//! Every conversion below documents its exact semantics, and the few
+//! internal `as` casts carry scoped allow directives. Call sites then
+//! say *what they mean* — `to_f64(shots)` or `f64_to_usize(bin)` — and
+//! the intent is machine-checkable.
+//!
+//! Semantics summary:
+//!
+//! * [`to_f64`] — integer → `f64`, exact for magnitudes ≤ 2^53 (every
+//!   shot count, bin index, and event count in this workspace); larger
+//!   values round to the nearest representable `f64`, deterministically.
+//! * [`f64_to_usize`] / [`f64_to_u64`] / [`f64_to_i64`] — float →
+//!   integer with Rust's saturating-cast semantics: truncate toward
+//!   zero, clamp to the target range, NaN → 0. Byte-for-byte identical
+//!   to the `as` casts they replace.
+//! * [`usize_to_u64`] / [`u64_to_usize`] — pointer-width ↔ 64-bit,
+//!   lossless on every supported target (checked, saturating fallback).
+//! * [`u64_low32`] — explicit low-32-bit truncation for hash/RNG mixing.
+
+/// Integer types that convert to `f64` with well-understood rounding.
+///
+/// Implemented for the unsigned/signed integer widths the workspace
+/// actually converts; conversion is exact for magnitudes up to 2^53 and
+/// rounds to nearest (deterministically) beyond.
+pub trait ToF64 {
+    /// Converts to `f64` (exact ≤ 2^53, round-to-nearest beyond).
+    fn to_f64(self) -> f64;
+}
+
+impl ToF64 for usize {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        // qfc-lint: allow(lossy-cast) — vetted central conversion: exact for every value ≤ 2^53, round-to-nearest beyond
+        self as f64
+    }
+}
+
+impl ToF64 for u64 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        // qfc-lint: allow(lossy-cast) — vetted central conversion: exact for every value ≤ 2^53, round-to-nearest beyond
+        self as f64
+    }
+}
+
+impl ToF64 for u128 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        // qfc-lint: allow(lossy-cast) — vetted central conversion: exact ≤ 2^53; factorial-scale values round to nearest
+        self as f64
+    }
+}
+
+impl ToF64 for i64 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        // qfc-lint: allow(lossy-cast) — vetted central conversion: exact for |value| ≤ 2^53, round-to-nearest beyond
+        self as f64
+    }
+}
+
+impl ToF64 for isize {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        // qfc-lint: allow(lossy-cast) — vetted central conversion: exact for |value| ≤ 2^53, round-to-nearest beyond
+        self as f64
+    }
+}
+
+impl ToF64 for u32 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl ToF64 for i32 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl ToF64 for u16 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl ToF64 for u8 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// Converts an integer to `f64`.
+///
+/// Exact for magnitudes ≤ 2^53 — which covers every shot count, event
+/// count, and bin index in this workspace — and deterministic
+/// round-to-nearest beyond.
+///
+/// ```
+/// use qfc_mathkit::cast::to_f64;
+/// assert_eq!(to_f64(1_000_000usize), 1.0e6);
+/// assert_eq!(to_f64(3u64), 3.0);
+/// ```
+#[inline]
+pub fn to_f64<T: ToF64>(x: T) -> f64 {
+    x.to_f64()
+}
+
+/// `f64` → `usize` with saturating-cast semantics: truncate toward zero,
+/// clamp negatives to 0 and overflow to `usize::MAX`, NaN → 0.
+///
+/// Byte-identical to Rust's `x as usize`, but named and auditable. Used
+/// for histogram bin indices and floor-style positions.
+///
+/// ```
+/// use qfc_mathkit::cast::f64_to_usize;
+/// assert_eq!(f64_to_usize(3.9), 3);
+/// assert_eq!(f64_to_usize(-1.0), 0);
+/// assert_eq!(f64_to_usize(f64::NAN), 0);
+/// ```
+#[inline]
+pub fn f64_to_usize(x: f64) -> usize {
+    // qfc-lint: allow(lossy-cast) — vetted central conversion: Rust saturating float→int cast (trunc toward zero, clamp, NaN→0)
+    x as usize
+}
+
+/// `f64` → `u64` with saturating-cast semantics (see [`f64_to_usize`]).
+#[inline]
+pub fn f64_to_u64(x: f64) -> u64 {
+    // qfc-lint: allow(lossy-cast) — vetted central conversion: Rust saturating float→int cast (trunc toward zero, clamp, NaN→0)
+    x as u64
+}
+
+/// `f64` → `i64` with saturating-cast semantics: truncate toward zero,
+/// clamp to `[i64::MIN, i64::MAX]`, NaN → 0.
+#[inline]
+pub fn f64_to_i64(x: f64) -> i64 {
+    // qfc-lint: allow(lossy-cast) — vetted central conversion: Rust saturating float→int cast (trunc toward zero, clamp, NaN→0)
+    x as i64
+}
+
+/// `usize` → `u64`, lossless on every supported (≤ 64-bit) target;
+/// saturates in the pathological >64-bit-pointer case.
+#[inline]
+pub fn usize_to_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// `u64` → `usize`, lossless on 64-bit targets; saturates on narrower
+/// ones rather than wrapping.
+#[inline]
+pub fn u64_to_usize(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+/// `i64` → `usize`: negative values clamp to 0 (unlike `as`, which
+/// wraps them to huge values — the exact trap this module exists to
+/// kill); values beyond the target range saturate.
+#[inline]
+pub fn i64_to_usize(n: i64) -> usize {
+    usize::try_from(n.max(0)).unwrap_or(usize::MAX)
+}
+
+/// `usize` → `i64`, saturating at `i64::MAX` (beyond any real count).
+#[inline]
+pub fn usize_to_i64(n: usize) -> i64 {
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
+/// `u32` → `usize`, lossless on every supported (≥ 32-bit) target;
+/// saturates rather than wrapping elsewhere.
+#[inline]
+pub fn u32_to_usize(n: u32) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+/// `u32` → `i32`, saturating at `i32::MAX`. The workspace uses this for
+/// comb-mode indices and `powi` exponents, which are tiny; saturation is
+/// strictly safer than the wrap an `as` would produce.
+#[inline]
+pub fn u32_to_i32(n: u32) -> i32 {
+    i32::try_from(n).unwrap_or(i32::MAX)
+}
+
+/// `usize` → `u32`, saturating rather than wrapping. Used for `pow`
+/// exponents derived from qubit counts (≤ 8 in this workspace).
+#[inline]
+pub fn usize_to_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// `f64` → `u32` with saturating-cast semantics (see [`f64_to_usize`]).
+#[inline]
+pub fn f64_to_u32(x: f64) -> u32 {
+    // qfc-lint: allow(lossy-cast) — vetted central conversion: Rust saturating float→int cast (trunc toward zero, clamp, NaN→0)
+    x as u32
+}
+
+/// `f64` → `i32` with saturating-cast semantics: truncate toward zero,
+/// clamp to `[i32::MIN, i32::MAX]`, NaN → 0.
+#[inline]
+pub fn f64_to_i32(x: f64) -> i32 {
+    // qfc-lint: allow(lossy-cast) — vetted central conversion: Rust saturating float→int cast (trunc toward zero, clamp, NaN→0)
+    x as i32
+}
+
+/// Explicit low-32-bit truncation of a 64-bit word, for hash and RNG
+/// mixing where discarding the high half is the *point*.
+#[inline]
+pub fn u64_low32(n: u64) -> u32 {
+    u32::try_from(n & 0xFFFF_FFFF).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The helpers must be byte-identical to the `as` casts they
+    /// replaced — this is the regression net for the workspace-wide
+    /// lossy-cast sweep (no observable value may change).
+    #[test]
+    fn to_f64_matches_as_semantics() {
+        for n in [0usize, 1, 1024, 1 << 20, (1 << 53) - 1] {
+            assert_eq!(to_f64(n).to_bits(), (n as f64).to_bits());
+        }
+        for n in [0u64, 7, u64::MAX, (1 << 53) + 1] {
+            assert_eq!(to_f64(n).to_bits(), (n as f64).to_bits());
+        }
+        for n in [i64::MIN, -5, 0, 5, i64::MAX] {
+            assert_eq!(to_f64(n).to_bits(), (n as f64).to_bits());
+        }
+        assert_eq!(to_f64(u128::MAX).to_bits(), (u128::MAX as f64).to_bits());
+    }
+
+    #[test]
+    fn float_to_int_matches_as_semantics() {
+        for x in [
+            -1.5f64,
+            -0.0,
+            0.0,
+            0.49,
+            0.5,
+            3.999,
+            1e18,
+            1e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ] {
+            assert_eq!(f64_to_usize(x), x as usize, "{x}");
+            assert_eq!(f64_to_u64(x), x as u64, "{x}");
+            assert_eq!(f64_to_i64(x), x as i64, "{x}");
+            assert_eq!(f64_to_u32(x), x as u32, "{x}");
+            assert_eq!(f64_to_i32(x), x as i32, "{x}");
+        }
+    }
+
+    #[test]
+    fn narrow_int_conversions_saturate() {
+        assert_eq!(u32_to_i32(7), 7);
+        assert_eq!(u32_to_i32(u32::MAX), i32::MAX);
+        assert_eq!(usize_to_u32(8), 8);
+        assert_eq!(usize_to_u32(usize::MAX), u32::MAX);
+        assert_eq!(i64_to_usize(-3), 0);
+        assert_eq!(usize_to_i64(42), 42);
+    }
+
+    #[test]
+    fn pointer_width_round_trips() {
+        assert_eq!(usize_to_u64(usize::MAX) as usize, usize::MAX);
+        assert_eq!(u64_to_usize(12345), 12345usize);
+        assert_eq!(u64_low32(0xDEAD_BEEF_0000_0001), 1);
+        assert_eq!(u64_low32(u64::MAX), u32::MAX);
+    }
+}

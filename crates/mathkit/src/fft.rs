@@ -3,6 +3,7 @@
 //! Used by the Lugiato–Lefever comb simulator
 //! (`qfc_photonics::lle`) for its split-step spectral method.
 
+use crate::cast;
 use crate::complex::Complex64;
 
 /// In-place forward FFT (`X_k = Σ_n x_n e^{−2πikn/N}`).
@@ -22,7 +23,7 @@ pub fn fft(data: &mut [Complex64]) {
 /// Panics unless the length is a power of two ≥ 2.
 pub fn ifft(data: &mut [Complex64]) {
     transform(data, 1.0);
-    let n = data.len() as f64;
+    let n = cast::to_f64(data.len());
     for z in data.iter_mut() {
         *z = z.scale(1.0 / n);
     }
@@ -45,7 +46,7 @@ fn transform(data: &mut [Complex64], sign: f64) {
     // Danielson–Lanczos butterflies.
     let mut len = 2;
     while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let ang = sign * 2.0 * std::f64::consts::PI / cast::to_f64(len);
         let wlen = Complex64::cis(ang);
         let mut i = 0;
         while i < n {
@@ -67,11 +68,11 @@ fn transform(data: &mut [Complex64], sign: f64) {
 /// (standard FFT ordering: positive frequencies first, then negative).
 pub fn fft_frequency(k: usize, n: usize, dx: f64) -> f64 {
     let kf = if k <= n / 2 {
-        k as f64
+        cast::to_f64(k)
     } else {
-        k as f64 - n as f64
+        cast::to_f64(k) - cast::to_f64(n)
     };
-    2.0 * std::f64::consts::PI * kf / (n as f64 * dx)
+    2.0 * std::f64::consts::PI * kf / (cast::to_f64(n) * dx)
 }
 
 #[cfg(test)]

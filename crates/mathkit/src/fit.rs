@@ -6,6 +6,7 @@
 //! [`FitError`] on degenerate input, and the original panicking wrapper
 //! kept for call sites where a failure is a programming error.
 
+use crate::cast;
 use serde::{Deserialize, Serialize};
 
 /// Why a fit could not be performed.
@@ -53,7 +54,7 @@ pub fn try_fit_linear(x: &[f64], y: &[f64]) -> Result<LinearFit, FitError> {
     if x.len() < 2 {
         return Err(FitError::InsufficientData);
     }
-    let n = x.len() as f64;
+    let n = cast::to_f64(x.len());
     let sx: f64 = x.iter().sum();
     let sy: f64 = y.iter().sum();
     let sxx: f64 = x.iter().map(|v| v * v).sum();
@@ -106,7 +107,7 @@ pub fn try_fit_linear(x: &[f64], y: &[f64]) -> Result<LinearFit, FitError> {
 pub fn fit_linear(x: &[f64], y: &[f64]) -> LinearFit {
     match try_fit_linear(x, y) {
         Ok(f) => f,
-        Err(e) => panic!("fit_linear: {e}"),
+        Err(e) => panic!("fit_linear: {e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -183,7 +184,7 @@ pub fn try_fit_exponential_decay(t: &[f64], y: &[f64]) -> Result<ExponentialFit,
 pub fn fit_exponential_decay(t: &[f64], y: &[f64]) -> ExponentialFit {
     match try_fit_exponential_decay(t, y) {
         Ok(f) => f,
-        Err(e) => panic!("fit_exponential_decay: {e}"),
+        Err(e) => panic!("fit_exponential_decay: {e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -233,7 +234,7 @@ pub fn try_fit_fringe_harmonic(
     if harmonic == 0 {
         return Err(FitError::InsufficientData);
     }
-    let k = harmonic as f64;
+    let k = cast::to_f64(harmonic);
     // Normal equations for basis [1, cos kφ, sin kφ].
     let mut ata = [[0.0f64; 3]; 3];
     let mut atb = [0.0f64; 3];
@@ -270,8 +271,8 @@ pub fn try_fit_fringe_harmonic(
 pub fn fit_fringe_harmonic(phase: &[f64], y: &[f64], harmonic: u32) -> FringeFit {
     match try_fit_fringe_harmonic(phase, y, harmonic) {
         Ok(f) => f,
-        Err(FitError::Degenerate) => panic!("singular system in fringe fit"),
-        Err(e) => panic!("fit_fringe: {e}"),
+        Err(FitError::Degenerate) => panic!("singular system in fringe fit"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("fit_fringe: {e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -359,7 +360,7 @@ pub fn try_fit_power_law(x: &[f64], y: &[f64]) -> Result<PowerLawFit, FitError> 
 pub fn fit_power_law(x: &[f64], y: &[f64]) -> PowerLawFit {
     match try_fit_power_law(x, y) {
         Ok(f) => f,
-        Err(e) => panic!("fit_power_law: {e}"),
+        Err(e) => panic!("fit_power_law: {e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 

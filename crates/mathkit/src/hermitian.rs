@@ -8,6 +8,7 @@
 //! this workspace (density matrices up to 16×16, discretized joint spectral
 //! amplitudes up to a few hundred) are well within its comfortable range.
 
+use crate::cast;
 use serde::{Deserialize, Serialize};
 
 use crate::cmatrix::CMatrix;
@@ -126,7 +127,7 @@ pub fn eigh_with(a: &CMatrix, strategy: JacobiStrategy) -> EigenDecomposition {
 
     for sweep in 0..MAX_SWEEPS {
         let off = off_diagonal_norm(&m);
-        if off <= 1e-14 * scale * n as f64 {
+        if off <= 1e-14 * scale * cast::to_f64(n) {
             break;
         }
         let threshold = match strategy {
@@ -134,7 +135,7 @@ pub fn eigh_with(a: &CMatrix, strategy: JacobiStrategy) -> EigenDecomposition {
             // Classic Jacobi threshold schedule: tighten as sweeps progress.
             JacobiStrategy::Threshold => {
                 if sweep < 4 {
-                    0.2 * off / (n * n) as f64
+                    0.2 * off / cast::to_f64(n * n)
                 } else {
                     0.0
                 }

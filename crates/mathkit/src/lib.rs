@@ -21,9 +21,11 @@
 //! assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-10);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cast;
 pub mod cmatrix;
 pub mod complex;
 pub mod cvector;

@@ -4,6 +4,7 @@
 //! themselves (normal, Poisson, binomial, exponential) are implemented here
 //! so the workspace stays within its approved dependency set.
 
+use crate::cast;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -133,7 +134,7 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
         }
     } else {
         let x = normal(rng, lambda, lambda.sqrt());
-        (x + 0.5).max(0.0) as u64
+        cast::f64_to_u64((x + 0.5).max(0.0))
     }
 }
 
@@ -151,23 +152,23 @@ pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     if p == 1.0 {
         return n;
     }
-    let mean = n as f64 * p;
+    let mean = cast::to_f64(n) * p;
     let var = mean * (1.0 - p);
     if n <= 1024 {
-        (0..n).filter(|_| rng.gen::<f64>() < p).count() as u64
+        cast::usize_to_u64((0..n).filter(|_| rng.gen::<f64>() < p).count())
     } else if p < 0.01 {
         // Poisson limit: exact to O(p) for small p regardless of n.
         poisson(rng, mean).min(n)
     } else if var >= 25.0 {
         let x = normal(rng, mean, var.sqrt());
-        (x + 0.5).clamp(0.0, n as f64) as u64
+        cast::f64_to_u64((x + 0.5).clamp(0.0, cast::to_f64(n)))
     } else {
         // Moderate n with p near 0 or 1 but var small: sample the minority
         // outcome via the Poisson limit on the cheaper side.
         if p <= 0.5 {
             poisson(rng, mean).min(n)
         } else {
-            n - poisson(rng, n as f64 * (1.0 - p)).min(n)
+            n - poisson(rng, cast::to_f64(n) * (1.0 - p)).min(n)
         }
     }
 }
@@ -184,7 +185,7 @@ pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
         return 0;
     }
     let u = 1.0 - rng.gen::<f64>();
-    (u.ln() / (1.0 - p).ln()).floor() as u64
+    cast::f64_to_u64((u.ln() / (1.0 - p).ln()).floor())
 }
 
 /// Samples an index from a discrete distribution given by non-negative

@@ -1,5 +1,7 @@
 //! Special functions needed by the photonics and quantum models.
 
+use crate::cast;
+
 /// Normalized `sinc(x) = sin(πx)/(πx)` with `sinc(0) = 1`.
 pub fn sinc(x: f64) -> f64 {
     if x == 0.0 {
@@ -69,7 +71,7 @@ pub fn ln_gamma(x: f64) -> f64 {
     let mut a = COEFFS[0];
     let t = x + G + 0.5;
     for (i, &c) in COEFFS.iter().enumerate().skip(1) {
-        a += c / (x + i as f64);
+        a += c / (x + cast::to_f64(i));
     }
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
 }
@@ -79,7 +81,7 @@ pub fn ln_factorial(n: u64) -> f64 {
     if n < 2 {
         0.0
     } else {
-        ln_gamma(n as f64 + 1.0)
+        ln_gamma(cast::to_f64(n) + 1.0)
     }
 }
 
@@ -93,7 +95,7 @@ pub fn binomial_coeff(n: u64, k: u64) -> f64 {
     if n <= 62 {
         let mut acc = 1.0f64;
         for i in 0..k {
-            acc = acc * (n - i) as f64 / (i + 1) as f64;
+            acc = acc * cast::to_f64(n - i) / cast::to_f64(i + 1);
         }
         acc.round()
     } else {
@@ -107,7 +109,7 @@ pub fn poisson_pmf(k: u64, lambda: f64) -> f64 {
     if lambda <= 0.0 {
         return if k == 0 { 1.0 } else { 0.0 };
     }
-    (k as f64 * lambda.ln() - lambda - ln_factorial(k)).exp()
+    (cast::to_f64(k) * lambda.ln() - lambda - ln_factorial(k)).exp()
 }
 
 /// Lorentzian profile with unit peak: `1 / (1 + (2(x − x0)/fwhm)²)`.

@@ -1,5 +1,6 @@
 //! Descriptive statistics and histograms used by the analysis pipelines.
 
+use crate::cast;
 use serde::{Deserialize, Serialize};
 
 /// Arithmetic mean of a sample. Returns `NaN` for an empty slice.
@@ -7,7 +8,7 @@ pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
-    xs.iter().sum::<f64>() / xs.len() as f64
+    xs.iter().sum::<f64>() / cast::to_f64(xs.len())
 }
 
 /// Population variance (divides by `n`). Returns `NaN` for an empty slice.
@@ -16,7 +17,7 @@ pub fn variance(xs: &[f64]) -> f64 {
         return f64::NAN;
     }
     let m = mean(xs);
-    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / cast::to_f64(xs.len())
 }
 
 /// Population standard deviation.
@@ -32,7 +33,7 @@ pub fn sample_std_dev(xs: &[f64]) -> f64 {
         return f64::NAN;
     }
     let m = mean(xs);
-    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / cast::to_f64(xs.len() - 1)).sqrt()
 }
 
 /// Relative fluctuation: peak-to-peak range divided by the mean.
@@ -75,13 +76,13 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty sample");
     let mut v = xs.to_vec();
     v.sort_by(f64::total_cmp);
-    let pos = q * (v.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    let pos = q * cast::to_f64(v.len() - 1);
+    let lo = cast::f64_to_usize(pos.floor());
+    let hi = cast::f64_to_usize(pos.ceil());
     if lo == hi {
         v[lo]
     } else {
-        let frac = pos - lo as f64;
+        let frac = pos - cast::to_f64(lo);
         v[lo] * (1.0 - frac) + v[hi] * frac
     }
 }
@@ -171,7 +172,7 @@ impl Histogram {
 
     /// Width of a single bin.
     pub fn bin_width(&self) -> f64 {
-        (self.hi - self.lo) / self.counts.len() as f64
+        (self.hi - self.lo) / cast::to_f64(self.counts.len())
     }
 
     /// Adds one sample.
@@ -186,7 +187,7 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += w;
         } else {
-            let idx = ((x - self.lo) / self.bin_width()) as usize;
+            let idx = cast::f64_to_usize((x - self.lo) / self.bin_width());
             let idx = idx.min(self.counts.len() - 1);
             self.counts[idx] += w;
         }
@@ -204,7 +205,7 @@ impl Histogram {
 
     /// Center of bin `i`.
     pub fn bin_center(&self, i: usize) -> f64 {
-        self.lo + (i as f64 + 0.5) * self.bin_width()
+        self.lo + (cast::to_f64(i) + 0.5) * self.bin_width()
     }
 
     /// Samples below range.
@@ -260,14 +261,14 @@ impl Histogram {
     /// true width is wider than the range can show).
     pub fn fwhm_estimate(&self) -> Option<FwhmEstimate> {
         let (peak_idx, peak) = self.peak()?;
-        let half = peak as f64 / 2.0;
+        let half = cast::to_f64(peak) / 2.0;
         // Walk left.
         let mut left = self.bin_center(0);
         let mut left_clamped = true;
         for i in (0..peak_idx).rev() {
-            if (self.counts[i] as f64) < half {
-                let c0 = self.counts[i] as f64;
-                let c1 = self.counts[i + 1] as f64;
+            if (cast::to_f64(self.counts[i])) < half {
+                let c0 = cast::to_f64(self.counts[i]);
+                let c1 = cast::to_f64(self.counts[i + 1]);
                 let frac = if c1 > c0 { (half - c0) / (c1 - c0) } else { 0.5 };
                 left = self.bin_center(i) + frac * self.bin_width();
                 left_clamped = false;
@@ -278,9 +279,9 @@ impl Histogram {
         let mut right = self.bin_center(self.bins() - 1);
         let mut right_clamped = true;
         for i in peak_idx + 1..self.bins() {
-            if (self.counts[i] as f64) < half {
-                let c0 = self.counts[i - 1] as f64;
-                let c1 = self.counts[i] as f64;
+            if (cast::to_f64(self.counts[i])) < half {
+                let c0 = cast::to_f64(self.counts[i - 1]);
+                let c1 = cast::to_f64(self.counts[i]);
                 let frac = if c0 > c1 { (c0 - half) / (c0 - c1) } else { 0.5 };
                 right = self.bin_center(i - 1) + frac * self.bin_width();
                 right_clamped = false;

@@ -132,6 +132,7 @@ fn render_span(out: &mut String, span: &SpanData, depth: usize) {
     let indent = "  ".repeat(depth);
     let label = format!("{indent}{}", span.name);
     if span.calls > 0 {
+        // qfc-lint: allow(lossy-cast) — zero-dependency crate; ns→ms for human-readable trace text only, exact ≤ 2^53 ns (~104 days)
         let ms = span.total_ns as f64 / 1e6;
         out.push_str(&format!("{label:<40} calls={:<6} wall={ms:.3}ms\n", span.calls));
     } else {
@@ -205,7 +206,7 @@ fn write_string(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }

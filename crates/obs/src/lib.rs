@@ -45,6 +45,8 @@
 //! assert!(snapshot.to_json().contains("shots_simulated"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod export;
 mod manifest;
 
@@ -54,7 +56,7 @@ pub use manifest::{fnv1a64, RunManifest};
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::Instant; // qfc-lint: allow(determinism) — wall-clock span timing is presentation-only; never feeds simulation results
 
 /// Counters pre-registered (in this order) by [`Collector::new`], so the
 /// exported registry order never depends on instrumentation-touch order.
@@ -286,7 +288,7 @@ pub fn enabled() -> bool {
 /// span when dropped. Not `Send`: spans belong to the thread that opened
 /// them.
 pub struct SpanGuard {
-    open: Option<(Collector, usize, Instant)>,
+    open: Option<(Collector, usize, Instant)>, // qfc-lint: allow(determinism) — wall-clock span timing is presentation-only; never feeds simulation results
     _not_send: PhantomData<*const ()>,
 }
 
@@ -322,7 +324,7 @@ pub fn span(name: &str) -> SpanGuard {
         let collector = installed.collector.clone();
         let node = collector.enter_span(parent, name);
         installed.stack.push(node);
-        Some((collector, node, Instant::now()))
+        Some((collector, node, Instant::now())) // qfc-lint: allow(determinism) — wall-clock span timing is presentation-only; never feeds simulation results
     });
     SpanGuard {
         open,

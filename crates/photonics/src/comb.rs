@@ -6,6 +6,7 @@
 //! S, C and L telecommunication bands, with channels aligned to standard
 //! 200-GHz ITU spacing — the paper's headline compatibility claim.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use crate::ring::Microring;
@@ -97,17 +98,17 @@ impl CombGrid {
         let pump = ring.resonance(pol, 0);
         let pairs = (1..=max_m)
             .map(|m| {
-                let fs = ring.resonance(pol, m as i32);
-                let fi = ring.resonance(pol, -(m as i32));
+                let fs = ring.resonance(pol, cast::u32_to_i32(m));
+                let fi = ring.resonance(pol, -cast::u32_to_i32(m));
                 ChannelPair {
                     m,
                     signal: CombChannel {
-                        index: m as i32,
+                        index: cast::u32_to_i32(m),
                         frequency: fs,
                         band: TelecomBand::classify(fs.wavelength()),
                     },
                     idler: CombChannel {
-                        index: -(m as i32),
+                        index: -cast::u32_to_i32(m),
                         frequency: fi,
                         band: TelecomBand::classify(fi.wavelength()),
                     },
@@ -129,7 +130,7 @@ impl CombGrid {
 
     /// Channel pair with absolute index `m`, if within the grid.
     pub fn pair(&self, m: u32) -> Option<&ChannelPair> {
-        self.pairs.get(m.checked_sub(1)? as usize)
+        self.pairs.get(cast::u32_to_usize(m.checked_sub(1)?))
     }
 
     /// Number of channel pairs.

@@ -14,6 +14,7 @@
 //! the competing *stimulated* process by the TE/TM grid offset are
 //! implemented here.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::special::lorentzian;
@@ -44,7 +45,8 @@ pub fn parametric_gain(ring: &Microring, input: Power) -> f64 {
 /// from the triple-resonance energy mismatch `ν_{+m} + ν_{−m} − 2ν_0 =
 /// m²·dFSR/dm` weighed against the loaded linewidth.
 pub fn spectral_envelope(ring: &Microring, pol: Polarization, m: u32) -> f64 {
-    let mismatch = ring.resonance(pol, m as i32).hz() + ring.resonance(pol, -(m as i32)).hz()
+    let mismatch = ring.resonance(pol, cast::u32_to_i32(m)).hz()
+        + ring.resonance(pol, -cast::u32_to_i32(m)).hz()
         - 2.0 * ring.resonance(pol, 0).hz();
     lorentzian(mismatch, 0.0, ring.linewidth().hz())
 }
@@ -82,8 +84,8 @@ pub fn mean_pairs_per_pulse(ring: &Microring, pol: Polarization, peak: Power, m:
 /// `m`: signal on the TE family at `+m`, idler on the TM family at `−m`.
 pub fn type2_signal_idler(ring: &Microring, m: u32) -> (Frequency, Frequency) {
     (
-        ring.resonance(Polarization::Te, m as i32),
-        ring.resonance(Polarization::Tm, -(m as i32)),
+        ring.resonance(Polarization::Te, cast::u32_to_i32(m)),
+        ring.resonance(Polarization::Tm, -cast::u32_to_i32(m)),
     )
 }
 

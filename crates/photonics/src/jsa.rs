@@ -13,6 +13,7 @@
 //! pump bandwidth matches the resonance linewidth, the JSA factorizes and
 //! the Schmidt number `K → 1` (heralded purity `1/K → 1`).
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::cmatrix::CMatrix;
@@ -83,9 +84,9 @@ impl JointSpectralAmplitude {
         assert!(m > 0, "pair channel must differ from the pump mode");
         let lw = ring.linewidth().hz();
         let span = span_linewidths * lw;
-        let step = 2.0 * span / (n - 1) as f64;
-        let f_s0 = ring.resonance(pol, m as i32).hz();
-        let f_i0 = ring.resonance(pol, -(m as i32)).hz();
+        let step = 2.0 * span / cast::to_f64(n - 1);
+        let f_s0 = ring.resonance(pol, cast::u32_to_i32(m)).hz();
+        let f_i0 = ring.resonance(pol, -cast::u32_to_i32(m)).hz();
         let f_p0 = ring.resonance(pol, 0).hz();
         // Constant part of the sum-frequency detuning: the grid-dispersion
         // energy mismatch of this channel pair.
@@ -98,20 +99,20 @@ impl JointSpectralAmplitude {
         // `ds + di` values.
         let window = 2.0 * span + 6.0 * lw;
         let fine = lw / 8.0;
-        let fine_n = (2.0 * window / fine).ceil() as usize + 1;
+        let fine_n = cast::f64_to_usize((2.0 * window / fine).ceil()) + 1;
         let pump_field: Vec<Complex64> = (0..fine_n)
             .map(|k| {
-                let x = -window + k as f64 * fine;
+                let x = -window + cast::to_f64(k) * fine;
                 pump.amplitude(x) * lorentzian_field(x, lw)
             })
             .collect();
         let alpha_at = |delta: f64| -> Complex64 {
             let mut acc = Complex64::real(0.0);
             for (k, &p) in pump_field.iter().enumerate() {
-                let x = -window + k as f64 * fine;
+                let x = -window + cast::to_f64(k) * fine;
                 let y = delta - x;
                 if y.abs() <= window {
-                    let idx = ((y + window) / fine).round() as usize;
+                    let idx = cast::f64_to_usize(((y + window) / fine).round());
                     if idx < fine_n {
                         acc += p * pump_field[idx];
                     }
@@ -121,13 +122,13 @@ impl JointSpectralAmplitude {
         };
         // Lattice of sum detunings ds + di ∈ {−2span + k·step}.
         let alphas: Vec<Complex64> = (0..(2 * n - 1))
-            .map(|k| alpha_at(grid_mismatch - 2.0 * span + k as f64 * step))
+            .map(|k| alpha_at(grid_mismatch - 2.0 * span + cast::to_f64(k) * step))
             .collect();
         let peak = alphas.iter().map(|z| z.abs()).fold(0.0, f64::max).max(1e-300);
 
         let matrix = CMatrix::from_fn(n, n, |i, j| {
-            let ds = -span + i as f64 * step; // signal detuning
-            let di = -span + j as f64 * step; // idler detuning
+            let ds = -span + cast::to_f64(i) * step; // signal detuning
+            let di = -span + cast::to_f64(j) * step; // idler detuning
             let ls = lorentzian_field(ds, lw);
             let li = lorentzian_field(di, lw);
             (alphas[i + j] / peak) * ls * li

@@ -13,6 +13,7 @@
 //! dispersion/loss/detuning exactly in the spectral domain, the Kerr
 //! rotation exactly in the azimuthal domain.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::complex::Complex64;
@@ -90,7 +91,7 @@ impl LleState {
 
     /// Mean circulating intensity `⟨|ψ|²⟩`.
     pub fn mean_intensity(&self) -> f64 {
-        self.field.iter().map(|z| z.norm_sqr()).sum::<f64>() / self.field.len() as f64
+        self.field.iter().map(|z| z.norm_sqr()).sum::<f64>() / cast::to_f64(self.field.len())
     }
 
     /// Power spectrum over the comb modes (FFT magnitude squared,
@@ -98,7 +99,7 @@ impl LleState {
     pub fn spectrum(&self) -> Vec<f64> {
         let mut f = self.field.clone();
         fft(&mut f);
-        let n = self.field.len() as f64;
+        let n = cast::to_f64(self.field.len());
         f.iter().map(|z| z.norm_sqr() / (n * n)).collect()
     }
 
@@ -135,11 +136,11 @@ impl LleSimulator {
         let psi0 = Complex64::real(params.pump) / Complex64::new(1.0, params.detuning);
         let field: Vec<Complex64> = (0..n)
             .map(|k| {
-                let theta = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                let theta = 2.0 * std::f64::consts::PI * cast::to_f64(k) / cast::to_f64(n);
                 psi0 + Complex64::real(1e-6 * (7.0 * theta).cos() + 1e-6 * (11.0 * theta).sin())
             })
             .collect();
-        let dx = 2.0 * std::f64::consts::PI / n as f64;
+        let dx = 2.0 * std::f64::consts::PI / cast::to_f64(n);
         let half_linear: Vec<Complex64> = (0..n)
             .map(|k| {
                 let omega = fft_frequency(k, n, dx);

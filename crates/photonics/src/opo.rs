@@ -7,6 +7,7 @@
 //! excess pump (classic OPO behaviour). The paper reports the kink at
 //! 14 mW.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use crate::fwm;
@@ -95,7 +96,7 @@ pub fn transfer_curve(ring: &Microring, min: Power, max: Power, n: usize) -> Vec
     assert!(max.w() > min.w(), "empty power range");
     (0..n)
         .map(|i| {
-            let p = min.w() + (max.w() - min.w()) * i as f64 / (n - 1) as f64;
+            let p = min.w() + (max.w() - min.w()) * cast::to_f64(i) / cast::to_f64(n - 1);
             TransferPoint {
                 pump_w: p,
                 output_w: output_power(ring, Power::from_w(p)).w(),

@@ -10,6 +10,7 @@
 //! that suppresses stimulated FWM while keeping spontaneous type-II FWM
 //! energy-conserving.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_faults::{QfcError, QfcResult};
@@ -99,7 +100,7 @@ impl MicroringBuilder {
     pub fn self_coupling(&mut self, r: f64) -> &mut Self {
         match self.try_self_coupling(r) {
             Ok(b) => b,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 
@@ -168,7 +169,7 @@ impl MicroringBuilder {
     pub fn build(&self) -> Microring {
         match self.try_build() {
             Ok(r) => r,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 }
@@ -270,7 +271,7 @@ impl Microring {
             Polarization::Te => self.anchor_te.hz(),
             Polarization::Tm => self.anchor_te.hz() + self.te_tm_offset.hz(),
         };
-        Frequency::from_hz(base + m as f64 * fsr + 0.5 * (m as f64).powi(2) * d2)
+        Frequency::from_hz(base + cast::to_f64(m) * fsr + 0.5 * (cast::to_f64(m)).powi(2) * d2)
     }
 
     /// Second-order dispersion of the mode grid `dFSR/dm`, Hz per mode.
@@ -301,7 +302,7 @@ impl Microring {
     pub fn nearest_resonance(&self, pol: Polarization, freq: Frequency) -> (i32, Frequency) {
         let fsr = self.fsr(pol).hz();
         let base = self.resonance(pol, 0).hz();
-        let mut m = ((freq.hz() - base) / fsr).round() as i32;
+        let mut m = cast::f64_to_i32(((freq.hz() - base) / fsr).round());
         // The quadratic grid term can shift the nearest mode by one.
         let mut best = (m, (freq - self.resonance(pol, m)).abs());
         for cand in [m - 1, m + 1] {

@@ -5,6 +5,7 @@
 //! `comb_spectrum` example and to check that the quantum comb spans the
 //! full S/C/L band as the paper claims.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use crate::comb::TelecomBand;
@@ -86,7 +87,7 @@ impl CombSpectrum {
 pub fn comb_spectrum(ring: &Microring, pump: Power, max_m: u32) -> CombSpectrum {
     let p_th = opo::threshold(ring);
     let above = pump.w() > p_th.w();
-    let mut lines = Vec::with_capacity(2 * max_m as usize);
+    let mut lines = Vec::with_capacity(2 * cast::u32_to_usize(max_m));
     // Envelope weights from the SFWM spectral envelope.
     let weights: Vec<f64> = (1..=max_m)
         .map(|m| fwm::spectral_envelope(ring, Polarization::Te, m))
@@ -99,10 +100,10 @@ pub fn comb_spectrum(ring: &Microring, pump: Power, max_m: u32) -> CombSpectrum 
     };
     for m in 1..=max_m {
         for sign in [-1i32, 1] {
-            let idx = sign * m as i32;
+            let idx = sign * cast::u32_to_i32(m);
             let f = ring.resonance(Polarization::Te, idx);
             let power_w = if above {
-                opo_power * weights[(m - 1) as usize] / total_weight
+                opo_power * weights[cast::u32_to_usize(m - 1)] / total_weight
             } else {
                 let rate = fwm::pair_rate_cw(ring, Polarization::Te, pump, m);
                 rate * PLANCK * f.hz()

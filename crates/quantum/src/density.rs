@@ -1,6 +1,7 @@
 //! Density matrices of qubit registers, with the noise channels that
 //! model the experiment's imperfections.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::cmatrix::CMatrix;
@@ -43,7 +44,7 @@ impl DensityMatrix {
     pub fn maximally_mixed(n: usize) -> Self {
         assert!(n > 0 && n <= 20, "qubit count out of supported range");
         Self {
-            mat: CMatrix::identity(1 << n).scale(1.0 / (1 << n) as f64),
+            mat: CMatrix::identity(1 << n).scale(1.0 / cast::to_f64(1 << n)),
             qubits: n,
         }
     }
@@ -70,7 +71,7 @@ impl DensityMatrix {
         }
         Some(Self {
             mat,
-            qubits: dim.trailing_zeros() as usize,
+            qubits: cast::u32_to_usize(dim.trailing_zeros()),
         })
     }
 

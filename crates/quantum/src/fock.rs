@@ -6,6 +6,7 @@
 //! experiments see — CAR floors, multi-pair contamination of the time-bin
 //! visibilities, heralded g²(0) — follows from these statistics.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 /// A two-mode squeezed vacuum characterized by its mean pair number `μ`
@@ -52,7 +53,7 @@ impl TwoModeSqueezedVacuum {
         if self.mu == 0.0 {
             return if n == 0 { 1.0 } else { 0.0 };
         }
-        (n as f64 * self.mu.ln() - (n as f64 + 1.0) * (1.0 + self.mu).ln()).exp()
+        (cast::to_f64(n) * self.mu.ln() - (cast::to_f64(n) + 1.0) * (1.0 + self.mu).ln()).exp()
     }
 
     /// Unheralded second-order coherence of one arm: thermal light,
@@ -83,12 +84,12 @@ impl TwoModeSqueezedVacuum {
         let mut mean = 0.0;
         let mut second = 0.0;
         // The thermal tail decays geometrically; sum far enough out.
-        let n_max = (60.0 * (1.0 + self.mu)) as u32 + 60;
+        let n_max = cast::f64_to_u32(60.0 * (1.0 + self.mu)) + 60;
         for n in 1..=n_max {
-            let w = self.p_n(n) * (1.0 - (1.0 - eta_herald).powi(n as i32));
+            let w = self.p_n(n) * (1.0 - (1.0 - eta_herald).powi(cast::u32_to_i32(n)));
             norm += w;
-            mean += w * n as f64;
-            second += w * n as f64 * (n as f64 - 1.0);
+            mean += w * cast::to_f64(n);
+            second += w * cast::to_f64(n) * (cast::to_f64(n) - 1.0);
         }
         if norm == 0.0 {
             return 0.0;
@@ -108,12 +109,12 @@ impl TwoModeSqueezedVacuum {
     /// no dark counts).
     pub fn coincidence_probability(&self, eta_s: f64, eta_i: f64) -> f64 {
         // Σ P(n)·(1 − (1−ηs)ⁿ)·(1 − (1−ηi)ⁿ)
-        let n_max = (60.0 * (1.0 + self.mu)) as u32 + 60;
+        let n_max = cast::f64_to_u32(60.0 * (1.0 + self.mu)) + 60;
         (1..=n_max)
             .map(|n| {
                 self.p_n(n)
-                    * (1.0 - (1.0 - eta_s).powi(n as i32))
-                    * (1.0 - (1.0 - eta_i).powi(n as i32))
+                    * (1.0 - (1.0 - eta_s).powi(cast::u32_to_i32(n)))
+                    * (1.0 - (1.0 - eta_i).powi(cast::u32_to_i32(n)))
             })
             .sum()
     }

@@ -18,6 +18,7 @@
 //! assert!(s > CLASSICAL_BOUND);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

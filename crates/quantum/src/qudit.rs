@@ -9,6 +9,7 @@
 //! inequality that generalizes CHSH to d levels — everything needed for
 //! the forward-looking high-dimensional benches.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::cmatrix::CMatrix;
@@ -33,7 +34,7 @@ impl BipartiteQudit {
     pub fn maximally_entangled(d: usize) -> Self {
         assert!((2..=64).contains(&d), "dimension out of supported range");
         let mut v = CVector::zeros(d * d);
-        let a = 1.0 / (d as f64).sqrt();
+        let a = 1.0 / (cast::to_f64(d)).sqrt();
         for k in 0..d {
             v[k * d + k] = Complex64::real(a);
         }
@@ -150,11 +151,11 @@ impl BipartiteQudit {
 /// Panics if `d < 2`.
 pub fn cglmp_value(d: usize, visibility: f64) -> f64 {
     assert!(d >= 2, "CGLMP needs d ≥ 2");
-    let df = d as f64;
+    let df = cast::to_f64(d);
     let q = |k: f64| 1.0 / (2.0 * df.powi(3) * (std::f64::consts::PI * (k + 0.25) / df).sin().powi(2));
     let mut i_d = 0.0;
     for k in 0..(d / 2) {
-        let kf = k as f64;
+        let kf = cast::to_f64(k);
         let coeff = 1.0 - 2.0 * kf / (df - 1.0);
         i_d += coeff * (q(kf) - q(-(kf + 1.0)));
     }

@@ -1,5 +1,6 @@
 //! Pure quantum states of qubit registers.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::cmatrix::CMatrix;
@@ -56,12 +57,12 @@ impl PureState {
 
     /// Single-qubit `|+⟩ = (|0⟩ + |1⟩)/√2`.
     pub fn plus() -> Self {
-        Self::from_amplitudes(CVector::from_real(&[1.0, 1.0])).unwrap_or_else(|| unreachable!("|+> amplitudes are valid"))
+        Self::from_amplitudes(CVector::from_real(&[1.0, 1.0])).unwrap_or_else(|| unreachable!("|+> amplitudes are valid")) // qfc-lint: allow(panic-surface) — invariant: |+> amplitudes are nonzero by construction
     }
 
     /// Single-qubit `|−⟩ = (|0⟩ − |1⟩)/√2`.
     pub fn minus() -> Self {
-        Self::from_amplitudes(CVector::from_real(&[1.0, -1.0])).unwrap_or_else(|| unreachable!("|-> amplitudes are valid"))
+        Self::from_amplitudes(CVector::from_real(&[1.0, -1.0])).unwrap_or_else(|| unreachable!("|-> amplitudes are valid")) // qfc-lint: allow(panic-surface) — invariant: |-> amplitudes are nonzero by construction
     }
 
     /// Builds a state from raw amplitudes, normalizing them.
@@ -80,7 +81,7 @@ impl PureState {
         }
         Some(Self {
             amps: amps.normalized(),
-            qubits: dim.trailing_zeros() as usize,
+            qubits: cast::u32_to_usize(dim.trailing_zeros()),
         })
     }
 
@@ -145,7 +146,7 @@ impl PureState {
     pub fn apply(&self, op: &CMatrix) -> Self {
         assert_eq!(op.cols(), self.dim(), "operator dimension mismatch");
         let out = op.matvec(&self.amps);
-        Self::from_amplitudes(out).unwrap_or_else(|| panic!("operator annihilated the state"))
+        Self::from_amplitudes(out).unwrap_or_else(|| panic!("operator annihilated the state")) // qfc-lint: allow(panic-surface) — documented `# Panics` contract: annihilating operator is caller error
     }
 
     /// Expectation value `⟨ψ|A|ψ⟩` (real part; `A` should be Hermitian).

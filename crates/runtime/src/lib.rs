@@ -25,6 +25,9 @@
 //! synchronization overhead. Nested parallel calls inside a worker run
 //! serially rather than oversubscribing the machine.
 
+#![forbid(unsafe_code)]
+
+use qfc_mathkit::cast;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -107,7 +110,7 @@ where
     // no-op when no collector is installed.
     let obs = qfc_obs::current();
     let _span = qfc_obs::span("runtime.execute");
-    qfc_obs::gauge_set("pool_threads", threads.max(1) as f64);
+    qfc_obs::gauge_set("pool_threads", cast::to_f64(threads.max(1)));
     if threads <= 1 {
         return match &obs {
             Some(collector) => collector.run_task(|| (0..n_tasks).map(&task).collect()),
@@ -160,7 +163,7 @@ where
 
     slots
         .into_iter()
-        .map(|slot| slot.unwrap_or_else(|| unreachable!("every task index produced a result")))
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("every task index produced a result"))) // qfc-lint: allow(panic-surface) — invariant: the scatter loop above fills every slot exactly once
         .collect()
 }
 
@@ -225,12 +228,12 @@ pub fn shard_layout(n_shots: u64, seed: u64) -> Vec<Shard> {
     let n_shards = SHOT_SHARDS.min(n_shots).max(1);
     let base = n_shots / n_shards;
     let remainder = n_shots % n_shards;
-    let mut shards = Vec::with_capacity(n_shards as usize);
+    let mut shards = Vec::with_capacity(cast::u64_to_usize(n_shards));
     let mut start = 0u64;
     for index in 0..n_shards {
         let len = base + u64::from(index < remainder);
         shards.push(Shard {
-            index: index as usize,
+            index: cast::u64_to_usize(index),
             start,
             len,
             seed: split_seed(seed, index),
@@ -253,7 +256,7 @@ where
     M: FnOnce(Vec<U>) -> A,
 {
     let shards = shard_layout(n_shots, seed);
-    qfc_obs::counter_add("shards_executed", shards.len() as u64);
+    qfc_obs::counter_add("shards_executed", cast::usize_to_u64(shards.len()));
     let results = execute(shards.len(), |i| per_shard(&shards[i]));
     merge(results)
 }

@@ -2,6 +2,7 @@
 //! the coincidence-to-accidental ratio (CAR) — the §II–III figures of
 //! merit.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_faults::{QfcError, QfcResult};
@@ -53,9 +54,9 @@ pub fn cross_correlation_histogram(
 ) -> Histogram {
     assert!(range_ps > 0, "range must be positive");
     assert!(bin_ps > 0, "bin width must be positive");
-    let bins = (2 * range_ps / bin_ps).max(1) as usize;
-    let lo = -(range_ps as f64);
-    let hi = range_ps as f64;
+    let bins = cast::i64_to_usize((2 * range_ps / bin_ps).max(1));
+    let lo = -(cast::to_f64(range_ps));
+    let hi = cast::to_f64(range_ps);
     let (ta, tb) = (a.as_slice(), b.as_slice());
 
     // Shard the start tags into a fixed number of chunks (independent of
@@ -65,12 +66,12 @@ pub fn cross_correlation_histogram(
     // binning into a local count vector with the same float arithmetic
     // as `Histogram::add_weighted`. Bin counts merge by exact integer
     // addition, so the sharding cannot change the result.
-    let chunk_size = ta.len().div_ceil(qfc_runtime::SHOT_SHARDS as usize).max(1);
+    let chunk_size = ta.len().div_ceil(cast::u64_to_usize(qfc_runtime::SHOT_SHARDS)).max(1);
     let shards = qfc_runtime::par_chunks(ta, chunk_size, |_, chunk| {
         let mut counts = vec![0u64; bins];
         let mut overflow = 0u64;
         // (hi - lo) / bins reproduces Histogram::bin_width exactly.
-        let width = (hi - lo) / bins as f64;
+        let width = (hi - lo) / cast::to_f64(bins);
         let first = match chunk.first() {
             Some(&t) => t,
             None => return (counts, overflow),
@@ -88,14 +89,14 @@ pub fn cross_correlation_histogram(
                 win_hi += 1;
             }
             for &tb_j in &tb[win_lo..win_hi] {
-                let delta = (tb_j - t) as f64;
+                let delta = cast::to_f64(tb_j - t);
                 // Same in-range test and index arithmetic as
                 // Histogram::add_weighted; delta == +range lands in the
                 // overflow bucket there too ([lo, hi) bins).
                 if delta >= hi {
                     overflow += 1;
                 } else {
-                    let idx = ((delta - lo) / width) as usize;
+                    let idx = cast::f64_to_usize((delta - lo) / width);
                     counts[idx.min(bins - 1)] += 1;
                 }
             }
@@ -148,13 +149,13 @@ pub fn measure_car(
     // The zero-delay window and every displaced window are independent
     // scans; run them all on the worker pool. Summing u64 counts is
     // exact, so the parallel split cannot perturb the result.
-    let offsets: Vec<i64> = (0..=n_offsets as i64).map(|k| k * offset_step_ps).collect();
+    let offsets: Vec<i64> = (0..=cast::usize_to_i64(n_offsets)).map(|k| k * offset_step_ps).collect();
     let counts = qfc_runtime::par_map(&offsets, |&off| count_coincidences(a, b, window_ps, off));
     let coincidences = counts[0];
     let acc_total: u64 = counts[1..].iter().sum();
-    let accidentals = acc_total as f64 / n_offsets as f64;
+    let accidentals = cast::to_f64(acc_total) / cast::to_f64(n_offsets);
     let car = if accidentals > 0.0 {
-        coincidences as f64 / accidentals
+        cast::to_f64(coincidences) / accidentals
     } else if coincidences > 0 {
         f64::INFINITY
     } else {
@@ -178,11 +179,11 @@ pub fn find_delay(a: &TagStream, b: &TagStream, range_ps: i64, bin_ps: i64) -> O
     let (idx, peak) = hist.peak()?;
     let mut counts: Vec<u64> = hist.counts().to_vec();
     counts.sort_unstable();
-    let median = counts[counts.len() / 2] as f64;
-    if (peak as f64) < median + 3.0 + 2.0 * median.sqrt() {
+    let median = cast::to_f64(counts[counts.len() / 2]);
+    if (cast::to_f64(peak)) < median + 3.0 + 2.0 * median.sqrt() {
         return None;
     }
-    Some(hist.bin_center(idx) as i64)
+    Some(cast::f64_to_i64(hist.bin_center(idx)))
 }
 
 /// Result of extracting a photon-pair coherence time (and thus linewidth)
@@ -210,7 +211,7 @@ pub struct LinewidthResult {
 pub fn extract_linewidth(hist: &Histogram) -> LinewidthResult {
     match try_extract_linewidth(hist) {
         Ok(r) => r,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -228,16 +229,16 @@ pub fn try_extract_linewidth(hist: &Histogram) -> QfcResult<LinewidthResult> {
     let edge = (bins / 10).max(1);
     let mut floor = 0.0;
     for i in 0..edge {
-        floor += hist.count(i) as f64 + hist.count(bins - 1 - i) as f64;
+        floor += cast::to_f64(hist.count(i)) + cast::to_f64(hist.count(bins - 1 - i));
     }
-    floor /= (2 * edge) as f64;
+    floor /= cast::to_f64(2 * edge);
 
     // Fold both wings around the peak.
     let mut t: Vec<f64> = Vec::new();
     let mut y: Vec<f64> = Vec::new();
     for i in 0..bins {
         let dt = (hist.bin_center(i) - hist.bin_center(peak_idx)).abs() * 1e-12; // ps → s
-        let v = hist.count(i) as f64 - floor;
+        let v = cast::to_f64(hist.count(i)) - floor;
         if v > 0.0 {
             t.push(dt);
             y.push(v);

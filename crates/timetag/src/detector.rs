@@ -2,6 +2,7 @@
 //! and dead time — the four imperfections that shape every measured
 //! coincidence histogram in the paper.
 
+use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -110,7 +111,7 @@ impl SinglePhotonDetector {
     /// Panics if any parameter is out of physical range.
     pub fn validate(&self) {
         if let Err(e) = self.try_validate() {
-            panic!("{e}");
+            panic!("{e}"); // qfc-lint: allow(panic-surface) — documented panicking wrapper over try_validate (`# Panics` contract)
         }
     }
 
@@ -136,17 +137,17 @@ impl SinglePhotonDetector {
                 continue;
             }
             let t = if self.jitter_sigma_ps > 0.0 {
-                t + normal(rng, 0.0, self.jitter_sigma_ps).round() as i64
+                t + cast::f64_to_i64(normal(rng, 0.0, self.jitter_sigma_ps).round())
             } else {
                 t
             };
             clicks.push(t);
         }
         // Dark counts: Poisson number, uniform over the window.
-        let expected_darks = self.dark_count_rate_hz * duration_ps as f64 * 1e-12;
+        let expected_darks = self.dark_count_rate_hz * cast::to_f64(duration_ps) * 1e-12;
         let n_dark = poisson(rng, expected_darks);
         for _ in 0..n_dark {
-            clicks.push((rng.gen::<f64>() * duration_ps as f64) as i64);
+            clicks.push(cast::f64_to_i64(rng.gen::<f64>() * cast::to_f64(duration_ps)));
         }
         clicks.sort_unstable();
         // Dead time: drop clicks within the hold-off of the last accepted.

@@ -4,6 +4,7 @@
 //! ±106 days, comfortably beyond the paper's weeks-long stability run when
 //! events are batched per-day.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a detector/TDC input channel.
@@ -84,7 +85,7 @@ impl TagStream {
     /// Panics if `duration_s <= 0`.
     pub fn rate_hz(&self, duration_s: f64) -> f64 {
         assert!(duration_s > 0.0, "duration must be positive");
-        self.times_ps.len() as f64 / duration_s
+        cast::to_f64(self.times_ps.len()) / duration_s
     }
 
     /// Merges another stream into this one, keeping order.
@@ -102,12 +103,12 @@ impl FromIterator<i64> for TagStream {
 
 /// Converts seconds to integer picoseconds (saturating).
 pub fn s_to_ps(t_s: f64) -> i64 {
-    (t_s * 1e12).round() as i64
+    cast::f64_to_i64((t_s * 1e12).round())
 }
 
 /// Converts picoseconds to seconds.
 pub fn ps_to_s(t_ps: i64) -> f64 {
-    t_ps as f64 * 1e-12
+    cast::to_f64(t_ps) * 1e-12
 }
 
 #[cfg(test)]

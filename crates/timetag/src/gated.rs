@@ -6,6 +6,7 @@
 //! afterpulsing re-fires the detector with some probability after each
 //! click, adding correlated noise that gating alone cannot remove.
 
+use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -64,7 +65,7 @@ impl GatedDetector {
 
     /// Fraction of the time the detector is sensitive.
     pub fn duty_cycle(&self) -> f64 {
-        self.gate_width_ps as f64 / self.gate_period_ps as f64
+        cast::to_f64(self.gate_width_ps) / cast::to_f64(self.gate_period_ps)
     }
 
     /// `true` when timestamp `t` falls inside an open gate.
@@ -101,7 +102,7 @@ impl GatedDetector {
             if bernoulli(rng, self.afterpulse_probability) {
                 let gates_later = 1.0
                     + (-self.afterpulse_decay_gates * rng.gen::<f64>().ln().abs()).abs();
-                let echo = t + (gates_later as i64) * self.gate_period_ps;
+                let echo = t + (cast::f64_to_i64(gates_later)) * self.gate_period_ps;
                 if echo < duration_ps {
                     echoes.push(echo);
                 }

@@ -3,6 +3,7 @@
 //! that the unheralded comb arm is thermal (g²(0) = 2) and the heralded
 //! one antibunched (g²(0) ≪ 1).
 
+use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -58,12 +59,12 @@ pub fn measure_g2<R: Rng + ?Sized>(
     let edge = (bins / 4).max(1);
     let mut baseline = 0.0;
     for i in 0..edge {
-        baseline += histogram.count(i) as f64 + histogram.count(bins - 1 - i) as f64;
+        baseline += cast::to_f64(histogram.count(i)) + cast::to_f64(histogram.count(bins - 1 - i));
     }
-    baseline /= (2 * edge) as f64;
+    baseline /= cast::to_f64(2 * edge);
     assert!(baseline > 0.0, "no baseline coincidences; extend the range");
     let g2: Vec<f64> = (0..bins)
-        .map(|i| histogram.count(i) as f64 / baseline)
+        .map(|i| cast::to_f64(histogram.count(i)) / baseline)
         .collect();
     // Zero delay sits on the boundary between the two central bins;
     // average them.
@@ -93,16 +94,16 @@ pub fn thermal_stream<R: Rng + ?Sized>(
     assert!(rate_hz > 0.0 && tau_c_s > 0.0 && duration_s > 0.0);
     // Slice time into cells of tau_c; each cell gets an exponentially
     // distributed intensity (thermal single-mode statistics).
-    let cells = (duration_s / tau_c_s).ceil() as u64;
+    let cells = cast::f64_to_u64((duration_s / tau_c_s).ceil());
     let mut times = Vec::new();
     for c in 0..cells {
         let intensity = qfc_mathkit::rng::exponential(rng, 1.0 / (rate_hz * tau_c_s));
         let n = qfc_mathkit::rng::poisson(rng, intensity);
-        let t0 = c as f64 * tau_c_s;
+        let t0 = cast::to_f64(c) * tau_c_s;
         for _ in 0..n {
             let t = t0 + rng.gen::<f64>() * tau_c_s;
             if t < duration_s {
-                times.push((t * 1e12) as i64);
+                times.push(cast::f64_to_i64(t * 1e12));
             }
         }
     }
@@ -117,7 +118,7 @@ pub fn poissonian_stream<R: Rng + ?Sized>(
 ) -> TagStream {
     let n = qfc_mathkit::rng::poisson(rng, rate_hz * duration_s);
     (0..n)
-        .map(|_| (rng.gen::<f64>() * duration_s * 1e12) as i64)
+        .map(|_| cast::f64_to_i64(rng.gen::<f64>() * duration_s * 1e12))
         .collect()
 }
 

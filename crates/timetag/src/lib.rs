@@ -17,6 +17,7 @@
 //! assert_eq!(count_coincidences(&a, &b, 10, 0), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -5,6 +5,7 @@
 //! bootstrap: resample each setting's counts from a multinomial with the
 //! observed frequencies, re-run the reconstructor, and take the spread.
 
+use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -31,7 +32,7 @@ pub fn resample<R: Rng + ?Sized>(rng: &mut R, data: &TomographyData) -> Tomograp
     let mut counts = Vec::with_capacity(data.counts.len());
     for (s, setting_counts) in data.counts.iter().enumerate() {
         let total = data.setting_total(s);
-        let weights: Vec<f64> = setting_counts.iter().map(|&c| c as f64).collect();
+        let weights: Vec<f64> = setting_counts.iter().map(|&c| cast::to_f64(c)).collect();
         let mut new_counts = vec![0u64; setting_counts.len()];
         if total > 0 && weights.iter().sum::<f64>() > 0.0 {
             for _ in 0..total {
@@ -72,8 +73,8 @@ where
     use qfc_mathkit::rng::{rng_from_seed, split_seed};
 
     assert!(replicas >= 2, "need at least two bootstrap replicas");
-    qfc_obs::counter_add("bootstrap_replicas", replicas as u64);
-    let indices: Vec<u64> = (0..replicas as u64).collect();
+    qfc_obs::counter_add("bootstrap_replicas", cast::usize_to_u64(replicas));
+    let indices: Vec<u64> = (0..cast::usize_to_u64(replicas)).collect();
     let values = qfc_runtime::par_map(&indices, |&i| {
         let mut rng = rng_from_seed(split_seed(seed, i));
         let sample = resample(&mut rng, data);

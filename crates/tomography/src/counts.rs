@@ -1,6 +1,7 @@
 //! Simulated tomography counts: Monte-Carlo projective measurements of a
 //! density matrix under a set of tomography settings.
 
+use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -45,7 +46,7 @@ impl TomographyData {
         if total == 0 {
             0.0
         } else {
-            self.counts[s][o] as f64 / total as f64
+            cast::to_f64(self.counts[s][o]) / cast::to_f64(total)
         }
     }
 }
@@ -112,7 +113,7 @@ pub fn simulate_counts_seeded(
         let probs: Vec<f64> = (0..setting.outcomes())
             .map(|o| rho.probability(&setting.outcome_projector(o)))
             .collect();
-        let mut rng = rng_from_seed(split_seed(seed, s as u64));
+        let mut rng = rng_from_seed(split_seed(seed, cast::usize_to_u64(s)));
         let mut c = vec![0u64; setting.outcomes()];
         for _ in 0..shots_per_setting {
             c[discrete(&mut rng, &probs)] += 1;
@@ -133,7 +134,7 @@ pub fn exact_counts(rho: &DensityMatrix, settings: &[Setting], scale: u64) -> To
         assert_eq!(setting.qubits(), rho.qubits());
         let c: Vec<u64> = (0..setting.outcomes())
             .map(|o| {
-                (rho.probability(&setting.outcome_projector(o)) * scale as f64).round() as u64
+                cast::f64_to_u64((rho.probability(&setting.outcome_projector(o)) * cast::to_f64(scale)).round())
             })
             .collect();
         counts.push(c);

@@ -22,6 +22,7 @@
 //! assert!(state_fidelity(&rec, &truth) > 0.999);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

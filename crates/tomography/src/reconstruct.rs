@@ -6,6 +6,7 @@
 //! the iterative RρR maximum-likelihood algorithm, which stays in the
 //! physical cone. The ablation bench `ablation_tomography` compares them.
 
+use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use qfc_faults::{QfcError, QfcResult};
@@ -30,7 +31,7 @@ use crate::settings::{pauli_string_matrix, PauliBasis};
 pub fn linear_inversion(data: &TomographyData) -> CMatrix {
     match try_linear_inversion(data) {
         Ok(rho) => rho,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -43,10 +44,10 @@ pub fn try_linear_inversion(data: &TomographyData) -> QfcResult<CMatrix> {
     let mut rho = CMatrix::zeros(dim, dim);
     // Enumerate all 4ⁿ Pauli strings as base-4 digits:
     // 0 = I, 1 = X, 2 = Y, 3 = Z per qubit.
-    let strings = 4usize.pow(n as u32);
+    let strings = 4usize.pow(cast::usize_to_u32(n));
     for code in 0..strings {
         let digits: Vec<usize> = (0..n)
-            .map(|q| (code / 4usize.pow((n - 1 - q) as u32)) % 4)
+            .map(|q| (code / 4usize.pow(cast::usize_to_u32(n - 1 - q))) % 4)
             .collect();
         let string: Vec<Option<PauliBasis>> = digits
             .iter()
@@ -88,9 +89,9 @@ pub fn try_linear_inversion(data: &TomographyData) -> QfcResult<CMatrix> {
                 ),
             });
         }
-        let expectation = acc / n_compat as f64;
+        let expectation = acc / cast::to_f64(n_compat);
         let sigma = pauli_string_matrix(&string);
-        rho = &rho + &sigma.scale(expectation / dim as f64);
+        rho = &rho + &sigma.scale(expectation / cast::to_f64(dim));
     }
     Ok(rho)
 }
@@ -104,7 +105,7 @@ pub fn try_linear_inversion(data: &TomographyData) -> QfcResult<CMatrix> {
 pub fn project_physical(mat: &CMatrix) -> DensityMatrix {
     match try_project_physical(mat) {
         Ok(rho) => rho,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -164,7 +165,7 @@ pub struct MleResult {
 pub fn mle_reconstruction(data: &TomographyData, options: &MleOptions) -> MleResult {
     let n = data.qubits();
     let dim = 1usize << n;
-    let mut rho = CMatrix::identity(dim).scale(1.0 / dim as f64);
+    let mut rho = CMatrix::identity(dim).scale(1.0 / cast::to_f64(dim));
 
     // Pre-build projectors and frequencies.
     let mut projs: Vec<CMatrix> = Vec::new();
@@ -197,7 +198,7 @@ pub fn mle_reconstruction(data: &TomographyData, options: &MleOptions) -> MleRes
             break;
         }
     }
-    qfc_obs::counter_add("mle_iterations", iterations as u64);
+    qfc_obs::counter_add("mle_iterations", cast::usize_to_u64(iterations));
     // Numerical cleanup: symmetrize and clip round-off negativity.
     let herm = CMatrix::from_fn(dim, dim, |i, j| {
         (rho[(i, j)] + rho[(j, i)].conj()).scale(0.5)

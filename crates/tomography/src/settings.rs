@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use qfc_mathkit::cast;
 use qfc_mathkit::cmatrix::CMatrix;
 use qfc_mathkit::complex::{Complex64, C_ONE};
 use qfc_mathkit::cvector::CVector;
@@ -82,14 +83,14 @@ impl Setting {
         assert!(o < self.outcomes(), "outcome index out of range");
         let mut acc: Option<CMatrix> = None;
         for (q, basis) in self.0.iter().enumerate() {
-            let bit = ((o >> (n - 1 - q)) & 1) as u8;
+            let bit = u8::from((o >> (n - 1 - q)) & 1 == 1);
             let p = basis.projector(bit);
             acc = Some(match acc {
                 None => p,
                 Some(m) => m.kron(&p),
             });
         }
-        acc.unwrap_or_else(|| unreachable!("setting has at least one qubit"))
+        acc.unwrap_or_else(|| unreachable!("setting has at least one qubit")) // qfc-lint: allow(panic-surface) — invariant: Setting construction requires at least one qubit
     }
 
     /// Eigenvalue product `Πq (±1)` of outcome `o` over the qubits in
@@ -114,7 +115,7 @@ impl Setting {
 /// Panics if `n == 0` or `n > 8`.
 pub fn all_settings(n: usize) -> Vec<Setting> {
     assert!(n > 0 && n <= 8, "settings for 1..=8 qubits");
-    let mut out = Vec::with_capacity(3usize.pow(n as u32));
+    let mut out = Vec::with_capacity(3usize.pow(cast::usize_to_u32(n)));
     let mut idx = vec![0usize; n];
     loop {
         out.push(Setting(idx.iter().map(|&i| PauliBasis::ALL[i]).collect()));

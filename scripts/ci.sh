@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, root test suite, runtime-crate lints, and a
-# seconds-scale bench smoke run that cross-checks serial vs parallel
-# determinism. Run from the repository root.
+# Tier-1 gate: release build, root test suite, workspace static analysis
+# (qfc-lint), per-crate lints, and a seconds-scale bench smoke run that
+# cross-checks serial vs parallel determinism. Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,16 +11,26 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> qfc-lint --deny (workspace static analysis)"
+cargo run --release -p qfc-lint -- --deny
+
 echo "==> cargo clippy -p qfc-runtime -- -D warnings"
 cargo clippy -p qfc-runtime -- -D warnings
 
 # Library crates must not panic via unwrap/expect: every fallible path
 # either returns a QfcError or panics through a validated legacy wrapper.
+# The roster is derived from crates/*/ so a new crate cannot skip the
+# gate by omission (qfc-lint's ci-roster rule cross-checks this file).
 echo "==> cargo clippy (library no-unwrap gate)"
-cargo clippy --no-deps --lib \
-  -p qfc-mathkit -p qfc-faults -p qfc-runtime -p qfc-obs -p qfc-photonics \
-  -p qfc-quantum -p qfc-timetag -p qfc-interferometry -p qfc-tomography \
-  -p qfc-core \
+roster=()
+for d in crates/*/; do
+  name="$(sed -n 's/^name = "\(.*\)"/\1/p' "$d/Cargo.toml" | head -n1)"
+  # qfc-bench is a binary crate (no library target to gate).
+  if [ "$name" != "qfc-bench" ]; then
+    roster+=(-p "$name")
+  fi
+done
+cargo clippy --no-deps --lib "${roster[@]}" \
   -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "==> qfc-bench --smoke (serial/parallel determinism cross-check)"

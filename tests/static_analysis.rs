@@ -1,0 +1,45 @@
+//! Workspace-level static-analysis gate, as a test: the whole tree must
+//! be clean under `qfc-lint --deny` semantics, and the canonical report
+//! must be byte-identical across runs (the same determinism bar the
+//! simulations themselves are held to).
+
+use std::path::Path;
+
+use qfc_lint::report::to_json;
+use qfc_lint::{find_workspace_root, run};
+
+#[test]
+fn workspace_is_lint_clean_at_deny_level() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let report = run(&root).expect("lint run");
+    assert!(
+        report.crates.iter().any(|c| c == "qfc-lint"),
+        "qfc-lint must scan itself; scanned: {:?}",
+        report.crates
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{}:{} [{}] {}", f.file, f.line, f.col, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every allow directive must still be earning its keep.
+    assert_eq!(
+        report.allows_total, report.allows_used,
+        "stale allow directives present"
+    );
+}
+
+#[test]
+fn lint_report_is_byte_identical_across_runs() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let first = to_json(&run(&root).expect("first run"));
+    let second = to_json(&run(&root).expect("second run"));
+    assert_eq!(first, second, "canonical JSON report is not deterministic");
+    assert!(!first.contains(&root.display().to_string()), "report leaks absolute paths");
+}
