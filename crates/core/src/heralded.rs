@@ -468,6 +468,7 @@ pub fn try_run_heralded_experiment(
             let mut rng = rng_from_seed(shard.seed);
             let mut a = Vec::with_capacity(cast::u64_to_usize(shard.len));
             let mut b = Vec::with_capacity(cast::u64_to_usize(shard.len));
+            // qfc-lint: hot
             for _ in 0..shard.len {
                 let t = rng.gen::<f64>() * span_s;
                 let t_ps = cast::f64_to_i64(t * 1e12);

@@ -320,7 +320,7 @@ pub fn run_timebin_event_mc(
 ) -> Vec<SlotScanPoint> {
     use qfc_interferometry::analysis::two_photon_slot_table;
     use qfc_interferometry::michelson::UnbalancedMichelson;
-    use qfc_mathkit::rng::discrete;
+    use qfc_mathkit::sampling::DiscreteSampler;
 
     let model = channel_state_model(source, config, m);
     let eta = config.arm_efficiency;
@@ -347,11 +347,16 @@ pub fn run_timebin_event_mc(
                 }
             }
             weights[9] = (1.0 - total).max(0.0);
+            // Threshold ladder built once per phase point (RNG-free, so
+            // it cannot shift the draw stream); each frame then costs one
+            // uniform and a binary search instead of a 10-way scan.
+            let sampler = DiscreteSampler::new(&weights);
 
             let n_pairs = binomial(&mut rng, config.frames_per_point, model.mu);
             let mut slots = [[0u64; 3]; 3];
+            // qfc-lint: hot
             for _ in 0..n_pairs {
-                let outcome = discrete(&mut rng, &weights);
+                let outcome = sampler.sample(&mut rng);
                 if outcome < 9 {
                     slots[outcome / 3][outcome % 3] += 1;
                 }

@@ -67,6 +67,7 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
     let mut raw: Vec<Finding> = Vec::new();
     let mut directives =
         collect_directives(crate_name, rel_path, &tokens, &in_test, &mut raw, &snippet);
+    let in_hot = hot_region_mask(rel_path, &tokens, &in_test, &mut raw, &snippet);
 
     // Indices of code tokens (non-comment, outside test regions) for the
     // pattern matchers; comments must not split a pattern like `as f64`.
@@ -99,6 +100,51 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
                     next.map(|t| t.kind == TokKind::Punct && t.text == c)
                         .unwrap_or(false)
                 };
+                let code_at = |k: usize| code.get(k).map(|&m| &tokens[m]);
+                let punct_at = |k: usize, c: &str| {
+                    code_at(k)
+                        .map(|t| t.kind == TokKind::Punct && t.text == c)
+                        .unwrap_or(false)
+                };
+                if in_hot[ti] {
+                    // `Vec::new`, `vec![`, `.clone()` — the three
+                    // allocation shapes banned inside hot shot kernels.
+                    if name == "Vec"
+                        && punct_at(j + 1, ":")
+                        && punct_at(j + 2, ":")
+                        && code_at(j + 3)
+                            .map(|t| t.kind == TokKind::Ident && t.text == "new")
+                            .unwrap_or(false)
+                    {
+                        push(
+                            "hot-loop-alloc",
+                            tok,
+                            "`Vec::new` inside a `qfc-lint: hot` region — hoist the \
+                             buffer out of the shot loop"
+                                .to_string(),
+                        );
+                    } else if name == "vec" && next_is("!") {
+                        push(
+                            "hot-loop-alloc",
+                            tok,
+                            "`vec![…]` inside a `qfc-lint: hot` region — hoist the \
+                             buffer out of the shot loop"
+                                .to_string(),
+                        );
+                    } else if name == "clone"
+                        && j > 0
+                        && punct_at(j - 1, ".")
+                        && next_is("(")
+                    {
+                        push(
+                            "hot-loop-alloc",
+                            tok,
+                            "`.clone()` inside a `qfc-lint: hot` region — borrow or \
+                             reuse a scratch buffer instead"
+                                .to_string(),
+                        );
+                    }
+                }
                 if name == "as" {
                     if let Some(n) = next {
                         if n.kind == TokKind::Ident && NUMERIC_TYPES.contains(&n.text.as_str()) {
@@ -341,6 +387,11 @@ fn collect_directives(
         if !body.starts_with("qfc-lint") {
             continue;
         }
+        // `// qfc-lint: hot` markers are region openers, not allow
+        // directives; they are consumed by `collect_hot_regions`.
+        if is_hot_marker(body) {
+            continue;
+        }
         match parse_directive(body) {
             Ok(rules) => {
                 // Trailing directive (code earlier on the same line) covers
@@ -379,6 +430,83 @@ fn collect_directives(
         }
     }
     out
+}
+
+/// `true` when a comment body (starting at `qfc-lint`) is the hot-region
+/// marker `qfc-lint: hot`.
+fn is_hot_marker(body: &str) -> bool {
+    body.strip_prefix("qfc-lint")
+        .and_then(|r| r.trim_start().strip_prefix(':'))
+        .map(|r| r.trim() == "hot")
+        .unwrap_or(false)
+}
+
+/// Marks every token inside a `// qfc-lint: hot` region: from the first
+/// code token after the marker through the matching `}` of the first
+/// `{` that follows. A marker with no block after it is a
+/// `bad-directive` finding.
+fn hot_region_mask(
+    rel_path: &str,
+    tokens: &[Token],
+    in_test: &[bool],
+    raw: &mut Vec<Finding>,
+    snippet: &dyn Fn(u32) -> String,
+) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    for (i, tok) in tokens.iter().enumerate() {
+        if in_test[i]
+            || tok.kind != TokKind::LineComment
+            || tok.text.starts_with('/')
+            || tok.text.starts_with('!')
+            || !is_hot_marker(tok.text.trim_start())
+        {
+            continue;
+        }
+        // Find the opening brace of the marked block, then span it.
+        let mut start: Option<usize> = None;
+        let mut open: Option<usize> = None;
+        for (k, t) in tokens.iter().enumerate().skip(i + 1) {
+            if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                continue;
+            }
+            start.get_or_insert(k);
+            if t.kind == TokKind::Punct && t.text == "{" {
+                open = Some(k);
+                break;
+            }
+        }
+        let Some(open) = open else {
+            raw.push(Finding {
+                rule: "bad-directive",
+                file: rel_path.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: "`qfc-lint: hot` marker must precede a block".to_string(),
+                snippet: snippet(tok.line),
+            });
+            continue;
+        };
+        let mut depth = 0i64;
+        let mut end = tokens.len() - 1;
+        for (k, t) in tokens.iter().enumerate().skip(open) {
+            if t.kind == TokKind::Punct {
+                if t.text == "{" {
+                    depth += 1;
+                } else if t.text == "}" {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+            }
+        }
+        let first = start.unwrap_or(open);
+        for m in mask.iter_mut().take(end + 1).skip(first) {
+            *m = true;
+        }
+    }
+    mask
 }
 
 /// Parses the text of a directive starting at `qfc-lint`. Grammar:

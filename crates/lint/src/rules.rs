@@ -52,6 +52,12 @@ pub const RULES: &[Rule] = &[
         allowable: true,
     },
     Rule {
+        name: "hot-loop-alloc",
+        summary: "no Vec::new/vec!/.clone() inside a `// qfc-lint: hot` region — \
+                  preallocate or hoist buffers out of shot kernels",
+        allowable: true,
+    },
+    Rule {
         name: "forbid-unsafe",
         summary: "every library crate root declares #![forbid(unsafe_code)]",
         allowable: false,

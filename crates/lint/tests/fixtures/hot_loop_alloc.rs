@@ -1,0 +1,46 @@
+//@ crate: qfc-core
+
+pub fn hot_kernel_with_allocs(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    // qfc-lint: hot
+    for &x in xs {
+        let v: Vec<f64> = Vec::new(); //~ ERROR hot-loop-alloc
+        let w = vec![x]; //~ ERROR hot-loop-alloc
+        let y = w.clone(); //~ ERROR hot-loop-alloc
+        acc += x + y[0] - cast::to_f64(v.len());
+    }
+    acc
+}
+
+pub fn hot_kernel_clean(xs: &[f64], buf: &mut Vec<f64>) -> f64 {
+    buf.clear();
+    // qfc-lint: hot
+    for &x in xs {
+        buf.push(x);
+    }
+    buf.iter().sum()
+}
+
+pub fn cold_allocations_are_fine(xs: &[f64]) -> Vec<f64> {
+    let v: Vec<f64> = xs.to_vec();
+    v.clone()
+}
+
+pub fn allocation_after_the_region_is_fine(xs: &[f64]) -> Vec<f64> {
+    // qfc-lint: hot
+    for _ in xs {}
+    vec![1.0]
+}
+
+pub fn suppressed_with_justification(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    // qfc-lint: hot
+    for &x in xs {
+        let w = vec![x]; // qfc-lint: allow(hot-loop-alloc) — fixture proves suppression works
+        acc += w[0];
+    }
+    acc
+}
+
+// qfc-lint: hot
+//~^ ERROR bad-directive

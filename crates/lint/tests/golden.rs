@@ -97,6 +97,7 @@ fn every_fixture_matches_its_markers_exactly() {
         "rng-lane",
         "panic-surface",
         "error-taxonomy",
+        "hot-loop-alloc",
         "bad-directive",
         "unused-allow",
     ] {

@@ -239,6 +239,113 @@ impl CMatrix {
         out
     }
 
+    /// Matrix product `A·B` written into an existing buffer — the
+    /// scratch-space form of [`Self::matmul`] for iteration hot loops.
+    /// Bit-identical to `matmul`: the output is zeroed, then accumulated
+    /// with the same skip-zero `i, k, j` loop in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree or `out` has the wrong shape.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul_into output shape mismatch"
+        );
+        out.data.fill(C_ZERO);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik.approx_zero(0.0) {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+    }
+
+    /// Trace of a product, `tr(A·B)`, without materializing the product
+    /// matrix. Bit-identical to `self.matmul(other).trace()`: each
+    /// diagonal entry accumulates over `k` in `matmul`'s order (with its
+    /// skip-zero test), and the diagonal sums in `trace`'s order — but
+    /// only the diagonal is computed, an O(n) memory / n-fold flop saving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product is undefined or not square.
+    pub fn trace_of_product(&self, other: &Self) -> Complex64 {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert!(self.rows == other.cols, "trace of non-square matrix");
+        let mut tr = C_ZERO;
+        for i in 0..self.rows {
+            let mut d = C_ZERO;
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik.approx_zero(0.0) {
+                    continue;
+                }
+                d += aik * other[(k, i)];
+            }
+            tr += d;
+        }
+        tr
+    }
+
+    /// In-place `self += other.scale(s)` — bit-identical to
+    /// `&self + &other.scale(s)` (the same element-wise scale-then-add
+    /// in data order) without allocating either temporary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn add_scaled_assign(&mut self, other: &Self, s: f64) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b.scale(s);
+        }
+    }
+
+    /// In-place form of [`Self::scale`].
+    pub fn scale_in_place(&mut self, s: f64) {
+        for z in &mut self.data {
+            *z = z.scale(s);
+        }
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(C_ZERO);
+    }
+
+    /// Frobenius norm of the difference, `‖A − B‖_F` — bit-identical to
+    /// `(&self - &other).frobenius_norm()` (element-wise differences in
+    /// data order, then the same sum-of-squares fold) with no temporary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn frobenius_distance(&self, other: &Self) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
     /// Kronecker (tensor) product `A ⊗ B`.
     pub fn kron(&self, other: &Self) -> Self {
         let mut out = Self::zeros(self.rows * other.rows, self.cols * other.cols);
@@ -493,6 +600,99 @@ mod tests {
         let a = CMatrix::zeros(2, 3);
         let b = CMatrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// Deterministic pseudo-random test matrix (no RNG dependency).
+    fn scrambled(n: usize, salt: u64) -> CMatrix {
+        CMatrix::from_fn(n, n, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((j as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+                .wrapping_add(salt);
+            let x = (h ^ (h >> 31)) as f64 / u64::MAX as f64;
+            let y = (h.wrapping_mul(0xBF58_476D_1CE4_E5B9) >> 11) as f64 / (1u64 << 53) as f64;
+            Complex64::new(x - 0.5, y - 0.5)
+        })
+    }
+
+    fn bits_eq(a: &CMatrix, b: &CMatrix) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+    }
+
+    #[test]
+    fn matmul_into_bit_identical_to_matmul() {
+        for n in [1, 2, 4, 7] {
+            let a = scrambled(n, 1);
+            let b = scrambled(n, 2);
+            let mut out = CMatrix::from_fn(n, n, |_, _| C_I); // pre-dirtied
+            a.matmul_into(&b, &mut out);
+            assert!(bits_eq(&out, &a.matmul(&b)), "n = {n}");
+        }
+        // Sparse LHS exercises the skip-zero path.
+        let mut a = scrambled(5, 3);
+        for k in 0..5 {
+            a[(2, k)] = C_ZERO;
+            a[(k, 4)] = C_ZERO;
+        }
+        let b = scrambled(5, 4);
+        let mut out = CMatrix::zeros(5, 5);
+        a.matmul_into(&b, &mut out);
+        assert!(bits_eq(&out, &a.matmul(&b)));
+    }
+
+    #[test]
+    fn trace_of_product_bit_identical() {
+        for n in [1, 2, 4, 16] {
+            let a = scrambled(n, 5);
+            let b = scrambled(n, 6);
+            let full = a.matmul(&b).trace();
+            let fast = a.trace_of_product(&b);
+            assert_eq!(full.re.to_bits(), fast.re.to_bits(), "n = {n}");
+            assert_eq!(full.im.to_bits(), fast.im.to_bits(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn add_scaled_assign_bit_identical() {
+        let a = scrambled(6, 7);
+        let b = scrambled(6, 8);
+        let s = 0.731;
+        let mut fast = a.clone();
+        fast.add_scaled_assign(&b, s);
+        assert!(bits_eq(&fast, &(&a + &b.scale(s))));
+    }
+
+    #[test]
+    fn scale_in_place_and_fill_zero() {
+        let a = scrambled(4, 9);
+        let mut fast = a.clone();
+        fast.scale_in_place(-1.75);
+        assert!(bits_eq(&fast, &a.scale(-1.75)));
+        fast.fill_zero();
+        assert!(bits_eq(&fast, &CMatrix::zeros(4, 4)));
+    }
+
+    #[test]
+    fn frobenius_distance_bit_identical() {
+        let a = scrambled(6, 10);
+        let b = scrambled(6, 11);
+        assert_eq!(
+            a.frobenius_distance(&b).to_bits(),
+            (&a - &b).frobenius_norm().to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn matmul_into_rejects_bad_shape() {
+        let a = CMatrix::identity(2);
+        let mut out = CMatrix::zeros(3, 3);
+        a.matmul_into(&a.clone(), &mut out);
     }
 
     #[test]

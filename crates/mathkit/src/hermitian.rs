@@ -114,7 +114,69 @@ pub fn eigh_with(a: &CMatrix, strategy: JacobiStrategy) -> EigenDecomposition {
     );
     let n = a.rows();
     let mut m = a.clone();
-    // Symmetrize exactly to remove any tolerated asymmetry.
+    symmetrize_in_place(&mut m);
+    let mut v = CMatrix::identity(n);
+    jacobi_sweeps(&mut m, Some(&mut v), strategy, scale);
+
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    // total_cmp keeps degenerate (NaN-bearing) matrices from panicking the
+    // eigensolver: NaN eigenvalues sort to the end instead.
+    idx.sort_by(|&i, &j| diag[i].total_cmp(&diag[j]));
+
+    let eigenvalues: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let eigenvectors = CMatrix::from_fn(n, n, |i, j| v[(i, idx[j])]);
+    EigenDecomposition {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+/// Eigenvalues only, ascending, computed in caller-provided scratch.
+///
+/// Runs exactly the Jacobi rotation sequence of [`eigh_with`] on `work`
+/// (overwritten with a symmetrized copy of `a`, reallocated only when
+/// its shape differs) but skips the eigenvector accumulation, then
+/// writes the sorted eigenvalues into `out` (cleared first). The values
+/// are bit-identical to `eigh_with(a, strategy).eigenvalues` — the
+/// eigenvector updates never feed back into the iterated matrix, and
+/// `total_cmp` ordering is a total order on bit patterns.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not Hermitian (see [`eigh`]).
+pub fn eigenvalues_into(
+    a: &CMatrix,
+    strategy: JacobiStrategy,
+    work: &mut CMatrix,
+    out: &mut Vec<f64>,
+) {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    let scale = a.max_abs().max(1.0);
+    assert!(
+        a.is_hermitian(1e-9 * scale),
+        "eigh requires a Hermitian matrix"
+    );
+    let n = a.rows();
+    if work.rows() != n || work.cols() != n {
+        *work = a.clone();
+    } else {
+        for i in 0..n {
+            for j in 0..n {
+                work[(i, j)] = a[(i, j)];
+            }
+        }
+    }
+    symmetrize_in_place(work);
+    jacobi_sweeps(work, None, strategy, scale);
+    out.clear();
+    out.extend((0..n).map(|i| work[(i, i)].re));
+    out.sort_by(f64::total_cmp);
+}
+
+/// Exact symmetrization removing any tolerated Hermitian asymmetry.
+fn symmetrize_in_place(m: &mut CMatrix) {
+    let n = m.rows();
     for i in 0..n {
         m[(i, i)] = Complex64::real(m[(i, i)].re);
         for j in (i + 1)..n {
@@ -123,10 +185,19 @@ pub fn eigh_with(a: &CMatrix, strategy: JacobiStrategy) -> EigenDecomposition {
             m[(j, i)] = avg.conj();
         }
     }
-    let mut v = CMatrix::identity(n);
+}
 
+/// Jacobi sweep loop: rotates `m` to diagonal form, accumulating the
+/// rotations into `v` when provided.
+fn jacobi_sweeps(
+    m: &mut CMatrix,
+    mut v: Option<&mut CMatrix>,
+    strategy: JacobiStrategy,
+    scale: f64,
+) {
+    let n = m.rows();
     for sweep in 0..MAX_SWEEPS {
-        let off = off_diagonal_norm(&m);
+        let off = off_diagonal_norm(m);
         if off <= 1e-14 * scale * cast::to_f64(n) {
             break;
         }
@@ -146,22 +217,18 @@ pub fn eigh_with(a: &CMatrix, strategy: JacobiStrategy) -> EigenDecomposition {
                 if m[(p, q)].abs() <= threshold {
                     continue;
                 }
-                jacobi_rotate(&mut m, &mut v, p, q);
+                let rot = jacobi_rotate(m, p, q);
+                if let (Some(v), Some((c, s))) = (v.as_deref_mut(), rot) {
+                    // Accumulate eigenvectors: V ← V·U.
+                    for i in 0..n {
+                        let vip = v[(i, p)];
+                        let viq = v[(i, q)];
+                        v[(i, p)] = vip.scale(c) - viq * s.conj();
+                        v[(i, q)] = vip * s + viq.scale(c);
+                    }
+                }
             }
         }
-    }
-
-    let mut idx: Vec<usize> = (0..n).collect();
-    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
-    // total_cmp keeps degenerate (NaN-bearing) matrices from panicking the
-    // eigensolver: NaN eigenvalues sort to the end instead.
-    idx.sort_by(|&i, &j| diag[i].total_cmp(&diag[j]));
-
-    let eigenvalues: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
-    let eigenvectors = CMatrix::from_fn(n, n, |i, j| v[(i, idx[j])]);
-    EigenDecomposition {
-        eigenvalues,
-        eigenvectors,
     }
 }
 
@@ -176,13 +243,14 @@ fn off_diagonal_norm(m: &CMatrix) -> f64 {
     s.sqrt()
 }
 
-/// One complex Jacobi rotation annihilating `m[(p, q)]`, accumulating the
-/// rotation into `v`.
-fn jacobi_rotate(m: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize) {
+/// One complex Jacobi rotation annihilating `m[(p, q)]`, returning the
+/// `(cos θ, sin θ·e^{iφ})` pair for the caller to accumulate (or `None`
+/// when the pivot is already zero).
+fn jacobi_rotate(m: &mut CMatrix, p: usize, q: usize) -> Option<(f64, Complex64)> {
     let gamma = m[(p, q)];
     let g = gamma.abs();
     if g == 0.0 {
-        return;
+        return None;
     }
     let alpha = m[(p, p)].re;
     let beta = m[(q, q)].re;
@@ -214,13 +282,7 @@ fn jacobi_rotate(m: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize) {
     m[(p, p)] = Complex64::real(m[(p, p)].re);
     m[(q, q)] = Complex64::real(m[(q, q)].re);
 
-    // Accumulate eigenvectors: V ← V·U.
-    for i in 0..n {
-        let vip = v[(i, p)];
-        let viq = v[(i, q)];
-        v[(i, p)] = vip.scale(c) - viq * s.conj();
-        v[(i, q)] = vip * s + viq.scale(c);
-    }
+    Some((c, s))
 }
 
 /// Principal square root of a positive semidefinite Hermitian matrix.
@@ -397,6 +459,23 @@ mod tests {
         let e2 = eigh_with(&a, JacobiStrategy::Threshold);
         for (x, y) in e1.eigenvalues.iter().zip(&e2.eigenvalues) {
             assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_into_bit_identical_to_eigh() {
+        let mut work = CMatrix::zeros(1, 1); // wrong shape: exercises the resize path
+        let mut vals = Vec::new();
+        for seed in 1..8 {
+            let a = random_hermitian(6, seed);
+            for strategy in [JacobiStrategy::Cyclic, JacobiStrategy::Threshold] {
+                eigenvalues_into(&a, strategy, &mut work, &mut vals);
+                let full = eigh_with(&a, strategy);
+                assert_eq!(vals.len(), full.eigenvalues.len());
+                for (x, y) in vals.iter().zip(&full.eigenvalues) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "seed {seed}");
+                }
+            }
         }
     }
 

@@ -33,6 +33,7 @@ pub mod fft;
 pub mod fit;
 pub mod hermitian;
 pub mod rng;
+pub mod sampling;
 pub mod special;
 pub mod stats;
 

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::cmatrix::CMatrix;
 use qfc_mathkit::complex::Complex64;
-use qfc_mathkit::hermitian::eigh;
+use qfc_mathkit::hermitian::{eigenvalues_into, JacobiStrategy};
 
 use crate::ops;
 use crate::state::PureState;
@@ -113,12 +113,16 @@ impl DensityMatrix {
 
     /// Purity `Tr ρ²` (1 for pure states, `1/2ⁿ` for maximally mixed).
     pub fn purity(&self) -> f64 {
-        (&self.mat * &self.mat).trace().re
+        self.mat.trace_of_product(&self.mat).re
     }
 
     /// Expectation value `Tr(ρA)` of a Hermitian observable.
+    ///
+    /// Computed by [`CMatrix::trace_of_product`]: only the diagonal of
+    /// the product is accumulated, with no intermediate matrix — the
+    /// value is bit-identical to `(ρ·A).trace().re`.
     pub fn expectation(&self, op: &CMatrix) -> f64 {
-        (&self.mat * op).trace().re
+        self.mat.trace_of_product(op).re
     }
 
     /// Probability of the outcome described by projector `p`:
@@ -150,17 +154,44 @@ impl DensityMatrix {
     ///
     /// Panics if `keep` is empty, has duplicates, or indexes out of range.
     pub fn partial_trace_keep(&self, keep: &[usize]) -> Self {
+        let kd = 1usize << keep.len();
+        let mut out = CMatrix::zeros(kd, kd);
+        self.partial_trace_keep_into(keep, &mut out);
+        Self {
+            mat: out,
+            qubits: keep.len(),
+        }
+    }
+
+    /// Scratch-buffer variant of [`Self::partial_trace_keep`]: writes
+    /// the reduced matrix into `out` (reallocated only on a shape
+    /// change), so repeated reductions — per-channel marginal scans —
+    /// run without per-call matrix or bookkeeping allocations.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::partial_trace_keep`].
+    pub fn partial_trace_keep_into(&self, keep: &[usize], out: &mut CMatrix) {
         let n = self.qubits;
         assert!(!keep.is_empty(), "must keep at least one qubit");
         assert!(keep.iter().all(|&q| q < n), "qubit index out of range");
-        let mut seen = vec![false; n];
+        assert!(n <= 64, "register too large for partial trace");
+        let mut seen = 0u64;
         for &q in keep {
-            assert!(!seen[q], "duplicate qubit in keep list");
-            seen[q] = true;
+            assert!(seen & (1 << q) == 0, "duplicate qubit in keep list");
+            seen |= 1 << q;
         }
-        let traced: Vec<usize> = (0..n).filter(|q| !seen[*q]).collect();
+        let mut traced = [0usize; 64];
+        let mut tn = 0usize;
+        for q in 0..n {
+            if seen & (1 << q) == 0 {
+                traced[tn] = q;
+                tn += 1;
+            }
+        }
+        let traced = &traced[..tn];
         let kd = 1usize << keep.len();
-        let td = 1usize << traced.len();
+        let td = 1usize << tn;
 
         // Maps (kept-subsystem index, traced-subsystem index) → register
         // basis index. Qubit 0 is the most significant bit.
@@ -171,13 +202,15 @@ impl DensityMatrix {
                 idx |= bit << (n - 1 - q);
             }
             for (pos, &q) in traced.iter().enumerate() {
-                let bit = (ti >> (traced.len() - 1 - pos)) & 1;
+                let bit = (ti >> (tn - 1 - pos)) & 1;
                 idx |= bit << (n - 1 - q);
             }
             idx
         };
 
-        let mut out = CMatrix::zeros(kd, kd);
+        if out.rows() != kd || out.cols() != kd {
+            *out = CMatrix::zeros(kd, kd);
+        }
         for i in 0..kd {
             for j in 0..kd {
                 let mut acc = Complex64::real(0.0);
@@ -187,15 +220,22 @@ impl DensityMatrix {
                 out[(i, j)] = acc;
             }
         }
-        Self {
-            mat: out,
-            qubits: keep.len(),
-        }
     }
 
     /// Eigenvalues of the density matrix (ascending).
     pub fn eigenvalues(&self) -> Vec<f64> {
-        eigh(&self.mat).eigenvalues
+        let mut work = CMatrix::zeros(self.dim(), self.dim());
+        let mut out = Vec::new();
+        self.eigenvalues_into(&mut work, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`Self::eigenvalues`]: diagonalizes in
+    /// `work` and writes the ascending eigenvalues into `out`, both
+    /// reused across calls. Values are bit-identical to
+    /// [`Self::eigenvalues`].
+    pub fn eigenvalues_into(&self, work: &mut CMatrix, out: &mut Vec<f64>) {
+        eigenvalues_into(&self.mat, JacobiStrategy::Cyclic, work, out);
     }
 
     /// `true` when all eigenvalues are ≥ `−tol` (positive semidefinite up
@@ -341,6 +381,28 @@ mod tests {
         let rho = DensityMatrix::from_pure(&PureState::ket0());
         let p = ops::projector(&PureState::ket0());
         assert!((rho.probability(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_ones() {
+        let rho = DensityMatrix::from_pure(&bell_phi_plus()).depolarize(0.3);
+        // Deliberately mis-shaped scratch: both calls must resize.
+        let mut work = CMatrix::zeros(1, 1);
+        let mut vals = vec![99.0];
+        rho.eigenvalues_into(&mut work, &mut vals);
+        let direct = rho.eigenvalues();
+        assert_eq!(vals.len(), direct.len());
+        for (a, b) in vals.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut reduced = CMatrix::zeros(1, 1);
+        rho.partial_trace_keep_into(&[1], &mut reduced);
+        let direct = rho.partial_trace_keep(&[1]);
+        assert!(reduced
+            .as_slice()
+            .iter()
+            .zip(direct.as_matrix().as_slice())
+            .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()));
     }
 
     #[test]

@@ -139,11 +139,14 @@ pub fn kron_all(ops: &[CMatrix]) -> CMatrix {
 pub fn embed(op: &CMatrix, k: usize, n: usize) -> CMatrix {
     assert!(k < n, "qubit index out of range");
     assert_eq!((op.rows(), op.cols()), (2, 2), "embed expects a 2x2 operator");
-    let mut ops: Vec<CMatrix> = Vec::with_capacity(n);
-    for i in 0..n {
-        ops.push(if i == k { op.clone() } else { id2() });
+    // Fold the Kronecker chain directly (same left-to-right association
+    // as `kron_all`) instead of materializing a list of n clones.
+    let id = id2();
+    let mut acc = if k == 0 { op.clone() } else { id.clone() };
+    for i in 1..n {
+        acc = acc.kron(if i == k { op } else { &id });
     }
-    kron_all(&ops)
+    acc
 }
 
 /// Tensor product of per-qubit single-qubit operators (one per qubit).

@@ -151,16 +151,20 @@ impl SinglePhotonDetector {
         }
         clicks.sort_unstable();
         // Dead time: drop clicks within the hold-off of the last accepted.
+        // Compacted in place with a write index — no second buffer.
+        // qfc-lint: hot
         if self.dead_time_ps > 0 {
-            let mut kept = Vec::with_capacity(clicks.len());
+            let mut write = 0usize;
             let mut last: Option<i64> = None;
-            for t in clicks {
+            for read in 0..clicks.len() {
+                let t = clicks[read];
                 if last.is_none_or(|l| t - l >= self.dead_time_ps) {
-                    kept.push(t);
+                    clicks[write] = t;
+                    write += 1;
                     last = Some(t);
                 }
             }
-            clicks = kept;
+            clicks.truncate(write);
         }
         TagStream::from_sorted(clicks)
     }

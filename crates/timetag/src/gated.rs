@@ -96,19 +96,22 @@ impl GatedDetector {
             .filter(|&t| self.in_gate(t))
             .collect();
         // Afterpulsing: each click may spawn one echo in a later gate,
-        // geometrically distributed with the configured decay.
-        let mut echoes = Vec::new();
-        for &t in &clicks {
+        // geometrically distributed with the configured decay. Echoes
+        // append to the click buffer directly; iterating by index over
+        // the original length keeps echoes from re-echoing and keeps
+        // the RNG draw order identical to a two-buffer formulation.
+        let n_gated = clicks.len();
+        for k in 0..n_gated {
+            let t = clicks[k];
             if bernoulli(rng, self.afterpulse_probability) {
                 let gates_later = 1.0
                     + (-self.afterpulse_decay_gates * rng.gen::<f64>().ln().abs()).abs();
                 let echo = t + (cast::f64_to_i64(gates_later)) * self.gate_period_ps;
                 if echo < duration_ps {
-                    echoes.push(echo);
+                    clicks.push(echo);
                 }
             }
         }
-        clicks.extend(echoes);
         clicks.sort_unstable();
         TagStream::from_sorted(clicks)
     }

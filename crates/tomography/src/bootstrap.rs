@@ -9,7 +9,7 @@ use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use qfc_mathkit::rng::discrete;
+use qfc_mathkit::sampling::DiscreteSampler;
 use qfc_mathkit::stats::{mean, sample_std_dev};
 use qfc_quantum::density::DensityMatrix;
 
@@ -29,21 +29,77 @@ pub struct BootstrapEstimate {
 /// Resamples a tomography data set once (parametric bootstrap: same
 /// per-setting totals, multinomial frequencies).
 pub fn resample<R: Rng + ?Sized>(rng: &mut R, data: &TomographyData) -> TomographyData {
-    let mut counts = Vec::with_capacity(data.counts.len());
-    for (s, setting_counts) in data.counts.iter().enumerate() {
-        let total = data.setting_total(s);
-        let weights: Vec<f64> = setting_counts.iter().map(|&c| cast::to_f64(c)).collect();
-        let mut new_counts = vec![0u64; setting_counts.len()];
-        if total > 0 && weights.iter().sum::<f64>() > 0.0 {
-            for _ in 0..total {
-                new_counts[discrete(rng, &weights)] += 1;
+    ResampleTables::new(data).resample(rng, data)
+}
+
+/// Precomputed per-setting sampling tables for repeated [`resample`]
+/// calls over the same data set.
+///
+/// Every bootstrap replica resamples from identical per-setting weights;
+/// building the [`DiscreteSampler`] threshold ladders once and sharing
+/// them across replicas removes the per-replica weight rebuild without
+/// changing a single drawn outcome (sampler construction is RNG-free and
+/// the draws are bit-identical to [`qfc_mathkit::rng::discrete`]).
+#[derive(Debug, Clone)]
+pub struct ResampleTables {
+    /// `Some(sampler)` for settings with events; `None` mirrors the
+    /// zero-total guard of the direct resampling loop.
+    samplers: Vec<Option<DiscreteSampler>>,
+    /// Per-setting event totals (resampled totals are preserved).
+    totals: Vec<u64>,
+}
+
+impl ResampleTables {
+    /// Builds the per-setting tables for `data`.
+    pub fn new(data: &TomographyData) -> Self {
+        let mut samplers = Vec::with_capacity(data.counts.len());
+        let mut totals = Vec::with_capacity(data.counts.len());
+        for (s, setting_counts) in data.counts.iter().enumerate() {
+            let total = data.setting_total(s);
+            let weights: Vec<f64> =
+                setting_counts.iter().map(|&c| cast::to_f64(c)).collect();
+            if total > 0 && weights.iter().sum::<f64>() > 0.0 {
+                samplers.push(Some(DiscreteSampler::new(&weights)));
+            } else {
+                samplers.push(None);
             }
+            totals.push(total);
         }
-        counts.push(new_counts);
+        Self { samplers, totals }
     }
-    TomographyData {
-        settings: data.settings.clone(),
-        counts,
+
+    /// One parametric-bootstrap resample of `data` through the cached
+    /// tables. `data` must be the data set the tables were built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different setting count than the build
+    /// data.
+    pub fn resample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        data: &TomographyData,
+    ) -> TomographyData {
+        assert_eq!(
+            self.samplers.len(),
+            data.counts.len(),
+            "resample tables do not match the data's settings"
+        );
+        let mut counts = Vec::with_capacity(data.counts.len());
+        for (s, setting_counts) in data.counts.iter().enumerate() {
+            let mut new_counts = vec![0u64; setting_counts.len()];
+            if let Some(sampler) = &self.samplers[s] {
+                // qfc-lint: hot
+                for _ in 0..self.totals[s] {
+                    new_counts[sampler.sample(rng)] += 1;
+                }
+            }
+            counts.push(new_counts);
+        }
+        TomographyData {
+            settings: data.settings.clone(),
+            counts,
+        }
     }
 }
 
@@ -74,10 +130,13 @@ where
 
     assert!(replicas >= 2, "need at least two bootstrap replicas");
     qfc_obs::counter_add("bootstrap_replicas", cast::usize_to_u64(replicas));
+    // One table build shared by every replica (construction is RNG-free,
+    // so sharing cannot perturb any replica's stream).
+    let tables = ResampleTables::new(data);
     let indices: Vec<u64> = (0..cast::usize_to_u64(replicas)).collect();
     let values = qfc_runtime::par_map(&indices, |&i| {
         let mut rng = rng_from_seed(split_seed(seed, i));
-        let sample = resample(&mut rng, data);
+        let sample = tables.resample(&mut rng, data);
         functional(&reconstruct(&sample))
     });
     BootstrapEstimate {
@@ -156,6 +215,39 @@ mod tests {
         let truth = werner_state(0.8, 0.0);
         let data = simulate_counts(&mut rng, &truth, &all_settings(2), 100);
         let _ = bootstrap_functional(304, &data, 1, linear_reconstruction, |_| 0.0);
+    }
+
+    #[test]
+    fn table_resample_matches_direct_discrete() {
+        use qfc_mathkit::rng::discrete;
+        let mut rng = rng_from_seed(306);
+        let truth = werner_state(0.7, 0.1);
+        let mut data = simulate_counts(&mut rng, &truth, &all_settings(2), 150);
+        // Append an empty setting to exercise the zero-total guard.
+        data.settings.push(data.settings[0].clone());
+        data.counts.push(vec![0u64; 4]);
+        let tables = ResampleTables::new(&data);
+        let mut rng_a = rng_from_seed(307);
+        let mut rng_b = rng_from_seed(307);
+        let via_tables = tables.resample(&mut rng_a, &data);
+        // Reference: the direct discrete() formulation the tables replaced.
+        let mut counts = Vec::new();
+        for (s, setting_counts) in data.counts.iter().enumerate() {
+            let total = data.setting_total(s);
+            let weights: Vec<f64> = setting_counts
+                .iter()
+                .map(|&c| cast::to_f64(c))
+                .collect();
+            let mut new_counts = vec![0u64; setting_counts.len()];
+            if total > 0 && weights.iter().sum::<f64>() > 0.0 {
+                for _ in 0..total {
+                    new_counts[discrete(&mut rng_b, &weights)] += 1;
+                }
+            }
+            counts.push(new_counts);
+        }
+        assert_eq!(via_tables.counts, counts);
+        assert_eq!(via_tables.counts.last().map(Vec::as_slice), Some(&[0u64; 4][..]));
     }
 
     #[test]

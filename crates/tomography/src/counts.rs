@@ -5,7 +5,7 @@ use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use qfc_mathkit::rng::discrete;
+use qfc_mathkit::sampling::DiscreteSampler;
 use qfc_quantum::density::DensityMatrix;
 
 use crate::settings::Setting;
@@ -73,9 +73,11 @@ pub fn simulate_counts<R: Rng + ?Sized>(
         let probs: Vec<f64> = (0..setting.outcomes())
             .map(|o| rho.probability(&setting.outcome_projector(o)))
             .collect();
+        let sampler = DiscreteSampler::new(&probs);
         let mut c = vec![0u64; setting.outcomes()];
+        // qfc-lint: hot
         for _ in 0..shots_per_setting {
-            c[discrete(rng, &probs)] += 1;
+            c[sampler.sample(rng)] += 1;
         }
         counts.push(c);
     }
@@ -113,10 +115,12 @@ pub fn simulate_counts_seeded(
         let probs: Vec<f64> = (0..setting.outcomes())
             .map(|o| rho.probability(&setting.outcome_projector(o)))
             .collect();
+        let sampler = DiscreteSampler::new(&probs);
         let mut rng = rng_from_seed(split_seed(seed, cast::usize_to_u64(s)));
         let mut c = vec![0u64; setting.outcomes()];
+        // qfc-lint: hot
         for _ in 0..shots_per_setting {
-            c[discrete(&mut rng, &probs)] += 1;
+            c[sampler.sample(&mut rng)] += 1;
         }
         c
     });

@@ -16,7 +16,7 @@ use qfc_mathkit::hermitian::psd_projection;
 use qfc_quantum::density::DensityMatrix;
 
 use crate::counts::TomographyData;
-use crate::settings::{pauli_string_matrix, PauliBasis};
+use crate::settings::{pauli_string_matrix, PauliBasis, ProjectorSet};
 
 /// Reconstructs a Hermitian unit-trace matrix by Pauli-basis linear
 /// inversion: `ρ = 2⁻ⁿ Σ_s ⟨σ_s⟩ σ_s`, with each Pauli-string expectation
@@ -162,38 +162,74 @@ pub struct MleResult {
 /// `ρ_{k+1} ∝ R ρ_k R` with `R = Σ_{s,o} (f_{s,o}/p_{s,o})·Π_{s,o}`,
 /// starting from the maximally mixed state. For informationally complete
 /// data this converges to the maximum-likelihood physical state.
+///
+/// Builds the outcome projectors for this call only; reconstructions
+/// that share one setting list (bootstrap replicas, per-channel scans)
+/// should build a [`ProjectorSet`] once and call
+/// [`mle_reconstruction_with`].
 pub fn mle_reconstruction(data: &TomographyData, options: &MleOptions) -> MleResult {
+    mle_reconstruction_with(&ProjectorSet::new(&data.settings), data, options)
+}
+
+/// [`mle_reconstruction`] against a prebuilt projector cache.
+///
+/// The RρR iteration runs entirely in scratch buffers: per iteration it
+/// performs no allocation, no projector rebuild, and no full matrix
+/// product where only a trace is needed. The arithmetic is ordered
+/// exactly as the allocating formulation (`tr(ρ·Π)` via the skip-zero
+/// product loop, `R` accumulated in `(s, o)` order over `f > 0`
+/// outcomes, `RρR` as two products), so results are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `projectors` was not built from `data`'s setting list.
+pub fn mle_reconstruction_with(
+    projectors: &ProjectorSet,
+    data: &TomographyData,
+    options: &MleOptions,
+) -> MleResult {
     let n = data.qubits();
     let dim = 1usize << n;
+    assert_eq!(
+        projectors.settings(),
+        data.settings.len(),
+        "projector cache does not match the data's settings"
+    );
+    assert_eq!(projectors.dim(), dim, "projector cache dimension mismatch");
     let mut rho = CMatrix::identity(dim).scale(1.0 / cast::to_f64(dim));
 
-    // Pre-build projectors and frequencies.
-    let mut projs: Vec<CMatrix> = Vec::new();
-    let mut freqs: Vec<f64> = Vec::new();
+    // Gather (projector, frequency) pairs once, in the same (s, o) order
+    // and with the same f > 0 filter as the per-call rebuild this
+    // replaces.
+    let mut pairs: Vec<(&CMatrix, f64)> = Vec::new();
     for (s_idx, setting) in data.settings.iter().enumerate() {
         for o in 0..setting.outcomes() {
             let f = data.frequency(s_idx, o);
             if f > 0.0 {
-                projs.push(setting.outcome_projector(o));
-                freqs.push(f);
+                pairs.push((projectors.projector(s_idx, o), f));
             }
         }
     }
 
+    let mut r = CMatrix::zeros(dim, dim);
+    let mut r_rho = CMatrix::zeros(dim, dim);
+    let mut next = CMatrix::zeros(dim, dim);
     let mut iterations = 0;
     let mut final_update = f64::INFINITY;
+    // qfc-lint: hot
     for _ in 0..options.max_iterations {
         iterations += 1;
-        let mut r = CMatrix::zeros(dim, dim);
-        for (proj, &f) in projs.iter().zip(&freqs) {
-            let p = (&rho * proj).trace().re.max(1e-12);
-            r = &r + &proj.scale(f / p);
+        r.fill_zero();
+        for &(proj, f) in &pairs {
+            let p = rho.trace_of_product(proj).re.max(1e-12);
+            r.add_scaled_assign(proj, f / p);
         }
-        let mut next = &(&r * &rho) * &r;
+        r.matmul_into(&rho, &mut r_rho);
+        r_rho.matmul_into(&r, &mut next);
         let tr = next.trace().re;
-        next = next.scale(1.0 / tr);
-        final_update = (&next - &rho).frobenius_norm();
-        rho = next;
+        next.scale_in_place(1.0 / tr);
+        final_update = next.frobenius_distance(&rho);
+        std::mem::swap(&mut rho, &mut next);
         if final_update < options.tolerance {
             break;
         }
@@ -310,7 +346,7 @@ mod tests {
     fn try_linear_inversion_reports_incomplete_data() {
         use crate::settings::{PauliBasis, Setting};
         let rho = DensityMatrix::from_pure(&PureState::plus());
-        let data = exact_counts(&rho, &[Setting(vec![PauliBasis::Z])], 1000);
+        let data = exact_counts(&rho, &[Setting::from_bases(&[PauliBasis::Z])], 1000);
         let err = try_linear_inversion(&data).unwrap_err();
         assert!(err.to_string().contains("informationally incomplete"));
     }
@@ -342,7 +378,7 @@ mod tests {
         use crate::settings::{PauliBasis, Setting};
         let rho = DensityMatrix::from_pure(&PureState::plus());
         // Only Z measured: X and Y strings uncovered.
-        let data = exact_counts(&rho, &[Setting(vec![PauliBasis::Z])], 1000);
+        let data = exact_counts(&rho, &[Setting::from_bases(&[PauliBasis::Z])], 1000);
         let _ = linear_inversion(&data);
     }
 }

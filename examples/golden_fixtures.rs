@@ -1,0 +1,80 @@
+//! Regenerates the byte-identity golden fixtures under `tests/golden/`.
+//!
+//! The fixtures pin the exact JSON output of every shot-based kernel that
+//! the zero-allocation rework touches (categorical sampling, MLE RρR,
+//! bootstrap resampling, detector/timetag pipelines). They were generated
+//! from the pre-rework tree and must never change: `tests/byte_identity.rs`
+//! fails if any kernel drifts by a single byte.
+//!
+//! Run from the workspace root: `cargo run --release --example golden_fixtures`
+
+use std::fs;
+use std::path::Path;
+
+use qfc::core::heralded::{run_heralded_experiment, HeraldedConfig};
+use qfc::core::multiphoton::{run_four_photon_tomography, MultiPhotonConfig};
+use qfc::core::source::QfcSource;
+use qfc::core::timebin::{run_timebin_event_mc, TimeBinConfig};
+use qfc::quantum::bell::{bell_phi_plus, werner_state};
+use qfc::quantum::fidelity::fidelity_with_pure;
+use qfc::tomography::bootstrap::bootstrap_functional;
+use qfc::tomography::counts::simulate_counts_seeded;
+use qfc::tomography::reconstruct::{mle_reconstruction, MleOptions};
+use qfc::tomography::settings::all_settings;
+
+fn write_fixture(dir: &Path, name: &str, json: &str) {
+    let path = dir.join(name);
+    fs::write(&path, json).expect("write fixture");
+    println!("wrote {} ({} bytes)", path.display(), json.len());
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    fs::create_dir_all(&dir).expect("create tests/golden");
+    let source = QfcSource::paper_device();
+
+    // §IV event Monte Carlo: the 10-way categorical slot draw.
+    let tb_source = QfcSource::paper_device_timebin();
+    let mut tb = TimeBinConfig::fast_demo();
+    tb.frames_per_point = 200_000;
+    let phases: Vec<f64> = (0..6).map(|k| 0.3 * f64::from(k)).collect();
+    let scan = run_timebin_event_mc(&tb_source, &tb, 1, &phases, 11);
+    write_fixture(&dir, "timebin_event_mc.json", &serde_json::to_string(&scan).expect("json"));
+
+    // §V two-qubit tomography counts: the per-setting categorical draw.
+    let truth = werner_state(0.83, 0.0);
+    let settings = all_settings(2);
+    let data = simulate_counts_seeded(&truth, &settings, 500, 17);
+    write_fixture(&dir, "tomography_counts.json", &serde_json::to_string(&data).expect("json"));
+
+    // MLE RρR reconstruction of those counts.
+    let mle = mle_reconstruction(&data, &MleOptions::default());
+    write_fixture(&dir, "mle_reconstruction.json", &serde_json::to_string(&mle).expect("json"));
+
+    // Bootstrap error bar over MLE re-reconstructions (resampling + MLE).
+    let target = bell_phi_plus();
+    let opts = MleOptions {
+        max_iterations: 50,
+        tolerance: 1e-8,
+    };
+    let boot = bootstrap_functional(
+        23,
+        &data,
+        6,
+        |d| mle_reconstruction(d, &opts).rho,
+        |rho| fidelity_with_pure(rho, &target),
+    );
+    write_fixture(&dir, "bootstrap_mle.json", &serde_json::to_string(&boot).expect("json"));
+
+    // §II heralded pipeline: detector (efficiency/jitter/darks/dead-time),
+    // coincidence counting, CAR, linewidth fit.
+    let mut hc = HeraldedConfig::fast_demo();
+    hc.duration_s = 1.0;
+    hc.channels = 2;
+    let heralded = run_heralded_experiment(&source, &hc, 7);
+    write_fixture(&dir, "heralded.json", &serde_json::to_string(&heralded).expect("json"));
+
+    // §V four-photon tomography: 81-setting counts + dim-16 MLE.
+    let four = run_four_photon_tomography(&tb_source, &MultiPhotonConfig::fast_demo(), 13);
+    write_fixture(&dir, "four_photon.json", &serde_json::to_string(&four).expect("json"));
+}

@@ -33,8 +33,13 @@ done
 cargo clippy --no-deps --lib "${roster[@]}" \
   -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-echo "==> qfc-bench --smoke (serial/parallel determinism cross-check)"
-./target/release/qfc-bench --smoke --out target/BENCH_smoke.json
+echo "==> qfc-bench --smoke --check-baseline (determinism + bench-regression gate)"
+# Fails when any workload loses serial/parallel byte-identity, allocates
+# more than 10 % (+64 calls) beyond the committed baseline's serial leg,
+# or slows down by more than the --max-slowdown factor (generous: wall
+# time is machine-dependent, allocation counts are not).
+./target/release/qfc-bench --smoke --check-baseline BENCH_baseline.json \
+  --max-slowdown 4.0 --out target/BENCH_smoke.json
 if grep -q '"oversubscribed": true' target/BENCH_smoke.json; then
   echo "WARNING: bench ran more threads than host CPUs; speedup figures" \
        "are oversubscription noise (only the determinism check is valid)." >&2

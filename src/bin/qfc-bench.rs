@@ -1,8 +1,9 @@
-//! `qfc-bench` — serial-vs-parallel wall-time harness for the shot-based
-//! Monte-Carlo workloads.
+//! `qfc-bench` — serial-vs-parallel wall-time and allocation harness for
+//! the shot-based Monte-Carlo workloads.
 //!
 //! ```text
 //! qfc-bench [--threads N] [--smoke] [--out PATH]
+//!           [--check-baseline PATH] [--max-slowdown F]
 //! ```
 //!
 //! Every workload runs twice through the same code path: once pinned to a
@@ -15,14 +16,30 @@
 //! `BENCH_parallel.json`; the observability trace of the whole run lands
 //! next to it as `<out stem>.trace.json`.
 //!
+//! The binary installs a counting `#[global_allocator]` and records, for
+//! the *serial* leg of each workload, the allocation count, total bytes
+//! allocated, and peak live bytes. The serial leg is single-threaded and
+//! deterministic, so these figures are stable across runs on a given
+//! target and make allocation regressions in the hot kernels diffable.
+//!
+//! `--check-baseline PATH` diffs the fresh run against a committed
+//! baseline report (same JSON schema) and fails when any workload lost
+//! its serial/parallel byte-identity, allocates more than 10 % (+64
+//! calls of slack) beyond the baseline's serial-leg count, or runs
+//! slower than `--max-slowdown` (default 4.0, generous because absolute
+//! wall time is machine-dependent while allocation counts are not)
+//! times the baseline's serial wall time.
+//!
 //! `--smoke` shrinks every workload to seconds-scale for CI; speedups are
 //! not meaningful there (the parallel grain is too small), only the
-//! determinism cross-check is.
+//! determinism cross-check and the allocation columns are.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use qfc::core::heralded::{run_heralded_experiment, HeraldedConfig};
 use qfc::core::multiphoton::{run_four_photon_tomography, MultiPhotonConfig};
@@ -38,16 +55,93 @@ use qfc::tomography::counts::simulate_counts_seeded;
 use qfc::tomography::reconstruct::{mle_reconstruction, MleOptions};
 use qfc::tomography::settings::all_settings;
 
-#[derive(Debug, Serialize)]
+/// Global-allocator shim that counts every allocation. Kept deliberately
+/// branch-light: four relaxed atomics per alloc, one per dealloc.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn record_alloc(size: usize) {
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            record_alloc(new_size);
+            LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation counters at one instant; differences between two snapshots
+/// give the traffic of the code in between.
+#[derive(Clone, Copy)]
+struct AllocSnapshot {
+    calls: u64,
+    bytes: u64,
+    live: u64,
+}
+
+fn alloc_snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        calls: ALLOC_CALLS.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        live: LIVE_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Re-arms the peak tracker so the next reading reflects only the region
+/// after this call.
+fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[derive(Debug, Serialize, Deserialize)]
 struct WorkloadRow {
     name: String,
+    /// Workload-specific event count (frames, shots×settings, replicas×
+    /// counts, or tags) — the numerator of `shots_per_sec`.
+    shots: u64,
     serial_ms: f64,
     parallel_ms: f64,
     speedup: f64,
+    /// `shots / serial_ms`, in events per second of single-thread time.
+    shots_per_sec: f64,
+    /// Allocator calls during the serial leg (deterministic per target).
+    allocs_serial: u64,
+    /// Total bytes requested during the serial leg.
+    alloc_bytes_serial: u64,
+    /// Peak live bytes above the pre-leg baseline during the serial leg.
+    peak_bytes_serial: u64,
     identical: bool,
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
     /// Thread count asked for on the command line (or the default 4).
     requested_threads: usize,
@@ -74,21 +168,44 @@ fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
 }
 
 /// Runs `f` serially and on `threads` workers, checks the serialized
-/// outputs are byte-identical, and reports both wall times.
-fn bench_workload(name: &str, threads: usize, f: impl Fn() -> String + Sync) -> WorkloadRow {
+/// outputs are byte-identical, and reports wall times plus the serial
+/// leg's allocation traffic.
+fn bench_workload(
+    name: &str,
+    threads: usize,
+    shots: u64,
+    f: impl Fn() -> String + Sync,
+) -> WorkloadRow {
+    reset_peak();
+    let before = alloc_snapshot();
     let (serial_ms, serial_out) = time_ms(|| qfc::runtime::with_threads(1, &f));
+    let after = alloc_snapshot();
+    let peak = PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(before.live);
     let (parallel_ms, parallel_out) = time_ms(|| qfc::runtime::with_threads(threads, &f));
     let identical = serial_out == parallel_out;
     let row = WorkloadRow {
         name: name.to_owned(),
+        shots,
         serial_ms,
         parallel_ms,
         speedup: serial_ms / parallel_ms,
+        shots_per_sec: shots as f64 / (serial_ms * 1e-3),
+        allocs_serial: after.calls - before.calls,
+        alloc_bytes_serial: after.bytes - before.bytes,
+        peak_bytes_serial: peak,
         identical,
     };
     eprintln!(
-        "{:<24} serial {:>9.1} ms | {} threads {:>9.1} ms | speedup {:.2}x | identical: {}",
-        row.name, row.serial_ms, threads, row.parallel_ms, row.speedup, row.identical
+        "{:<24} serial {:>9.1} ms | {} threads {:>9.1} ms | speedup {:.2}x | \
+         {:>10.0} shots/s | {:>9} allocs | identical: {}",
+        row.name,
+        row.serial_ms,
+        threads,
+        row.parallel_ms,
+        row.speedup,
+        row.shots_per_sec,
+        row.allocs_serial,
+        row.identical
     );
     row
 }
@@ -108,7 +225,8 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
             cfg.duration_s = 40.0;
             cfg.linewidth_pairs = 40_000;
         }
-        workloads.push(bench_workload("heralded", threads, || {
+        let shots = cfg.linewidth_pairs as u64;
+        workloads.push(bench_workload("heralded", threads, shots, || {
             let report = run_heralded_experiment(&source, &cfg, 7);
             serde_json::to_string(&report).expect("report serializes")
         }));
@@ -125,7 +243,8 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let phases: Vec<f64> = (0..steps)
             .map(|k| k as f64 * std::f64::consts::TAU / steps as f64)
             .collect();
-        workloads.push(bench_workload("timebin-event-mc", threads, || {
+        let shots = cfg.frames_per_point * phases.len() as u64;
+        workloads.push(bench_workload("timebin-event-mc", threads, shots, || {
             let scan = run_timebin_event_mc(&source, &cfg, 1, &phases, 11);
             serde_json::to_string(&scan).expect("scan serializes")
         }));
@@ -137,7 +256,8 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let source = QfcSource::paper_device_timebin();
         let mut cfg = MultiPhotonConfig::fast_demo();
         cfg.four_shots_per_setting = if smoke { 40 } else { 20_000 };
-        workloads.push(bench_workload("four-photon-tomography", threads, || {
+        let shots = cfg.four_shots_per_setting * 81;
+        workloads.push(bench_workload("four-photon-tomography", threads, shots, || {
             let tomo = run_four_photon_tomography(&source, &cfg, 13);
             serde_json::to_string(&tomo).expect("tomography serializes")
         }));
@@ -148,11 +268,12 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
     {
         let truth = werner_state(0.83, 0.0);
         let settings = all_settings(2);
-        let shots = if smoke { 200 } else { 2_000 };
+        let shots_per_setting = if smoke { 200u64 } else { 2_000 };
         let replicas = if smoke { 8 } else { 48 };
-        let data = simulate_counts_seeded(&truth, &settings, shots, 17);
+        let data = simulate_counts_seeded(&truth, &settings, shots_per_setting, 17);
         let target = bell_phi_plus();
-        workloads.push(bench_workload("bootstrap-mle", threads, || {
+        let shots = replicas as u64 * data.settings.len() as u64 * shots_per_setting;
+        workloads.push(bench_workload("bootstrap-mle", threads, shots, || {
             let est = bootstrap_functional(
                 17,
                 &data,
@@ -171,7 +292,8 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let duration_s = if smoke { 2.0 } else { 40.0 };
         let a = poissonian_stream(&mut rng, 200_000.0, duration_s);
         let b = poissonian_stream(&mut rng, 200_000.0, duration_s);
-        workloads.push(bench_workload("coincidence-histogram", threads, || {
+        let shots = (a.len() + b.len()) as u64;
+        workloads.push(bench_workload("coincidence-histogram", threads, shots, || {
             let hist = cross_correlation_histogram(&a, &b, 100_000, 50);
             serde_json::to_string(&hist).expect("histogram serializes")
         }));
@@ -193,10 +315,66 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
     }
 }
 
+/// Allocation slack over the baseline: 10 % relative plus 64 calls
+/// absolute, so tiny workloads aren't gated on a handful of calls while
+/// a reintroduced per-shot allocation (thousands of calls) still trips.
+fn alloc_budget(baseline: u64) -> u64 {
+    baseline + baseline / 10 + 64
+}
+
+/// Diffs `report` against the committed baseline; returns the list of
+/// human-readable regressions (empty = gate passed).
+fn check_against_baseline(
+    report: &BenchReport,
+    baseline: &BenchReport,
+    max_slowdown: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if report.smoke != baseline.smoke {
+        failures.push(format!(
+            "mode mismatch: run has smoke={} but baseline has smoke={} — \
+             regenerate the baseline in the same mode",
+            report.smoke, baseline.smoke
+        ));
+        return failures;
+    }
+    for row in &report.workloads {
+        let Some(base) = baseline.workloads.iter().find(|b| b.name == row.name) else {
+            failures.push(format!(
+                "{}: missing from baseline — regenerate it with --out",
+                row.name
+            ));
+            continue;
+        };
+        if !row.identical {
+            failures.push(format!("{}: serial and parallel outputs differ", row.name));
+        }
+        let budget = alloc_budget(base.allocs_serial);
+        if row.allocs_serial > budget {
+            failures.push(format!(
+                "{}: serial-leg allocations regressed: {} > budget {} \
+                 (baseline {} + 10% + 64)",
+                row.name, row.allocs_serial, budget, base.allocs_serial
+            ));
+        }
+        let limit_ms = base.serial_ms * max_slowdown;
+        if row.serial_ms > limit_ms {
+            failures.push(format!(
+                "{}: serial wall time regressed: {:.1} ms > {:.1} ms \
+                 (baseline {:.1} ms × {max_slowdown})",
+                row.name, row.serial_ms, limit_ms, base.serial_ms
+            ));
+        }
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let mut requested: Option<usize> = None;
     let mut smoke = false;
     let mut out = String::from("BENCH_parallel.json");
+    let mut baseline_path: Option<String> = None;
+    let mut max_slowdown = 4.0f64;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -216,8 +394,25 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--check-baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => {
+                    eprintln!("--check-baseline needs a path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-slowdown" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(f) if f.is_finite() && f >= 1.0 => max_slowdown = f,
+                _ => {
+                    eprintln!("--max-slowdown needs a finite factor ≥ 1.0");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: qfc-bench [--threads N] [--smoke] [--out PATH]");
+                eprintln!(
+                    "usage: qfc-bench [--threads N] [--smoke] [--out PATH] \
+                     [--check-baseline PATH] [--max-slowdown F]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -226,6 +421,25 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Load the baseline before spending minutes on the run, so a missing
+    // or malformed file fails fast.
+    let baseline: Option<BenchReport> = match &baseline_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("cannot parse baseline {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     // An explicit --threads is honored (and flagged as oversubscribed when
@@ -256,5 +470,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {trace_out}");
+
+    if let Some(base) = baseline {
+        let failures = check_against_baseline(&report, &base, max_slowdown);
+        if failures.is_empty() {
+            eprintln!(
+                "baseline gate passed ({} workloads vs {})",
+                report.workloads.len(),
+                baseline_path.as_deref().unwrap_or("?")
+            );
+        } else {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,124 @@
+//! Byte-identity gate for the zero-allocation kernel rework.
+//!
+//! The fixtures under `tests/golden/` were generated from the tree *before*
+//! the shot kernels were converted to precomputed sampling tables and
+//! in-place linear algebra (`cargo run --release --example golden_fixtures`
+//! regenerates them, but they must never change). Each test re-runs one
+//! workload through the reworked kernels and demands the serialized JSON
+//! match the pre-rework output byte for byte — the strongest possible
+//! statement that the optimizations are pure refactors of the arithmetic,
+//! not statistical approximations of it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use qfc::core::heralded::{run_heralded_experiment, HeraldedConfig};
+use qfc::core::multiphoton::{run_four_photon_tomography, MultiPhotonConfig};
+use qfc::core::source::QfcSource;
+use qfc::core::timebin::{run_timebin_event_mc, TimeBinConfig};
+use qfc::quantum::bell::{bell_phi_plus, werner_state};
+use qfc::quantum::fidelity::fidelity_with_pure;
+use qfc::tomography::bootstrap::bootstrap_functional;
+use qfc::tomography::counts::simulate_counts_seeded;
+use qfc::tomography::reconstruct::{mle_reconstruction, MleOptions};
+use qfc::tomography::settings::all_settings;
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn assert_bytes_match(name: &str, fresh: &str) {
+    let pinned = golden(name);
+    if fresh != pinned {
+        // Locate the first differing byte so a failure points at the
+        // drifted field instead of dumping two multi-kB JSON blobs.
+        let at = fresh
+            .bytes()
+            .zip(pinned.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| fresh.len().min(pinned.len()));
+        let lo = at.saturating_sub(60);
+        panic!(
+            "{name}: reworked kernel output drifted from the pre-rework golden \
+             at byte {at}\n  golden: …{}…\n  fresh:  …{}…",
+            &pinned[lo..(at + 60).min(pinned.len())],
+            &fresh[lo..(at + 60).min(fresh.len())],
+        );
+    }
+}
+
+#[test]
+fn timebin_event_mc_matches_pre_rework_bytes() {
+    let source = QfcSource::paper_device_timebin();
+    let mut cfg = TimeBinConfig::fast_demo();
+    cfg.frames_per_point = 200_000;
+    let phases: Vec<f64> = (0..6).map(|k| 0.3 * f64::from(k)).collect();
+    let scan = run_timebin_event_mc(&source, &cfg, 1, &phases, 11);
+    assert_bytes_match(
+        "timebin_event_mc.json",
+        &serde_json::to_string(&scan).expect("json"),
+    );
+}
+
+#[test]
+fn tomography_counts_match_pre_rework_bytes() {
+    let truth = werner_state(0.83, 0.0);
+    let data = simulate_counts_seeded(&truth, &all_settings(2), 500, 17);
+    assert_bytes_match(
+        "tomography_counts.json",
+        &serde_json::to_string(&data).expect("json"),
+    );
+}
+
+#[test]
+fn mle_reconstruction_matches_pre_rework_bytes() {
+    let truth = werner_state(0.83, 0.0);
+    let data = simulate_counts_seeded(&truth, &all_settings(2), 500, 17);
+    let mle = mle_reconstruction(&data, &MleOptions::default());
+    assert_bytes_match(
+        "mle_reconstruction.json",
+        &serde_json::to_string(&mle).expect("json"),
+    );
+}
+
+#[test]
+fn bootstrap_mle_matches_pre_rework_bytes() {
+    let truth = werner_state(0.83, 0.0);
+    let data = simulate_counts_seeded(&truth, &all_settings(2), 500, 17);
+    let target = bell_phi_plus();
+    let opts = MleOptions {
+        max_iterations: 50,
+        tolerance: 1e-8,
+    };
+    let boot = bootstrap_functional(
+        23,
+        &data,
+        6,
+        |d| mle_reconstruction(d, &opts).rho,
+        |rho| fidelity_with_pure(rho, &target),
+    );
+    assert_bytes_match(
+        "bootstrap_mle.json",
+        &serde_json::to_string(&boot).expect("json"),
+    );
+}
+
+#[test]
+fn heralded_pipeline_matches_pre_rework_bytes() {
+    let source = QfcSource::paper_device();
+    let mut cfg = HeraldedConfig::fast_demo();
+    cfg.duration_s = 1.0;
+    cfg.channels = 2;
+    let report = run_heralded_experiment(&source, &cfg, 7);
+    assert_bytes_match("heralded.json", &serde_json::to_string(&report).expect("json"));
+}
+
+#[test]
+fn four_photon_tomography_matches_pre_rework_bytes() {
+    let source = QfcSource::paper_device_timebin();
+    let four = run_four_photon_tomography(&source, &MultiPhotonConfig::fast_demo(), 13);
+    assert_bytes_match("four_photon.json", &serde_json::to_string(&four).expect("json"));
+}

@@ -105,3 +105,78 @@ fn timebin_experiment_is_deterministic() {
     assert_eq!(a.fringes[0].points, b.fringes[0].points);
     assert_eq!(a.chsh[0].s_value.to_bits(), b.chsh[0].s_value.to_bits());
 }
+
+/// The §IV event Monte Carlo through the precomputed sampling table:
+/// byte-identical at one, four, and eight workers (eight oversubscribes
+/// most CI hosts, which is exactly the point — scheduling must not leak
+/// into results).
+#[test]
+fn timebin_event_mc_identical_at_1_4_8_threads() {
+    use qfc::core::timebin::run_timebin_event_mc;
+    let source = QfcSource::paper_device_timebin();
+    let mut cfg = TimeBinConfig::fast_demo();
+    cfg.frames_per_point = 300_000;
+    let phases: Vec<f64> = (0..5).map(|k| 0.4 * f64::from(k)).collect();
+    let run = || run_timebin_event_mc(&source, &cfg, 1, &phases, 4245);
+    let one = serde_json::to_string(&with_threads(1, run)).unwrap();
+    let four = serde_json::to_string(&with_threads(4, run)).unwrap();
+    let eight = serde_json::to_string(&with_threads(8, run)).unwrap();
+    assert_eq!(one, four, "1 vs 4 threads");
+    assert_eq!(one, eight, "1 vs 8 threads");
+}
+
+/// Integration-scale checks of the sampling tables behind every
+/// converted kernel, via the vendored property-test harness: the
+/// threshold ladder tracks `discrete` draw for draw, and the alias
+/// table (no bitwise contract) is statistically faithful.
+mod sampling_tables {
+    use proptest::prelude::*;
+    use qfc::mathkit::rng::{discrete, rng_from_seed};
+    use qfc::mathkit::sampling::{AliasTable, DiscreteSampler};
+
+    proptest! {
+        /// A `DiscreteSampler` fed the same stream as the original
+        /// `discrete` subtraction loop returns the same index, draw for
+        /// draw, on arbitrary weight vectors.
+        #[test]
+        fn sampling_table_tracks_discrete_on_random_weights(
+            weights in prop::collection::vec(0.0f64..10.0, 1..12),
+            seed in 0u64..1000,
+        ) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let table = DiscreteSampler::new(&weights);
+            let mut a = rng_from_seed(seed);
+            let mut b = rng_from_seed(seed);
+            for _ in 0..200 {
+                prop_assert_eq!(table.sample(&mut a), discrete(&mut b, &weights));
+            }
+        }
+
+        /// Statistical correctness of the O(1) alias table: empirical
+        /// frequencies converge to the normalized weights.
+        #[test]
+        fn alias_table_frequencies_match_weights(
+            weights in prop::collection::vec(0.05f64..10.0, 2..8),
+            seed in 0u64..100,
+        ) {
+            let table = AliasTable::new(&weights);
+            let total: f64 = weights.iter().sum();
+            let mut rng = rng_from_seed(seed);
+            let shots = 60_000usize;
+            let mut counts = vec![0u64; weights.len()];
+            for _ in 0..shots {
+                counts[table.sample(&mut rng)] += 1;
+            }
+            for (k, (&c, &w)) in counts.iter().zip(&weights).enumerate() {
+                let p = w / total;
+                let got = c as f64 / shots as f64;
+                // 5σ binomial tolerance: ~1e-6 false-failure rate per bin.
+                let tol = 5.0 * (p * (1.0 - p) / shots as f64).sqrt();
+                prop_assert!(
+                    (got - p).abs() <= tol,
+                    "bin {k}: empirical {got:.4} vs expected {p:.4} (tol {tol:.4})"
+                );
+            }
+        }
+    }
+}

@@ -93,6 +93,32 @@ macro_rules! impl_int_strategy {
 
 impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Collection strategies, mirroring upstream's `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Vec`s with lengths drawn from a range and
+    /// elements drawn from an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: length in `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.size, rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
 /// Property-test entry point. Supports an optional
 /// `#![proptest_config(expr)]` header followed by `#[test]`-attributed
 /// functions whose arguments use `name in strategy` syntax.
@@ -145,6 +171,7 @@ macro_rules! prop_assume {
 
 /// Common imports, mirroring upstream's `proptest::prelude`.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
     };
