@@ -64,8 +64,9 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "ci-roster",
-        summary: "scripts/ci.sh derives its clippy roster from the workspace and \
-                  invokes qfc-lint, so no crate can silently skip a gate",
+        summary: "scripts/ci.sh derives its clippy roster from the workspace, \
+                  invokes qfc-lint, and its bench baseline carries every sweep \
+                  workload, so no crate or workload can silently skip a gate",
         allowable: false,
     },
     Rule {
@@ -91,6 +92,12 @@ pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
 /// are therefore outside the lint scope (the bench harness trades rigor
 /// for throughput by design).
 pub const NON_LIBRARY_DIRS: &[&str] = &["bench"];
+
+/// Spectral-sweep workloads that must be present in the bench baseline
+/// referenced by `scripts/ci.sh --check-baseline` (the `ci-roster`
+/// check): dropping one from the baseline would silently remove its
+/// allocation and wall-time regression gate.
+pub const SWEEP_WORKLOADS: &[&str] = &["ring-dispersion-sweep", "opo-threshold-sweep"];
 
 /// Crates exempt from `error-taxonomy`: they sit *below* `qfc-faults`
 /// in the dependency graph (or are zero-dependency by design) and so

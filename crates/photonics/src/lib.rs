@@ -37,6 +37,7 @@ pub mod opo;
 pub mod pump;
 pub mod ring;
 pub mod spectrum;
+pub mod sweep;
 pub mod thermal;
 pub mod units;
 pub mod waveguide;
@@ -45,5 +46,6 @@ pub use comb::CombGrid;
 pub use material::Material;
 pub use pump::PumpConfig;
 pub use ring::{Microring, MicroringBuilder};
+pub use sweep::{BatchBuffers, SweepGrid};
 pub use units::{Frequency, Power, Wavelength};
 pub use waveguide::{Polarization, Waveguide};

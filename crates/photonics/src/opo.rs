@@ -7,7 +7,6 @@
 //! excess pump (classic OPO behaviour). The paper reports the kink at
 //! 14 mW.
 
-use qfc_mathkit::cast;
 use serde::{Deserialize, Serialize};
 
 use crate::fwm;
@@ -88,20 +87,25 @@ pub struct TransferPoint {
 /// Sweeps the OPO transfer curve over `[min, max]` with `n` points —
 /// the data behind the paper's power-scaling figure (F5).
 ///
+/// Runs on the [`crate::sweep`] batch layer: the grid replicates the
+/// historical `min + (max − min)·i/(n − 1)` spacing and the batch kernel
+/// is byte-identical to calling [`output_power`] point by point, so the
+/// curve (and every power-law fit on it) is bit-for-bit what the scalar
+/// loop produced.
+///
 /// # Panics
 ///
 /// Panics if `n < 2` or the range is empty.
 pub fn transfer_curve(ring: &Microring, min: Power, max: Power, n: usize) -> Vec<TransferPoint> {
     assert!(n >= 2, "need at least two sweep points");
     assert!(max.w() > min.w(), "empty power range");
-    (0..n)
-        .map(|i| {
-            let p = min.w() + (max.w() - min.w()) * cast::to_f64(i) / cast::to_f64(n - 1);
-            TransferPoint {
-                pump_w: p,
-                output_w: output_power(ring, Power::from_w(p)).w(),
-            }
-        })
+    let grid = crate::sweep::SweepGrid::linspace(min.w(), max.w(), n);
+    let mut buf = crate::sweep::BatchBuffers::with_capacity(n);
+    crate::sweep::opo_transfer_batch(ring, &grid, &mut buf);
+    grid.points()
+        .iter()
+        .zip(buf.values())
+        .map(|(&pump_w, &output_w)| TransferPoint { pump_w, output_w })
         .collect()
 }
 

@@ -10,9 +10,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::comb::TelecomBand;
 use crate::constants::PLANCK;
-use crate::fwm;
 use crate::opo;
 use crate::ring::Microring;
+use crate::sweep;
 use crate::units::{Frequency, Power};
 use crate::waveguide::Polarization;
 
@@ -88,16 +88,28 @@ pub fn comb_spectrum(ring: &Microring, pump: Power, max_m: u32) -> CombSpectrum 
     let p_th = opo::threshold(ring);
     let above = pump.w() > p_th.w();
     let mut lines = Vec::with_capacity(2 * cast::u32_to_usize(max_m));
-    // Envelope weights from the SFWM spectral envelope.
-    let weights: Vec<f64> = (1..=max_m)
-        .map(|m| fwm::spectral_envelope(ring, Polarization::Te, m))
-        .collect();
+    // Envelope weights from the SFWM spectral envelope (the hoisted
+    // per-channel row of the batch sweep layer).
+    let weights = sweep::channel_envelopes(ring, Polarization::Te, max_m);
     let total_weight: f64 = 2.0 * weights.iter().sum::<f64>();
     let opo_power = if above {
         opo::output_power(ring, pump).w()
     } else {
         0.0
     };
+    // Channel-resolved pair rates through the SoA batch kernel on a
+    // single-point power grid — byte-identical to per-channel
+    // `fwm::pair_rate_cw`, with γ/FE²/L/δν hoisted across the channels.
+    let mut rates = sweep::BatchBuffers::with_capacity(cast::u32_to_usize(max_m));
+    if !above && max_m > 0 {
+        sweep::pair_rate_channels_batch(
+            ring,
+            Polarization::Te,
+            &sweep::SweepGrid::from_points(vec![pump.w()]),
+            max_m,
+            &mut rates,
+        );
+    }
     for m in 1..=max_m {
         for sign in [-1i32, 1] {
             let idx = sign * cast::u32_to_i32(m);
@@ -105,7 +117,7 @@ pub fn comb_spectrum(ring: &Microring, pump: Power, max_m: u32) -> CombSpectrum 
             let power_w = if above {
                 opo_power * weights[cast::u32_to_usize(m - 1)] / total_weight
             } else {
-                let rate = fwm::pair_rate_cw(ring, Polarization::Te, pump, m);
+                let rate = rates.values()[cast::u32_to_usize(m - 1)];
                 rate * PLANCK * f.hz()
             };
             lines.push(CombLine {

@@ -1,18 +1,22 @@
 //! Device-design exploration: how the coupling choice trades linewidth
 //! (quantum-memory compatibility), OPO threshold, pair rate, and field
 //! enhancement — the design space behind the paper's 110-MHz / 14-mW
-//! operating point.
+//! operating point — followed by a dense batch sweep of the chosen
+//! device that doubles as a smoke benchmark (points/sec through the
+//! SoA sweep layer).
 //!
 //! ```sh
 //! cargo run --release --example design_sweep
 //! ```
 
+use std::time::Instant;
+
 use qfc::photonics::memory::{ring_memory_efficiency, MemoryProfile};
 use qfc::photonics::opo;
-use qfc::photonics::ring::MicroringBuilder;
+use qfc::photonics::ring::{Microring, MicroringBuilder};
+use qfc::photonics::sweep::{self, BatchBuffers, SweepGrid};
 use qfc::photonics::units::{Frequency, Power};
 use qfc::photonics::waveguide::{Polarization, Waveguide};
-use qfc::photonics::fwm;
 
 fn main() {
     println!("Sweeping the loaded linewidth of a 200-GHz Hydex ring");
@@ -23,20 +27,24 @@ fn main() {
     );
 
     let memory = MemoryProfile::atomic_100mhz();
+    let pump_grid = SweepGrid::from_points(vec![Power::from_mw(15.0).w()]);
+    let mut rates = BatchBuffers::new();
     for lw_mhz in [25.0, 50.0, 110.0, 220.0, 440.0, 880.0] {
         let mut b = MicroringBuilder::new(Waveguide::hydex_paper());
         b.anchor(Frequency::from_thz(193.4))
             .radius_for_fsr(Frequency::from_ghz(200.0));
         b.coupling_for_linewidth(Frequency::from_hz(lw_mhz * 1e6));
         let ring = b.build();
-        let rate = fwm::pair_rate_cw(&ring, Polarization::Te, Power::from_mw(15.0), 1);
+        // Channel-1 pair rate via the batch layer (single-point grid):
+        // bit-identical to fwm::pair_rate_cw.
+        sweep::pair_rate_channels_batch(&ring, Polarization::Te, &pump_grid, 1, &mut rates);
         println!(
             "{:>7.0} MHz  {:>9.2e}  {:>9.0}  {:>11.1}  {:>12.1}  {:>10.3}",
             lw_mhz,
             ring.q_loaded(),
             ring.field_enhancement_power(),
             opo::threshold(&ring).mw(),
-            rate,
+            rates.values()[0],
             ring_memory_efficiency(&ring, &memory),
         );
     }
@@ -45,5 +53,60 @@ fn main() {
         "\nThe paper's choice (110 MHz) sits at the knee: narrow enough for\n\
          ~50 % direct memory acceptance and a 14-mW threshold, wide enough\n\
          to keep the per-channel pair rate in the tens of Hz."
+    );
+
+    // ---- dense batch sweeps of the paper device: the smoke benchmark ----
+    let ring = Microring::paper_device();
+    let lw = ring.linewidth().hz();
+    let mut buf = BatchBuffers::new();
+
+    // Dispersion scan: every 200-GHz channel of the ±40-channel comb,
+    // 2048 frequency points across ±5 linewidths of each resonance.
+    let channels: Vec<i32> = (-40..=40).collect();
+    let per_channel = 2048usize;
+    let grids: Vec<SweepGrid> = channels
+        .iter()
+        .map(|&m| {
+            let f0 = ring.resonance(Polarization::Te, m).hz();
+            SweepGrid::linspace(f0 - 5.0 * lw, f0 + 5.0 * lw, per_channel)
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for (&m, grid) in channels.iter().zip(&grids) {
+        sweep::ring_power_response_batch(&ring, Polarization::Te, m, grid, &mut buf);
+        acc += buf.values().iter().sum::<f64>();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let points = channels.len() * per_channel;
+    println!(
+        "\nDispersion scan: {} channels × {} points = {} evaluations in {:.1} ms \
+         ({:.2e} points/sec, Σresponse = {:.1})",
+        channels.len(),
+        per_channel,
+        points,
+        dt * 1e3,
+        points as f64 / dt,
+        acc,
+    );
+
+    // OPO transfer sweep: 100k pump powers across the threshold kink.
+    let p_th = opo::threshold(&ring).w();
+    let n_opo = 100_000usize;
+    let power_grid = SweepGrid::linspace(0.05 * p_th, 3.0 * p_th, n_opo);
+    let t0 = Instant::now();
+    sweep::opo_transfer_batch(&ring, &power_grid, &mut buf);
+    let dt = t0.elapsed().as_secs_f64();
+    let kink = buf
+        .values()
+        .windows(2)
+        .filter(|w| w[1] > 100.0 * w[0].max(1e-300))
+        .count();
+    println!(
+        "OPO transfer sweep: {} points in {:.1} ms ({:.2e} points/sec, {} threshold kink(s))",
+        n_opo,
+        dt * 1e3,
+        n_opo as f64 / dt,
+        kink,
     );
 }

@@ -44,6 +44,11 @@ if grep -q '"oversubscribed": true' target/BENCH_smoke.json; then
   echo "WARNING: bench ran more threads than host CPUs; speedup figures" \
        "are oversubscription noise (only the determinism check is valid)." >&2
 fi
+if grep -q '"parallel_unvalidated": true' target/BENCH_smoke.json; then
+  echo "WARNING: parallel leg unvalidated (single-CPU host or --threads 1);" \
+       "speedup factors are meaningless — only byte-identity and the" \
+       "allocation columns were checked." >&2
+fi
 
 echo "==> fault matrix (graceful-degradation smoke run)"
 cargo run --release --example fault_matrix > target/FAULT_MATRIX.md

@@ -33,6 +33,20 @@
 //! `--smoke` shrinks every workload to seconds-scale for CI; speedups are
 //! not meaningful there (the parallel grain is too small), only the
 //! determinism cross-check and the allocation columns are.
+//!
+//! On a single-CPU host (or `--threads 1`) the parallel leg cannot
+//! demonstrate scaling at all: the report carries
+//! `"parallel_unvalidated": true`, the per-workload speedup print is
+//! suppressed (the JSON keeps the raw numbers), and a warning is emitted
+//! — ci.sh surfaces it.
+//!
+//! The two spectral-sweep workloads (`ring-dispersion-sweep`,
+//! `opo-threshold-sweep`) additionally time the SoA batch kernels of
+//! `qfc_photonics::sweep` against their point-by-point scalar oracles —
+//! interleaved best-of-3, both legs pinned to one worker so the ratio
+//! isolates the kernel — and record the pair in the
+//! `scalar_best_ms`/`batch_best_ms`/`batch_speedup` columns (null for
+//! the Monte-Carlo workloads, which have no scalar/batch split).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -46,6 +60,11 @@ use qfc::core::multiphoton::{run_four_photon_tomography, MultiPhotonConfig};
 use qfc::core::source::QfcSource;
 use qfc::core::timebin::{run_timebin_event_mc, TimeBinConfig};
 use qfc::mathkit::rng::rng_from_seed;
+use qfc::photonics::opo;
+use qfc::photonics::ring::Microring;
+use qfc::photonics::sweep::{self, BatchBuffers, SweepGrid};
+use qfc::photonics::units::{Frequency, Power};
+use qfc::photonics::waveguide::Polarization;
 use qfc::quantum::bell::{bell_phi_plus, werner_state};
 use qfc::quantum::fidelity::fidelity_with_pure;
 use qfc::timetag::coincidence::cross_correlation_histogram;
@@ -139,6 +158,15 @@ struct WorkloadRow {
     /// Peak live bytes above the pre-leg baseline during the serial leg.
     peak_bytes_serial: u64,
     identical: bool,
+    /// Best-of-3 wall time of the point-by-point scalar oracle (sweep
+    /// workloads only; null for the Monte-Carlo workloads).
+    scalar_best_ms: Option<f64>,
+    /// Best-of-3 wall time of the SoA batch kernel, interleaved with the
+    /// scalar reps (sweep workloads only).
+    batch_best_ms: Option<f64>,
+    /// `scalar_best_ms / batch_best_ms` — the single-thread speedup of
+    /// the batch layer over the scalar loop.
+    batch_speedup: Option<f64>,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -157,6 +185,10 @@ struct BenchReport {
     /// CPUs — wall-clock "speedups" in that regime are scheduling noise,
     /// only the determinism cross-check is meaningful.
     oversubscribed: bool,
+    /// `true` when the parallel leg could not demonstrate scaling at all
+    /// (single-CPU host or `--threads 1`): its speedup columns are
+    /// meaningless and the per-workload speedup print is suppressed.
+    parallel_unvalidated: bool,
     smoke: bool,
     workloads: Vec<WorkloadRow>,
 }
@@ -174,6 +206,7 @@ fn bench_workload(
     name: &str,
     threads: usize,
     shots: u64,
+    unvalidated: bool,
     f: impl Fn() -> String + Sync,
 ) -> WorkloadRow {
     reset_peak();
@@ -194,15 +227,25 @@ fn bench_workload(
         alloc_bytes_serial: after.bytes - before.bytes,
         peak_bytes_serial: peak,
         identical,
+        scalar_best_ms: None,
+        batch_best_ms: None,
+        batch_speedup: None,
+    };
+    // A single-CPU host (or --threads 1) cannot validate scaling; quoting
+    // a speedup factor there is noise dressed up as signal.
+    let speedup_col = if unvalidated {
+        "speedup   n/a ".to_owned()
+    } else {
+        format!("speedup {:.2}x", row.speedup)
     };
     eprintln!(
-        "{:<24} serial {:>9.1} ms | {} threads {:>9.1} ms | speedup {:.2}x | \
+        "{:<24} serial {:>9.1} ms | {} threads {:>9.1} ms | {} | \
          {:>10.0} shots/s | {:>9} allocs | identical: {}",
         row.name,
         row.serial_ms,
         threads,
         row.parallel_ms,
-        row.speedup,
+        speedup_col,
         row.shots_per_sec,
         row.allocs_serial,
         row.identical
@@ -210,8 +253,28 @@ fn bench_workload(
     row
 }
 
+/// Interleaved best-of-3 timing of the scalar oracle against the batch
+/// kernel: alternating scalar/batch pairs so machine drift hits both
+/// legs equally, keeping the minimum of each. Both legs are pinned to a
+/// single worker so the ratio isolates the SoA kernel itself, not the
+/// thread pool.
+fn interleaved_best3(scalar: impl Fn() -> f64, batch: impl Fn() -> f64) -> (f64, f64) {
+    let mut best_scalar = f64::INFINITY;
+    let mut best_batch = f64::INFINITY;
+    for _ in 0..3 {
+        let (ms, x) = time_ms(|| qfc::runtime::with_threads(1, &scalar));
+        std::hint::black_box(x);
+        best_scalar = best_scalar.min(ms);
+        let (mb, y) = time_ms(|| qfc::runtime::with_threads(1, &batch));
+        std::hint::black_box(y);
+        best_batch = best_batch.min(mb);
+    }
+    (best_scalar, best_batch)
+}
+
 fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> BenchReport {
     let mut workloads = Vec::new();
+    let unvalidated = host_cpus == 1 || threads == 1;
 
     // §II heralded-photon experiment: per-channel tag generation +
     // detection, F1 coincidence matrix, F2 linewidth histogram.
@@ -226,7 +289,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
             cfg.linewidth_pairs = 40_000;
         }
         let shots = cfg.linewidth_pairs as u64;
-        workloads.push(bench_workload("heralded", threads, shots, || {
+        workloads.push(bench_workload("heralded", threads, shots, unvalidated, || {
             let report = run_heralded_experiment(&source, &cfg, 7);
             serde_json::to_string(&report).expect("report serializes")
         }));
@@ -244,7 +307,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
             .map(|k| k as f64 * std::f64::consts::TAU / steps as f64)
             .collect();
         let shots = cfg.frames_per_point * phases.len() as u64;
-        workloads.push(bench_workload("timebin-event-mc", threads, shots, || {
+        workloads.push(bench_workload("timebin-event-mc", threads, shots, unvalidated, || {
             let scan = run_timebin_event_mc(&source, &cfg, 1, &phases, 11);
             serde_json::to_string(&scan).expect("scan serializes")
         }));
@@ -257,7 +320,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let mut cfg = MultiPhotonConfig::fast_demo();
         cfg.four_shots_per_setting = if smoke { 40 } else { 20_000 };
         let shots = cfg.four_shots_per_setting * 81;
-        workloads.push(bench_workload("four-photon-tomography", threads, shots, || {
+        workloads.push(bench_workload("four-photon-tomography", threads, shots, unvalidated, || {
             let tomo = run_four_photon_tomography(&source, &cfg, 13);
             serde_json::to_string(&tomo).expect("tomography serializes")
         }));
@@ -273,7 +336,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let data = simulate_counts_seeded(&truth, &settings, shots_per_setting, 17);
         let target = bell_phi_plus();
         let shots = replicas as u64 * data.settings.len() as u64 * shots_per_setting;
-        workloads.push(bench_workload("bootstrap-mle", threads, shots, || {
+        workloads.push(bench_workload("bootstrap-mle", threads, shots, unvalidated, || {
             let est = bootstrap_functional(
                 17,
                 &data,
@@ -293,10 +356,115 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let a = poissonian_stream(&mut rng, 200_000.0, duration_s);
         let b = poissonian_stream(&mut rng, 200_000.0, duration_s);
         let shots = (a.len() + b.len()) as u64;
-        workloads.push(bench_workload("coincidence-histogram", threads, shots, || {
+        workloads.push(bench_workload("coincidence-histogram", threads, shots, unvalidated, || {
             let hist = cross_correlation_histogram(&a, &b, 100_000, 50);
             serde_json::to_string(&hist).expect("histogram serializes")
         }));
+    }
+
+    // Dispersion scan through the SoA sweep layer: ring transmission of
+    // every 200-GHz channel of the ±40-channel comb, ±5 linewidths per
+    // channel. The grids are built outside the timed closure; the timed
+    // region is pure kernel. The extra interleaved pass times the batch
+    // kernel against its point-by-point scalar oracle.
+    {
+        let ring = Microring::paper_device();
+        let lw = ring.linewidth().hz();
+        let per_channel = if smoke { 256usize } else { 8192 };
+        let channels: Vec<i32> = (-40..=40).collect();
+        let grids: Vec<SweepGrid> = channels
+            .iter()
+            .map(|&m| {
+                let f0 = ring.resonance(Polarization::Te, m).hz();
+                SweepGrid::linspace(f0 - 5.0 * lw, f0 + 5.0 * lw, per_channel)
+            })
+            .collect();
+        let shots = (channels.len() * per_channel) as u64;
+        let mut row = bench_workload("ring-dispersion-sweep", threads, shots, unvalidated, || {
+            let mut buf = BatchBuffers::new();
+            let sums: Vec<f64> = channels
+                .iter()
+                .zip(&grids)
+                .map(|(&m, grid)| {
+                    sweep::ring_power_response_batch(&ring, Polarization::Te, m, grid, &mut buf);
+                    buf.values().iter().sum::<f64>()
+                })
+                .collect();
+            serde_json::to_string(&sums).expect("channel sums serialize")
+        });
+        let (scalar_best, batch_best) = interleaved_best3(
+            // The historical point-by-point path: the public scalar API
+            // called once per grid point from outside the crate (exactly
+            // what examples/design_sweep.rs did before the batch layer).
+            || {
+                let mut acc = 0.0f64;
+                for (&m, grid) in channels.iter().zip(&grids) {
+                    for &f in grid.points() {
+                        acc += ring.power_response(Polarization::Te, m, Frequency::from_hz(f));
+                    }
+                }
+                acc
+            },
+            || {
+                let mut buf = BatchBuffers::new();
+                let mut acc = 0.0f64;
+                for (&m, grid) in channels.iter().zip(&grids) {
+                    sweep::ring_power_response_batch(&ring, Polarization::Te, m, grid, &mut buf);
+                    acc += buf.values().iter().sum::<f64>();
+                }
+                acc
+            },
+        );
+        row.scalar_best_ms = Some(scalar_best);
+        row.batch_best_ms = Some(batch_best);
+        row.batch_speedup = Some(scalar_best / batch_best);
+        eprintln!(
+            "{:<24} batch vs scalar (interleaved best-of-3, 1 thread): \
+             {batch_best:.1} ms vs {scalar_best:.1} ms = {:.1}x",
+            "", scalar_best / batch_best
+        );
+        workloads.push(row);
+    }
+
+    // OPO threshold scan: the full transfer curve (quadratic floor,
+    // kink, linear branch) on a dense pump-power grid.
+    {
+        let ring = Microring::paper_device();
+        let p_th = opo::threshold(&ring).w();
+        let n = if smoke { 8192usize } else { 400_000 };
+        let grid = SweepGrid::linspace(0.05 * p_th, 3.0 * p_th, n);
+        let shots = n as u64;
+        let mut row = bench_workload("opo-threshold-sweep", threads, shots, unvalidated, || {
+            let mut buf = BatchBuffers::new();
+            sweep::opo_transfer_batch(&ring, &grid, &mut buf);
+            let v = buf.values();
+            let summary = [v.iter().sum::<f64>(), v[0], v[v.len() / 2], v[v.len() - 1]];
+            serde_json::to_string(&summary).expect("sweep summary serializes")
+        });
+        let (scalar_best, batch_best) = interleaved_best3(
+            // Point-by-point public API, one opaque call per pump power.
+            || {
+                let mut acc = 0.0f64;
+                for &p in grid.points() {
+                    acc += opo::output_power(&ring, Power::from_w(p)).w();
+                }
+                acc
+            },
+            || {
+                let mut buf = BatchBuffers::new();
+                sweep::opo_transfer_batch(&ring, &grid, &mut buf);
+                buf.values().iter().sum::<f64>()
+            },
+        );
+        row.scalar_best_ms = Some(scalar_best);
+        row.batch_best_ms = Some(batch_best);
+        row.batch_speedup = Some(scalar_best / batch_best);
+        eprintln!(
+            "{:<24} batch vs scalar (interleaved best-of-3, 1 thread): \
+             {batch_best:.1} ms vs {scalar_best:.1} ms = {:.1}x",
+            "", scalar_best / batch_best
+        );
+        workloads.push(row);
     }
 
     if host_cpus < threads {
@@ -305,11 +473,19 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
              wall-clock speedup is capped at {host_cpus}x"
         );
     }
+    if unvalidated {
+        eprintln!(
+            "warning: parallel leg unvalidated — the run cannot demonstrate scaling \
+             (host_cpus = {host_cpus}, threads = {threads}); speedup factors were \
+             suppressed, only byte-identity and allocation columns are meaningful"
+        );
+    }
     BenchReport {
         requested_threads: requested,
         effective_threads: threads,
         host_cpus,
         oversubscribed: threads > host_cpus,
+        parallel_unvalidated: unvalidated,
         smoke,
         workloads,
     }

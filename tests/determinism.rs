@@ -125,6 +125,113 @@ fn timebin_event_mc_identical_at_1_4_8_threads() {
     assert_eq!(one, eight, "1 vs 8 threads");
 }
 
+/// The SoA spectral-sweep layer: batch kernels must be byte-identical
+/// (f64 bit pattern) to the point-by-point scalar oracle on *arbitrary*
+/// grids, and the chunked parallel path must not leak the thread count
+/// into the bytes.
+mod spectral_sweeps {
+    use proptest::prelude::*;
+    use qfc::photonics::opo;
+    use qfc::photonics::ring::Microring;
+    use qfc::photonics::sweep::{self, BatchBuffers, SweepGrid, SWEEP_CHUNK};
+    use qfc::photonics::waveguide::Polarization;
+    use qfc::runtime::with_threads;
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    proptest! {
+        /// Ring transmission: batch vs scalar loop, bit for bit, on
+        /// random channels, spans, offsets, and point counts.
+        #[test]
+        fn ring_batch_matches_scalar_on_random_grids(
+            m in -40i32..41,
+            span_lw in 0.25f64..12.0,
+            offset_lw in -4.0f64..4.0,
+            n in 2usize..300,
+        ) {
+            let ring = Microring::paper_device();
+            let lw = ring.linewidth().hz();
+            let center = ring.resonance(Polarization::Te, m).hz() + offset_lw * lw;
+            let grid = SweepGrid::linspace(center - span_lw * lw, center + span_lw * lw, n);
+            let mut batch = BatchBuffers::new();
+            let mut scalar = BatchBuffers::new();
+            sweep::ring_power_response_batch(&ring, Polarization::Te, m, &grid, &mut batch);
+            sweep::ring_power_response_scalar(&ring, Polarization::Te, m, &grid, &mut scalar);
+            prop_assert_eq!(bits(batch.values()), bits(scalar.values()));
+        }
+
+        /// OPO transfer curve: batch vs scalar loop across the threshold
+        /// kink on random power ranges.
+        #[test]
+        fn opo_batch_matches_scalar_on_random_power_grids(
+            lo in 0.01f64..0.95,
+            hi in 1.05f64..4.0,
+            n in 2usize..300,
+        ) {
+            let ring = Microring::paper_device();
+            let p_th = opo::threshold(&ring).w();
+            let grid = SweepGrid::linspace(lo * p_th, hi * p_th, n);
+            let mut batch = BatchBuffers::new();
+            let mut scalar = BatchBuffers::new();
+            sweep::opo_transfer_batch(&ring, &grid, &mut batch);
+            sweep::opo_transfer_scalar(&ring, &grid, &mut scalar);
+            prop_assert_eq!(bits(batch.values()), bits(scalar.values()));
+        }
+
+        /// Channel-resolved pair rates: the channel-major SoA layout
+        /// matches the nested scalar loop on random channel counts.
+        #[test]
+        fn pair_rate_channels_batch_matches_scalar(
+            max_m in 1u32..24,
+            p_min_mw in 0.1f64..5.0,
+            span_mw in 0.5f64..30.0,
+            n in 2usize..80,
+        ) {
+            let ring = Microring::paper_device();
+            let grid = SweepGrid::linspace(
+                p_min_mw * 1e-3,
+                (p_min_mw + span_mw) * 1e-3,
+                n,
+            );
+            let mut batch = BatchBuffers::new();
+            let mut scalar = BatchBuffers::new();
+            sweep::pair_rate_channels_batch(&ring, Polarization::Te, &grid, max_m, &mut batch);
+            sweep::pair_rate_channels_scalar(&ring, Polarization::Te, &grid, max_m, &mut scalar);
+            prop_assert_eq!(bits(batch.values()), bits(scalar.values()));
+        }
+    }
+
+    /// The chunked parallel sweep path at one, four, and eight workers
+    /// (eight oversubscribes most CI hosts — scheduling must not leak
+    /// into the bytes). The grid spans several `SWEEP_CHUNK`s so the
+    /// pool genuinely splits the work.
+    #[test]
+    fn sweep_batch_identical_at_1_4_8_threads() {
+        let ring = Microring::paper_device();
+        let lw = ring.linewidth().hz();
+        let f0 = ring.resonance(Polarization::Te, 2).hz();
+        let freq_grid =
+            SweepGrid::linspace(f0 - 6.0 * lw, f0 + 6.0 * lw, 6 * SWEEP_CHUNK + 111);
+        let p_th = opo::threshold(&ring).w();
+        let power_grid = SweepGrid::linspace(0.05 * p_th, 3.0 * p_th, 4 * SWEEP_CHUNK + 7);
+        let run = || {
+            let mut buf = BatchBuffers::new();
+            sweep::ring_power_response_batch(&ring, Polarization::Te, 2, &freq_grid, &mut buf);
+            let mut out = bits(buf.values());
+            sweep::opo_transfer_batch(&ring, &power_grid, &mut buf);
+            out.extend(bits(buf.values()));
+            out
+        };
+        let one = with_threads(1, run);
+        let four = with_threads(4, run);
+        let eight = with_threads(8, run);
+        assert_eq!(one, four, "1 vs 4 threads");
+        assert_eq!(one, eight, "1 vs 8 threads");
+    }
+}
+
 /// Integration-scale checks of the sampling tables behind every
 /// converted kernel, via the vendored property-test harness: the
 /// threshold ladder tracks `discrete` draw for draw, and the alias
