@@ -1,0 +1,501 @@
+//! Campaign workloads: the four paper drivers decomposed into
+//! deterministic shard manifests.
+//!
+//! Each workload mirrors its driver's own parallel decomposition —
+//! per-channel tasks for §IV/§II/§V, plus the fixed `SHOT_SHARDS`
+//! shot-range layout for the §II F2 linewidth run — so a merged campaign
+//! report is byte-identical to the single-process run. Shard payloads
+//! are the serialized intermediate products (`TagStream` pairs, channel
+//! fringe/CHSH tuples, tomography results), and `merge` folds them in
+//! shard-index order through the same assembly code the driver uses.
+
+use qfc_core::crosspol::{try_run_crosspol_experiment, CrossPolConfig};
+use qfc_core::heralded::{
+    assemble_heralded_run, heralded_channel_task, heralded_linewidth_shard,
+    plan_heralded_experiment, try_run_heralded_experiment, HeraldedConfig, HeraldedRun,
+};
+use qfc_core::multiphoton::{
+    bell_channel_task, plan_multiphoton_experiment, try_four_photon_fringe,
+    try_four_photon_tomography, try_run_multiphoton_experiment, BellTomographyResult,
+    FourPhotonFringe, FourPhotonTomography, MultiPhotonConfig, MultiPhotonReport, MultiPhotonRun,
+};
+use qfc_core::source::QfcSource;
+use qfc_core::timebin::{
+    plan_timebin_experiment, timebin_channel_task, try_run_timebin_experiment, ChannelFringe,
+    ChshChannelResult, TimeBinConfig, TimeBinReport, TimeBinRun,
+};
+use qfc_faults::{FaultSchedule, HealthReport, QfcError, QfcResult};
+use qfc_mathkit::cast;
+use qfc_mathkit::rng::split_seed;
+use qfc_timetag::events::TagStream;
+use serde::Serialize;
+
+use crate::manifest::ShardSpec;
+
+/// A driver run decomposed into independently executable shards.
+///
+/// Implementations must keep three invariants, which together give the
+/// engine its byte-identity guarantee:
+///
+/// 1. `plan` is deterministic: same workload → same shard table.
+/// 2. `run_shard` is a pure function of `(workload, spec)` — it must not
+///    depend on which shards ran before it, on the thread count, or on
+///    wall-clock time.
+/// 3. `merge` over the full payload list (in shard-index order) produces
+///    the same bytes as [`Self::reference_json`], the single-process
+///    driver run.
+pub trait CampaignWorkload {
+    /// Workload label, e.g. `timebin` (part of the campaign fingerprint).
+    fn label(&self) -> String;
+    /// Root RNG seed of the run (part of the campaign fingerprint).
+    fn seed(&self) -> u64;
+    /// The driver config's JSON serialization (digested into the
+    /// campaign fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// [`QfcError::Persistence`] when the config cannot be serialized.
+    fn config_json(&self) -> QfcResult<String>;
+    /// The deterministic shard decomposition, indices contiguous from 0.
+    ///
+    /// # Errors
+    ///
+    /// Any driver planning error (invalid config, regime mismatch, …).
+    fn plan(&self) -> QfcResult<Vec<ShardSpec>>;
+    /// Executes one shard and serializes its partial result.
+    ///
+    /// # Errors
+    ///
+    /// Any driver error; the engine retries and eventually quarantines.
+    fn run_shard(&self, spec: &ShardSpec) -> QfcResult<String>;
+    /// Folds the full payload list (shard-index order) into the run
+    /// report's JSON serialization.
+    ///
+    /// # Errors
+    ///
+    /// [`QfcError::Persistence`] for undecodable payloads, plus any
+    /// driver assembly error.
+    fn merge(&self, payloads: &[String]) -> QfcResult<String>;
+    /// The single-process driver run, serialized — the byte-identity
+    /// reference for [`CampaignOptions::prove`](crate::CampaignOptions).
+    ///
+    /// # Errors
+    ///
+    /// Any driver error.
+    fn reference_json(&self) -> QfcResult<String>;
+}
+
+fn to_json<T: Serialize>(what: &str, value: &T) -> QfcResult<String> {
+    serde_json::to_string(value)
+        .map_err(|e| QfcError::persistence(format!("{what} serialization: {e}")))
+}
+
+fn from_json<T: serde::de::DeserializeOwned>(what: &str, payload: &str) -> QfcResult<T> {
+    serde_json::from_str(payload)
+        .map_err(|e| QfcError::persistence(format!("{what} payload undecodable: {e}")))
+}
+
+fn shard_out_of_range(label: &str, spec: &ShardSpec) -> QfcError {
+    QfcError::persistence(format!(
+        "{label} campaign has no shard {} ({})",
+        spec.index, spec.label
+    ))
+}
+
+/// §IV time-bin run as a campaign: one shard per surviving channel.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeBinCampaign<'a> {
+    /// The simulated device.
+    pub source: &'a QfcSource,
+    /// Driver configuration.
+    pub config: &'a TimeBinConfig,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Physics fault schedule (campaign fault kinds are ignored here).
+    pub schedule: &'a FaultSchedule,
+}
+
+impl CampaignWorkload for TimeBinCampaign<'_> {
+    fn label(&self) -> String {
+        "timebin".to_owned()
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn config_json(&self) -> QfcResult<String> {
+        to_json("timebin config", self.config)
+    }
+
+    fn plan(&self) -> QfcResult<Vec<ShardSpec>> {
+        let plan = plan_timebin_experiment(self.source, self.config, self.seed, self.schedule)?;
+        Ok(plan
+            .models
+            .iter()
+            .enumerate()
+            .map(|(i, (m, _, _))| ShardSpec {
+                index: cast::usize_to_u32(i),
+                label: format!("channel-{m}"),
+                start: cast::usize_to_u64(i),
+                len: 1,
+                seed: split_seed(self.seed, u64::from(*m)),
+            })
+            .collect())
+    }
+
+    fn run_shard(&self, spec: &ShardSpec) -> QfcResult<String> {
+        let plan = plan_timebin_experiment(self.source, self.config, self.seed, self.schedule)?;
+        let (m, c, model) = plan
+            .models
+            .get(cast::u32_to_usize(spec.index))
+            .ok_or_else(|| shard_out_of_range("timebin", spec))?;
+        let pair: (ChannelFringe, ChshChannelResult) =
+            timebin_channel_task(self.seed, *m, c, model);
+        to_json("timebin shard", &pair)
+    }
+
+    fn merge(&self, payloads: &[String]) -> QfcResult<String> {
+        let plan = plan_timebin_experiment(self.source, self.config, self.seed, self.schedule)?;
+        let mut fringes = Vec::with_capacity(payloads.len());
+        let mut chsh = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let (f, c): (ChannelFringe, ChshChannelResult) =
+                from_json("timebin shard", payload)?;
+            fringes.push(f);
+            chsh.push(c);
+        }
+        let run = TimeBinRun {
+            report: TimeBinReport { fringes, chsh },
+            health: plan.health,
+        };
+        to_json("timebin run", &run)
+    }
+
+    fn reference_json(&self) -> QfcResult<String> {
+        let run = try_run_timebin_experiment(self.source, self.config, self.seed, self.schedule)?;
+        to_json("timebin run", &run)
+    }
+}
+
+/// §II heralded run as a campaign: one shard per surviving channel plus
+/// the fixed `SHOT_SHARDS` shot-range decomposition of the F2 linewidth
+/// run.
+#[derive(Debug, Clone, Copy)]
+pub struct HeraldedCampaign<'a> {
+    /// The simulated device.
+    pub source: &'a QfcSource,
+    /// Driver configuration.
+    pub config: &'a HeraldedConfig,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Physics fault schedule (campaign fault kinds are ignored here).
+    pub schedule: &'a FaultSchedule,
+}
+
+impl HeraldedCampaign<'_> {
+    fn linewidth_layout(&self, linewidth_root: u64) -> Vec<qfc_runtime::Shard> {
+        qfc_runtime::shard_layout(cast::usize_to_u64(self.config.linewidth_pairs), linewidth_root)
+    }
+}
+
+impl CampaignWorkload for HeraldedCampaign<'_> {
+    fn label(&self) -> String {
+        "heralded".to_owned()
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn config_json(&self) -> QfcResult<String> {
+        to_json("heralded config", self.config)
+    }
+
+    fn plan(&self) -> QfcResult<Vec<ShardSpec>> {
+        let plan = plan_heralded_experiment(self.source, self.config, self.seed, self.schedule)?;
+        let n_channels = plan.survivors.len();
+        let mut shards: Vec<ShardSpec> = plan
+            .survivors
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ShardSpec {
+                index: cast::usize_to_u32(i),
+                label: format!("channel-{m}"),
+                start: cast::usize_to_u64(i),
+                len: 1,
+                seed: split_seed(plan.channel_root, u64::from(*m)),
+            })
+            .collect();
+        for sh in self.linewidth_layout(plan.linewidth_root) {
+            shards.push(ShardSpec {
+                index: cast::usize_to_u32(n_channels + sh.index),
+                label: format!("linewidth-{}", sh.index),
+                start: sh.start,
+                len: sh.len,
+                seed: sh.seed,
+            });
+        }
+        Ok(shards)
+    }
+
+    fn run_shard(&self, spec: &ShardSpec) -> QfcResult<String> {
+        let plan = plan_heralded_experiment(self.source, self.config, self.seed, self.schedule)?;
+        let n_channels = plan.survivors.len();
+        let slot = cast::u32_to_usize(spec.index);
+        if slot < n_channels {
+            let m = plan.survivors[slot];
+            let streams: (TagStream, TagStream) =
+                heralded_channel_task(self.config, self.schedule, &plan, slot, m);
+            to_json("heralded channel shard", &streams)
+        } else {
+            let shard = qfc_runtime::Shard {
+                index: slot - n_channels,
+                start: spec.start,
+                len: spec.len,
+                seed: spec.seed,
+            };
+            if shard.index >= self.linewidth_layout(plan.linewidth_root).len() {
+                return Err(shard_out_of_range("heralded", spec));
+            }
+            let tags: (Vec<i64>, Vec<i64>) =
+                heralded_linewidth_shard(self.config, plan.tau, &shard);
+            to_json("heralded linewidth shard", &tags)
+        }
+    }
+
+    fn merge(&self, payloads: &[String]) -> QfcResult<String> {
+        let plan = plan_heralded_experiment(self.source, self.config, self.seed, self.schedule)?;
+        let n_channels = plan.survivors.len();
+        let mut signal_streams = Vec::with_capacity(n_channels);
+        let mut idler_streams = Vec::with_capacity(n_channels);
+        for payload in payloads.iter().take(n_channels) {
+            let (s, i): (TagStream, TagStream) = from_json("heralded channel shard", payload)?;
+            signal_streams.push(s);
+            idler_streams.push(i);
+        }
+        // Concatenate the linewidth shards in shard order — the exact
+        // fold `merge_linewidth_shards` applies inside `par_shots`.
+        let mut a = Vec::with_capacity(self.config.linewidth_pairs);
+        let mut b = Vec::with_capacity(self.config.linewidth_pairs);
+        for payload in payloads.iter().skip(n_channels) {
+            let (sa, sb): (Vec<i64>, Vec<i64>) = from_json("heralded linewidth shard", payload)?;
+            a.extend_from_slice(&sa);
+            b.extend_from_slice(&sb);
+        }
+        let run: HeraldedRun =
+            assemble_heralded_run(self.config, plan, signal_streams, idler_streams, a, b)?;
+        to_json("heralded run", &run)
+    }
+
+    fn reference_json(&self) -> QfcResult<String> {
+        let run = try_run_heralded_experiment(self.source, self.config, self.seed, self.schedule)?;
+        to_json("heralded run", &run)
+    }
+}
+
+/// §V multi-photon run as a campaign: one Bell-tomography shard per
+/// surviving channel, plus the four-photon fringe and tomography stages
+/// as their own shards.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiPhotonCampaign<'a> {
+    /// The simulated device.
+    pub source: &'a QfcSource,
+    /// Driver configuration.
+    pub config: &'a MultiPhotonConfig,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Physics fault schedule (campaign fault kinds are ignored here).
+    pub schedule: &'a FaultSchedule,
+}
+
+impl CampaignWorkload for MultiPhotonCampaign<'_> {
+    fn label(&self) -> String {
+        "multiphoton".to_owned()
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn config_json(&self) -> QfcResult<String> {
+        to_json("multiphoton config", self.config)
+    }
+
+    fn plan(&self) -> QfcResult<Vec<ShardSpec>> {
+        let plan =
+            plan_multiphoton_experiment(self.source, self.config, self.seed, self.schedule)?;
+        let n_channels = plan.survivors.len();
+        let mut shards: Vec<ShardSpec> = plan
+            .survivors
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ShardSpec {
+                index: cast::usize_to_u32(i),
+                label: format!("bell-{m}"),
+                start: cast::usize_to_u64(i),
+                len: 1,
+                seed: split_seed(self.seed, u64::from(*m)),
+            })
+            .collect();
+        shards.push(ShardSpec {
+            index: cast::usize_to_u32(n_channels),
+            label: "fringe".to_owned(),
+            start: 0,
+            len: 1,
+            seed: self.seed.wrapping_add(1),
+        });
+        shards.push(ShardSpec {
+            index: cast::usize_to_u32(n_channels + 1),
+            label: "tomography".to_owned(),
+            start: 0,
+            len: 1,
+            seed: self.seed.wrapping_add(2),
+        });
+        Ok(shards)
+    }
+
+    fn run_shard(&self, spec: &ShardSpec) -> QfcResult<String> {
+        let plan =
+            plan_multiphoton_experiment(self.source, self.config, self.seed, self.schedule)?;
+        let n_channels = plan.survivors.len();
+        let slot = cast::u32_to_usize(spec.index);
+        if slot < n_channels {
+            let m = plan.survivors[slot];
+            let pair: (BellTomographyResult, HealthReport) = bell_channel_task(
+                self.source,
+                self.config,
+                self.seed,
+                self.schedule,
+                plan.duration_s,
+                plan.amp,
+                m,
+            )?;
+            to_json("bell shard", &pair)
+        } else if slot == n_channels {
+            let fringe: FourPhotonFringe = try_four_photon_fringe(
+                self.source,
+                self.config,
+                self.seed.wrapping_add(1),
+                &plan.tb4,
+                plan.pump4,
+            )?;
+            to_json("fringe shard", &fringe)
+        } else if slot == n_channels + 1 {
+            let mut local = HealthReport::pristine();
+            let tomography: FourPhotonTomography = try_four_photon_tomography(
+                self.source,
+                self.config,
+                self.seed.wrapping_add(2),
+                &plan.tb4,
+                plan.pump4,
+                &mut local,
+            )?;
+            to_json("tomography shard", &(tomography, local))
+        } else {
+            Err(shard_out_of_range("multiphoton", spec))
+        }
+    }
+
+    fn merge(&self, payloads: &[String]) -> QfcResult<String> {
+        let plan =
+            plan_multiphoton_experiment(self.source, self.config, self.seed, self.schedule)?;
+        let n_channels = plan.survivors.len();
+        if payloads.len() != n_channels + 2 {
+            return Err(QfcError::persistence(format!(
+                "multiphoton campaign expects {} payloads, got {}",
+                n_channels + 2,
+                payloads.len()
+            )));
+        }
+        // Health absorbs in exactly the driver's order: planning health,
+        // then each Bell channel in channel order, then the four-photon
+        // tomography stage.
+        let mut health = plan.health;
+        let mut bell = Vec::with_capacity(n_channels);
+        for payload in payloads.iter().take(n_channels) {
+            let (result, local): (BellTomographyResult, HealthReport) =
+                from_json("bell shard", payload)?;
+            health.absorb(local);
+            bell.push(result);
+        }
+        let fringe: FourPhotonFringe = from_json("fringe shard", &payloads[n_channels])?;
+        let (tomography, local): (FourPhotonTomography, HealthReport) =
+            from_json("tomography shard", &payloads[n_channels + 1])?;
+        health.absorb(local);
+        let run = MultiPhotonRun {
+            report: MultiPhotonReport {
+                bell,
+                fringe,
+                tomography,
+            },
+            health,
+        };
+        to_json("multiphoton run", &run)
+    }
+
+    fn reference_json(&self) -> QfcResult<String> {
+        let run =
+            try_run_multiphoton_experiment(self.source, self.config, self.seed, self.schedule)?;
+        to_json("multiphoton run", &run)
+    }
+}
+
+/// §III cross-polarization run as a campaign. The driver is inherently
+/// sequential (one sweep over the analyzer settings), so the campaign is
+/// a single shard — the checkpoint/resume machinery still applies, which
+/// is exactly what a long single-shard run wants from a crash.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossPolCampaign<'a> {
+    /// The simulated device.
+    pub source: &'a QfcSource,
+    /// Driver configuration.
+    pub config: &'a CrossPolConfig,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Physics fault schedule (campaign fault kinds are ignored here).
+    pub schedule: &'a FaultSchedule,
+}
+
+impl CampaignWorkload for CrossPolCampaign<'_> {
+    fn label(&self) -> String {
+        "crosspol".to_owned()
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn config_json(&self) -> QfcResult<String> {
+        to_json("crosspol config", self.config)
+    }
+
+    fn plan(&self) -> QfcResult<Vec<ShardSpec>> {
+        Ok(vec![ShardSpec {
+            index: 0,
+            label: "full".to_owned(),
+            start: 0,
+            len: 1,
+            seed: self.seed,
+        }])
+    }
+
+    fn run_shard(&self, spec: &ShardSpec) -> QfcResult<String> {
+        if spec.index != 0 {
+            return Err(shard_out_of_range("crosspol", spec));
+        }
+        self.reference_json()
+    }
+
+    fn merge(&self, payloads: &[String]) -> QfcResult<String> {
+        payloads
+            .first()
+            .cloned()
+            .ok_or_else(|| QfcError::persistence("crosspol campaign merged zero payloads"))
+    }
+
+    fn reference_json(&self) -> QfcResult<String> {
+        let run = try_run_crosspol_experiment(self.source, self.config, self.seed, self.schedule)?;
+        to_json("crosspol run", &run)
+    }
+}

@@ -318,6 +318,87 @@ pub fn try_run_heralded_experiment(
     seed: u64,
     schedule: &FaultSchedule,
 ) -> QfcResult<HeraldedRun> {
+    let _driver_span = qfc_obs::span("driver.heralded");
+    crate::report::record_manifest(seed, config, schedule);
+
+    let source_span = qfc_obs::span("driver.heralded.source");
+    let plan = plan_heralded_experiment(source, config, seed, schedule)?;
+    drop(source_span);
+
+    // Generate and detect all channels in parallel, one split-seed RNG
+    // per channel: the streams depend only on (seed, m) — fault effects
+    // are pure functions of the schedule, so thread count cannot change
+    // the result.
+    let indexed: Vec<(usize, u32)> = plan.survivors.iter().copied().enumerate().collect();
+    let timetag_span = qfc_obs::span("driver.heralded.timetag");
+    let streams: Vec<(TagStream, TagStream)> = qfc_runtime::par_map(&indexed, |&(idx, m)| {
+        heralded_channel_task(config, schedule, &plan, idx, m)
+    });
+    let (signal_streams, idler_streams): (Vec<TagStream>, Vec<TagStream>) =
+        streams.into_iter().unzip();
+    drop(timetag_span);
+    let analysis_span = qfc_obs::span("driver.heralded.analysis");
+
+    // F2 linewidth: dedicated high-statistics coincident-pair run (loss
+    // thins a histogram uniformly, so shape is measured on detected
+    // pairs directly), with a 5 % accidental floor. Every pair's start
+    // time is uniform over the full span, so shards are independent and
+    // concatenating their tag lists in shard order reproduces one serial
+    // stream's statistics exactly.
+    qfc_obs::counter_add("shots_simulated", cast::usize_to_u64(config.linewidth_pairs));
+    let (a, b) = qfc_runtime::par_shots(
+        cast::usize_to_u64(config.linewidth_pairs),
+        plan.linewidth_root,
+        |shard| heralded_linewidth_shard(config, plan.tau, shard),
+        merge_linewidth_shards(config),
+    );
+    let run = assemble_heralded_run(config, plan, signal_streams, idler_streams, a, b)?;
+    drop(analysis_span);
+
+    let _report_span = qfc_obs::span("driver.heralded.report");
+    Ok(run)
+}
+
+/// The RNG-free planning stage of the §II run: validation, supervisor
+/// outcomes, per-channel fault-derated pair rates, seed domains, and the
+/// effective per-arm detector. Everything a shard executor needs to
+/// generate one channel's streams (or one F2 linewidth shard)
+/// independently — the campaign layer decomposes the run into shards
+/// from this plan, and [`try_run_heralded_experiment`] drives exactly
+/// the same plan in one process.
+#[derive(Debug, Clone)]
+pub struct HeraldedPlan {
+    /// Coincidence decay time of the ring, s.
+    pub tau: f64,
+    /// Integration time, ps.
+    pub duration_ps: i64,
+    /// Surviving channel indices, in channel order.
+    pub survivors: Vec<u32>,
+    /// Fault-derated pair generation rate per survivor, Hz.
+    pub rates: Vec<f64>,
+    /// Seed domain of the per-channel streams (`split_seed(seed, 1)`).
+    pub channel_root: u64,
+    /// Seed domain of the F2 linewidth run (`split_seed(seed, 2)`).
+    pub linewidth_root: u64,
+    /// Effective per-arm detector (collection efficiency folded in).
+    pub arm: SinglePhotonDetector,
+    /// Supervisor health accumulated during planning.
+    pub health: HealthReport,
+}
+
+/// Builds the [`HeraldedPlan`]: validation, supervisor planning, and the
+/// per-channel operating points. RNG-free apart from the deterministic
+/// supervisor `fault_stream` lanes.
+///
+/// # Errors
+///
+/// As [`try_run_heralded_experiment`].
+pub fn plan_heralded_experiment(
+    source: &QfcSource,
+    config: &HeraldedConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> QfcResult<HeraldedPlan> {
     if config.channels < 1 {
         return Err(QfcError::invalid("need at least one channel"));
     }
@@ -331,15 +412,12 @@ pub fn try_run_heralded_experiment(
         )));
     }
     config.detector.try_validate()?;
-    let _driver_span = qfc_obs::span("driver.heralded");
-    crate::report::record_manifest(seed, config, schedule);
     let tau = source.ring().coincidence_decay_time();
     let linewidth_hz = source.ring().linewidth().hz();
     let duration_ps = cast::f64_to_i64(config.duration_s * 1e12);
 
     // Supervision: log the schedule, recover pump lock losses, and
     // quarantine channels with mostly-dead detectors.
-    let source_span = qfc_obs::span("driver.heralded.source");
     let mut health = HealthReport::pristine();
     let policy = SupervisorPolicy::default();
     supervisor::record_schedule_faults(schedule, config.duration_s, &mut health);
@@ -366,7 +444,6 @@ pub fn try_run_heralded_experiment(
             })
         })
         .collect::<QfcResult<_>>()?;
-    drop(source_span);
 
     // Independent seed domains for the experiment's two stochastic
     // stages, so channel streams and the F2 pair run never alias.
@@ -378,36 +455,130 @@ pub fn try_run_heralded_experiment(
     let mut arm = config.detector;
     arm.efficiency *= config.collection_efficiency;
 
-    // Generate and detect all channels in parallel, one split-seed RNG
-    // per channel: the streams depend only on (seed, m) — fault effects
-    // are pure functions of the schedule, so thread count cannot change
-    // the result.
-    let indexed: Vec<(usize, u32)> = survivors.iter().copied().enumerate().collect();
-    let timetag_span = qfc_obs::span("driver.heralded.timetag");
-    let streams: Vec<(TagStream, TagStream)> = qfc_runtime::par_map(&indexed, |&(idx, m)| {
-        let mut rng = rng_from_seed(split_seed(channel_root, u64::from(m)));
-        let (mut s_true, mut i_true) =
-            generate_pair_arrivals(&mut rng, rates[idx], tau, config.duration_s);
-        // Sub-quarantine detector dropouts kill arrivals in their
-        // windows (no RNG draws — a pure filter).
-        s_true.retain(|&t| !schedule.detector_dead_at(m, Arm::Signal, cast::to_f64(t) * 1e-12));
-        i_true.retain(|&t| !schedule.detector_dead_at(m, Arm::Idler, cast::to_f64(t) * 1e-12));
-        let mut arm_m = arm;
-        arm_m.dark_count_rate_hz *=
-            schedule.mean_dark_multiplier(m, 0.0, config.duration_s);
-        (
-            supervisor::apply_tdc_saturation(arm_m.detect(&mut rng, &s_true, duration_ps), schedule),
-            supervisor::apply_tdc_saturation(arm_m.detect(&mut rng, &i_true, duration_ps), schedule),
-        )
-    });
-    let (signal_streams, idler_streams): (Vec<TagStream>, Vec<TagStream>) =
-        streams.into_iter().unzip();
-    drop(timetag_span);
-    let analysis_span = qfc_obs::span("driver.heralded.analysis");
+    Ok(HeraldedPlan {
+        tau,
+        duration_ps,
+        survivors,
+        rates,
+        channel_root,
+        linewidth_root,
+        arm,
+        health,
+    })
+}
+
+/// Generates and detects one channel's signal/idler streams — the
+/// per-channel shard body of the campaign decomposition. The streams
+/// depend only on `(plan.channel_root, m)` and pure schedule queries, so
+/// the bytes are identical in-process, on a pool worker, or in a
+/// separate resumed process. `idx` is the channel's position among the
+/// plan's survivors.
+pub fn heralded_channel_task(
+    config: &HeraldedConfig,
+    schedule: &FaultSchedule,
+    plan: &HeraldedPlan,
+    idx: usize,
+    m: u32,
+) -> (TagStream, TagStream) {
+    let mut rng = rng_from_seed(split_seed(plan.channel_root, u64::from(m)));
+    let (mut s_true, mut i_true) =
+        generate_pair_arrivals(&mut rng, plan.rates[idx], plan.tau, config.duration_s);
+    // Sub-quarantine detector dropouts kill arrivals in their
+    // windows (no RNG draws — a pure filter).
+    s_true.retain(|&t| !schedule.detector_dead_at(m, Arm::Signal, cast::to_f64(t) * 1e-12));
+    i_true.retain(|&t| !schedule.detector_dead_at(m, Arm::Idler, cast::to_f64(t) * 1e-12));
+    let mut arm_m = plan.arm;
+    arm_m.dark_count_rate_hz *= schedule.mean_dark_multiplier(m, 0.0, config.duration_s);
+    (
+        supervisor::apply_tdc_saturation(
+            arm_m.detect(&mut rng, &s_true, plan.duration_ps),
+            schedule,
+        ),
+        supervisor::apply_tdc_saturation(
+            arm_m.detect(&mut rng, &i_true, plan.duration_ps),
+            schedule,
+        ),
+    )
+}
+
+/// Draws one [`qfc_runtime::Shard`] of the F2 linewidth pair run — the
+/// shot-range shard body of the campaign decomposition (the shard layout
+/// is `qfc_runtime::shard_layout(linewidth_pairs, plan.linewidth_root)`,
+/// i.e. the fixed `SHOT_SHARDS` decomposition). Returns the shard's
+/// (signal, idler) tag lists; concatenating shard results in shard-index
+/// order reproduces the single-process streams byte for byte.
+pub fn heralded_linewidth_shard(
+    config: &HeraldedConfig,
+    tau: f64,
+    shard: &qfc_runtime::Shard,
+) -> LinewidthShard {
+    let span_s = 10.0 * cast::to_f64(config.linewidth_pairs) * 1e-6; // sparse
+    let mut rng = rng_from_seed(shard.seed);
+    let mut a = Vec::with_capacity(cast::u64_to_usize(shard.len));
+    let mut b = Vec::with_capacity(cast::u64_to_usize(shard.len));
+    // qfc-lint: hot
+    for _ in 0..shard.len {
+        let t = rng.gen::<f64>() * span_s;
+        let t_ps = cast::f64_to_i64(t * 1e12);
+        if bernoulli(&mut rng, 0.05) {
+            // Accidental: uncorrelated partner.
+            a.push(t_ps);
+            b.push(cast::f64_to_i64(rng.gen::<f64>() * span_s * 1e12));
+        } else {
+            let dt = exponential(&mut rng, 1.0 / tau);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let jitter_a =
+                qfc_mathkit::rng::normal(&mut rng, 0.0, config.detector.jitter_sigma_ps);
+            let jitter_b =
+                qfc_mathkit::rng::normal(&mut rng, 0.0, config.detector.jitter_sigma_ps);
+            a.push(t_ps + cast::f64_to_i64(jitter_a));
+            b.push(t_ps + cast::f64_to_i64(sign * dt * 1e12) + cast::f64_to_i64(jitter_b));
+        }
+    }
+    (a, b)
+}
+
+/// One F2 linewidth shot shard: the (signal, idler) tag lists in ps.
+pub type LinewidthShard = (Vec<i64>, Vec<i64>);
+
+/// The shard-order merge of [`heralded_linewidth_shard`] results:
+/// concatenates per-shard tag lists into the full (signal, idler) pair.
+pub fn merge_linewidth_shards(
+    config: &HeraldedConfig,
+) -> impl FnOnce(Vec<LinewidthShard>) -> LinewidthShard + '_ {
+    |shards| {
+        let mut a = Vec::with_capacity(config.linewidth_pairs);
+        let mut b = Vec::with_capacity(config.linewidth_pairs);
+        for (sa, sb) in shards {
+            a.extend_from_slice(&sa);
+            b.extend_from_slice(&sb);
+        }
+        (a, b)
+    }
+}
+
+/// The pure analysis stage of the §II run: folds the per-channel streams
+/// and the merged F2 tag lists into the final [`HeraldedRun`]. Consumes
+/// no RNG — given identical inputs it produces identical bytes, so the
+/// campaign merge step and the single-process driver share it.
+///
+/// # Errors
+///
+/// [`QfcError::InsufficientData`]/[`QfcError::FitDivergence`] when the
+/// F2 histogram cannot yield a linewidth.
+pub fn assemble_heralded_run(
+    config: &HeraldedConfig,
+    plan: HeraldedPlan,
+    signal_streams: Vec<TagStream>,
+    idler_streams: Vec<TagStream>,
+    linewidth_a: Vec<i64>,
+    linewidth_b: Vec<i64>,
+) -> QfcResult<HeraldedRun> {
+    let indexed: Vec<(usize, u32)> = plan.survivors.iter().copied().enumerate().collect();
 
     // F1 coincidence matrix: every signal×idler cell is an independent
     // pure count over already-fixed streams (surviving channels only).
-    let n = survivors.len();
+    let n = plan.survivors.len();
     let cells: Vec<usize> = (0..n * n).collect();
     let flat = qfc_runtime::par_map(&cells, |&cell| {
         qfc_timetag::coincidence::count_coincidences(
@@ -420,6 +591,7 @@ pub fn try_run_heralded_experiment(
     let matrix: Vec<Vec<u64>> = flat.chunks(n).map(<[u64]>::to_vec).collect();
 
     // T1 per-channel figures (pure analysis of the fixed streams).
+    let tau = plan.tau;
     let channels: Vec<ChannelResult> = qfc_runtime::par_map(&indexed, |&(idx, m)| {
         let s = &signal_streams[idx];
         let i = &idler_streams[idx];
@@ -453,62 +625,14 @@ pub fn try_run_heralded_experiment(
         }
     });
 
-    // F2 linewidth: dedicated high-statistics coincident-pair run (loss
-    // thins a histogram uniformly, so shape is measured on detected
-    // pairs directly), with a 5 % accidental floor. Every pair's start
-    // time is uniform over the full span, so shards are independent and
-    // concatenating their tag lists in shard order reproduces one serial
-    // stream's statistics exactly.
-    let span_s = 10.0 * cast::to_f64(config.linewidth_pairs) * 1e-6; // sparse
-    qfc_obs::counter_add("shots_simulated", cast::usize_to_u64(config.linewidth_pairs));
-    let (a, b) = qfc_runtime::par_shots(
-        cast::usize_to_u64(config.linewidth_pairs),
-        linewidth_root,
-        |shard| {
-            let mut rng = rng_from_seed(shard.seed);
-            let mut a = Vec::with_capacity(cast::u64_to_usize(shard.len));
-            let mut b = Vec::with_capacity(cast::u64_to_usize(shard.len));
-            // qfc-lint: hot
-            for _ in 0..shard.len {
-                let t = rng.gen::<f64>() * span_s;
-                let t_ps = cast::f64_to_i64(t * 1e12);
-                if bernoulli(&mut rng, 0.05) {
-                    // Accidental: uncorrelated partner.
-                    a.push(t_ps);
-                    b.push(cast::f64_to_i64(rng.gen::<f64>() * span_s * 1e12));
-                } else {
-                    let dt = exponential(&mut rng, 1.0 / tau);
-                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-                    let jitter_a =
-                        qfc_mathkit::rng::normal(&mut rng, 0.0, config.detector.jitter_sigma_ps);
-                    let jitter_b =
-                        qfc_mathkit::rng::normal(&mut rng, 0.0, config.detector.jitter_sigma_ps);
-                    a.push(t_ps + cast::f64_to_i64(jitter_a));
-                    b.push(t_ps + cast::f64_to_i64(sign * dt * 1e12) + cast::f64_to_i64(jitter_b));
-                }
-            }
-            (a, b)
-        },
-        |shards| {
-            let mut a = Vec::with_capacity(config.linewidth_pairs);
-            let mut b = Vec::with_capacity(config.linewidth_pairs);
-            for (sa, sb) in shards {
-                a.extend_from_slice(&sa);
-                b.extend_from_slice(&sb);
-            }
-            (a, b)
-        },
-    );
     let hist = cross_correlation_histogram(
-        &TagStream::from_unsorted(a),
-        &TagStream::from_unsorted(b),
+        &TagStream::from_unsorted(linewidth_a),
+        &TagStream::from_unsorted(linewidth_b),
         config.histogram_range_ps,
         config.histogram_bin_ps,
     );
     let linewidth = try_extract_linewidth(&hist)?;
-    drop(analysis_span);
 
-    let _report_span = qfc_obs::span("driver.heralded.report");
     Ok(HeraldedRun {
         report: HeraldedReport {
             channels,
@@ -516,7 +640,7 @@ pub fn try_run_heralded_experiment(
             linewidth,
             duration_s: config.duration_s,
         },
-        health,
+        health: plan.health,
     })
 }
 

@@ -26,7 +26,7 @@ use crate::source::QfcSource;
 use crate::supervisor::{self, SupervisorPolicy};
 use crate::timebin::{
     channel_state_model_boosted, nominal_duration_s, try_channel_state_model_boosted,
-    ChannelStateModel, TimeBinConfig,
+    TimeBinConfig,
 };
 
 /// Configuration of the §V multi-photon runs.
@@ -106,13 +106,16 @@ pub fn run_bell_tomography(
 ) -> Vec<BellTomographyResult> {
     let channels: Vec<u32> = (1..=config.timebin.channels).collect();
     let mut health = HealthReport::pristine();
+    let op = BellOperatingPoint {
+        duration_s: nominal_duration_s(&config.timebin),
+        amp: 1.0,
+    };
     match try_run_bell_tomography(
         source,
         config,
         seed,
         &FaultSchedule::empty(),
-        nominal_duration_s(&config.timebin),
-        1.0,
+        op,
         &channels,
         &mut health,
     ) {
@@ -121,71 +124,90 @@ pub fn run_bell_tomography(
     }
 }
 
-/// Parameterized T3 body: `amp` is the fault-induced pump amplitude
-/// factor and `survivors` the channels that escaped quarantine.
-#[allow(clippy::too_many_arguments)]
-fn try_run_bell_tomography(
+/// One channel's T3 tomography — the per-channel shard body of the
+/// campaign decomposition. Builds the fault-adjusted operating point for
+/// channel `m` (RNG-free), samples the 16-setting counts on the
+/// channel's split-seed stream, and reconstructs with the MLE fallback.
+/// MLE divergence is recorded in the returned local [`HealthReport`] so
+/// the task stays pure; callers absorb the locals in channel order.
+///
+/// # Errors
+///
+/// As [`try_run_multiphoton_experiment`], per channel.
+pub fn bell_channel_task(
     source: &QfcSource,
     config: &MultiPhotonConfig,
     seed: u64,
     schedule: &FaultSchedule,
     duration_s: f64,
     amp: f64,
+    m: u32,
+) -> QfcResult<(BellTomographyResult, HealthReport)> {
+    let settings = all_settings(2);
+    let target = bell_phi(config.timebin.pump_phase);
+    let mut c = config.timebin;
+    c.pump_phase += schedule.mean_phase_offset(0.0, duration_s);
+    c.dark_prob_per_gate *= schedule.mean_dark_multiplier(m, 0.0, duration_s);
+    let thin_s = 1.0 - schedule.dead_fraction(m, Arm::Signal, 0.0, duration_s);
+    let thin_i = 1.0 - schedule.dead_fraction(m, Arm::Idler, 0.0, duration_s);
+    c.arm_efficiency *= (thin_s * thin_i).sqrt();
+    let model = try_channel_state_model_boosted(source, &c, m, amp)?;
+    qfc_obs::counter_add(
+        "shots_simulated",
+        config.bell_shots_per_setting.saturating_mul(cast::usize_to_u64(settings.len())),
+    );
+    let mut local = HealthReport::pristine();
+    // Accidentals appear as white noise in the tomography counts.
+    let p_sig = model.mu
+        * c.arm_efficiency.powi(2)
+        * 0.125; // mean post-selected coincidence probability scale
+    let white = (model.accidental_prob / (model.accidental_prob + p_sig)).clamp(0.0, 1.0);
+    let rho = model.rho.depolarize(white);
+    let data = simulate_counts_seeded(
+        &rho,
+        &settings,
+        config.bell_shots_per_setting,
+        split_seed(seed, u64::from(m)),
+    );
+    let mle = supervisor::reconstruct_with_fallback(&data, &MleOptions::default(), &mut local)?;
+    Ok((
+        BellTomographyResult {
+            m,
+            fidelity: fidelity_with_pure(&mle.rho, &target),
+            concurrence: concurrence(&mle.rho),
+            iterations: mle.iterations,
+        },
+        local,
+    ))
+}
+
+/// Fault-adjusted §IV operating point the T3 stage runs at.
+#[derive(Debug, Clone, Copy)]
+struct BellOperatingPoint {
+    /// Nominal wall-clock duration of the underlying time-bin run, s.
+    duration_s: f64,
+    /// Pump amplitude factor (exactly 1.0 when clean).
+    amp: f64,
+}
+
+/// Parameterized T3 body: `op` carries the fault-adjusted operating
+/// point and `survivors` the channels that escaped quarantine.
+fn try_run_bell_tomography(
+    source: &QfcSource,
+    config: &MultiPhotonConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+    op: BellOperatingPoint,
     survivors: &[u32],
     health: &mut HealthReport,
 ) -> QfcResult<Vec<BellTomographyResult>> {
-    let settings = all_settings(2);
-    let target = bell_phi(config.timebin.pump_phase);
-    // Pre-build the fault-adjusted per-channel operating points serially
-    // (cheap, RNG-free, fallible) before the parallel sampling stage.
-    let models: Vec<(u32, TimeBinConfig, ChannelStateModel)> = survivors
-        .iter()
-        .map(|&m| {
-            let mut c = config.timebin;
-            c.pump_phase += schedule.mean_phase_offset(0.0, duration_s);
-            c.dark_prob_per_gate *= schedule.mean_dark_multiplier(m, 0.0, duration_s);
-            let thin_s = 1.0 - schedule.dead_fraction(m, Arm::Signal, 0.0, duration_s);
-            let thin_i = 1.0 - schedule.dead_fraction(m, Arm::Idler, 0.0, duration_s);
-            c.arm_efficiency *= (thin_s * thin_i).sqrt();
-            try_channel_state_model_boosted(source, &c, m, amp).map(|model| (m, c, model))
-        })
-        .collect::<QfcResult<_>>()?;
     // Channels are independent tomography runs on split-seed streams;
-    // each inner count simulation further splits per setting. MLE
-    // divergence is handled per channel with a local health record,
-    // absorbed after the parallel stage so the closure stays pure.
+    // each inner count simulation further splits per setting. Health is
+    // absorbed after the parallel stage, in channel order, so the task
+    // stays pure and the record is thread-count independent.
     let per_channel: Vec<QfcResult<(BellTomographyResult, HealthReport)>> =
-        qfc_runtime::par_map(&models, |(m, c, model)| {
-            let m = *m;
-            qfc_obs::counter_add(
-                "shots_simulated",
-                config.bell_shots_per_setting.saturating_mul(cast::usize_to_u64(settings.len())),
-            );
-            let mut local = HealthReport::pristine();
-            // Accidentals appear as white noise in the tomography counts.
-            let p_sig = model.mu
-                * c.arm_efficiency.powi(2)
-                * 0.125; // mean post-selected coincidence probability scale
-            let white =
-                (model.accidental_prob / (model.accidental_prob + p_sig)).clamp(0.0, 1.0);
-            let rho = model.rho.depolarize(white);
-            let data = simulate_counts_seeded(
-                &rho,
-                &settings,
-                config.bell_shots_per_setting,
-                split_seed(seed, u64::from(m)),
-            );
-            let mle =
-                supervisor::reconstruct_with_fallback(&data, &MleOptions::default(), &mut local)?;
-            Ok((
-                BellTomographyResult {
-                    m,
-                    fidelity: fidelity_with_pure(&mle.rho, &target),
-                    concurrence: concurrence(&mle.rho),
-                    iterations: mle.iterations,
-                },
-                local,
-            ))
+        qfc_runtime::par_map(survivors, |&m| {
+            bell_channel_task(source, config, seed, schedule, op.duration_s, op.amp, m)
         });
     let mut bell = Vec::with_capacity(per_channel.len());
     for entry in per_channel {
@@ -226,7 +248,14 @@ pub fn run_four_photon_fringe(
 
 /// Parameterized F8 body: `tb` is the (possibly fault-adjusted) time-bin
 /// operating point and `pump_factor` the total pump amplitude factor.
-fn try_four_photon_fringe(
+/// Public as the fringe shard body of the campaign decomposition (drive
+/// it with `seed.wrapping_add(1)` and the plan's `tb4`/`pump4` to match
+/// the single-process run).
+///
+/// # Errors
+///
+/// As [`try_run_multiphoton_experiment`].
+pub fn try_four_photon_fringe(
     source: &QfcSource,
     config: &MultiPhotonConfig,
     seed: u64,
@@ -320,8 +349,16 @@ pub fn run_four_photon_tomography(
     }
 }
 
-/// Parameterized T4 body with the MLE-divergence fallback.
-fn try_four_photon_tomography(
+/// Parameterized T4 body with the MLE-divergence fallback. Public as
+/// the tomography shard body of the campaign decomposition (drive it
+/// with `seed.wrapping_add(2)` and the plan's `tb4`/`pump4`; the caller
+/// supplies a health record — a shard passes a pristine local one and
+/// ships it with the payload).
+///
+/// # Errors
+///
+/// As [`try_run_multiphoton_experiment`].
+pub fn try_four_photon_tomography(
     source: &QfcSource,
     config: &MultiPhotonConfig,
     seed: u64,
@@ -475,6 +512,103 @@ impl MultiPhotonRun {
     }
 }
 
+/// The RNG-free planning stage of the §V run: validation, supervisor
+/// outcomes, the fault-scaled pump amplitude, and the adjusted
+/// four-photon operating point. Everything a shard executor needs to
+/// run one T3 channel (or the F8/T4 stages) independently — the
+/// campaign layer decomposes the run into shards from this plan, and
+/// [`try_run_multiphoton_experiment`] drives exactly the same plan in
+/// one process.
+#[derive(Debug, Clone)]
+pub struct MultiPhotonPlan {
+    /// Nominal wall-clock duration of the underlying time-bin run, s.
+    pub duration_s: f64,
+    /// Fault-induced pump amplitude factor (exactly 1.0 when clean).
+    pub amp: f64,
+    /// Surviving channel indices for the T3 stage, in channel order.
+    pub survivors: Vec<u32>,
+    /// Fault-adjusted time-bin operating point of the F8/T4 stages.
+    pub tb4: TimeBinConfig,
+    /// Total four-photon pump amplitude factor (`four_fold_pump_factor
+    /// × amp`).
+    pub pump4: f64,
+    /// Supervisor health accumulated during planning.
+    pub health: HealthReport,
+}
+
+/// Builds the [`MultiPhotonPlan`]: validation, supervisor planning, and
+/// the fault-adjusted operating points. RNG-free apart from the
+/// deterministic supervisor `fault_stream` lanes.
+///
+/// # Errors
+///
+/// As [`try_run_multiphoton_experiment`].
+pub fn plan_multiphoton_experiment(
+    source: &QfcSource,
+    config: &MultiPhotonConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> QfcResult<MultiPhotonPlan> {
+    if config.timebin.channels < 1 {
+        return Err(QfcError::invalid("need at least one channel"));
+    }
+    if config.four_fold_phase_steps < 2 {
+        return Err(QfcError::invalid(
+            "need ≥ 2 phase steps for the four-photon fringe",
+        ));
+    }
+    let duration_s = nominal_duration_s(&config.timebin);
+    let mut health = HealthReport::pristine();
+    let policy = SupervisorPolicy::default();
+    supervisor::record_schedule_faults(schedule, duration_s, &mut health);
+    let relocks =
+        supervisor::plan_pump_relocks(schedule, duration_s, &policy, seed, &mut health)?;
+    let live = supervisor::live_fraction(&relocks, duration_s);
+    let survivors = supervisor::partition_channels(
+        schedule,
+        config.timebin.channels,
+        duration_s,
+        &policy,
+        "multiphoton experiment",
+        &mut health,
+    )?;
+
+    // μ ∝ (pump amplitude)², so the mean rate factor maps to an
+    // amplitude factor via its square root; exactly 1.0 when clean.
+    let linewidth_hz = source.ring().linewidth().hz();
+    let amp = (schedule.mean_pump_rate_factor(0.0, duration_s, linewidth_hz) * live)
+        .max(1e-6)
+        .sqrt();
+
+    // F8/T4 post-select four-folds from channels 1 and 2, so their
+    // operating point carries the phase offset, the channel-1 dark
+    // floor, and the geometric-mean thinning of all four arms involved.
+    let mut tb4 = config.timebin;
+    tb4.pump_phase += schedule.mean_phase_offset(0.0, duration_s);
+    tb4.dark_prob_per_gate *= schedule.mean_dark_multiplier(1, 0.0, duration_s);
+    let thin = [
+        (1, Arm::Signal),
+        (1, Arm::Idler),
+        (2, Arm::Signal),
+        (2, Arm::Idler),
+    ]
+    .iter()
+    .map(|&(m, arm)| 1.0 - schedule.dead_fraction(m, arm, 0.0, duration_s))
+    .product::<f64>()
+    .powf(0.25);
+    tb4.arm_efficiency *= thin;
+    let pump4 = config.four_fold_pump_factor * amp;
+
+    Ok(MultiPhotonPlan {
+        duration_s,
+        amp,
+        survivors,
+        tb4,
+        pump4,
+        health,
+    })
+}
+
 /// Runs the full §V suite.
 pub fn run_multiphoton_experiment(
     source: &QfcSource,
@@ -512,70 +646,30 @@ pub fn try_run_multiphoton_experiment(
     seed: u64,
     schedule: &FaultSchedule,
 ) -> QfcResult<MultiPhotonRun> {
-    if config.timebin.channels < 1 {
-        return Err(QfcError::invalid("need at least one channel"));
-    }
-    if config.four_fold_phase_steps < 2 {
-        return Err(QfcError::invalid(
-            "need ≥ 2 phase steps for the four-photon fringe",
-        ));
-    }
     let _driver_span = qfc_obs::span("driver.multiphoton");
     crate::report::record_manifest(seed, config, schedule);
 
     let source_span = qfc_obs::span("driver.multiphoton.source");
-    let duration_s = nominal_duration_s(&config.timebin);
-    let mut health = HealthReport::pristine();
-    let policy = SupervisorPolicy::default();
-    supervisor::record_schedule_faults(schedule, duration_s, &mut health);
-    let relocks =
-        supervisor::plan_pump_relocks(schedule, duration_s, &policy, seed, &mut health)?;
-    let live = supervisor::live_fraction(&relocks, duration_s);
-    let survivors = supervisor::partition_channels(
-        schedule,
-        config.timebin.channels,
+    let plan = plan_multiphoton_experiment(source, config, seed, schedule)?;
+    let MultiPhotonPlan {
         duration_s,
-        &policy,
-        "multiphoton experiment",
-        &mut health,
-    )?;
-
-    // μ ∝ (pump amplitude)², so the mean rate factor maps to an
-    // amplitude factor via its square root; exactly 1.0 when clean.
-    let linewidth_hz = source.ring().linewidth().hz();
-    let amp = (schedule.mean_pump_rate_factor(0.0, duration_s, linewidth_hz) * live)
-        .max(1e-6)
-        .sqrt();
+        amp,
+        survivors,
+        tb4,
+        pump4,
+        mut health,
+    } = plan;
     drop(source_span);
 
     // T3 runs on every surviving channel at the (fault-scaled) §IV pump.
     let timetag_span = qfc_obs::span("driver.multiphoton.timetag");
+    let op = BellOperatingPoint { duration_s, amp };
     let bell = try_run_bell_tomography(
-        source, config, seed, schedule, duration_s, amp, &survivors, &mut health,
+        source, config, seed, schedule, op, &survivors, &mut health,
     )?;
     drop(timetag_span);
 
     let analysis_span = qfc_obs::span("driver.multiphoton.analysis");
-
-    // F8/T4 post-select four-folds from channels 1 and 2, so their
-    // operating point carries the phase offset, the channel-1 dark
-    // floor, and the geometric-mean thinning of all four arms involved.
-    let mut tb4 = config.timebin;
-    tb4.pump_phase += schedule.mean_phase_offset(0.0, duration_s);
-    tb4.dark_prob_per_gate *= schedule.mean_dark_multiplier(1, 0.0, duration_s);
-    let thin = [
-        (1, Arm::Signal),
-        (1, Arm::Idler),
-        (2, Arm::Signal),
-        (2, Arm::Idler),
-    ]
-    .iter()
-    .map(|&(m, arm)| 1.0 - schedule.dead_fraction(m, arm, 0.0, duration_s))
-    .product::<f64>()
-    .powf(0.25);
-    tb4.arm_efficiency *= thin;
-    let pump4 = config.four_fold_pump_factor * amp;
-
     let fringe =
         try_four_photon_fringe(source, config, seed.wrapping_add(1), &tb4, pump4)?;
     let tomography = try_four_photon_tomography(

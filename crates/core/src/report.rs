@@ -142,7 +142,7 @@ impl Deserialize for ExperimentReport {
 }
 
 fn manifest_to_value(m: &RunManifest) -> serde::Value {
-    serde::Value::Object(vec![
+    let mut fields = vec![
         ("seed".to_owned(), m.seed.to_value()),
         ("config_digest".to_owned(), m.config_digest.to_value()),
         ("threads".to_owned(), m.threads.to_value()),
@@ -150,7 +150,26 @@ fn manifest_to_value(m: &RunManifest) -> serde::Value {
         ("fault_events".to_owned(), m.fault_events.to_value()),
         ("fault_kinds".to_owned(), m.fault_kinds.to_value()),
         ("crate_version".to_owned(), m.crate_version.to_value()),
-    ])
+    ];
+    // Like `manifest` itself: the campaign block is only emitted when
+    // present, so single-process manifests keep their legacy bytes.
+    if let Some(c) = &m.campaign {
+        fields.push((
+            "campaign".to_owned(),
+            serde::Value::Object(vec![
+                ("campaign_id".to_owned(), c.campaign_id.to_value()),
+                ("shards_total".to_owned(), c.shards_total.to_value()),
+                ("shards_resumed".to_owned(), c.shards_resumed.to_value()),
+                ("retries".to_owned(), c.retries.to_value()),
+                ("quarantined".to_owned(), c.quarantined.to_value()),
+                (
+                    "checkpoints_rejected".to_owned(),
+                    c.checkpoints_rejected.to_value(),
+                ),
+            ]),
+        ));
+    }
+    serde::Value::Object(fields)
 }
 
 fn manifest_from_value(v: &serde::Value) -> Result<RunManifest, serde::Error> {
@@ -162,6 +181,17 @@ fn manifest_from_value(v: &serde::Value) -> Result<RunManifest, serde::Error> {
         fault_events: usize::from_value(v.get_field("fault_events")?)?,
         fault_kinds: Vec::from_value(v.get_field("fault_kinds")?)?,
         crate_version: String::from_value(v.get_field("crate_version")?)?,
+        campaign: match v.get_field("campaign") {
+            Ok(c) => Some(qfc_obs::CampaignSummary {
+                campaign_id: String::from_value(c.get_field("campaign_id")?)?,
+                shards_total: usize::from_value(c.get_field("shards_total")?)?,
+                shards_resumed: usize::from_value(c.get_field("shards_resumed")?)?,
+                retries: u64::from_value(c.get_field("retries")?)?,
+                quarantined: usize::from_value(c.get_field("quarantined")?)?,
+                checkpoints_rejected: usize::from_value(c.get_field("checkpoints_rejected")?)?,
+            }),
+            Err(_) => None,
+        },
     })
 }
 
@@ -190,6 +220,7 @@ pub fn record_manifest<C: Serialize>(seed: u64, config: &C, schedule: &FaultSche
         fault_events: schedule.events().len(),
         fault_kinds,
         crate_version: env!("CARGO_PKG_VERSION").to_owned(),
+        campaign: None,
     });
 }
 
@@ -375,12 +406,41 @@ mod tests {
             fault_events: 2,
             fault_kinds: vec!["pump power drop".to_owned()],
             crate_version: "0.1.0".to_owned(),
+            campaign: None,
         });
         let json = serde_json::to_string(&r).expect("serializes");
         assert!(json.contains("\"config_digest\""));
+        // Single-process manifests keep the legacy shape: no campaign key.
+        assert!(!json.contains("\"campaign\""));
         let back: ExperimentReport = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(back.manifest, r.manifest);
         assert!(r.render().contains("manifest: seed=42"));
+    }
+
+    #[test]
+    fn campaign_summary_round_trips_when_present() {
+        let mut r = ExperimentReport::new("campaigned");
+        r.manifest = Some(RunManifest {
+            seed: 7,
+            config_digest: "00000000deadbeef".to_owned(),
+            threads: 4,
+            qfc_threads_env: None,
+            fault_events: 0,
+            fault_kinds: Vec::new(),
+            crate_version: "0.1.0".to_owned(),
+            campaign: Some(qfc_obs::CampaignSummary {
+                campaign_id: "00000000cafef00d".to_owned(),
+                shards_total: 6,
+                shards_resumed: 2,
+                retries: 1,
+                quarantined: 0,
+                checkpoints_rejected: 1,
+            }),
+        });
+        let json = serde_json::to_string(&r).expect("serializes");
+        assert!(json.contains("\"campaign_id\":\"00000000cafef00d\""));
+        let back: ExperimentReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.manifest, r.manifest);
     }
 
     #[test]

@@ -347,6 +347,73 @@ mod tests {
         assert!(err.to_string().contains("reacquisition failed"));
     }
 
+    /// Replays the supervisor's own draw protocol — one dedicated
+    /// `fault_stream` lane per lock-loss event, one bernoulli per
+    /// attempt — and demands `plan_pump_relocks` land on exactly the
+    /// replayed attempt counts and the exact closed-form backoff ladder
+    /// `Σ_{j=1..n} base·2^(j−1) = base·(2^n − 1)`, bit for bit.
+    #[test]
+    fn relock_backoff_follows_the_exact_deterministic_ladder() {
+        let seed = 20177;
+        let policy = SupervisorPolicy::default();
+        let schedule = lock_loss_schedule(4);
+        let mut health = HealthReport::pristine();
+        let outcomes =
+            plan_pump_relocks(&schedule, 10.0, &policy, seed, &mut health).expect("relocks");
+        assert_eq!(outcomes.len(), 4);
+        for (k, outcome) in outcomes.iter().enumerate() {
+            // Independent replay of event k's dedicated lane (k + 1;
+            // lane 0 is reserved).
+            let mut rng = rng_from_seed(fault_stream(seed, cast::usize_to_u64(k) + 1));
+            let mut expected_attempts = 0u32;
+            while !bernoulli(&mut rng, policy.relock_success_prob) {
+                expected_attempts += 1;
+                assert!(expected_attempts < policy.max_relock_attempts, "replay diverged");
+            }
+            expected_attempts += 1;
+            assert_eq!(outcome.attempts, expected_attempts, "event {k} attempts");
+            let expected_backoff: f64 = (1..=expected_attempts)
+                .map(|j| policy.relock_base_s * f64::from(1u32 << (j - 1)))
+                .sum();
+            assert_eq!(
+                outcome.backoff_s.to_bits(),
+                expected_backoff.to_bits(),
+                "event {k}: backoff {} ≠ ladder {expected_backoff}",
+                outcome.backoff_s
+            );
+            // Closed form of the same ladder.
+            let closed = policy.relock_base_s
+                * (f64::from(1u32 << expected_attempts) - 1.0);
+            assert!((outcome.backoff_s - closed).abs() < 1e-15);
+        }
+        // Planning is a pure function of (schedule, seed): replanning
+        // reproduces identical outcomes.
+        let mut h2 = HealthReport::pristine();
+        let again =
+            plan_pump_relocks(&schedule, 10.0, &policy, seed, &mut h2).expect("relocks");
+        assert_eq!(outcomes, again);
+    }
+
+    /// The fault-handling draws live in their own seed domain: no
+    /// `fault_stream` lane may collide with a physics lane
+    /// (`split_seed(seed, d)` for the small domain indices the drivers
+    /// use), so planning relocks can never perturb a physics stream.
+    #[test]
+    fn fault_stream_lanes_are_disjoint_from_physics_lanes() {
+        for seed in [0u64, 7, 20177, u64::MAX] {
+            for lane in 0..16u64 {
+                let fault_seed = fault_stream(seed, lane);
+                for domain in 0..64u64 {
+                    assert_ne!(
+                        fault_seed,
+                        split_seed(seed, domain),
+                        "fault lane {lane} collides with physics domain {domain} (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn live_fraction_accounts_for_outages() {
         let outcomes = [RelockOutcome {

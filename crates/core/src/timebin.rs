@@ -406,38 +406,45 @@ pub fn run_timebin_experiment(
     }
 }
 
-/// Fallible, fault-aware form of [`run_timebin_experiment`].
-///
-/// The §IV driver is frame-based, so faults enter as pure modifiers of
-/// the per-frame probabilities: pump faults and lock-loss outages scale
-/// `μ`, phase jumps offset the pump phase, dark bursts raise the
-/// accidental floor, and sub-quarantine detector dropouts thin the arm
-/// efficiency. The RNG draw sequence is untouched, so an empty schedule
-/// reproduces the panicking API bit for bit at any thread count.
+/// The RNG-free planning stage of the §IV run: supervisor outcomes plus
+/// the per-channel fault-adjusted operating points. Everything a shard
+/// executor needs to run one channel independently — the campaign layer
+/// decomposes the run into per-channel shards from this plan, and
+/// [`try_run_timebin_experiment`] drives exactly the same plan in one
+/// process.
+#[derive(Debug, Clone)]
+pub struct TimeBinPlan {
+    /// Nominal run length, s.
+    pub duration_s: f64,
+    /// Pump amplitude factor after fault/outage derating.
+    pub amp: f64,
+    /// Surviving channels with their fault-adjusted configs and state
+    /// models, in channel order.
+    pub models: Vec<(u32, TimeBinConfig, ChannelStateModel)>,
+    /// Supervisor health accumulated during planning.
+    pub health: HealthReport,
+}
+
+/// Builds the [`TimeBinPlan`]: validation, supervisor planning (relocks,
+/// quarantines), and the per-channel operating points. Pure and RNG-free
+/// apart from the deterministic supervisor `fault_stream` lanes — calling
+/// it never perturbs the physics draw streams.
 ///
 /// # Errors
 ///
-/// [`QfcError::InvalidParameter`] for a bad configuration,
-/// [`QfcError::RegimeMismatch`] when the source is not double-pulsed,
-/// [`QfcError::ChannelsExhausted`] when every channel is quarantined,
-/// and [`QfcError::LockReacquisitionFailed`] when the pump cannot be
-/// re-locked.
-pub fn try_run_timebin_experiment(
+/// As [`try_run_timebin_experiment`].
+pub fn plan_timebin_experiment(
     source: &QfcSource,
     config: &TimeBinConfig,
     seed: u64,
     schedule: &FaultSchedule,
-) -> QfcResult<TimeBinRun> {
+) -> QfcResult<TimeBinPlan> {
     if config.channels < 1 {
         return Err(QfcError::invalid("need at least one channel"));
     }
     if config.phase_steps < 5 {
         return Err(QfcError::invalid("need ≥ 5 phase steps for the fit"));
     }
-    let _driver_span = qfc_obs::span("driver.timebin");
-    crate::report::record_manifest(seed, config, schedule);
-
-    let source_span = qfc_obs::span("driver.timebin.source");
     let duration_s = nominal_duration_s(config);
     let mut health = HealthReport::pristine();
     let policy = SupervisorPolicy::default();
@@ -476,6 +483,119 @@ pub fn try_run_timebin_experiment(
             try_channel_state_model_boosted(source, &c, m, amp).map(|model| (m, c, model))
         })
         .collect::<QfcResult<_>>()?;
+    Ok(TimeBinPlan {
+        duration_s,
+        amp,
+        models,
+        health,
+    })
+}
+
+/// Runs one channel of the §IV scan: the F7 fringe and the T2 CHSH
+/// measurement, drawing from the channel's dedicated split-seed stream
+/// `split_seed(seed, m)`. This is the shard body of the campaign
+/// decomposition — its output depends only on `(seed, m, c, model)`, so
+/// it produces identical bytes whether run in-process, on a pool worker,
+/// or in a separate resumed process.
+pub fn timebin_channel_task(
+    seed: u64,
+    m: u32,
+    c: &TimeBinConfig,
+    model: &ChannelStateModel,
+) -> (ChannelFringe, ChshChannelResult) {
+    qfc_obs::counter_add(
+        "shots_simulated",
+        c.frames_per_point.saturating_mul(cast::usize_to_u64(c.phase_steps) + 16),
+    );
+    let mut rng = rng_from_seed(split_seed(seed, u64::from(m)));
+
+    // F7 fringe: scan one analyzer phase.
+    let mut points = Vec::with_capacity(c.phase_steps);
+    for k in 0..c.phase_steps {
+        let phi = 2.0 * std::f64::consts::PI * cast::to_f64(k) / cast::to_f64(c.phase_steps);
+        let p = coincidence_probability(model, c, phi, 0.0);
+        let counts = binomial(&mut rng, c.frames_per_point, p);
+        points.push((phi, counts));
+    }
+    let (xs, ys): (Vec<f64>, Vec<f64>) = points
+        .iter()
+        .map(|&(p, c)| (p, cast::to_f64(c)))
+        .unzip();
+    let fit = fit_fringe(&xs, &ys);
+    let fringe = ChannelFringe {
+        m,
+        points,
+        fit,
+        state_visibility: model.state_visibility,
+    };
+
+    // T2 CHSH: measure the four correlators; each needs the four
+    // projector combinations (φ, φ+π) on both sides.
+    let settings = ChshSettings::optimal_for_phi_plus();
+    let pairs = [
+        (settings.a, settings.b),
+        (settings.a, settings.b_prime),
+        (settings.a_prime, settings.b),
+        (settings.a_prime, settings.b_prime),
+    ];
+    let mut e = [0.0f64; 4];
+    let mut total_counts = 0u64;
+    for (idx, &(alpha, beta)) in pairs.iter().enumerate() {
+        let mut n = [[0u64; 2]; 2];
+        for (i, da) in [0.0, std::f64::consts::PI].iter().enumerate() {
+            for (j, db) in [0.0, std::f64::consts::PI].iter().enumerate() {
+                let p = coincidence_probability(model, c, alpha + da, beta + db);
+                n[i][j] = binomial(&mut rng, c.frames_per_point, p);
+            }
+        }
+        let sum = cast::to_f64(n[0][0] + n[0][1] + n[1][0] + n[1][1]);
+        total_counts += n[0][0] + n[0][1] + n[1][0] + n[1][1];
+        e[idx] = if sum > 0.0 {
+            (cast::to_f64(n[0][0]) + cast::to_f64(n[1][1]) - cast::to_f64(n[0][1]) - cast::to_f64(n[1][0])) / sum
+        } else {
+            0.0
+        };
+    }
+    let s = (e[0] + e[1] + e[2] - e[3]).abs();
+    // Poisson propagation: σ_E ≈ √((1 − E²)/N) per correlator.
+    let n_per = (cast::to_f64(total_counts) / 4.0).max(1.0);
+    let sigma = (e.iter().map(|ei| (1.0 - ei * ei) / n_per).sum::<f64>()).sqrt();
+    let chsh = ChshChannelResult {
+        m,
+        s_value: s,
+        sigma,
+        n_sigma_violation: (s - CLASSICAL_BOUND) / sigma.max(1e-12),
+    };
+    (fringe, chsh)
+}
+
+/// Fallible, fault-aware form of [`run_timebin_experiment`].
+///
+/// The §IV driver is frame-based, so faults enter as pure modifiers of
+/// the per-frame probabilities: pump faults and lock-loss outages scale
+/// `μ`, phase jumps offset the pump phase, dark bursts raise the
+/// accidental floor, and sub-quarantine detector dropouts thin the arm
+/// efficiency. The RNG draw sequence is untouched, so an empty schedule
+/// reproduces the panicking API bit for bit at any thread count.
+///
+/// # Errors
+///
+/// [`QfcError::InvalidParameter`] for a bad configuration,
+/// [`QfcError::RegimeMismatch`] when the source is not double-pulsed,
+/// [`QfcError::ChannelsExhausted`] when every channel is quarantined,
+/// and [`QfcError::LockReacquisitionFailed`] when the pump cannot be
+/// re-locked.
+pub fn try_run_timebin_experiment(
+    source: &QfcSource,
+    config: &TimeBinConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> QfcResult<TimeBinRun> {
+    let _driver_span = qfc_obs::span("driver.timebin");
+    crate::report::record_manifest(seed, config, schedule);
+
+    let source_span = qfc_obs::span("driver.timebin.source");
+    let plan = plan_timebin_experiment(source, config, seed, schedule)?;
     drop(source_span);
 
     // One independent split-seed stream per channel pair: the fringe and
@@ -483,73 +603,9 @@ pub fn try_run_timebin_experiment(
     // parallel tasks with a thread-count-independent result.
     let timetag_span = qfc_obs::span("driver.timebin.timetag");
     let per_channel: Vec<(ChannelFringe, ChshChannelResult)> =
-        qfc_runtime::par_map(&models, |(m, c, model)| {
-            let m = *m;
-            qfc_obs::counter_add(
-                "shots_simulated",
-                c.frames_per_point.saturating_mul(cast::usize_to_u64(c.phase_steps) + 16),
-            );
-            let mut rng = rng_from_seed(split_seed(seed, u64::from(m)));
-
-        // F7 fringe: scan one analyzer phase.
-        let mut points = Vec::with_capacity(c.phase_steps);
-        for k in 0..c.phase_steps {
-            let phi = 2.0 * std::f64::consts::PI * cast::to_f64(k) / cast::to_f64(c.phase_steps);
-            let p = coincidence_probability(model, c, phi, 0.0);
-            let counts = binomial(&mut rng, c.frames_per_point, p);
-            points.push((phi, counts));
-        }
-        let (xs, ys): (Vec<f64>, Vec<f64>) = points
-            .iter()
-            .map(|&(p, c)| (p, cast::to_f64(c)))
-            .unzip();
-        let fit = fit_fringe(&xs, &ys);
-        let fringe = ChannelFringe {
-            m,
-            points,
-            fit,
-            state_visibility: model.state_visibility,
-        };
-
-        // T2 CHSH: measure the four correlators; each needs the four
-        // projector combinations (φ, φ+π) on both sides.
-        let settings = ChshSettings::optimal_for_phi_plus();
-        let pairs = [
-            (settings.a, settings.b),
-            (settings.a, settings.b_prime),
-            (settings.a_prime, settings.b),
-            (settings.a_prime, settings.b_prime),
-        ];
-        let mut e = [0.0f64; 4];
-        let mut total_counts = 0u64;
-        for (idx, &(alpha, beta)) in pairs.iter().enumerate() {
-            let mut n = [[0u64; 2]; 2];
-            for (i, da) in [0.0, std::f64::consts::PI].iter().enumerate() {
-                for (j, db) in [0.0, std::f64::consts::PI].iter().enumerate() {
-                    let p = coincidence_probability(model, c, alpha + da, beta + db);
-                    n[i][j] = binomial(&mut rng, c.frames_per_point, p);
-                }
-            }
-            let sum = cast::to_f64(n[0][0] + n[0][1] + n[1][0] + n[1][1]);
-            total_counts += n[0][0] + n[0][1] + n[1][0] + n[1][1];
-            e[idx] = if sum > 0.0 {
-                (cast::to_f64(n[0][0]) + cast::to_f64(n[1][1]) - cast::to_f64(n[0][1]) - cast::to_f64(n[1][0])) / sum
-            } else {
-                0.0
-            };
-        }
-        let s = (e[0] + e[1] + e[2] - e[3]).abs();
-        // Poisson propagation: σ_E ≈ √((1 − E²)/N) per correlator.
-        let n_per = (cast::to_f64(total_counts) / 4.0).max(1.0);
-        let sigma = (e.iter().map(|ei| (1.0 - ei * ei) / n_per).sum::<f64>()).sqrt();
-        let chsh = ChshChannelResult {
-            m,
-            s_value: s,
-            sigma,
-            n_sigma_violation: (s - CLASSICAL_BOUND) / sigma.max(1e-12),
-        };
-        (fringe, chsh)
-    });
+        qfc_runtime::par_map(&plan.models, |(m, c, model)| {
+            timebin_channel_task(seed, *m, c, model)
+        });
     drop(timetag_span);
 
     let analysis_span = qfc_obs::span("driver.timebin.analysis");
@@ -559,7 +615,7 @@ pub fn try_run_timebin_experiment(
     let _report_span = qfc_obs::span("driver.timebin.report");
     Ok(TimeBinRun {
         report: TimeBinReport { fringes, chsh },
-        health,
+        health: plan.health,
     })
 }
 

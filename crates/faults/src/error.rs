@@ -18,6 +18,14 @@
 //!   quarantined; the degraded run has nothing left to measure.
 //! * [`QfcError::LockReacquisitionFailed`] — the pump lock could not be
 //!   recovered within the retry budget.
+//! * [`QfcError::CampaignInterrupted`] — a sharded campaign died
+//!   mid-run; completed shards are checkpointed, so resume, don't
+//!   restart.
+//! * [`QfcError::ShardsQuarantined`] — shards exhausted their retry
+//!   budget; the campaign cannot merge until they are re-run (resume
+//!   retries exactly the quarantined set).
+//! * [`QfcError::Persistence`] — checkpoint/report storage failed
+//!   (I/O, serialization); retry after fixing the storage path.
 
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +78,30 @@ pub enum QfcError {
         /// Re-lock attempts made before giving up.
         attempts: u32,
     },
+    /// A sharded campaign was interrupted (injected or real crash)
+    /// before every shard completed. Completed shards hold valid
+    /// checkpoints: re-running the same campaign resumes from them.
+    CampaignInterrupted {
+        /// Shards with a valid checkpoint at the time of death.
+        completed_shards: usize,
+        /// Total shards in the campaign manifest.
+        total_shards: usize,
+    },
+    /// One or more campaign shards exhausted their retry budget and were
+    /// quarantined. The campaign cannot merge a full report; re-running
+    /// retries exactly the quarantined set (completed shards resume from
+    /// checkpoints).
+    ShardsQuarantined {
+        /// Quarantined shard indices, sorted.
+        shards: Vec<u32>,
+    },
+    /// Checkpoint or report persistence failed: filesystem I/O or
+    /// serialization. The simulation state is unharmed; fix the storage
+    /// path and retry.
+    Persistence {
+        /// What failed.
+        context: String,
+    },
 }
 
 impl QfcError {
@@ -83,6 +115,13 @@ impl QfcError {
     /// Shorthand for a [`QfcError::NonFinite`].
     pub fn non_finite(context: impl Into<String>) -> Self {
         Self::NonFinite {
+            context: context.into(),
+        }
+    }
+
+    /// Shorthand for a [`QfcError::Persistence`].
+    pub fn persistence(context: impl Into<String>) -> Self {
+        Self::Persistence {
             context: context.into(),
         }
     }
@@ -105,6 +144,25 @@ impl std::fmt::Display for QfcError {
             Self::LockReacquisitionFailed { attempts } => {
                 write!(f, "pump lock reacquisition failed after {attempts} attempts")
             }
+            Self::CampaignInterrupted {
+                completed_shards,
+                total_shards,
+            } => write!(
+                f,
+                "campaign interrupted with {completed_shards}/{total_shards} shards \
+                 checkpointed — re-run to resume"
+            ),
+            Self::ShardsQuarantined { shards } => {
+                write!(f, "campaign shards quarantined after exhausting retries: ")?;
+                for (i, s) in shards.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+            Self::Persistence { context } => write!(f, "persistence failure: {context}"),
         }
     }
 }
@@ -143,6 +201,25 @@ mod tests {
             actual: "DoublePulse".into(),
         };
         assert!(e.to_string().contains("CW pump"));
+    }
+
+    #[test]
+    fn campaign_errors_display_and_round_trip() {
+        let e = QfcError::CampaignInterrupted {
+            completed_shards: 3,
+            total_shards: 8,
+        };
+        assert!(e.to_string().contains("3/8"));
+        assert!(e.to_string().contains("resume"));
+        let q = QfcError::ShardsQuarantined { shards: vec![1, 4] };
+        assert!(q.to_string().contains("1, 4"));
+        let p = QfcError::persistence("checkpoint write: disk full");
+        assert!(p.to_string().contains("disk full"));
+        for e in [e, q, p] {
+            let json = serde_json::to_string(&e).expect("serializes");
+            let back: QfcError = serde_json::from_str(&json).expect("deserializes");
+            assert_eq!(back, e);
+        }
     }
 
     #[test]

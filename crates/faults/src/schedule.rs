@@ -72,6 +72,43 @@ pub enum FaultKind {
         /// Maximum sustained tag rate, Hz.
         max_rate_hz: f64,
     },
+    /// Campaign-level crash injection: the acquisition process dies while
+    /// the named shard is in flight. Shards that completed before it keep
+    /// their checkpoints; the run reports
+    /// `QfcError::CampaignInterrupted` and must be resumed. Queried by
+    /// the campaign engine only — every physics query ignores it, and the
+    /// event's time window is ignored (campaign faults are keyed by
+    /// shard, not by run time).
+    ShardAbort {
+        /// Shard index (0-based, as in the campaign manifest).
+        shard: u32,
+    },
+    /// Campaign-level executor fault: the named shard's first `failures`
+    /// execution attempts fail (node loss, OOM kill), exercising the
+    /// retry/backoff path. `failures >= max_attempts` exhausts the retry
+    /// budget and quarantines the shard. Physics queries ignore it.
+    ShardExecutorFault {
+        /// Shard index (0-based).
+        shard: u32,
+        /// Number of leading attempts that fail.
+        failures: u32,
+    },
+    /// Campaign-level storage fault: the named shard's checkpoint bytes
+    /// are corrupted after the first successful write (torn write, bit
+    /// rot). Resume must detect the bad content hash, reject the
+    /// checkpoint, and recompute the shard. Physics queries ignore it.
+    CheckpointCorruption {
+        /// Shard index (0-based).
+        shard: u32,
+    },
+    /// Campaign-level storage fault: the named shard's checkpoint is
+    /// replaced by one carrying a mismatched campaign fingerprint (a
+    /// stale leftover from a different config or seed). Resume must
+    /// reject it and recompute the shard. Physics queries ignore it.
+    CheckpointStale {
+        /// Shard index (0-based).
+        shard: u32,
+    },
 }
 
 impl FaultKind {
@@ -97,7 +134,27 @@ impl FaultKind {
             Self::TdcSaturation { max_rate_hz } => {
                 format!("TDC saturation at {max_rate_hz:.0} Hz")
             }
+            Self::ShardAbort { shard } => format!("shard {shard} aborted mid-flight"),
+            Self::ShardExecutorFault { shard, failures } => {
+                format!("shard {shard} executor fault ({failures} failed attempts)")
+            }
+            Self::CheckpointCorruption { shard } => {
+                format!("shard {shard} checkpoint corrupted")
+            }
+            Self::CheckpointStale { shard } => format!("shard {shard} checkpoint stale"),
         }
+    }
+
+    /// `true` for the campaign-level fault kinds (shard crashes and
+    /// checkpoint storage faults), which every physics query ignores.
+    pub fn is_campaign(&self) -> bool {
+        matches!(
+            self,
+            Self::ShardAbort { .. }
+                | Self::ShardExecutorFault { .. }
+                | Self::CheckpointCorruption { .. }
+                | Self::CheckpointStale { .. }
+        )
     }
 }
 
@@ -416,6 +473,50 @@ impl FaultSchedule {
             .min_by(|a, b| a.total_cmp(b))
     }
 
+    /// The lowest shard index named by a [`FaultKind::ShardAbort`]
+    /// event, if any — the campaign engine's crash-injection query.
+    ///
+    /// Campaign queries ignore the event's time window: campaign faults
+    /// are keyed by shard index, not by run time, so a schedule built
+    /// with any `(start_s, duration_s)` behaves identically.
+    pub fn shard_abort(&self) -> Option<u32> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::ShardAbort { shard } => Some(shard),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Number of leading execution attempts that fail for `shard`
+    /// (summed over [`FaultKind::ShardExecutorFault`] events naming it).
+    pub fn shard_executor_failures(&self, shard: u32) -> u32 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::ShardExecutorFault { shard: s, failures } if s == shard => failures,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// `true` when `shard`'s checkpoint should be corrupted after its
+    /// first successful write ([`FaultKind::CheckpointCorruption`]).
+    pub fn checkpoint_corruption(&self, shard: u32) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::CheckpointCorruption { shard: s } if s == shard)
+        })
+    }
+
+    /// `true` when `shard`'s checkpoint should be replaced by a stale
+    /// one from a mismatched campaign ([`FaultKind::CheckpointStale`]).
+    pub fn checkpoint_stale(&self, shard: u32) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::CheckpointStale { shard: s } if s == shard))
+    }
+
     /// The lock-loss events overlapping `[0, duration_s)`, in start
     /// order — the supervisor's input.
     pub fn lock_loss_events(&self, duration_s: f64) -> Vec<FaultEvent> {
@@ -544,6 +645,61 @@ mod tests {
         assert!(!a.lock_loss_events(60.0).is_empty());
         let c = FaultSchedule::stress(8, 60.0);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn campaign_faults_are_inert_for_physics_queries() {
+        // A schedule carrying only campaign-level faults must behave
+        // exactly like the empty schedule for every physics query, so a
+        // campaign fault plan can never perturb simulated physics.
+        let s = FaultSchedule::from_events(vec![
+            FaultEvent::new(0.0, 10.0, FaultKind::ShardAbort { shard: 2 }),
+            FaultEvent::new(0.0, 10.0, FaultKind::ShardExecutorFault { shard: 1, failures: 2 }),
+            FaultEvent::new(0.0, 10.0, FaultKind::CheckpointCorruption { shard: 0 }),
+            FaultEvent::new(0.0, 10.0, FaultKind::CheckpointStale { shard: 3 }),
+        ]);
+        assert_eq!(s.pump_rate_factor(1.0, 110e6), 1.0);
+        assert_eq!(s.dead_fraction(1, Arm::Signal, 0.0, 10.0), 0.0);
+        assert!(!s.detector_dead_at(1, Arm::Idler, 1.0));
+        assert_eq!(s.dark_multiplier(1, 1.0), 1.0);
+        assert_eq!(s.phase_offset(1.0), 0.0);
+        assert_eq!(s.saturation_cap_hz(1.0), None);
+        assert!(s.lock_loss_events(10.0).is_empty());
+        assert!(s.events().iter().all(|e| e.kind.is_campaign()));
+    }
+
+    #[test]
+    fn campaign_queries_ignore_time_windows() {
+        let s = FaultSchedule::from_events(vec![
+            FaultEvent::new(123.0, 0.0, FaultKind::ShardAbort { shard: 5 }),
+            FaultEvent::new(-4.0, 0.5, FaultKind::ShardAbort { shard: 2 }),
+            FaultEvent::new(0.0, 0.0, FaultKind::ShardExecutorFault { shard: 2, failures: 1 }),
+            FaultEvent::new(9.0, 0.0, FaultKind::ShardExecutorFault { shard: 2, failures: 2 }),
+            FaultEvent::new(7.0, 0.0, FaultKind::CheckpointCorruption { shard: 1 }),
+            FaultEvent::new(7.0, 0.0, FaultKind::CheckpointStale { shard: 4 }),
+        ]);
+        // Lowest abort index wins; executor failures sum per shard.
+        assert_eq!(s.shard_abort(), Some(2));
+        assert_eq!(s.shard_executor_failures(2), 3);
+        assert_eq!(s.shard_executor_failures(7), 0);
+        assert!(s.checkpoint_corruption(1));
+        assert!(!s.checkpoint_corruption(2));
+        assert!(s.checkpoint_stale(4));
+        assert!(!s.checkpoint_stale(1));
+        assert_eq!(FaultSchedule::empty().shard_abort(), None);
+    }
+
+    #[test]
+    fn campaign_labels_name_the_shard() {
+        assert!(FaultKind::ShardAbort { shard: 3 }.label().contains("shard 3"));
+        assert!(FaultKind::ShardExecutorFault { shard: 1, failures: 2 }
+            .label()
+            .contains("2 failed attempts"));
+        assert!(FaultKind::CheckpointCorruption { shard: 0 }
+            .label()
+            .contains("corrupted"));
+        assert!(FaultKind::CheckpointStale { shard: 9 }.label().contains("stale"));
+        assert!(!FaultKind::PumpLockLoss.is_campaign());
     }
 
     #[test]

@@ -64,9 +64,10 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "ci-roster",
-        summary: "scripts/ci.sh derives its clippy roster from the workspace, \
-                  invokes qfc-lint, and its bench baseline carries every sweep \
-                  workload, so no crate or workload can silently skip a gate",
+        summary: "scripts/ci.sh derives its clippy roster from the workspace \
+                  (never excluding qfc-campaign), invokes qfc-lint, and its \
+                  bench baseline carries every gated workload, so no crate or \
+                  workload can silently skip a gate",
         allowable: false,
     },
     Rule {
@@ -93,11 +94,24 @@ pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
 /// for throughput by design).
 pub const NON_LIBRARY_DIRS: &[&str] = &["bench"];
 
-/// Spectral-sweep workloads that must be present in the bench baseline
-/// referenced by `scripts/ci.sh --check-baseline` (the `ci-roster`
-/// check): dropping one from the baseline would silently remove its
-/// allocation and wall-time regression gate.
-pub const SWEEP_WORKLOADS: &[&str] = &["ring-dispersion-sweep", "opo-threshold-sweep"];
+/// Workloads that must be present in the bench baseline referenced by
+/// `scripts/ci.sh --check-baseline` (the `ci-roster` check): dropping
+/// one from the baseline would silently remove its allocation and
+/// wall-time regression gate. The two spectral sweeps gate the SoA
+/// batch kernels; `campaign-checkpoint` gates the campaign engine's
+/// checkpoint overhead and resume latency.
+pub const GATED_WORKLOADS: &[&str] = &[
+    "ring-dispersion-sweep",
+    "opo-threshold-sweep",
+    "campaign-checkpoint",
+];
+
+/// Crates the clippy no-unwrap roster must always gate when they exist
+/// in the workspace (the `ci-roster` check). `qfc-campaign` is pinned
+/// explicitly: its crash-recovery guarantees rest on error-path
+/// returns, so excluding it from the panic-freedom gate (the way
+/// `qfc-bench` is excluded) would be a silent robustness regression.
+pub const CLIPPY_REQUIRED: &[&str] = &["qfc-campaign"];
 
 /// Crates exempt from `error-taxonomy`: they sit *below* `qfc-faults`
 /// in the dependency graph (or are zero-dependency by design) and so

@@ -137,11 +137,13 @@ pub fn run(root: &Path) -> Result<RunReport, LintError> {
 
 /// The `ci-roster` check: `scripts/ci.sh` must (a) invoke `qfc-lint`,
 /// (b) either derive its clippy roster from `crates/*` (the `for d in
-/// crates/*/` idiom) or hand-list every library crate, and (c) when it
-/// wires a bench baseline via `--check-baseline`, that baseline must
-/// carry every spectral-sweep workload
-/// ([`crate::rules::SWEEP_WORKLOADS`]) so a sweep kernel cannot drop
-/// out of the bench-regression gate unnoticed.
+/// crates/*/` idiom) or hand-list every library crate — and in either
+/// form never exclude a [`crate::rules::CLIPPY_REQUIRED`] crate the way
+/// `qfc-bench` is excluded — and (c) when it wires a bench baseline via
+/// `--check-baseline`, that baseline must carry every gated workload
+/// ([`crate::rules::GATED_WORKLOADS`]) so neither a sweep kernel nor
+/// the campaign engine can drop out of the bench-regression gate
+/// unnoticed.
 fn check_ci_roster(root: &Path, crates: &[String], findings: &mut Vec<Finding>) {
     let ci_path = root.join("scripts").join("ci.sh");
     let rel = rel_path(root, &ci_path);
@@ -191,15 +193,38 @@ fn check_ci_roster(root: &Path, crates: &[String], findings: &mut Vec<Finding>) 
             );
         }
     }
+    // A required crate (e.g. qfc-campaign) must never be carved out of
+    // the clippy roster: neither skipped by an exclusion branch in the
+    // dynamic loop (the `!= "qfc-bench"` idiom) nor omitted from a
+    // hand-written list.
+    for name in crate::rules::CLIPPY_REQUIRED {
+        if !crates.iter().any(|c| c == name) {
+            continue;
+        }
+        let excluded = text
+            .lines()
+            .any(|l| l.contains(name) && l.contains("!="));
+        let listed = derives_dynamically || text.contains(&format!("-p {name}"));
+        if excluded || !listed {
+            push(
+                findings,
+                format!(
+                    "scripts/ci.sh must keep `{name}` in the clippy no-unwrap roster — \
+                     its crash-recovery guarantees rest on error-path returns, so \
+                     excluding it from the panic-freedom gate is a robustness regression"
+                ),
+            );
+        }
+    }
     if let Some(baseline) = baseline_after_flag(&text) {
         match fs::read_to_string(root.join(&baseline)) {
             Ok(json) => {
-                for workload in crate::rules::SWEEP_WORKLOADS {
+                for workload in crate::rules::GATED_WORKLOADS {
                     if !json.contains(&format!("\"{workload}\"")) {
                         push(
                             findings,
                             format!(
-                                "bench baseline {baseline} omits the sweep workload \
+                                "bench baseline {baseline} omits the gated workload \
                                  `{workload}` — its regression gate is gone; regenerate \
                                  the baseline with `qfc-bench --smoke --out {baseline}`"
                             ),

@@ -66,7 +66,7 @@ fn forbid_unsafe_and_ci_roster_fire_then_clear() {
 }
 
 #[test]
-fn baseline_must_carry_every_sweep_workload() {
+fn baseline_must_carry_every_gated_workload() {
     let root = mini_workspace("baseline");
     fs::write(
         root.join("crates/alpha/src/lib.rs"),
@@ -89,7 +89,8 @@ fn baseline_must_carry_every_sweep_workload() {
         "ci-roster did not flag the missing bench baseline: {fired:?}"
     );
 
-    // Baseline present but dropping one sweep workload: still a failure.
+    // Baseline present but dropping gated workloads: still a failure,
+    // and both the sweep and the campaign workload must be named.
     fs::write(
         root.join("BENCH_baseline.json"),
         "{\"workloads\": [{\"name\": \"ring-dispersion-sweep\"}]}\n",
@@ -106,18 +107,80 @@ fn baseline_must_carry_every_sweep_workload() {
         msgs.iter().any(|m| m.contains("opo-threshold-sweep")),
         "ci-roster did not flag the dropped sweep workload: {msgs:?}"
     );
+    assert!(
+        msgs.iter().any(|m| m.contains("campaign-checkpoint")),
+        "ci-roster did not flag the dropped campaign workload: {msgs:?}"
+    );
 
-    // Baseline carrying both sweep workloads: fully clean.
+    // Baseline carrying every gated workload: fully clean.
     fs::write(
         root.join("BENCH_baseline.json"),
         "{\"workloads\": [{\"name\": \"ring-dispersion-sweep\"},\
-          {\"name\": \"opo-threshold-sweep\"}]}\n",
+          {\"name\": \"opo-threshold-sweep\"},\
+          {\"name\": \"campaign-checkpoint\"}]}\n",
     )
     .expect("baseline");
     let report = qfc_lint::run(&root).expect("lint run");
     assert!(
         report.findings.is_empty(),
         "complete baseline still has findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn campaign_crate_cannot_be_carved_out_of_the_clippy_roster() {
+    let root = mini_workspace("campaign");
+    fs::write(
+        root.join("crates/alpha/src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    )
+    .expect("lib.rs");
+    // Add a campaign crate to the mini workspace so the pinned-roster
+    // requirement applies.
+    fs::create_dir_all(root.join("crates/campaign/src")).expect("mkdir");
+    fs::write(
+        root.join("crates/campaign/Cargo.toml"),
+        "[package]\nname = \"qfc-campaign\"\nversion = \"0.1.0\"\n",
+    )
+    .expect("crate manifest");
+    fs::write(
+        root.join("crates/campaign/src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn g() {}\n",
+    )
+    .expect("lib.rs");
+    fs::create_dir_all(root.join("scripts")).expect("scripts dir");
+
+    // The roster derives dynamically but carves qfc-campaign out with the
+    // same exclusion idiom ci.sh uses for qfc-bench: ci-roster must fire.
+    fs::write(
+        root.join("scripts/ci.sh"),
+        "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\n\
+         for d in crates/*/; do\n\
+           if [ \"$name\" != \"qfc-campaign\" ]; then :; fi\n\
+         done\n",
+    )
+    .expect("ci.sh");
+    let report = qfc_lint::run(&root).expect("lint run");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "ci-roster" && f.message.contains("qfc-campaign")),
+        "ci-roster did not flag the excluded campaign crate: {:?}",
+        report.findings
+    );
+
+    // Without the exclusion the dynamic roster covers it: fully clean.
+    fs::write(
+        root.join("scripts/ci.sh"),
+        "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\nfor d in crates/*/; do :; done\n",
+    )
+    .expect("ci.sh");
+    let report = qfc_lint::run(&root).expect("lint run");
+    assert!(
+        report.findings.is_empty(),
+        "dynamic roster with campaign crate still has findings: {:?}",
         report.findings
     );
 }

@@ -123,6 +123,19 @@ impl TraceSnapshot {
                 ));
             }
             out.push_str(&format!("  {:<24} {}\n", "crate_version", m.crate_version));
+            if let Some(c) = &m.campaign {
+                out.push_str(&format!(
+                    "  {:<24} {} ({} shards, {} resumed, {} retries, {} quarantined, \
+                     {} checkpoints rejected)\n",
+                    "campaign",
+                    c.campaign_id,
+                    c.shards_total,
+                    c.shards_resumed,
+                    c.retries,
+                    c.quarantined,
+                    c.checkpoints_rejected
+                ));
+            }
         }
         out
     }
@@ -193,6 +206,19 @@ fn write_manifest(out: &mut String, m: &RunManifest) {
     }
     out.push_str("],\"crate_version\":");
     write_string(out, &m.crate_version);
+    out.push_str(",\"campaign\":");
+    match &m.campaign {
+        Some(c) => {
+            out.push_str("{\"campaign_id\":");
+            write_string(out, &c.campaign_id);
+            out.push_str(&format!(
+                ",\"shards_total\":{},\"shards_resumed\":{},\"retries\":{},\
+                 \"quarantined\":{},\"checkpoints_rejected\":{}}}",
+                c.shards_total, c.shards_resumed, c.retries, c.quarantined, c.checkpoints_rejected
+            ));
+        }
+        None => out.push_str("null"),
+    }
     out.push('}');
 }
 
@@ -250,6 +276,14 @@ mod tests {
                 fault_events: 1,
                 fault_kinds: vec!["dark-count burst ×5".into()],
                 crate_version: "0.1.0".into(),
+                campaign: Some(crate::manifest::CampaignSummary {
+                    campaign_id: "00000000cafef00d".into(),
+                    shards_total: 8,
+                    shards_resumed: 3,
+                    retries: 2,
+                    quarantined: 0,
+                    checkpoints_rejected: 1,
+                }),
             }),
         }
     }
@@ -261,6 +295,8 @@ mod tests {
         assert!(json.contains("\"seed\":7"));
         assert!(json.contains("\"pool_threads\""));
         assert!(json.contains("dark-count burst"));
+        assert!(json.contains("\"campaign_id\":\"00000000cafef00d\""));
+        assert!(json.contains("\"shards_resumed\":3"));
     }
 
     #[test]

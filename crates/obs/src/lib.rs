@@ -51,7 +51,7 @@ mod export;
 mod manifest;
 
 pub use export::{SpanData, TraceSnapshot};
-pub use manifest::{fnv1a64, RunManifest};
+pub use manifest::{fnv1a64, CampaignSummary, RunManifest};
 
 use std::cell::RefCell;
 use std::marker::PhantomData;
@@ -60,7 +60,7 @@ use std::time::Instant; // qfc-lint: allow(determinism) — wall-clock span timi
 
 /// Counters pre-registered (in this order) by [`Collector::new`], so the
 /// exported registry order never depends on instrumentation-touch order.
-pub const REGISTERED_COUNTERS: [&str; 10] = [
+pub const REGISTERED_COUNTERS: [&str; 15] = [
     "shots_simulated",
     "coincidences_counted",
     "mle_iterations",
@@ -71,6 +71,11 @@ pub const REGISTERED_COUNTERS: [&str; 10] = [
     "recovery_quarantines",
     "recovery_fallbacks",
     "recovery_retries",
+    "campaign_shards_completed",
+    "campaign_shards_resumed",
+    "campaign_retries",
+    "campaign_quarantines",
+    "campaign_checkpoints_rejected",
 ];
 
 /// Gauges pre-registered (in this order) by [`Collector::new`].
@@ -473,6 +478,7 @@ mod tests {
                 fault_events: 0,
                 fault_kinds: Vec::new(),
                 crate_version: "0.1.0".to_owned(),
+                campaign: None,
             });
             assert_eq!(current_manifest().map(|m| m.seed), Some(42));
         });

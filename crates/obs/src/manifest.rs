@@ -1,6 +1,29 @@
 //! Run manifests: the machine-readable record tying a report to the
 //! exact inputs that produced it.
 
+/// Recovery bookkeeping of a sharded campaign run, attached to the
+/// [`RunManifest`] when a report was produced by the campaign engine
+/// rather than a single-process driver. The merged report bytes are
+/// identical either way; this block records *how* the campaign got
+/// there (resumes, retries, quarantines, rejected checkpoints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// 16-hex-digit campaign fingerprint (workload + seed + config +
+    /// shard table).
+    pub campaign_id: String,
+    /// Shards in the campaign manifest.
+    pub shards_total: usize,
+    /// Shards restored from valid checkpoints instead of re-executed.
+    pub shards_resumed: usize,
+    /// Shard attempt retries across the run.
+    pub retries: u64,
+    /// Shards that exhausted their retry budget.
+    pub quarantined: usize,
+    /// Checkpoints rejected at load (torn write, hash mismatch, stale
+    /// fingerprint).
+    pub checkpoints_rejected: usize,
+}
+
 /// Everything needed to attribute (and in principle replay) a run:
 /// seed, config digest, effective thread count, environment override,
 /// fault-schedule summary, and the workspace version.
@@ -21,6 +44,8 @@ pub struct RunManifest {
     pub fault_kinds: Vec<String>,
     /// `CARGO_PKG_VERSION` of the crate that recorded the manifest.
     pub crate_version: String,
+    /// Campaign recovery bookkeeping, when the run was sharded.
+    pub campaign: Option<CampaignSummary>,
 }
 
 impl RunManifest {
@@ -35,6 +60,7 @@ impl RunManifest {
             fault_events: 0,
             fault_kinds: Vec::new(),
             crate_version: crate_version.to_owned(),
+            campaign: None,
         }
     }
 

@@ -48,29 +48,110 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Why a `QFC_THREADS` value was rejected.
+///
+/// Crate-local by design: `qfc-runtime` sits below `qfc-faults` in the
+/// dependency graph, so it cannot name `QfcError`; binaries surface this
+/// through their own error path (or let it convert at the faults
+/// boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadsEnvError {
+    /// `QFC_THREADS=0` — a zero-thread pool cannot make progress.
+    Zero,
+    /// The value is not a decimal unsigned integer.
+    NotANumber(String),
+    /// The value overflows `usize`.
+    Overflow(String),
+}
+
+impl std::fmt::Display for ThreadsEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Zero => write!(
+                f,
+                "QFC_THREADS=0 is invalid: the worker pool needs at least one thread \
+                 (unset QFC_THREADS to use all cores)"
+            ),
+            Self::NotANumber(raw) => write!(
+                f,
+                "QFC_THREADS={raw:?} is not a positive integer (e.g. QFC_THREADS=4)"
+            ),
+            Self::Overflow(raw) => write!(
+                f,
+                "QFC_THREADS={raw:?} overflows the platform thread count (usize)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ThreadsEnvError {}
+
+/// Parses a `QFC_THREADS` value: a positive decimal integer, with
+/// surrounding whitespace tolerated. Rejects `0`, garbage, and values
+/// that overflow `usize` — each with a distinct, actionable error.
+pub fn parse_threads_spec(raw: &str) -> Result<usize, ThreadsEnvError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || !trimmed.chars().all(|c| c.is_ascii_digit()) {
+        return Err(ThreadsEnvError::NotANumber(raw.to_owned()));
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(ThreadsEnvError::Zero),
+        Ok(n) => Ok(n),
+        // All-digit input that fails to parse can only be overflow.
+        Err(_) => Err(ThreadsEnvError::Overflow(raw.to_owned())),
+    }
+}
+
+/// Like [`max_threads`], but surfaces an invalid `QFC_THREADS` value as
+/// an error instead of warning and falling back. Binaries call this at
+/// startup so a typo'd override fails loudly before any work runs.
+pub fn try_max_threads() -> Result<usize, ThreadsEnvError> {
+    if IN_WORKER.with(Cell::get) {
+        return Ok(1);
+    }
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return Ok(n.max(1));
+    }
+    if let Ok(raw) = std::env::var("QFC_THREADS") {
+        return parse_threads_spec(&raw);
+    }
+    Ok(std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1))
+}
+
 /// Returns the worker-pool size parallel calls on this thread will use.
 ///
 /// Resolution order: [`with_threads`] override, then the `QFC_THREADS`
 /// environment variable, then `std::thread::available_parallelism()`.
 /// Always at least 1; inside a pool worker this returns 1 (nested
 /// parallelism is suppressed).
+///
+/// An invalid `QFC_THREADS` value (`0`, garbage, overflow) is **not**
+/// silently ignored: a warning naming the rejected value is printed to
+/// stderr once per process, and the pool falls back to
+/// `available_parallelism()`. Use [`try_max_threads`] to fail instead —
+/// binaries validate through it at startup.
 pub fn max_threads() -> usize {
-    if IN_WORKER.with(Cell::get) {
-        return 1;
-    }
-    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
-        return n.max(1);
-    }
-    if let Ok(raw) = std::env::var("QFC_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+    match try_max_threads() {
+        Ok(n) => n,
+        Err(e) => {
+            warn_bad_threads_env_once(&e);
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
         }
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+}
+
+/// Prints the invalid-`QFC_THREADS` warning at most once per process, so
+/// a hot loop calling [`max_threads`] cannot flood stderr.
+fn warn_bad_threads_env_once(e: &ThreadsEnvError) {
+    use std::sync::atomic::AtomicBool;
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!("warning: ignoring invalid QFC_THREADS: {e}");
+    }
 }
 
 /// Runs `f` with the worker-pool size pinned to `threads` on this thread.
@@ -395,5 +476,58 @@ mod tests {
         let outside = max_threads();
         with_threads(3, || assert_eq!(max_threads(), 3));
         assert_eq!(max_threads(), outside);
+    }
+
+    #[test]
+    fn threads_spec_accepts_positive_integers() {
+        assert_eq!(parse_threads_spec("1"), Ok(1));
+        assert_eq!(parse_threads_spec("8"), Ok(8));
+        assert_eq!(parse_threads_spec("  16 "), Ok(16));
+        assert_eq!(parse_threads_spec("\t4\n"), Ok(4));
+    }
+
+    #[test]
+    fn threads_spec_rejects_zero() {
+        assert_eq!(parse_threads_spec("0"), Err(ThreadsEnvError::Zero));
+        assert_eq!(parse_threads_spec(" 0 "), Err(ThreadsEnvError::Zero));
+        // Leading zeros still parse to zero.
+        assert_eq!(parse_threads_spec("000"), Err(ThreadsEnvError::Zero));
+        assert!(ThreadsEnvError::Zero.to_string().contains("at least one thread"));
+    }
+
+    #[test]
+    fn threads_spec_rejects_garbage() {
+        for raw in ["", "  ", "abc", "4x", "-1", "+2", "1_000", "3.5", "0x10", "４"] {
+            let err = parse_threads_spec(raw).expect_err(raw);
+            assert_eq!(err, ThreadsEnvError::NotANumber(raw.to_owned()), "{raw:?}");
+            assert!(err.to_string().contains("not a positive integer"), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn threads_spec_rejects_overflow() {
+        let huge = "99999999999999999999999999999";
+        let err = parse_threads_spec(huge).expect_err("overflow");
+        assert_eq!(err, ThreadsEnvError::Overflow(huge.to_owned()));
+        assert!(err.to_string().contains("overflows"));
+        // usize::MAX itself parses; one digit more overflows.
+        let max = usize::MAX.to_string();
+        assert_eq!(parse_threads_spec(&max), Ok(usize::MAX));
+        let over = format!("{max}0");
+        assert!(matches!(
+            parse_threads_spec(&over),
+            Err(ThreadsEnvError::Overflow(_))
+        ));
+    }
+
+    #[test]
+    fn try_max_threads_honors_override_and_worker_state() {
+        // The with_threads override bypasses the environment entirely, so
+        // this test is race-free even if another test mutated QFC_THREADS.
+        let n = with_threads(5, || try_max_threads());
+        assert_eq!(n, Ok(5));
+        let nested: Vec<Result<usize, ThreadsEnvError>> =
+            with_threads(4, || par_map(&[0u64; 4], |_| try_max_threads()));
+        assert!(nested.iter().all(|r| r == &Ok(1)), "{nested:?}");
     }
 }

@@ -1,0 +1,95 @@
+//! Crash-and-resume smoke for the campaign engine, wired into
+//! `scripts/ci.sh`.
+//!
+//! The script: run a sharded §IV campaign with an injected mid-flight
+//! shard abort (the process "dies" after checkpointing the shards
+//! ordered before the abort point), then re-run with the *same* options
+//! — the marker file makes the injection one-shot — and demand the
+//! resumed campaign's merged report be byte-identical to a fresh
+//! single-process driver run. Any divergence exits non-zero, failing CI.
+
+use std::process::ExitCode;
+
+use qfc::campaign::{run_campaign, CampaignOptions, CampaignWorkload, TimeBinCampaign};
+use qfc::core::source::QfcSource;
+use qfc::core::timebin::TimeBinConfig;
+use qfc::faults::{FaultEvent, FaultKind, FaultSchedule, QfcError};
+
+fn main() -> ExitCode {
+    let source = QfcSource::paper_device_timebin();
+    let mut cfg = TimeBinConfig::fast_demo();
+    cfg.channels = 3;
+    cfg.frames_per_point = 100_000;
+    cfg.phase_steps = 8;
+    let empty = FaultSchedule::empty();
+    let workload = TimeBinCampaign {
+        source: &source,
+        config: &cfg,
+        seed: 2017,
+        schedule: &empty,
+    };
+
+    let dir = std::path::PathBuf::from("target/tmp/campaign-recovery-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = CampaignOptions::new(dir);
+    opts.faults = FaultSchedule::empty().with(FaultEvent::new(
+        0.0,
+        1.0,
+        FaultKind::ShardAbort { shard: 1 },
+    ));
+
+    println!("campaign-recovery smoke: run 1 (shard 1 aborts mid-flight)");
+    match run_campaign(&workload, &opts) {
+        Err(QfcError::CampaignInterrupted {
+            completed_shards,
+            total_shards,
+        }) => {
+            println!("  interrupted as injected: {completed_shards}/{total_shards} shards checkpointed");
+        }
+        Err(e) => {
+            eprintln!("FAIL: expected CampaignInterrupted, got: {e}");
+            return ExitCode::FAILURE;
+        }
+        Ok(_) => {
+            eprintln!("FAIL: the injected abort did not interrupt the campaign");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("campaign-recovery smoke: run 2 (resume from checkpoints)");
+    let outcome = match run_campaign(&workload, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("FAIL: resume did not complete: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "  resumed {} shard(s) from checkpoints, executed {} fresh",
+        outcome.stats.shards_resumed, outcome.stats.shards_completed
+    );
+
+    let reference = match workload.reference_json() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: single-process reference run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if outcome.report_json != reference {
+        eprintln!(
+            "FAIL: resumed campaign report diverged from the single-process run \
+             ({} vs {} bytes)",
+            outcome.report_json.len(),
+            reference.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "  byte-identity proof: merged report == single-process report \
+         ({} bytes, campaign {})",
+        reference.len(),
+        outcome.manifest.campaign_id
+    );
+    ExitCode::SUCCESS
+}

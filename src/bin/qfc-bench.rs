@@ -55,10 +55,12 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use qfc::campaign::{run_campaign, CampaignOptions, TimeBinCampaign};
 use qfc::core::heralded::{run_heralded_experiment, HeraldedConfig};
 use qfc::core::multiphoton::{run_four_photon_tomography, MultiPhotonConfig};
 use qfc::core::source::QfcSource;
 use qfc::core::timebin::{run_timebin_event_mc, TimeBinConfig};
+use qfc::faults::FaultSchedule;
 use qfc::mathkit::rng::rng_from_seed;
 use qfc::photonics::opo;
 use qfc::photonics::ring::Microring;
@@ -202,6 +204,14 @@ fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
 /// Runs `f` serially and on `threads` workers, checks the serialized
 /// outputs are byte-identical, and reports wall times plus the serial
 /// leg's allocation traffic.
+///
+/// Workload closures deliberately `expect`/`assert!` rather than return
+/// [`qfc::faults::QfcResult`]: they run with no faults injected, so any
+/// failure is a harness invariant violation (plain-old-data report
+/// structs whose serde serialization cannot fail, or a fault-free
+/// campaign erroring), and a loud panic that fails the bench run is the
+/// correct behavior. Fallible I/O outside the timed legs goes through
+/// explicit error paths instead.
 fn bench_workload(
     name: &str,
     threads: usize,
@@ -345,6 +355,43 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
                 |rho| fidelity_with_pure(rho, &target),
             );
             serde_json::to_string(&est).expect("estimate serializes")
+        }));
+    }
+
+    // Campaign engine overhead: a sharded §IV run driven end-to-end
+    // through checkpoint/resume. Each iteration starts from a clean
+    // directory, runs the campaign cold (planning + execution +
+    // integrity-hashed checkpoint per shard), then immediately re-runs
+    // it so every shard comes back from its checkpoint — the closure's
+    // wall time is therefore checkpoint overhead plus resume latency on
+    // top of the bare driver, and the returned JSON (resume count +
+    // merged report) must be byte-identical across legs.
+    {
+        let source = QfcSource::paper_device_timebin();
+        let mut cfg = TimeBinConfig::fast_demo();
+        cfg.channels = if smoke { 2 } else { 4 };
+        cfg.frames_per_point = if smoke { 20_000 } else { 500_000 };
+        cfg.phase_steps = if smoke { 8 } else { 12 };
+        let schedule = FaultSchedule::empty();
+        let dir = std::path::PathBuf::from("target/tmp/qfc-bench-campaign");
+        let shots =
+            cfg.frames_per_point * (cfg.phase_steps as u64 + 16) * u64::from(cfg.channels);
+        workloads.push(bench_workload("campaign-checkpoint", threads, shots, unvalidated, || {
+            let _ = std::fs::remove_dir_all(&dir);
+            let workload = TimeBinCampaign {
+                source: &source,
+                config: &cfg,
+                seed: 23,
+                schedule: &schedule,
+            };
+            let opts = CampaignOptions::new(&dir);
+            let cold = run_campaign(&workload, &opts).expect("cold campaign runs");
+            let warm = run_campaign(&workload, &opts).expect("campaign resumes");
+            assert_eq!(cold.report_json, warm.report_json, "resume changed bytes");
+            format!(
+                "{{\"resumed\":{},\"report\":{}}}",
+                warm.stats.shards_resumed, warm.report_json
+            )
         }));
     }
 
@@ -500,6 +547,13 @@ fn alloc_budget(baseline: u64) -> u64 {
 
 /// Diffs `report` against the committed baseline; returns the list of
 /// human-readable regressions (empty = gate passed).
+///
+/// When either side carries `parallel_unvalidated` (single-CPU host or
+/// `--threads 1`), the parallel-leg columns are meaningless numbers, so
+/// the gate still compares them — the byte-identity check costs nothing
+/// and must hold even at one worker — but emits a warning instead of
+/// judging speedups, and never fails on parallel wall time. The serial
+/// columns (allocations, wall time) gate in every mode.
 fn check_against_baseline(
     report: &BenchReport,
     baseline: &BenchReport,
@@ -513,6 +567,17 @@ fn check_against_baseline(
             report.smoke, baseline.smoke
         ));
         return failures;
+    }
+    if report.parallel_unvalidated || baseline.parallel_unvalidated {
+        eprintln!(
+            "warning: parallel leg unvalidated on {} — speedup columns skipped \
+             by the baseline gate; serial wall time and allocations still gate",
+            if report.parallel_unvalidated {
+                "this run"
+            } else {
+                "the baseline"
+            }
+        );
     }
     for row in &report.workloads {
         let Some(base) = baseline.workloads.iter().find(|b| b.name == row.name) else {
@@ -533,13 +598,33 @@ fn check_against_baseline(
                 row.name, row.allocs_serial, budget, base.allocs_serial
             ));
         }
-        let limit_ms = base.serial_ms * max_slowdown;
+        // Wall-time gates carry an absolute slack on top of the relative
+        // factor (mirroring the +64-call allocation slack): millisecond-
+        // scale workloads — notably the filesystem-bound campaign
+        // checkpoint smoke — sit below the machine's scheduling/page-
+        // cache noise floor, where a pure ratio gate is a coin flip.
+        const WALL_SLACK_MS: f64 = 50.0;
+        let limit_ms = base.serial_ms * max_slowdown + WALL_SLACK_MS;
         if row.serial_ms > limit_ms {
             failures.push(format!(
                 "{}: serial wall time regressed: {:.1} ms > {:.1} ms \
-                 (baseline {:.1} ms × {max_slowdown})",
+                 (baseline {:.1} ms × {max_slowdown} + {WALL_SLACK_MS} ms)",
                 row.name, row.serial_ms, limit_ms, base.serial_ms
             ));
+        }
+        // The parallel wall-time gate only makes sense when both runs
+        // actually exercised parallelism; on a single-CPU host (or
+        // --threads 1) those columns are scheduling noise and were
+        // warned about above, not gated on.
+        if !report.parallel_unvalidated && !baseline.parallel_unvalidated {
+            let plimit_ms = base.parallel_ms * max_slowdown + WALL_SLACK_MS;
+            if row.parallel_ms > plimit_ms {
+                failures.push(format!(
+                    "{}: parallel wall time regressed: {:.1} ms > {:.1} ms \
+                     (baseline {:.1} ms × {max_slowdown} + {WALL_SLACK_MS} ms)",
+                    row.name, row.parallel_ms, plimit_ms, base.parallel_ms
+                ));
+            }
         }
     }
     failures
@@ -631,7 +716,13 @@ fn main() -> ExitCode {
         eprintln!("FAIL: serial and parallel outputs differ");
         return ExitCode::FAILURE;
     }
-    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot serialize bench report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if let Err(e) = std::fs::write(&out, json + "\n") {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;

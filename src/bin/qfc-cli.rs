@@ -26,6 +26,7 @@ use qfc::core::purity::{run_purity_analysis, PurityConfig};
 use qfc::core::report::ExperimentReport;
 use qfc::core::source::QfcSource;
 use qfc::core::timebin::{run_timebin_experiment, TimeBinConfig};
+use qfc::faults::{QfcError, QfcResult};
 use qfc::photonics::waveguide::Polarization;
 
 struct Options {
@@ -34,18 +35,18 @@ struct Options {
     json: bool,
 }
 
-fn emit(report: &ExperimentReport, opts: &Options) {
+fn emit(report: &ExperimentReport, opts: &Options) -> QfcResult<()> {
     if opts.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(report).expect("report serializes")
-        );
+        let json = serde_json::to_string_pretty(report)
+            .map_err(|e| QfcError::persistence(format!("serialize {} report: {e}", report.title)))?;
+        println!("{json}");
     } else {
         println!("{}", report.render());
     }
+    Ok(())
 }
 
-fn run_one(name: &str, opts: &Options) -> Result<(), String> {
+fn run_one(name: &str, opts: &Options) -> QfcResult<()> {
     match name {
         "device" => {
             let source = QfcSource::paper_device();
@@ -66,13 +67,13 @@ fn run_one(name: &str, opts: &Options) -> Result<(), String> {
                 HeraldedConfig::paper()
             };
             let report = run_heralded_experiment(&source, &cfg, opts.seed);
-            emit(&report.to_report(), opts);
+            emit(&report.to_report(), opts)?;
             Ok(())
         }
         "stability" => {
             let source = QfcSource::paper_device();
             let report = run_stability_experiment(&source, &StabilityConfig::paper(), opts.seed);
-            emit(&report.to_report(), opts);
+            emit(&report.to_report(), opts)?;
             Ok(())
         }
         "crosspol" => {
@@ -86,13 +87,13 @@ fn run_one(name: &str, opts: &Options) -> Result<(), String> {
                 cfg.duration_s = 30.0;
             }
             let report = run_crosspol_experiment(&source, &cfg, opts.seed);
-            emit(&report.to_report(), opts);
+            emit(&report.to_report(), opts)?;
             Ok(())
         }
         "opo" => {
             let source = QfcSource::paper_device_type2();
             let report = run_power_sweep(&source, 16);
-            emit(&report.to_report(), opts);
+            emit(&report.to_report(), opts)?;
             Ok(())
         }
         "timebin" => {
@@ -103,7 +104,7 @@ fn run_one(name: &str, opts: &Options) -> Result<(), String> {
                 TimeBinConfig::paper()
             };
             let report = run_timebin_experiment(&source, &cfg, opts.seed);
-            emit(&report.to_report(), opts);
+            emit(&report.to_report(), opts)?;
             Ok(())
         }
         "multiphoton" => {
@@ -114,13 +115,13 @@ fn run_one(name: &str, opts: &Options) -> Result<(), String> {
                 MultiPhotonConfig::paper()
             };
             let report = run_multiphoton_experiment(&source, &cfg, opts.seed);
-            emit(&report.to_report(), opts);
+            emit(&report.to_report(), opts)?;
             Ok(())
         }
         "purity" => {
             let source = QfcSource::paper_device_timebin();
             let report = run_purity_analysis(&source, &PurityConfig::paper());
-            emit(&report.to_report(), opts);
+            emit(&report.to_report(), opts)?;
             Ok(())
         }
         "reach" => {
@@ -167,7 +168,7 @@ fn run_one(name: &str, opts: &Options) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown experiment '{other}'")),
+        other => Err(QfcError::invalid(format!("unknown experiment '{other}'"))),
     }
 }
 

@@ -24,6 +24,7 @@
 //! assert!(report.mean_car() > 1.0);
 //! ```
 
+pub use qfc_campaign as campaign;
 pub use qfc_core as core;
 pub use qfc_faults as faults;
 pub use qfc_interferometry as interferometry;

@@ -159,6 +159,64 @@ fn faulty_timebin_run_is_thread_invariant() {
     });
 }
 
+/// Pump re-lock recovery — the one supervisor path that consumes RNG
+/// draws — at one, four, and eight workers: the dedicated `fault_stream`
+/// lanes make the whole recovery plan a pure function of the seed, so
+/// the serialized run (physics report *and* health section) must be
+/// byte-identical at every thread count, and the recorded outage must
+/// sit exactly on the deterministic backoff ladder
+/// `fault_window + base·(2^attempts − 1)` replayed from the lane.
+#[test]
+fn lock_loss_recovery_is_byte_identical_at_1_4_8_threads() {
+    use qfc::core::supervisor::{fault_stream, SupervisorPolicy};
+    use qfc::mathkit::rng::{bernoulli, rng_from_seed};
+
+    let source = QfcSource::paper_device_timebin();
+    let cfg = timebin_cfg();
+    let seed = 31_337;
+    // Start and width are exact binary fractions inside the ~0.64 s run,
+    // so the clipped overlap reproduces `window_s` bit-for-bit.
+    let window_s = 0.25;
+    let schedule = FaultSchedule::empty().with(FaultEvent::new(
+        0.25,
+        window_s,
+        FaultKind::PumpLockLoss,
+    ));
+    let run = |threads: usize| {
+        let r = with_threads(threads, || {
+            try_run_timebin_experiment(&source, &cfg, seed, &schedule).expect("survives")
+        });
+        serde_json::to_string(&r).expect("serializes")
+    };
+    let one = run(1);
+    assert_eq!(one, run(4), "1 vs 4 threads");
+    assert_eq!(one, run(8), "1 vs 8 threads");
+
+    // Replay the event's dedicated fault lane (event 0 → lane 1) and pin
+    // the health record to the exact ladder.
+    let policy = SupervisorPolicy::default();
+    let mut rng = rng_from_seed(fault_stream(seed, 1));
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if bernoulli(&mut rng, policy.relock_success_prob) {
+            break;
+        }
+    }
+    let ladder: f64 = (1..=attempts)
+        .map(|j| policy.relock_base_s * f64::from(1u32 << (j - 1)))
+        .sum();
+    let parsed = with_threads(1, || {
+        try_run_timebin_experiment(&source, &cfg, seed, &schedule).expect("survives")
+    });
+    assert_eq!(
+        parsed.health.outage_s.to_bits(),
+        (window_s + ladder).to_bits(),
+        "outage {} ≠ window {window_s} + ladder {ladder}",
+        parsed.health.outage_s
+    );
+}
+
 // ---------------------------------------------------------------------
 // Supervisor recovery paths.
 // ---------------------------------------------------------------------
