@@ -15,9 +15,10 @@ use qfc_core::heralded::{
     plan_heralded_experiment, try_run_heralded_experiment, HeraldedConfig, HeraldedRun,
 };
 use qfc_core::multiphoton::{
-    bell_channel_task, plan_multiphoton_experiment, try_four_photon_fringe,
-    try_four_photon_tomography, try_run_multiphoton_experiment, BellTomographyResult,
-    FourPhotonFringe, FourPhotonTomography, MultiPhotonConfig, MultiPhotonReport, MultiPhotonRun,
+    bell_channel_task, four_photon_tomography_from_data, plan_multiphoton_experiment,
+    try_four_photon_fringe, try_four_photon_state, try_run_multiphoton_experiment,
+    BellTomographyResult, FourPhotonFringe, FourPhotonTomography, MultiPhotonConfig,
+    MultiPhotonReport, MultiPhotonRun,
 };
 use qfc_core::source::QfcSource;
 use qfc_core::timebin::{
@@ -28,6 +29,9 @@ use qfc_faults::{FaultSchedule, HealthReport, QfcError, QfcResult};
 use qfc_mathkit::cast;
 use qfc_mathkit::rng::split_seed;
 use qfc_timetag::events::TagStream;
+use qfc_tomography::counts::setting_histogram;
+use qfc_tomography::settings::all_settings;
+use qfc_tomography::stream::CountAccumulator;
 use serde::Serialize;
 
 use crate::manifest::ShardSpec;
@@ -294,9 +298,22 @@ impl CampaignWorkload for HeraldedCampaign<'_> {
     }
 }
 
+/// Four-qubit tomography settings per count shard of the §V campaign:
+/// the 81 settings decompose into six independently retryable shards,
+/// each streaming its setting range's histograms on the same
+/// `split_seed(seed, setting_index)` streams the driver uses, so the
+/// merged table is byte-identical to the single-process run.
+const TOMOGRAPHY_SETTINGS_PER_SHARD: usize = 16;
+
+/// One tomography count shard's payload: `(setting_index, histogram)`
+/// pairs for its setting range.
+type TomographyCountShard = Vec<(u64, Vec<u64>)>;
+
 /// §V multi-photon run as a campaign: one Bell-tomography shard per
-/// surviving channel, plus the four-photon fringe and tomography stages
-/// as their own shards.
+/// surviving channel, the four-photon fringe stage as its own shard,
+/// and the four-photon tomography stage decomposed into setting-range
+/// count shards that the merge folds through a
+/// [`CountAccumulator`] before reconstructing once.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiPhotonCampaign<'a> {
     /// The simulated device.
@@ -345,13 +362,20 @@ impl CampaignWorkload for MultiPhotonCampaign<'_> {
             len: 1,
             seed: self.seed.wrapping_add(1),
         });
-        shards.push(ShardSpec {
-            index: cast::usize_to_u32(n_channels + 1),
-            label: "tomography".to_owned(),
-            start: 0,
-            len: 1,
-            seed: self.seed.wrapping_add(2),
-        });
+        // T4 counts: contiguous setting ranges, all on the same root
+        // seed — per-setting streams are split off the root inside the
+        // shard, exactly as the driver's streaming path does.
+        let n_settings = all_settings(4).len();
+        for (t, start) in (0..n_settings).step_by(TOMOGRAPHY_SETTINGS_PER_SHARD).enumerate() {
+            let len = TOMOGRAPHY_SETTINGS_PER_SHARD.min(n_settings - start);
+            shards.push(ShardSpec {
+                index: cast::usize_to_u32(n_channels + 1 + t),
+                label: format!("tomography-counts-{t}"),
+                start: cast::usize_to_u64(start),
+                len: cast::usize_to_u64(len),
+                seed: self.seed.wrapping_add(2),
+            });
+        }
         Ok(shards)
     }
 
@@ -381,19 +405,35 @@ impl CampaignWorkload for MultiPhotonCampaign<'_> {
                 plan.pump4,
             )?;
             to_json("fringe shard", &fringe)
-        } else if slot == n_channels + 1 {
-            let mut local = HealthReport::pristine();
-            let tomography: FourPhotonTomography = try_four_photon_tomography(
-                self.source,
-                self.config,
-                self.seed.wrapping_add(2),
-                &plan.tb4,
-                plan.pump4,
-                &mut local,
-            )?;
-            to_json("tomography shard", &(tomography, local))
         } else {
-            Err(shard_out_of_range("multiphoton", spec))
+            let settings = all_settings(4);
+            let start = cast::u64_to_usize(spec.start);
+            let len = cast::u64_to_usize(spec.len);
+            if start + len > settings.len() || len == 0 {
+                return Err(shard_out_of_range("multiphoton", spec));
+            }
+            let rho4 =
+                try_four_photon_state(self.source, self.config, &plan.tb4, plan.pump4)?;
+            qfc_obs::counter_add(
+                "shots_simulated",
+                self.config
+                    .four_shots_per_setting
+                    .saturating_mul(cast::usize_to_u64(len)),
+            );
+            let partial: TomographyCountShard = (start..start + len)
+                .map(|s| {
+                    (
+                        cast::usize_to_u64(s),
+                        setting_histogram(
+                            &rho4,
+                            &settings[s],
+                            self.config.four_shots_per_setting,
+                            split_seed(spec.seed, cast::usize_to_u64(s)),
+                        ),
+                    )
+                })
+                .collect();
+            to_json("tomography count shard", &partial)
         }
     }
 
@@ -401,10 +441,12 @@ impl CampaignWorkload for MultiPhotonCampaign<'_> {
         let plan =
             plan_multiphoton_experiment(self.source, self.config, self.seed, self.schedule)?;
         let n_channels = plan.survivors.len();
-        if payloads.len() != n_channels + 2 {
+        let settings = all_settings(4);
+        let tomo_shards = settings.len().div_ceil(TOMOGRAPHY_SETTINGS_PER_SHARD);
+        if payloads.len() != n_channels + 1 + tomo_shards {
             return Err(QfcError::persistence(format!(
                 "multiphoton campaign expects {} payloads, got {}",
-                n_channels + 2,
+                n_channels + 1 + tomo_shards,
                 payloads.len()
             )));
         }
@@ -420,8 +462,21 @@ impl CampaignWorkload for MultiPhotonCampaign<'_> {
             bell.push(result);
         }
         let fringe: FourPhotonFringe = from_json("fringe shard", &payloads[n_channels])?;
-        let (tomography, local): (FourPhotonTomography, HealthReport) =
-            from_json("tomography shard", &payloads[n_channels + 1])?;
+        // Fold the count shards' histograms into one table — arrival
+        // order is immaterial to the accumulator, and the per-setting
+        // streams make the merged table byte-identical to the driver's
+        // — then reconstruct once, exactly as the driver does.
+        let mut acc = CountAccumulator::try_new(&settings)?;
+        for payload in payloads.iter().skip(n_channels + 1) {
+            let partial: TomographyCountShard = from_json("tomography count shard", payload)?;
+            for (s, histogram) in &partial {
+                acc.absorb_histogram(cast::u64_to_usize(*s), histogram)?;
+            }
+        }
+        let data = acc.finish();
+        let mut local = HealthReport::pristine();
+        let tomography: FourPhotonTomography =
+            four_photon_tomography_from_data(self.config, &data, &mut local)?;
         health.absorb(local);
         let run = MultiPhotonRun {
             report: MultiPhotonReport {

@@ -11,7 +11,9 @@ use qfc_photonics::units::Power;
 use qfc_quantum::bell::werner_state;
 use qfc_quantum::fidelity::state_fidelity;
 use qfc_tomography::counts::simulate_counts_seeded;
-use qfc_tomography::reconstruct::{linear_reconstruction, mle_reconstruction, MleOptions};
+use qfc_tomography::reconstruct::{
+    linear_reconstruction, mle_reconstruction, MleAcceleration, MleOptions,
+};
 use qfc_tomography::settings::all_settings;
 
 use crate::heralded::{run_heralded_experiment, run_stability_experiment, HeraldedConfig, StabilityConfig};
@@ -74,11 +76,19 @@ pub struct TomographyAblationRow {
     pub linear_fidelity: f64,
     /// Fidelity of the MLE (RρR) reconstruction with the true state.
     pub mle_fidelity: f64,
+    /// RρR iterations the classic MLE run spent.
+    pub mle_iterations: usize,
+    /// Fidelity of the accelerated (over-relaxed RρR) MLE run.
+    pub accelerated_fidelity: f64,
+    /// Iterations the accelerated run spent reaching the same tolerance.
+    pub accelerated_iterations: usize,
 }
 
 /// Ablation of the reconstructor at decreasing statistics: MLE's
 /// advantage appears at low counts, where linear inversion leaves the
-/// physical cone.
+/// physical cone. Each row also runs the over-relaxed RρR schedule
+/// against the classic one at the same tolerance, recording the
+/// iteration cut the accelerated path buys.
 pub fn tomography_ablation(shots: &[u64], seed: u64) -> Vec<TomographyAblationRow> {
     let truth = werner_state(0.83, 0.0);
     let settings = all_settings(2);
@@ -88,11 +98,21 @@ pub fn tomography_ablation(shots: &[u64], seed: u64) -> Vec<TomographyAblationRo
     qfc_runtime::par_map(&indexed, |&(row, n)| {
         let data = simulate_counts_seeded(&truth, &settings, n, split_seed(seed, cast::usize_to_u64(row)));
         let lin = linear_reconstruction(&data);
-        let mle = mle_reconstruction(&data, &MleOptions::default()).rho;
+        let mle = mle_reconstruction(&data, &MleOptions::default());
+        let accel = mle_reconstruction(
+            &data,
+            &MleOptions {
+                acceleration: MleAcceleration::accelerated(),
+                ..MleOptions::default()
+            },
+        );
         TomographyAblationRow {
             shots_per_setting: n,
             linear_fidelity: state_fidelity(&lin, &truth),
-            mle_fidelity: state_fidelity(&mle, &truth),
+            mle_fidelity: state_fidelity(&mle.rho, &truth),
+            mle_iterations: mle.iterations,
+            accelerated_fidelity: state_fidelity(&accel.rho, &truth),
+            accelerated_iterations: accel.iterations,
         }
     })
 }
@@ -162,6 +182,23 @@ mod tests {
             rows[0].mle_fidelity,
             rows[0].linear_fidelity
         );
+        // The over-relaxed schedule reaches the same answer without
+        // spending more of the iteration budget.
+        for row in &rows {
+            assert!(
+                (row.accelerated_fidelity - row.mle_fidelity).abs() < 1e-3,
+                "accelerated F {} vs classic F {}",
+                row.accelerated_fidelity,
+                row.mle_fidelity
+            );
+            assert!(
+                row.accelerated_iterations <= row.mle_iterations,
+                "accelerated {} vs classic {} iterations at {} shots",
+                row.accelerated_iterations,
+                row.mle_iterations,
+                row.shots_per_setting
+            );
+        }
     }
 
     #[test]

@@ -17,8 +17,8 @@ use qfc_mathkit::rng::{binomial, rng_from_seed, split_seed};
 use qfc_quantum::bell::{bell_phi, concurrence};
 use qfc_quantum::fidelity::fidelity_with_pure;
 use qfc_quantum::multiphoton::{four_photon_fringe_point, four_photon_product, noisy_four_photon};
-use qfc_tomography::counts::simulate_counts_seeded;
 use qfc_tomography::reconstruct::MleOptions;
+use qfc_tomography::stream::try_stream_counts_seeded;
 use qfc_tomography::settings::all_settings;
 
 use crate::report::{Comparison, Expectation, ExperimentReport};
@@ -163,12 +163,14 @@ pub fn bell_channel_task(
         * 0.125; // mean post-selected coincidence probability scale
     let white = (model.accidental_prob / (model.accidental_prob + p_sig)).clamp(0.0, 1.0);
     let rho = model.rho.depolarize(white);
-    let data = simulate_counts_seeded(
+    // Streaming accumulation — byte-identical to the materializing
+    // `simulate_counts_seeded` (same per-setting split-seed streams).
+    let data = try_stream_counts_seeded(
         &rho,
         &settings,
         config.bell_shots_per_setting,
         split_seed(seed, u64::from(m)),
-    );
+    )?;
     let mle = supervisor::reconstruct_with_fallback(&data, &MleOptions::default(), &mut local)?;
     Ok((
         BellTomographyResult {
@@ -366,21 +368,55 @@ pub fn try_four_photon_tomography(
     pump_factor: f64,
     health: &mut HealthReport,
 ) -> QfcResult<FourPhotonTomography> {
-    let model = try_channel_state_model_boosted(source, tb, 1, pump_factor)?;
-    let rho4 = noisy_four_photon(
-        tb.pump_phase,
-        model.state_visibility,
-        config.four_fold_white_noise,
-    );
+    let rho4 = try_four_photon_state(source, config, tb, pump_factor)?;
     // 81 four-qubit settings, each sampled on its own split-seed stream.
     let settings = all_settings(4);
     qfc_obs::counter_add(
         "shots_simulated",
         config.four_shots_per_setting.saturating_mul(cast::usize_to_u64(settings.len())),
     );
-    let data = simulate_counts_seeded(&rho4, &settings, config.four_shots_per_setting, seed);
+    let data = try_stream_counts_seeded(&rho4, &settings, config.four_shots_per_setting, seed)?;
+    four_photon_tomography_from_data(config, &data, health)
+}
+
+/// The fault-adjusted four-photon state the T4 stage measures. Public
+/// as the state model of the campaign decomposition's count shards:
+/// a shard covering any setting range rebuilds this state, samples its
+/// settings on their `split_seed(seed, setting_index)` streams, and
+/// ships the histograms.
+///
+/// # Errors
+///
+/// As [`try_run_multiphoton_experiment`] (channel-model construction).
+pub fn try_four_photon_state(
+    source: &QfcSource,
+    config: &MultiPhotonConfig,
+    tb: &TimeBinConfig,
+    pump_factor: f64,
+) -> QfcResult<qfc_quantum::density::DensityMatrix> {
+    let model = try_channel_state_model_boosted(source, tb, 1, pump_factor)?;
+    Ok(noisy_four_photon(
+        tb.pump_phase,
+        model.state_visibility,
+        config.four_fold_white_noise,
+    ))
+}
+
+/// Reconstruction tail of the T4 stage: MLE with the divergence
+/// fallback, then fidelity against the intended four-photon product
+/// state. Public so the campaign merge can run it over a streamed
+/// count table and land on the driver's exact bytes.
+///
+/// # Errors
+///
+/// Propagates the fallback's linear-inversion error on degenerate data.
+pub fn four_photon_tomography_from_data(
+    config: &MultiPhotonConfig,
+    data: &qfc_tomography::counts::TomographyData,
+    health: &mut HealthReport,
+) -> QfcResult<FourPhotonTomography> {
     let total = data.grand_total();
-    let mle = supervisor::reconstruct_with_fallback(&data, &MleOptions::default(), health)?;
+    let mle = supervisor::reconstruct_with_fallback(data, &MleOptions::default(), health)?;
     // The analysis targets the state the experimenter *intended* to
     // write, so a fault-induced phase offset shows up as lost fidelity.
     let target = four_photon_product(config.timebin.pump_phase);

@@ -26,7 +26,7 @@ use qfc_faults::{
 use qfc_mathkit::rng::{bernoulli, rng_from_seed, split_seed};
 use qfc_tomography::counts::TomographyData;
 use qfc_tomography::reconstruct::{
-    mle_reconstruction, try_linear_reconstruction, MleOptions, MleResult,
+    try_linear_reconstruction, try_mle_reconstruction, MleOptions, MleResult,
 };
 
 /// The seed of fault-handling lane `lane` of a run seeded with `seed`.
@@ -200,33 +200,44 @@ pub const MLE_DIVERGENCE_UPDATE: f64 = 1e-4;
 
 /// MLE reconstruction with the divergence fallback: when the RρR
 /// iteration *diverges* (its final update is non-finite or still above
-/// [`MLE_DIVERGENCE_UPDATE`] when the iteration budget runs out), the
-/// supervisor swaps in linear inversion + physical projection and
-/// records the fallback. A run that merely misses a tight tolerance is
-/// returned as-is with `converged: false`.
+/// [`MLE_DIVERGENCE_UPDATE`] when the iteration budget runs out) or
+/// errors out on degenerate data (all-dark counts, a trace-annihilating
+/// or non-finite update), the supervisor swaps in linear inversion +
+/// physical projection and records the fallback. A run that merely
+/// misses a tight tolerance is returned as-is with `converged: false`.
 ///
 /// # Errors
 ///
 /// Propagates the linear-inversion error when the fallback itself cannot
-/// produce a state (informationally incomplete data).
+/// produce a state (informationally incomplete or structurally invalid
+/// data — those degeneracies defeat linear inversion too).
 pub fn reconstruct_with_fallback(
     data: &TomographyData,
     options: &MleOptions,
     health: &mut HealthReport,
 ) -> QfcResult<MleResult> {
-    let mle = mle_reconstruction(data, options);
-    let settled =
-        mle.converged || (mle.final_update.is_finite() && mle.final_update < MLE_DIVERGENCE_UPDATE);
-    if settled {
-        return Ok(mle);
-    }
+    let (iterations, final_update) = match try_mle_reconstruction(data, options) {
+        Ok(mle) => {
+            let settled = mle.converged
+                || (mle.final_update.is_finite() && mle.final_update < MLE_DIVERGENCE_UPDATE);
+            if settled {
+                return Ok(mle);
+            }
+            (mle.iterations, mle.final_update)
+        }
+        // Degenerate data never reached a usable iterate; report zero
+        // effective progress and let linear inversion decide whether the
+        // data supports any reconstruction at all.
+        Err(_) => (0, f64::INFINITY),
+    };
     health.record_fallback("MLE", "linear inversion");
     let rho = try_linear_reconstruction(data)?;
     Ok(MleResult {
         rho,
-        iterations: mle.iterations,
-        final_update: mle.final_update,
+        iterations,
+        final_update,
         converged: false,
+        accelerated_steps: 0,
     })
 }
 
@@ -489,6 +500,7 @@ mod tests {
         let opts = MleOptions {
             max_iterations: 1,
             tolerance: 1e-30,
+            ..MleOptions::default()
         };
         let mut h = HealthReport::pristine();
         let res = reconstruct_with_fallback(&data, &opts, &mut h)

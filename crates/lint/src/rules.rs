@@ -99,11 +99,14 @@ pub const NON_LIBRARY_DIRS: &[&str] = &["bench"];
 /// one from the baseline would silently remove its allocation and
 /// wall-time regression gate. The two spectral sweeps gate the SoA
 /// batch kernels; `campaign-checkpoint` gates the campaign engine's
-/// checkpoint overhead and resume latency.
+/// checkpoint overhead and resume latency; `streaming-tomography`
+/// gates the streaming count accumulator and the accelerated RρR
+/// reconstruction path.
 pub const GATED_WORKLOADS: &[&str] = &[
     "ring-dispersion-sweep",
     "opo-threshold-sweep",
     "campaign-checkpoint",
+    "streaming-tomography",
 ];
 
 /// Crates the clippy no-unwrap roster must always gate when they exist

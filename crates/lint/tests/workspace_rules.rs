@@ -117,7 +117,8 @@ fn baseline_must_carry_every_gated_workload() {
         root.join("BENCH_baseline.json"),
         "{\"workloads\": [{\"name\": \"ring-dispersion-sweep\"},\
           {\"name\": \"opo-threshold-sweep\"},\
-          {\"name\": \"campaign-checkpoint\"}]}\n",
+          {\"name\": \"campaign-checkpoint\"},\
+          {\"name\": \"streaming-tomography\"}]}\n",
     )
     .expect("baseline");
     let report = qfc_lint::run(&root).expect("lint run");

@@ -329,6 +329,43 @@ impl CMatrix {
         self.data.fill(C_ZERO);
     }
 
+    /// Overwrites `self` with `other`'s entries, keeping the allocation
+    /// (no temporary, unlike `clone`) — the rollback-buffer kernel of
+    /// the accelerated MLE iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// In-place over-relaxation toward the identity:
+    /// `self ← (1 − γ)·I + γ·self`.
+    ///
+    /// For a Hermitian `self` the result is Hermitian for every real
+    /// `γ`, which is what lets the accelerated RρR update
+    /// `ρ ← N[AρA]` with `A = (1 − γ)I + γR` stay inside the PSD cone
+    /// at any step size: `AρA = (Aρ^{1/2})(Aρ^{1/2})† ⪰ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn lerp_identity_in_place(&mut self, gamma: f64) {
+        assert!(self.is_square(), "identity mix needs a square matrix");
+        let c = 1.0 - gamma;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let mut z = self.data[i * self.cols + j].scale(gamma);
+                if i == j {
+                    z.re += c;
+                }
+                self.data[i * self.cols + j] = z;
+            }
+        }
+    }
+
     /// Frobenius norm of the difference, `‖A − B‖_F` — bit-identical to
     /// `(&self - &other).frobenius_norm()` (element-wise differences in
     /// data order, then the same sum-of-squares fold) with no temporary.
@@ -693,6 +730,63 @@ mod tests {
         let a = CMatrix::identity(2);
         let mut out = CMatrix::zeros(3, 3);
         a.matmul_into(&a.clone(), &mut out);
+    }
+
+    #[test]
+    fn copy_from_is_bitwise() {
+        let src = scrambled(5, 3);
+        let mut dst = CMatrix::zeros(5, 5);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        // Overwrites, not accumulates.
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn copy_from_rejects_shape_mismatch() {
+        let src = CMatrix::identity(3);
+        let mut dst = CMatrix::zeros(2, 2);
+        dst.copy_from(&src);
+    }
+
+    #[test]
+    fn lerp_identity_endpoints_and_midpoint() {
+        let a = scrambled(4, 7);
+
+        // γ = 1 is the identity map on the matrix.
+        let mut g1 = a.clone();
+        g1.lerp_identity_in_place(1.0);
+        assert_eq!(g1, a);
+
+        // γ = 0 collapses to the identity matrix.
+        let mut g0 = a.clone();
+        g0.lerp_identity_in_place(0.0);
+        assert!(g0.approx_eq(&CMatrix::identity(4), 0.0));
+
+        // Generic γ matches the two-temporary formula elementwise.
+        let gamma = 2.5;
+        let mut gm = a.clone();
+        gm.lerp_identity_in_place(gamma);
+        let expect = &CMatrix::identity(4).scale(1.0 - gamma) + &a.scale(gamma);
+        assert!(gm.approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn lerp_identity_preserves_hermiticity() {
+        let s = scrambled(4, 13);
+        let herm = &s + &s.adjoint();
+        let mut mixed = herm.clone();
+        mixed.lerp_identity_in_place(3.0);
+        assert!(mixed.is_hermitian(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn lerp_identity_rejects_rectangular() {
+        let mut m = CMatrix::zeros(2, 3);
+        m.lerp_identity_in_place(1.5);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Simulated tomography counts: Monte-Carlo projective measurements of a
 //! density matrix under a set of tomography settings.
 
+use qfc_faults::{QfcError, QfcResult};
 use qfc_mathkit::cast;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -36,7 +37,66 @@ impl TomographyData {
     ///
     /// Panics on an empty setting list.
     pub fn qubits(&self) -> usize {
-        self.settings.first().map_or(0, |s| s.qubits())
+        match self.try_qubits() {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        }
+    }
+
+    /// Fallible form of [`TomographyData::qubits`]: returns
+    /// [`QfcError::InsufficientData`] on an empty setting list instead of
+    /// panicking.
+    pub fn try_qubits(&self) -> QfcResult<usize> {
+        self.settings
+            .first()
+            .map(Setting::qubits)
+            .ok_or_else(|| QfcError::InsufficientData {
+                context: "tomography data has an empty setting list".to_owned(),
+            })
+    }
+
+    /// Structural validation every reconstructor runs up front:
+    ///
+    /// * the setting list is non-empty;
+    /// * every setting measures the same number of qubits (a mixed-arity
+    ///   list would silently truncate Pauli-string compatibility checks);
+    /// * the count table has one row per setting, each row one slot per
+    ///   outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`QfcError::InsufficientData`] for an empty or mixed-arity setting
+    /// list, [`QfcError::InvalidParameter`] for a malformed count table.
+    pub fn validate(&self) -> QfcResult<()> {
+        let n = self.try_qubits()?;
+        for (s, setting) in self.settings.iter().enumerate() {
+            if setting.qubits() != n {
+                return Err(QfcError::InsufficientData {
+                    context: format!(
+                        "mixed-arity setting list: setting {s} measures {} qubit(s) \
+                         but setting 0 measures {n}",
+                        setting.qubits()
+                    ),
+                });
+            }
+        }
+        if self.counts.len() != self.settings.len() {
+            return Err(QfcError::invalid(format!(
+                "tomography count table has {} row(s) for {} setting(s)",
+                self.counts.len(),
+                self.settings.len()
+            )));
+        }
+        for (s, row) in self.counts.iter().enumerate() {
+            if row.len() != self.settings[s].outcomes() {
+                return Err(QfcError::invalid(format!(
+                    "setting {s} has {} count slot(s) for {} outcome(s)",
+                    row.len(),
+                    self.settings[s].outcomes()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Relative frequency of outcome `o` in setting `s` (`0` when the
@@ -87,6 +147,45 @@ pub fn simulate_counts<R: Rng + ?Sized>(
     }
 }
 
+/// One setting's outcome histogram: `shots` projective measurements of
+/// `rho` drawn from the dedicated RNG stream `stream_seed`.
+///
+/// This is the per-shard kernel of the seeded count paths:
+/// [`simulate_counts_seeded`] (and the streaming accumulator in
+/// [`crate::stream`]) give setting `s` the stream
+/// `split_seed(seed, s)`, so any shard that runs this kernel with the
+/// same stream seed reproduces that setting's histogram bit for bit,
+/// regardless of which process or thread executes it.
+///
+/// # Panics
+///
+/// Panics if the setting doesn't match the state dimension.
+pub fn setting_histogram(
+    rho: &DensityMatrix,
+    setting: &Setting,
+    shots: u64,
+    stream_seed: u64,
+) -> Vec<u64> {
+    use qfc_mathkit::rng::rng_from_seed;
+
+    assert_eq!(
+        setting.qubits(),
+        rho.qubits(),
+        "setting does not match state size"
+    );
+    let probs: Vec<f64> = (0..setting.outcomes())
+        .map(|o| rho.probability(&setting.outcome_projector(o)))
+        .collect();
+    let sampler = DiscreteSampler::new(&probs);
+    let mut rng = rng_from_seed(stream_seed);
+    let mut c = vec![0u64; setting.outcomes()];
+    // qfc-lint: hot
+    for _ in 0..shots {
+        c[sampler.sample(&mut rng)] += 1;
+    }
+    c
+}
+
 /// Seeded, parallel variant of [`simulate_counts`]: every setting draws
 /// its shots from an independent split-seed stream
 /// (`split_seed(seed, setting_index)`), so settings run concurrently on
@@ -102,27 +201,16 @@ pub fn simulate_counts_seeded(
     shots_per_setting: u64,
     seed: u64,
 ) -> TomographyData {
-    use qfc_mathkit::rng::{rng_from_seed, split_seed};
+    use qfc_mathkit::rng::split_seed;
 
     let indexed: Vec<usize> = (0..settings.len()).collect();
     let counts = qfc_runtime::par_map(&indexed, |&s| {
-        let setting = &settings[s];
-        assert_eq!(
-            setting.qubits(),
-            rho.qubits(),
-            "setting does not match state size"
-        );
-        let probs: Vec<f64> = (0..setting.outcomes())
-            .map(|o| rho.probability(&setting.outcome_projector(o)))
-            .collect();
-        let sampler = DiscreteSampler::new(&probs);
-        let mut rng = rng_from_seed(split_seed(seed, cast::usize_to_u64(s)));
-        let mut c = vec![0u64; setting.outcomes()];
-        // qfc-lint: hot
-        for _ in 0..shots_per_setting {
-            c[sampler.sample(&mut rng)] += 1;
-        }
-        c
+        setting_histogram(
+            rho,
+            &settings[s],
+            shots_per_setting,
+            split_seed(seed, cast::usize_to_u64(s)),
+        )
     });
     TomographyData {
         settings: settings.to_vec(),

@@ -30,7 +30,12 @@ pub mod bootstrap;
 pub mod counts;
 pub mod reconstruct;
 pub mod settings;
+pub mod stream;
 
 pub use counts::{exact_counts, simulate_counts, TomographyData};
-pub use reconstruct::{linear_reconstruction, mle_reconstruction, MleOptions, MleResult};
+pub use reconstruct::{
+    linear_reconstruction, mle_reconstruction, try_mle_reconstruction, MleAcceleration,
+    MleOptions, MleResult,
+};
 pub use settings::{all_settings, PauliBasis, Setting};
+pub use stream::{try_stream_counts_seeded, CountAccumulator};

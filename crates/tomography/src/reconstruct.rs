@@ -37,8 +37,11 @@ pub fn linear_inversion(data: &TomographyData) -> CMatrix {
 
 /// Fallible form of [`linear_inversion`]: returns
 /// [`QfcError::InsufficientData`] for informationally incomplete data
-/// instead of panicking.
+/// (including an empty or mixed-arity setting list, which the
+/// Pauli-string compatibility zip below would otherwise silently
+/// truncate) instead of panicking.
 pub fn try_linear_inversion(data: &TomographyData) -> QfcResult<CMatrix> {
+    data.validate()?;
     let n = data.qubits();
     let dim = 1usize << n;
     let mut rho = CMatrix::zeros(dim, dim);
@@ -124,13 +127,55 @@ pub fn try_project_physical(mat: &CMatrix) -> QfcResult<DensityMatrix> {
         .ok_or_else(|| QfcError::non_finite("physical projection"))
 }
 
+/// Iteration scheme for the RρR fixed-point search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum MleAcceleration {
+    /// Plain RρR: `ρ ← RρR / tr(RρR)`. Bit-identical to the historical
+    /// implementation; the golden fixtures replay this path.
+    #[default]
+    Classic,
+    /// Over-relaxed RρR: `ρ ← AρA / tr(AρA)` with
+    /// `A = (1−γ)·I + γ·R`. `A` is Hermitian, so the sandwich stays
+    /// positive semidefinite for any real `γ`; `γ = 1` is exactly a
+    /// classic step. The schedule is deterministic: `γ` grows by
+    /// `growth` after every iteration (capped at `max_step`), and a
+    /// log-likelihood gate rolls the iterate back and resets `γ` to 1
+    /// whenever over-relaxation overshoots the likelihood ridge.
+    Accelerated {
+        /// Upper bound on the over-relaxation factor `γ`.
+        max_step: f64,
+        /// Multiplicative `γ` growth per iteration (> 1).
+        growth: f64,
+    },
+}
+
+impl MleAcceleration {
+    /// The default accelerated schedule used by benches and ablations:
+    /// `γ` grows 1.4× per iteration up to 8.
+    pub fn accelerated() -> Self {
+        Self::Accelerated {
+            max_step: 8.0,
+            growth: 1.4,
+        }
+    }
+}
+
 /// Options for the iterative MLE reconstruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (the vendored derive has no field
+/// attributes): `acceleration` is emitted only when it differs from
+/// [`MleAcceleration::Classic`] and defaults to `Classic` when absent,
+/// so pre-acceleration serialized options stay readable and classic
+/// options serialize exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MleOptions {
     /// Maximum RρR iterations.
     pub max_iterations: usize,
     /// Stop when the Frobenius norm of the update falls below this.
     pub tolerance: f64,
+    /// Iteration scheme (defaults to [`MleAcceleration::Classic`], the
+    /// golden-fixture path).
+    pub acceleration: MleAcceleration,
 }
 
 impl Default for MleOptions {
@@ -138,12 +183,51 @@ impl Default for MleOptions {
         Self {
             max_iterations: 300,
             tolerance: 1e-10,
+            acceleration: MleAcceleration::Classic,
         }
     }
 }
 
+impl Serialize for MleOptions {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            (
+                "max_iterations".to_string(),
+                Serialize::to_value(&self.max_iterations),
+            ),
+            ("tolerance".to_string(), Serialize::to_value(&self.tolerance)),
+        ];
+        if self.acceleration != MleAcceleration::Classic {
+            fields.push((
+                "acceleration".to_string(),
+                Serialize::to_value(&self.acceleration),
+            ));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for MleOptions {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let acceleration = match v.get_field("acceleration") {
+            Ok(a) => Deserialize::from_value(a)?,
+            Err(_) => MleAcceleration::Classic,
+        };
+        Ok(Self {
+            max_iterations: Deserialize::from_value(v.get_field("max_iterations")?)?,
+            tolerance: Deserialize::from_value(v.get_field("tolerance")?)?,
+            acceleration,
+        })
+    }
+}
+
 /// Result of an MLE reconstruction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: `accelerated_steps` is emitted only
+/// when non-zero (and defaults to `0` when absent), so classic results
+/// serialize byte-identically to the historical four-field format the
+/// golden fixtures pin.
+#[derive(Debug, Clone)]
 pub struct MleResult {
     /// The reconstructed physical state.
     pub rho: DensityMatrix,
@@ -155,6 +239,46 @@ pub struct MleResult {
     /// iteration budget — `false` signals divergence and is the trigger
     /// for the supervisor's linear-inversion fallback.
     pub converged: bool,
+    /// Iterations that took an over-relaxed (`γ > 1`) step; always `0`
+    /// on the classic path.
+    pub accelerated_steps: usize,
+}
+
+impl Serialize for MleResult {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("rho".to_string(), Serialize::to_value(&self.rho)),
+            ("iterations".to_string(), Serialize::to_value(&self.iterations)),
+            (
+                "final_update".to_string(),
+                Serialize::to_value(&self.final_update),
+            ),
+            ("converged".to_string(), Serialize::to_value(&self.converged)),
+        ];
+        if self.accelerated_steps != 0 {
+            fields.push((
+                "accelerated_steps".to_string(),
+                Serialize::to_value(&self.accelerated_steps),
+            ));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for MleResult {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let accelerated_steps = match v.get_field("accelerated_steps") {
+            Ok(a) => Deserialize::from_value(a)?,
+            Err(_) => 0,
+        };
+        Ok(Self {
+            rho: Deserialize::from_value(v.get_field("rho")?)?,
+            iterations: Deserialize::from_value(v.get_field("iterations")?)?,
+            final_update: Deserialize::from_value(v.get_field("final_update")?)?,
+            converged: Deserialize::from_value(v.get_field("converged")?)?,
+            accelerated_steps,
+        })
+    }
 }
 
 /// Iterative RρR maximum-likelihood reconstruction.
@@ -167,35 +291,92 @@ pub struct MleResult {
 /// that share one setting list (bootstrap replicas, per-channel scans)
 /// should build a [`ProjectorSet`] once and call
 /// [`mle_reconstruction_with`].
+///
+/// # Panics
+///
+/// Panics on degenerate data (empty or mixed-arity setting list, zero
+/// total events, a trace-annihilating or non-finite update) — use
+/// [`try_mle_reconstruction`] to handle those as errors.
 pub fn mle_reconstruction(data: &TomographyData, options: &MleOptions) -> MleResult {
-    mle_reconstruction_with(&ProjectorSet::new(&data.settings), data, options)
+    match try_mle_reconstruction(data, options) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+    }
+}
+
+/// Fallible form of [`mle_reconstruction`]: returns
+/// [`QfcError::InsufficientData`] for an empty or mixed-arity setting
+/// list, [`QfcError::SingularSystem`] for all-dark data (zero grand
+/// total) or a trace-annihilating update, and [`QfcError::NonFinite`]
+/// when the iteration produces a non-finite update norm — instead of
+/// panicking deep inside the iteration.
+pub fn try_mle_reconstruction(data: &TomographyData, options: &MleOptions) -> QfcResult<MleResult> {
+    data.validate()?;
+    try_mle_reconstruction_with(&ProjectorSet::new(&data.settings), data, options)
 }
 
 /// [`mle_reconstruction`] against a prebuilt projector cache.
 ///
-/// The RρR iteration runs entirely in scratch buffers: per iteration it
-/// performs no allocation, no projector rebuild, and no full matrix
-/// product where only a trace is needed. The arithmetic is ordered
-/// exactly as the allocating formulation (`tr(ρ·Π)` via the skip-zero
-/// product loop, `R` accumulated in `(s, o)` order over `f > 0`
-/// outcomes, `RρR` as two products), so results are bit-identical.
-///
 /// # Panics
 ///
-/// Panics if `projectors` was not built from `data`'s setting list.
+/// Panics if `projectors` was not built from `data`'s setting list, or
+/// on degenerate data (see [`try_mle_reconstruction_with`]).
 pub fn mle_reconstruction_with(
     projectors: &ProjectorSet,
     data: &TomographyData,
     options: &MleOptions,
 ) -> MleResult {
-    let n = data.qubits();
+    match try_mle_reconstruction_with(projectors, data, options) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+    }
+}
+
+/// [`try_mle_reconstruction`] against a prebuilt projector cache.
+///
+/// The RρR iteration runs entirely in scratch buffers: per iteration it
+/// performs no allocation, no projector rebuild, and no full matrix
+/// product where only a trace is needed. On the classic path the
+/// arithmetic is ordered exactly as the allocating formulation
+/// (`tr(ρ·Π)` via the skip-zero product loop, `R` accumulated in
+/// `(s, o)` order over `f > 0` outcomes, `RρR` as two products), so
+/// results are bit-identical to the historical implementation.
+///
+/// # Errors
+///
+/// * [`QfcError::InsufficientData`] — empty or mixed-arity setting list;
+/// * [`QfcError::InvalidParameter`] — projector cache built from a
+///   different setting list or dimension, malformed count table;
+/// * [`QfcError::SingularSystem`] — zero total events, or an iteration
+///   whose `RρR` update annihilated the trace;
+/// * [`QfcError::NonFinite`] — the update norm left the finite range.
+pub fn try_mle_reconstruction_with(
+    projectors: &ProjectorSet,
+    data: &TomographyData,
+    options: &MleOptions,
+) -> QfcResult<MleResult> {
+    data.validate()?;
+    let n = data.try_qubits()?;
     let dim = 1usize << n;
-    assert_eq!(
-        projectors.settings(),
-        data.settings.len(),
-        "projector cache does not match the data's settings"
-    );
-    assert_eq!(projectors.dim(), dim, "projector cache dimension mismatch");
+    if projectors.settings() != data.settings.len() {
+        return Err(QfcError::invalid(format!(
+            "projector cache does not match the data's settings \
+             ({} cached, {} in data)",
+            projectors.settings(),
+            data.settings.len()
+        )));
+    }
+    if projectors.dim() != dim {
+        return Err(QfcError::invalid(format!(
+            "projector cache dimension mismatch ({} cached, {dim} in data)",
+            projectors.dim()
+        )));
+    }
+    if data.grand_total() == 0 {
+        return Err(QfcError::SingularSystem {
+            context: "MLE reconstruction: zero total events (all-dark data)".to_owned(),
+        });
+    }
     let mut rho = CMatrix::identity(dim).scale(1.0 / cast::to_f64(dim));
 
     // Gather (projector, frequency) pairs once, in the same (s, o) order
@@ -216,22 +397,134 @@ pub fn mle_reconstruction_with(
     let mut next = CMatrix::zeros(dim, dim);
     let mut iterations = 0;
     let mut final_update = f64::INFINITY;
-    // qfc-lint: hot
-    for _ in 0..options.max_iterations {
-        iterations += 1;
-        r.fill_zero();
-        for &(proj, f) in &pairs {
-            let p = rho.trace_of_product(proj).re.max(1e-12);
-            r.add_scaled_assign(proj, f / p);
+    let mut accelerated_steps = 0usize;
+    match options.acceleration {
+        MleAcceleration::Classic => {
+            // qfc-lint: hot
+            for _ in 0..options.max_iterations {
+                iterations += 1;
+                r.fill_zero();
+                for &(proj, f) in &pairs {
+                    let p = rho.trace_of_product(proj).re.max(1e-12);
+                    r.add_scaled_assign(proj, f / p);
+                }
+                r.matmul_into(&rho, &mut r_rho);
+                r_rho.matmul_into(&r, &mut next);
+                let tr = next.trace().re;
+                if !(tr.is_finite() && tr > 0.0) {
+                    return Err(QfcError::SingularSystem {
+                        context: format!(
+                            "RρR update annihilated the trace (tr = {tr}) \
+                             at iteration {iterations}"
+                        ),
+                    });
+                }
+                next.scale_in_place(1.0 / tr);
+                final_update = next.frobenius_distance(&rho);
+                if !final_update.is_finite() {
+                    return Err(QfcError::non_finite("RρR update norm"));
+                }
+                std::mem::swap(&mut rho, &mut next);
+                if final_update < options.tolerance {
+                    break;
+                }
+            }
         }
-        r.matmul_into(&rho, &mut r_rho);
-        r_rho.matmul_into(&r, &mut next);
-        let tr = next.trace().re;
-        next.scale_in_place(1.0 / tr);
-        final_update = next.frobenius_distance(&rho);
-        std::mem::swap(&mut rho, &mut next);
-        if final_update < options.tolerance {
-            break;
+        MleAcceleration::Accelerated { max_step, growth } => {
+            if !(max_step >= 1.0 && max_step.is_finite() && growth >= 1.0 && growth.is_finite()) {
+                return Err(QfcError::invalid(format!(
+                    "accelerated MLE schedule needs finite max_step ≥ 1 and \
+                     growth ≥ 1 (got max_step = {max_step}, growth = {growth})"
+                )));
+            }
+            // Likelihood-gated over-relaxation. `prev` holds the iterate
+            // the current one was produced from, so an overshoot can be
+            // rolled back for the price of one extra R build.
+            //
+            // `R` sums one ≈identity resolution per measured setting, so
+            // its fixed-point value is `fsum·I`, not `I`; the identity
+            // mix is applied to `R/fsum` so that `γ` measures the
+            // over-relaxation relative to a unit classic step. The
+            // normalization cancels in `tr(AρA)` at `γ = 1`, which is
+            // why the unscaled classic step below is the same map.
+            let fsum: f64 = pairs.iter().map(|&(_, f)| f).sum();
+            let mut prev = rho.clone();
+            let mut gamma = 1.0f64;
+            let mut ll_prev = f64::NEG_INFINITY;
+            let mut update_prev = f64::INFINITY;
+            // qfc-lint: hot
+            for _ in 0..options.max_iterations {
+                iterations += 1;
+                r.fill_zero();
+                let mut ll = 0.0;
+                for &(proj, f) in &pairs {
+                    let p = rho.trace_of_product(proj).re.max(1e-12);
+                    ll += f * p.ln();
+                    r.add_scaled_assign(proj, f / p);
+                }
+                if ll + 1e-12 * ll.abs().max(1.0) < ll_prev {
+                    // The over-relaxed step lost likelihood: restore the
+                    // parent iterate, fall back to a classic step, and
+                    // rebuild R there.
+                    std::mem::swap(&mut rho, &mut prev);
+                    gamma = 1.0;
+                    r.fill_zero();
+                    ll = 0.0;
+                    for &(proj, f) in &pairs {
+                        let p = rho.trace_of_product(proj).re.max(1e-12);
+                        ll += f * p.ln();
+                        r.add_scaled_assign(proj, f / p);
+                    }
+                }
+                ll_prev = ll;
+                if gamma > 1.0 {
+                    accelerated_steps += 1;
+                    r.scale_in_place(1.0 / fsum);
+                    r.lerp_identity_in_place(gamma);
+                }
+                prev.copy_from(&rho);
+                r.matmul_into(&rho, &mut r_rho);
+                r_rho.matmul_into(&r, &mut next);
+                let tr = next.trace().re;
+                if !(tr.is_finite() && tr > 0.0) {
+                    return Err(QfcError::SingularSystem {
+                        context: format!(
+                            "accelerated RρR update annihilated the trace \
+                             (tr = {tr}) at iteration {iterations}"
+                        ),
+                    });
+                }
+                next.scale_in_place(1.0 / tr);
+                final_update = next.frobenius_distance(&rho);
+                if !final_update.is_finite() {
+                    return Err(QfcError::non_finite("accelerated RρR update norm"));
+                }
+                std::mem::swap(&mut rho, &mut next);
+                // An over-relaxed step is ~γ× a classic step, so the
+                // raw update norm says nothing about progress across
+                // different γ; `update/γ` is the classic-equivalent
+                // residual. Near the likelihood ridge the iterate can
+                // oscillate with a stalled residual while the
+                // likelihood is flat at FP resolution — dropping back
+                // to a classic step there restores the monotone tail.
+                // Once the residual clears the tolerance, the next
+                // step is forced classic as well, so the update that
+                // terminates the loop is a genuine (unamplified) one.
+                let residual = final_update / gamma;
+                if residual > update_prev || residual < options.tolerance {
+                    gamma = 1.0;
+                } else {
+                    gamma = (gamma * growth).min(max_step);
+                }
+                update_prev = residual;
+                if final_update < options.tolerance {
+                    break;
+                }
+            }
+            qfc_obs::counter_add(
+                "mle_accelerated_steps",
+                cast::usize_to_u64(accelerated_steps),
+            );
         }
     }
     qfc_obs::counter_add("mle_iterations", cast::usize_to_u64(iterations));
@@ -239,13 +532,14 @@ pub fn mle_reconstruction_with(
     let herm = CMatrix::from_fn(dim, dim, |i, j| {
         (rho[(i, j)] + rho[(j, i)].conj()).scale(0.5)
     });
-    let rho = project_physical(&herm);
-    MleResult {
+    let rho = try_project_physical(&herm)?;
+    Ok(MleResult {
         rho,
         iterations,
         converged: final_update < options.tolerance,
         final_update,
-    }
+        accelerated_steps,
+    })
 }
 
 /// Convenience: full pipeline from data to a physical state via linear
@@ -337,9 +631,157 @@ mod tests {
         let opts = MleOptions {
             max_iterations: 1,
             tolerance: 1e-30,
+            ..MleOptions::default()
         };
         let result = mle_reconstruction(&data, &opts);
         assert!(!result.converged);
+    }
+
+    #[test]
+    fn try_mle_rejects_all_dark_data() {
+        let settings = all_settings(2);
+        let data = TomographyData {
+            counts: settings.iter().map(|s| vec![0u64; s.outcomes()]).collect(),
+            settings,
+        };
+        let err = try_mle_reconstruction(&data, &MleOptions::default()).unwrap_err();
+        assert!(matches!(err, QfcError::SingularSystem { .. }), "{err}");
+        assert!(err.to_string().contains("zero total events"), "{err}");
+    }
+
+    #[test]
+    fn try_mle_rejects_empty_and_mixed_arity_settings() {
+        use crate::settings::Setting;
+        let empty = TomographyData {
+            settings: vec![],
+            counts: vec![],
+        };
+        let err = try_mle_reconstruction(&empty, &MleOptions::default()).unwrap_err();
+        assert!(matches!(err, QfcError::InsufficientData { .. }), "{err}");
+
+        let mixed = TomographyData {
+            settings: vec![
+                Setting::from_bases(&[PauliBasis::Z]),
+                Setting::from_bases(&[PauliBasis::Z, PauliBasis::X]),
+            ],
+            counts: vec![vec![3, 1], vec![1, 1, 1, 1]],
+        };
+        let err = try_mle_reconstruction(&mixed, &MleOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("mixed-arity"), "{err}");
+    }
+
+    #[test]
+    fn try_mle_rejects_mismatched_projector_cache() {
+        let mut rng = rng_from_seed(36);
+        let rho = werner_state(0.83, 0.0);
+        let data = simulate_counts(&mut rng, &rho, &all_settings(2), 500);
+        let wrong = ProjectorSet::new(&all_settings(1));
+        let err = try_mle_reconstruction_with(&wrong, &data, &MleOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, QfcError::InvalidParameter { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_mle_zero_iterations_returns_mixed_state_unconverged() {
+        let mut rng = rng_from_seed(37);
+        let rho = werner_state(0.83, 0.0);
+        let data = simulate_counts(&mut rng, &rho, &all_settings(2), 500);
+        let opts = MleOptions {
+            max_iterations: 0,
+            ..MleOptions::default()
+        };
+        let result = try_mle_reconstruction(&data, &opts).expect("zero iterations is legal");
+        assert_eq!(result.iterations, 0);
+        assert!(!result.converged);
+        // No iterations: still the maximally mixed starting point.
+        let mixed = DensityMatrix::maximally_mixed(2);
+        assert!(result.rho.as_matrix().approx_eq(mixed.as_matrix(), 1e-12));
+    }
+
+    #[test]
+    fn accelerated_schedule_validates_parameters() {
+        let mut rng = rng_from_seed(38);
+        let rho = werner_state(0.83, 0.0);
+        let data = simulate_counts(&mut rng, &rho, &all_settings(2), 500);
+        let opts = MleOptions {
+            acceleration: MleAcceleration::Accelerated {
+                max_step: 0.5,
+                growth: 1.4,
+            },
+            ..MleOptions::default()
+        };
+        let err = try_mle_reconstruction(&data, &opts).unwrap_err();
+        assert!(matches!(err, QfcError::InvalidParameter { .. }), "{err}");
+    }
+
+    #[test]
+    fn accelerated_matches_classic_fidelity_in_fewer_iterations() {
+        let mut rng = rng_from_seed(39);
+        let truth = werner_state(0.9, 0.2);
+        let data = simulate_counts(&mut rng, &truth, &all_settings(2), 2000);
+        let opts = MleOptions {
+            max_iterations: 4000,
+            tolerance: 1e-8,
+            acceleration: MleAcceleration::Classic,
+        };
+        let classic = try_mle_reconstruction(&data, &opts).expect("classic");
+        let accel = try_mle_reconstruction(
+            &data,
+            &MleOptions {
+                acceleration: MleAcceleration::accelerated(),
+                ..opts
+            },
+        )
+        .expect("accelerated");
+        assert!(classic.converged, "classic run must converge");
+        assert!(accel.converged, "accelerated run must converge");
+        assert!(accel.accelerated_steps > 0, "schedule never over-relaxed");
+        assert!(
+            accel.iterations < classic.iterations,
+            "accelerated {} vs classic {} iterations",
+            accel.iterations,
+            classic.iterations
+        );
+        let f_c = state_fidelity(&classic.rho, &truth);
+        let f_a = state_fidelity(&accel.rho, &truth);
+        assert!((f_c - f_a).abs() < 1e-6, "classic F {f_c} vs accelerated F {f_a}");
+    }
+
+    #[test]
+    fn classic_path_reports_zero_accelerated_steps() {
+        let mut rng = rng_from_seed(40);
+        let rho = werner_state(0.83, 0.0);
+        let data = simulate_counts(&mut rng, &rho, &all_settings(2), 500);
+        let result = mle_reconstruction(&data, &MleOptions::default());
+        assert_eq!(result.accelerated_steps, 0);
+        // The serialized form must not mention the field, so classic
+        // results stay byte-identical to the historical format.
+        let json = serde_json::to_string(&result).expect("serialize");
+        assert!(!json.contains("accelerated_steps"));
+    }
+
+    #[test]
+    fn try_linear_inversion_rejects_empty_and_mixed_arity() {
+        use crate::settings::Setting;
+        let empty = TomographyData {
+            settings: vec![],
+            counts: vec![],
+        };
+        assert!(matches!(
+            try_linear_inversion(&empty).unwrap_err(),
+            QfcError::InsufficientData { .. }
+        ));
+        let mixed = TomographyData {
+            settings: vec![
+                Setting::from_bases(&[PauliBasis::Z]),
+                Setting::from_bases(&[PauliBasis::Z, PauliBasis::X]),
+            ],
+            counts: vec![vec![3, 1], vec![1, 1, 1, 1]],
+        };
+        assert!(matches!(
+            try_linear_inversion(&mixed).unwrap_err(),
+            QfcError::InsufficientData { .. }
+        ));
     }
 
     #[test]

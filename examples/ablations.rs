@@ -24,11 +24,19 @@ fn main() {
     }
 
     println!("\n== Tomography reconstructor (MLE RρR vs linear inversion) ==");
-    println!("{:>16} {:>16} {:>14}", "shots/setting", "linear F", "MLE F");
+    println!(
+        "{:>16} {:>16} {:>14} {:>10} {:>14} {:>10}",
+        "shots/setting", "linear F", "MLE F", "MLE it", "accel F", "accel it"
+    );
     for row in tomography_ablation(&[10, 30, 100, 300, 1000, 10_000], 2018) {
         println!(
-            "{:>16} {:>16.4} {:>14.4}",
-            row.shots_per_setting, row.linear_fidelity, row.mle_fidelity
+            "{:>16} {:>16.4} {:>14.4} {:>10} {:>14.4} {:>10}",
+            row.shots_per_setting,
+            row.linear_fidelity,
+            row.mle_fidelity,
+            row.mle_iterations,
+            row.accelerated_fidelity,
+            row.accelerated_iterations
         );
     }
 

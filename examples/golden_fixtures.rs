@@ -56,6 +56,7 @@ fn main() {
     let opts = MleOptions {
         max_iterations: 50,
         tolerance: 1e-8,
+        ..MleOptions::default()
     };
     let boot = bootstrap_functional(
         23,

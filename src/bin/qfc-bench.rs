@@ -69,12 +69,16 @@ use qfc::photonics::units::{Frequency, Power};
 use qfc::photonics::waveguide::Polarization;
 use qfc::quantum::bell::{bell_phi_plus, werner_state};
 use qfc::quantum::fidelity::fidelity_with_pure;
+use qfc::quantum::multiphoton::noisy_four_photon;
 use qfc::timetag::coincidence::cross_correlation_histogram;
 use qfc::timetag::hbt::poissonian_stream;
 use qfc::tomography::bootstrap::bootstrap_functional;
 use qfc::tomography::counts::simulate_counts_seeded;
-use qfc::tomography::reconstruct::{mle_reconstruction, MleOptions};
+use qfc::tomography::reconstruct::{
+    mle_reconstruction, try_mle_reconstruction, MleAcceleration, MleOptions,
+};
 use qfc::tomography::settings::all_settings;
+use qfc::tomography::stream::try_stream_counts_seeded;
 
 /// Global-allocator shim that counts every allocation. Kept deliberately
 /// branch-light: four relaxed atomics per alloc, one per dealloc.
@@ -333,6 +337,28 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         workloads.push(bench_workload("four-photon-tomography", threads, shots, unvalidated, || {
             let tomo = run_four_photon_tomography(&source, &cfg, 13);
             serde_json::to_string(&tomo).expect("tomography serializes")
+        }));
+    }
+
+    // Streaming tomography: the 81 four-qubit settings' histograms are
+    // simulated on their split-seed streams and folded through the
+    // streaming count accumulator (never materializing per-shot
+    // tables), then reconstructed once with the accelerated
+    // (over-relaxed RρR) MLE schedule.
+    {
+        let rho4 = noisy_four_photon(0.0, 0.92, 0.05);
+        let settings = all_settings(4);
+        let shots_per_setting = if smoke { 40u64 } else { 20_000 };
+        let opts = MleOptions {
+            acceleration: MleAcceleration::accelerated(),
+            ..MleOptions::default()
+        };
+        let shots = shots_per_setting * settings.len() as u64;
+        workloads.push(bench_workload("streaming-tomography", threads, shots, unvalidated, || {
+            let data = try_stream_counts_seeded(&rho4, &settings, shots_per_setting, 29)
+                .expect("four-photon settings are valid");
+            let mle = try_mle_reconstruction(&data, &opts).expect("streamed data reconstructs");
+            serde_json::to_string(&mle).expect("result serializes")
         }));
     }
 

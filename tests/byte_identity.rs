@@ -92,6 +92,7 @@ fn bootstrap_mle_matches_pre_rework_bytes() {
     let opts = MleOptions {
         max_iterations: 50,
         tolerance: 1e-8,
+        ..MleOptions::default()
     };
     let boot = bootstrap_functional(
         23,

@@ -274,6 +274,7 @@ fn diverging_mle_fallback_is_reported_in_health() {
     let opts = MleOptions {
         max_iterations: 1,
         tolerance: 1e-30,
+        ..MleOptions::default()
     };
     let mut health = qfc::faults::HealthReport::pristine();
     let res = supervisor::reconstruct_with_fallback(&data, &opts, &mut health)
