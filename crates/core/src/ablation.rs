@@ -57,7 +57,7 @@ pub fn pump_scheme_ablation(config: &StabilityConfig, seed: u64) -> Vec<PumpSche
     // an independent task on the worker pool.
     qfc_runtime::par_map(&schemes, |&(label, pump, active)| {
         let source = QfcSource::paper_device().with_pump(pump);
-        let report = run_stability_experiment(&source, config, seed);
+        let report = run_stability_experiment(&source, config, seed); // qfc-lint: allow(rng-lane-flow) — matched-seed comparison by design: every pump scheme must see the identical shot stream so differences are attributable to the pump alone
         PumpSchemeOutcome {
             scheme: label.to_owned(),
             relative_fluctuation: report.relative_fluctuation,

@@ -158,7 +158,7 @@ pub fn run_crosspol_experiment(
 ) -> CrossPolReport {
     match try_run_crosspol_experiment(source, config, seed, &FaultSchedule::empty()) {
         Ok(run) => run.report,
-        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 

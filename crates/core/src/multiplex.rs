@@ -94,7 +94,7 @@ pub fn plan_star_network(
     for m in 1..=user_pairs {
         let pair = comb
             .pair(m)
-            .unwrap_or_else(|| unreachable!("comb was built with {user_pairs} channels")); // qfc-lint: allow(panic-surface) — invariant: the comb was just built with exactly user_pairs channels
+            .unwrap_or_else(|| unreachable!("comb was built with {user_pairs} channels")); // qfc-lint: allow(panic-reachability) — invariant: the comb was just built with exactly user_pairs channels
         let model = channel_state_model(source, config, m);
         // Phase-averaged post-selected coincidence probability per frame.
         let p_mean = model.mu * config.arm_efficiency.powi(2) / 16.0 + model.accidental_prob;

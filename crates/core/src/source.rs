@@ -160,7 +160,7 @@ impl QfcSource {
     pub fn pair_rate_cw(&self, m: u32) -> f64 {
         match self.try_pair_rate_cw(m) {
             Ok(r) => r,
-            Err(e) => panic!("pair_rate_cw requires a CW pump configuration ({e})"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+            Err(e) => panic!("pair_rate_cw requires a CW pump configuration ({e})"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 
@@ -192,7 +192,7 @@ impl QfcSource {
     pub fn type2_pair_rate(&self, m: u32) -> f64 {
         match self.try_type2_pair_rate(m) {
             Ok(r) => r,
-            Err(e) => panic!("type2_pair_rate requires the bichromatic pump ({e})"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+            Err(e) => panic!("type2_pair_rate requires the bichromatic pump ({e})"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 
@@ -223,7 +223,7 @@ impl QfcSource {
     pub fn pairs_per_frame(&self, m: u32) -> f64 {
         match self.try_pairs_per_frame(m) {
             Ok(r) => r,
-            Err(e) => panic!("pairs_per_frame requires the double-pulse pump ({e})"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+            Err(e) => panic!("pairs_per_frame requires the double-pulse pump ({e})"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 

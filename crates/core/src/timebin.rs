@@ -136,7 +136,7 @@ pub fn channel_state_model_boosted(
 ) -> ChannelStateModel {
     match try_channel_state_model_boosted(source, config, m, power_factor) {
         Ok(model) => model,
-        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -402,7 +402,7 @@ pub fn run_timebin_experiment(
 ) -> TimeBinReport {
     match try_run_timebin_experiment(source, config, seed, &FaultSchedule::empty()) {
         Ok(run) => run.report,
-        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 

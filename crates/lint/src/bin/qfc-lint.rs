@@ -1,12 +1,15 @@
 //! `qfc-lint` CLI: lint the workspace, print the human report, write the
-//! canonical JSON report, and (with `--deny`) fail on any finding.
+//! canonical JSON report and call graph, and (with `--deny`) fail on any
+//! finding.
 //!
 //! ```text
-//! qfc-lint [--root DIR] [--json PATH] [--deny] [--list-rules]
+//! qfc-lint [--root DIR] [--json PATH] [--callgraph PATH] [--deny]
+//!          [--list-rules] [--explain RULE]
 //! ```
 //!
 //! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
-//! `--deny`, 2 usage or I/O error.
+//! `--deny`, 2 usage or I/O error (including `--explain` of an unknown
+//! rule).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,16 +19,20 @@ use qfc_lint::{find_workspace_root, report, rules, run};
 struct Options {
     root: Option<PathBuf>,
     json: Option<PathBuf>,
+    callgraph: Option<PathBuf>,
     deny: bool,
     list_rules: bool,
+    explain: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         root: None,
         json: None,
+        callgraph: None,
         deny: false,
         list_rules: false,
+        explain: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -40,9 +47,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--json requires a path argument")?;
                 opts.json = Some(PathBuf::from(v));
             }
+            "--callgraph" => {
+                let v = it.next().ok_or("--callgraph requires a path argument")?;
+                opts.callgraph = Some(PathBuf::from(v));
+            }
+            "--explain" => {
+                let v = it.next().ok_or("--explain requires a rule name")?;
+                opts.explain = Some(v.clone());
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: qfc-lint [--root DIR] [--json PATH] [--deny] [--list-rules]"
+                    "usage: qfc-lint [--root DIR] [--json PATH] [--callgraph PATH] \
+                     [--deny] [--list-rules] [--explain RULE]"
                         .to_string(),
                 )
             }
@@ -50,6 +66,40 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Collapses raw-string indentation for terminal output.
+fn flat(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn explain(name: &str) -> ExitCode {
+    let Some(rule) = rules::rule_by_name(name) else {
+        eprintln!("unknown rule `{name}` — run `qfc-lint --list-rules` for the roster");
+        return ExitCode::from(2);
+    };
+    println!("{}", rule.name);
+    println!("{}", "=".repeat(rule.name.len()));
+    println!();
+    println!("{}", flat(rule.summary));
+    println!();
+    println!("Why: {}", flat(rule.rationale));
+    println!();
+    if rule.allowable {
+        println!(
+            "Suppressible with `// qfc-lint: allow({}) — <justification>` on the \
+             offending line (trailing) or the line above (standalone).",
+            rule.name
+        );
+    } else {
+        println!("Not suppressible: fix the finding at the source.");
+    }
+    println!();
+    println!("Example:");
+    for line in rule.example.lines() {
+        println!("    {line}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -62,19 +112,18 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(name) = &opts.explain {
+        return explain(name);
+    }
+
     if opts.list_rules {
         for rule in rules::RULES {
-            let summary: String = rule
-                .summary
-                .split_whitespace()
-                .collect::<Vec<_>>()
-                .join(" ");
             let allow = if rule.allowable {
                 "allowable"
             } else {
                 "not allowable"
             };
-            println!("{:<16} [{allow}] {summary}", rule.name);
+            println!("{:<18} [{allow}] {}", rule.name, flat(rule.summary));
         }
         return ExitCode::SUCCESS;
     }
@@ -110,20 +159,26 @@ fn main() -> ExitCode {
     let json_path = opts
         .json
         .unwrap_or_else(|| root.join("target").join("LINT_REPORT.json"));
+    let graph_path = opts
+        .callgraph
+        .unwrap_or_else(|| root.join("target").join("CALLGRAPH.json"));
     let json = report::to_json(&run_report);
-    if let Some(parent) = json_path.parent() {
-        if let Err(e) = std::fs::create_dir_all(parent) {
-            eprintln!("cannot create {}: {e}", parent.display());
+    for (path, text) in [(&json_path, &json), (&graph_path, &run_report.callgraph)] {
+        if let Some(parent) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }
-    }
-    if let Err(e) = std::fs::write(&json_path, &json) {
-        eprintln!("cannot write {}: {e}", json_path.display());
-        return ExitCode::from(2);
     }
 
     print!("{}", report::to_human(&run_report));
     println!("  report: {}", json_path.display());
+    println!("  call graph: {}", graph_path.display());
 
     if opts.deny && !run_report.findings.is_empty() {
         eprintln!(

@@ -1,10 +1,27 @@
-//! The per-file rule engine: test-region masking, allow directives, and
-//! the token-pattern matchers for each domain rule.
+//! The per-file rule engine: test-region masking, allow directives, the
+//! token-pattern matchers for each line rule, and the glue that merges
+//! semantic (call-graph) findings with the per-file directive layer.
+//!
+//! Since v2 the engine runs in two phases: [`analyze_source`] produces
+//! a per-file [`Analysis`] (tokens, resolved symbols, raw line-rule
+//! findings, directives), and [`finalize_file`] merges in the semantic
+//! findings for that file, applies allow-directive suppression, and
+//! emits `unused-allow` for stale directives. [`lint_source`] composes
+//! both over a single file (with a single-file call graph), which keeps
+//! fixture tests and doctests self-contained; the workspace runner
+//! composes them over every file at once so cross-file reachability is
+//! visible.
 
+use std::collections::BTreeSet;
+
+use crate::callgraph::{build, FileCtx};
 use crate::lexer::{lex, TokKind, Token};
+use crate::resolve::{is_keyword_before_bracket, resolve_file};
 use crate::rules::{
-    rule_applies, rule_by_name, DETERMINISM_IDENTS, NUMERIC_TYPES, PANIC_MACROS, RNG_LANE_IDENTS,
+    rule_applies, rule_by_name, Profile, ENTROPY_IDENTS, NUMERIC_TYPES, RNG_LANE_IDENTS,
+    WALLCLOCK_IDENTS,
 };
+use crate::semantic;
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +45,9 @@ pub struct Finding {
 pub struct FileReport {
     /// Findings after allow-directive suppression, in source order.
     pub findings: Vec<Finding>,
+    /// Advisory findings (relaxed-profile downgrades), in source order.
+    /// Advisories never fail `--deny` and are not allow-suppressible.
+    pub advisories: Vec<Finding>,
     /// Number of slice/array indexing expressions outside test code —
     /// the panic-surface *audit* metric (informational, not a finding).
     pub index_audit: u64,
@@ -38,24 +58,81 @@ pub struct FileReport {
 }
 
 /// A parsed `// qfc-lint: allow(rule, …) — justification` directive.
-struct Directive {
-    rules: Vec<String>,
-    line: u32,
-    target_line: u32,
-    used: bool,
+#[derive(Debug, Clone)]
+pub(crate) struct Directive {
+    pub(crate) rules: Vec<String>,
+    pub(crate) line: u32,
+    pub(crate) target_line: u32,
+    pub(crate) used: bool,
 }
 
-/// Lints one file's source text in the context of `crate_name`.
+/// Phase-1 output for one file: everything the semantic pass and the
+/// finalizer need.
+#[derive(Debug)]
+pub(crate) struct Analysis {
+    /// Identity, tokens, and resolved symbols (consumed by the call
+    /// graph and the semantic pass).
+    pub(crate) ctx: FileCtx,
+    /// Raw line-rule findings, pre-suppression.
+    pub(crate) raw: Vec<Finding>,
+    /// Advisory line findings (relaxed-profile downgrades).
+    pub(crate) advisories: Vec<Finding>,
+    /// Parsed allow directives.
+    pub(crate) directives: Vec<Directive>,
+    /// Slice/array indexing count outside tests.
+    pub(crate) index_audit: u64,
+    /// Source lines (snippet rendering for semantic findings).
+    pub(crate) lines: Vec<String>,
+}
+
+impl Analysis {
+    /// Target lines of directives allowing `panic-reachability` (the
+    /// semantic pass matches them against fn declaration lines).
+    pub(crate) fn fn_allow_lines(&self) -> BTreeSet<u32> {
+        self.directives
+            .iter()
+            .filter(|d| d.rules.iter().any(|r| r == "panic-reachability"))
+            .map(|d| d.target_line)
+            .collect()
+    }
+}
+
+/// Lints one file's source text in the context of `crate_name`, under
+/// the strict profile, with a call graph confined to this file.
 ///
 /// `rel_path` is only used to label findings; no I/O happens here, which
 /// is what makes the engine trivially testable against fixture snippets.
+/// Cross-file reachability requires the workspace runner ([`crate::run`]).
 pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
+    let analysis = analyze_source(crate_name, rel_path, text, Profile::Strict);
+    let ctxs = std::slice::from_ref(&analysis.ctx);
+    let graph = build(ctxs);
+    let fn_allows = vec![analysis.fn_allow_lines()];
+    let sem = semantic::analyze(ctxs, &graph, &fn_allows);
+    let mut sem_findings = sem.findings;
+    let mut sem_advisories = sem.advisories;
+    let mut used_fn = sem.used_fn_allows;
+    finalize_file(
+        analysis,
+        sem_findings.pop().unwrap_or_default(),
+        sem_advisories.pop().unwrap_or_default(),
+        &used_fn.pop().unwrap_or_default(),
+    )
+}
+
+/// Phase 1: lexes, resolves, and runs every line rule over one file.
+pub(crate) fn analyze_source(
+    crate_name: &str,
+    rel_path: &str,
+    text: &str,
+    profile: Profile,
+) -> Analysis {
     let tokens = lex(text);
     let in_test = test_region_mask(&tokens);
-    let lines: Vec<&str> = text.lines().collect();
+    let lines: Vec<String> = text.lines().map(str::to_string).collect();
     let snippet = |line: u32| -> String {
         let idx = usize::try_from(line).unwrap_or(1).saturating_sub(1);
-        let s = lines.get(idx).copied().unwrap_or("").trim();
+        let s = lines.get(idx).map(String::as_str).unwrap_or("").trim();
         let mut out: String = s.chars().take(160).collect();
         if s.chars().count() > 160 {
             out.push('…');
@@ -63,10 +140,10 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
         out
     };
 
-    let mut report = FileReport::default();
     let mut raw: Vec<Finding> = Vec::new();
-    let mut directives =
-        collect_directives(crate_name, rel_path, &tokens, &in_test, &mut raw, &snippet);
+    let mut advisories: Vec<Finding> = Vec::new();
+    let mut index_audit = 0u64;
+    let directives = collect_directives(crate_name, rel_path, &tokens, &in_test, &mut raw, &snippet);
     let in_hot = hot_region_mask(rel_path, &tokens, &in_test, &mut raw, &snippet);
 
     // Indices of code tokens (non-comment, outside test regions) for the
@@ -77,18 +154,24 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
         })
         .collect();
 
-    let mut push = |rule: &'static str, tok: &Token, message: String| {
+    let mut push = |rule: &'static str, tok: &Token, message: String, advisory: bool| {
         if rule_applies(rule, crate_name) {
-            raw.push(Finding {
+            let f = Finding {
                 rule,
                 file: rel_path.to_string(),
                 line: tok.line,
                 col: tok.col,
                 message,
                 snippet: snippet(tok.line),
-            });
+            };
+            if advisory {
+                advisories.push(f);
+            } else {
+                raw.push(f);
+            }
         }
     };
+    let relaxed = profile == Profile::Relaxed;
 
     for (j, &ti) in code.iter().enumerate() {
         let tok = &tokens[ti];
@@ -122,6 +205,7 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
                             "`Vec::new` inside a `qfc-lint: hot` region — hoist the \
                              buffer out of the shot loop"
                                 .to_string(),
+                            false,
                         );
                     } else if name == "vec" && next_is("!") {
                         push(
@@ -130,21 +214,25 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
                             "`vec![…]` inside a `qfc-lint: hot` region — hoist the \
                              buffer out of the shot loop"
                                 .to_string(),
+                            false,
                         );
-                    } else if name == "clone"
-                        && j > 0
-                        && punct_at(j - 1, ".")
-                        && next_is("(")
-                    {
+                    } else if name == "clone" && j > 0 && punct_at(j - 1, ".") && next_is("(") {
                         push(
                             "hot-loop-alloc",
                             tok,
                             "`.clone()` inside a `qfc-lint: hot` region — borrow or \
                              reuse a scratch buffer instead"
                                 .to_string(),
+                            false,
                         );
                     }
                 }
+                // Determinism idents fire only in *use* position — when
+                // followed by `::`, `(`, `!`, or `<` — so imports, field
+                // types, and return types stay quiet; the use site is
+                // where the nondeterminism actually enters.
+                let use_position =
+                    next_is(":") || next_is("(") || next_is("!") || next_is("<");
                 if name == "as" {
                     if let Some(n) = next {
                         if n.kind == TokKind::Ident && NUMERIC_TYPES.contains(&n.text.as_str()) {
@@ -156,18 +244,29 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
                                      From/try_from, to_bits, or total_cmp",
                                     n.text
                                 ),
+                                relaxed,
                             );
                         }
                     }
-                } else if DETERMINISM_IDENTS.contains(&name) {
+                } else if WALLCLOCK_IDENTS.contains(&name) && use_position {
                     push(
                         "determinism",
                         tok,
                         format!(
-                            "`{name}` is non-deterministic (wall clock, ambient entropy, \
-                             or unordered iteration) — results must be a pure function \
-                             of explicit seeds"
+                            "`{name}` reads the wall clock — results must be a pure \
+                             function of explicit seeds"
                         ),
+                        relaxed,
+                    );
+                } else if ENTROPY_IDENTS.contains(&name) && use_position {
+                    push(
+                        "determinism",
+                        tok,
+                        format!(
+                            "`{name}` injects ambient entropy or unordered iteration — \
+                             results must be a pure function of explicit seeds"
+                        ),
+                        false,
                     );
                 } else if RNG_LANE_IDENTS.contains(&name) {
                     push(
@@ -177,19 +276,11 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
                             "`{name}` bypasses the split_seed lane discipline — derive \
                              RNGs with qfc_mathkit::rng::rng_from_seed(split_seed(..))"
                         ),
-                    );
-                } else if PANIC_MACROS.contains(&name) && next_is("!") {
-                    push(
-                        "panic-surface",
-                        tok,
-                        format!(
-                            "`{name}!` in library code — return a QfcError, or annotate \
-                             a validated legacy wrapper with a justification"
-                        ),
+                        false,
                     );
                 } else if name == "pub" {
                     if let Some(f) = check_error_taxonomy(&tokens, &code, j) {
-                        push("error-taxonomy", f.0, f.1);
+                        push("error-taxonomy", f.0, f.1, relaxed);
                     }
                 }
             }
@@ -202,16 +293,85 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
                     && !is_keyword_before_bracket(&prev.text)
                     || (prev.kind == TokKind::Punct && (prev.text == ")" || prev.text == "]"));
                 if indexing {
-                    report.index_audit += 1;
+                    index_audit += 1;
                 }
             }
             _ => {}
         }
     }
 
-    // Apply allow directives.
+    let symbols = resolve_file(&tokens, &in_test);
+    Analysis {
+        ctx: FileCtx {
+            crate_name: crate_name.to_string(),
+            file: rel_path.to_string(),
+            profile,
+            tokens,
+            in_test,
+            symbols,
+        },
+        raw,
+        advisories,
+        directives,
+        index_audit,
+        lines,
+    }
+}
+
+/// Phase 2: merges semantic findings into one file's analysis, applies
+/// allow-directive suppression, and reports stale directives.
+///
+/// `used_fn_lines` carries the fn-level `panic-reachability` directives
+/// (by target line) that the semantic pass proved load-bearing.
+pub(crate) fn finalize_file(
+    analysis: Analysis,
+    sem_findings: Vec<Finding>,
+    sem_advisories: Vec<Finding>,
+    used_fn_lines: &BTreeSet<u32>,
+) -> FileReport {
+    let Analysis {
+        ctx,
+        raw,
+        advisories,
+        mut directives,
+        index_audit,
+        lines,
+    } = analysis;
+    let rel_path = ctx.file;
+    let snippet = |line: u32| -> String {
+        let idx = usize::try_from(line).unwrap_or(1).saturating_sub(1);
+        let s = lines.get(idx).map(String::as_str).unwrap_or("").trim();
+        let mut out: String = s.chars().take(160).collect();
+        if s.chars().count() > 160 {
+            out.push('…');
+        }
+        out
+    };
+    let fill = |mut f: Finding| -> Finding {
+        if f.snippet.is_empty() {
+            f.snippet = snippet(f.line);
+        }
+        f
+    };
+
+    let mut report = FileReport {
+        index_audit,
+        ..FileReport::default()
+    };
+
+    // Fn-level panic-reachability allows proved load-bearing by the
+    // semantic pass count as used even though no finding lands on their
+    // target line.
+    for d in directives.iter_mut() {
+        if d.rules.iter().any(|r| r == "panic-reachability")
+            && used_fn_lines.contains(&d.target_line)
+        {
+            d.used = true;
+        }
+    }
+
     let mut kept = Vec::new();
-    for f in raw {
+    for f in raw.into_iter().chain(sem_findings.into_iter().map(fill)) {
         let mut suppressed = false;
         if rule_by_name(f.rule).map(|r| r.allowable).unwrap_or(false) {
             for d in directives.iter_mut() {
@@ -232,7 +392,7 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
         } else {
             kept.push(Finding {
                 rule: "unused-allow",
-                file: rel_path.to_string(),
+                file: rel_path.clone(),
                 line: d.line,
                 col: 1,
                 message: format!(
@@ -244,31 +404,24 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> FileReport {
             });
         }
     }
-    kept.sort_by(|a, b| {
-        (a.line, a.col, a.rule, a.message.as_str()).cmp(&(
-            b.line,
-            b.col,
-            b.rule,
-            b.message.as_str(),
-        ))
-    });
+    let sort_key = |f: &Finding| (f.line, f.col, f.rule, f.message.clone());
+    kept.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
     report.findings = kept;
-    report
-}
 
-/// Keywords that can directly precede `[` without forming an index
-/// expression (e.g. `return [a, b]`, `in [0, 1]`).
-fn is_keyword_before_bracket(name: &str) -> bool {
-    matches!(
-        name,
-        "return" | "in" | "if" | "else" | "match" | "break" | "as" | "mut" | "dyn" | "where"
-    )
+    let mut adv: Vec<Finding> = advisories
+        .into_iter()
+        .chain(sem_advisories.into_iter().map(fill))
+        .collect();
+    adv.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+    adv.dedup();
+    report.advisories = adv;
+    report
 }
 
 /// Marks every token covered by a `#[cfg(test)]`-gated item (plus the
 /// attribute itself). Rules do not apply inside test code: tests may use
 /// casts, panics, and ad-hoc errors freely.
-fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let code: Vec<usize> = (0..tokens.len())
         .filter(|&i| !matches!(tokens[i].kind, TokKind::LineComment | TokKind::BlockComment))
@@ -744,10 +897,93 @@ pub fn generic<F: Fn(f64) -> f64>(f: F) -> Result<f64, QfcError> { Ok(f(0.0)) }
     }
 
     #[test]
-    fn panic_macros_require_the_bang() {
-        let src = "fn f() { let panic = 1; let _ = panic; }\n";
+    fn determinism_fires_in_use_position_only() {
+        // Imports, field types, and return types are quiet; the call is
+        // the finding.
+        let src = "\
+use std::time::Instant;
+struct S { started: Instant }
+fn now() -> Instant { Instant::now() }
+fn m() { let h = HashMap::new(); let _ = h; }
+";
+        let got = run(src);
+        assert_eq!(got, vec![("determinism", 3), ("determinism", 4)], "{got:?}");
+    }
+
+    #[test]
+    fn panic_reachability_requires_a_public_path() {
+        // A panic in a private fn that nothing public reaches is fine.
+        let src = "fn helper() { panic!(\"boom\") }\n";
         assert!(run(src).is_empty());
-        let src = "fn f() { panic!(\"boom\") }\n";
-        assert_eq!(run(src), vec![("panic-surface", 1)]);
+        // The same panic reachable from a pub fn is a finding at the site.
+        let src = "pub fn run() { helper() }\nfn helper() { panic!(\"boom\") }\n";
+        assert_eq!(run(src), vec![("panic-reachability", 2)]);
+        // Direct panic in a pub fn is a finding.
+        let src = "pub fn f() { panic!(\"boom\") }\n";
+        assert_eq!(run(src), vec![("panic-reachability", 1)]);
+    }
+
+    #[test]
+    fn fn_level_allow_excuses_the_subtree_and_registers_as_used() {
+        let src = "\
+// qfc-lint: allow(panic-reachability) — validated legacy wrapper, panics on contract violation
+pub fn run() { helper() }
+fn helper() { other.unwrap() }
+";
+        let r = lint_source("qfc-core", "t.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!((r.allows_total, r.allows_used), (1, 1));
+    }
+
+    #[test]
+    fn par_merge_order_flags_captured_accumulators() {
+        let src = "\
+fn f(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    par_map(xs, |x| { total += x; 0.0 });
+    total
+}
+";
+        assert_eq!(run(src), vec![("par-merge-order", 3)]);
+        // A closure-local accumulator is fine.
+        let src = "\
+fn f(xs: &[f64]) {
+    par_map(xs, |x| { let mut acc = 0.0; acc += x; acc });
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn rng_lane_flow_catches_laundered_seeds() {
+        let src = "\
+fn helper(x: u64, seed: u64) -> u64 {
+    let mut rng = rng_from_seed(seed);
+    x
+}
+pub fn sweep(xs: &[u64], seed: u64) {
+    par_map(xs, |x| helper(*x, seed));
+}
+";
+        let got = run(src);
+        assert!(
+            got.contains(&("rng-lane-flow", 6)),
+            "expected a finding at the par_map call site: {got:?}"
+        );
+        // Splitting at the boundary is clean.
+        let src = "\
+fn helper(x: u64, seed: u64) -> u64 {
+    let mut rng = rng_from_seed(seed);
+    x
+}
+pub fn sweep(xs: &[u64], seed: u64) {
+    par_map(xs, |x| helper(*x, split_seed(seed, *x)));
+}
+";
+        let got = run(src);
+        assert!(
+            !got.iter().any(|(r, _)| *r == "rng-lane-flow"),
+            "split_seed lane must be clean: {got:?}"
+        );
     }
 }

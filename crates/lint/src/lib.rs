@@ -10,17 +10,36 @@
 //! PR 3's bug crop (`as i64` frequency comparison, unguarded mean
 //! division) showed that the defects threatening that claim are a
 //! *class*; `qfc-lint` machine-checks the class instead of trusting
-//! review:
+//! review.
+//!
+//! Since v2 the pass is *semantic*: [`resolve`] recovers fn items,
+//! call sites, and parallel-closure spans from the token stream,
+//! [`callgraph`] links them into a deterministic workspace call graph
+//! (serialized as `target/CALLGRAPH.json`), and [`semantic`] proves
+//! flow-aware properties over it:
 //!
 //! * **lossy-cast** — no `as` numeric casts in library crates,
 //! * **determinism** — no wall clock, ambient entropy, or unordered
-//!   iteration in result-affecting code,
+//!   iteration in use position in result-affecting code,
 //! * **rng-lane** — drivers derive RNGs only through `split_seed` lanes,
-//! * **panic-surface** — panics confined to annotated legacy wrappers,
+//! * **rng-lane-flow** — interprocedural: seeds reaching `rng_from_seed`
+//!   on a parallel path must carry `split_seed` lane evidence, even
+//!   when laundered through helper fns,
+//! * **panic-reachability** — every panic site reachable from a public
+//!   fn of a library crate needs a justified allow on the path,
+//! * **par-merge-order** — parallel closures must not mutate captured
+//!   accumulators or touch shared-state primitives; merges fold in
+//!   shard-index order,
 //! * **error-taxonomy** — public fallible fns return `QfcError`,
 //!
-//! plus the workspace checks **forbid-unsafe** and **ci-roster**, and
-//! directive hygiene (**bad-directive**, **unused-allow**).
+//! plus the workspace checks **forbid-unsafe** and **ci-roster**, the
+//! hot-region check **hot-loop-alloc**, and directive hygiene
+//! (**bad-directive**, **unused-allow**).
+//!
+//! Library crates under `crates/` are linted under the strict profile;
+//! the workspace root crate (`src/`, `src/bin/`) and `examples/` ride
+//! along under the relaxed profile, where panic and cast rules are
+//! advisory but determinism and RNG-lane discipline stay enforced.
 //!
 //! A violation is silenced only by an in-source scoped directive with a
 //! mandatory justification:
@@ -47,12 +66,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
 pub mod report;
+pub mod resolve;
 pub mod rules;
+pub mod semantic;
 pub mod workspace;
 
+pub use callgraph::GraphSummary;
 pub use engine::{lint_source, Finding};
 pub use workspace::{find_workspace_root, run, RunReport};
 

@@ -14,7 +14,7 @@ use crate::workspace::RunReport;
 pub fn to_json(r: &RunReport) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"qfc-lint/1\",\n");
+    out.push_str("  \"schema\": \"qfc-lint/2\",\n");
     out.push_str(&format!(
         "  \"tool_version\": {},\n",
         json_str(env!("CARGO_PKG_VERSION"))
@@ -59,28 +59,42 @@ pub fn to_json(r: &RunReport) -> String {
         out.push_str("\n  ");
     }
     out.push_str("},\n");
-    out.push_str("  \"findings\": [");
-    for (i, f) in r.findings.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
+    for (key, list) in [("findings", &r.findings), ("advisories", &r.advisories)] {
+        out.push_str(&format!("  \"{key}\": ["));
+        for (i, f) in list.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"rule\": ");
+            out.push_str(&json_str(f.rule));
+            out.push_str(", \"file\": ");
+            out.push_str(&json_str(&f.file));
+            out.push_str(&format!(
+                ", \"line\": {}, \"col\": {}, \"message\": ",
+                f.line, f.col
+            ));
+            out.push_str(&json_str(&f.message));
+            out.push_str(", \"snippet\": ");
+            out.push_str(&json_str(&f.snippet));
+            out.push('}');
         }
-        out.push_str("\n    {\"rule\": ");
-        out.push_str(&json_str(f.rule));
-        out.push_str(", \"file\": ");
-        out.push_str(&json_str(&f.file));
-        out.push_str(&format!(
-            ", \"line\": {}, \"col\": {}, \"message\": ",
-            f.line, f.col
-        ));
-        out.push_str(&json_str(&f.message));
-        out.push_str(", \"snippet\": ");
-        out.push_str(&json_str(&f.snippet));
-        out.push('}');
+        if !list.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
     }
-    if !r.findings.is_empty() {
-        out.push_str("\n  ");
-    }
-    out.push_str("],\n");
+    out.push_str(&format!(
+        "  \"callgraph\": {{\"nodes\": {}, \"edges\": {}, \"entry_points\": {}, \
+         \"panic_sites\": {}, \"reachable_panic_sites\": {}, \"par_reachable_fns\": {}, \
+         \"index_sites\": {}}},\n",
+        r.graph.nodes,
+        r.graph.edges,
+        r.graph.entry_points,
+        r.graph.panic_sites,
+        r.graph.reachable_panic_sites,
+        r.graph.par_reachable_fns,
+        r.graph.index_sites,
+    ));
     let by_rule = count_by_rule(r);
     out.push_str("  \"summary\": {");
     out.push_str(&format!("\"total\": {}", r.findings.len()));
@@ -114,6 +128,22 @@ pub fn to_human(r: &RunReport) -> String {
         r.allows_used,
         r.allows_total
     ));
+    out.push_str(&format!(
+        "  call graph: {} fn(s), {} edge(s), {} entry point(s); {} of {} panic \
+         site(s) reachable from public API; {} fn(s) on parallel paths\n",
+        r.graph.nodes,
+        r.graph.edges,
+        r.graph.entry_points,
+        r.graph.reachable_panic_sites,
+        r.graph.panic_sites,
+        r.graph.par_reachable_fns,
+    ));
+    if !r.advisories.is_empty() {
+        out.push_str(&format!(
+            "  advisories (relaxed profile, non-fatal): {}\n",
+            r.advisories.len()
+        ));
+    }
     if !by_rule.is_empty() {
         let parts: Vec<String> = by_rule
             .iter()
@@ -144,7 +174,7 @@ fn normalize_ws(s: &str) -> String {
 
 /// Minimal JSON string escaping (RFC 8259): quotes, backslashes, and
 /// control characters; everything else passes through as UTF-8.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -178,13 +208,18 @@ mod tests {
             crates: vec!["qfc-core".to_string()],
             files_scanned: 0,
             findings: Vec::new(),
+            advisories: Vec::new(),
             index_audit: BTreeMap::new(),
             allows_total: 0,
             allows_used: 0,
+            callgraph: String::new(),
+            graph: crate::callgraph::GraphSummary::default(),
         };
         let a = to_json(&r);
         let b = to_json(&r);
         assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"qfc-lint/2\""));
+        assert!(a.contains("\"advisories\": []"));
         assert!(a.contains("\"total\": 0"));
         assert!(a.ends_with("}\n"));
     }

@@ -1,0 +1,903 @@
+//! The three flow-aware rules over the workspace call graph:
+//!
+//! * **panic-reachability** — every panic site reachable from a public
+//!   fn of a strict-profile file must be excused by an allow directive
+//!   at the site or at a fn declaration on the path (a fn-level allow
+//!   excuses the whole subtree below that fn).
+//! * **par-merge-order** — no shared-state mutation inside (or
+//!   reachable from) a parallel closure, and no order-sensitive merge
+//!   stage.
+//! * **rng-lane-flow** — a seed that reaches `rng_from_seed` on a
+//!   parallel path must derive from a `split_seed` lane, even when it
+//!   is laundered through helper-fn parameters.
+//!
+//! Everything here is deterministic: node order follows file order,
+//! BFS queues drain in sorted successor order, and findings dedupe
+//! through `BTreeSet`s. Soundness caveats (name-based resolution, no
+//! type information, no closure-valued variables) are documented in
+//! DESIGN.md §16.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::callgraph::{count_u64, CallGraph, FileCtx, GraphSummary};
+use crate::engine::Finding;
+use crate::lexer::{TokKind, Token};
+use crate::resolve::{bindings_in, ClosureRole, FnItem};
+use crate::rules::{rule_applies, Profile, PAR_MERGE_EXEMPT};
+
+/// Output of the semantic pass, indexed per input file.
+#[derive(Debug, Default)]
+pub struct SemanticResult {
+    /// Enforced findings per file (same index as the input slice).
+    pub findings: Vec<Vec<Finding>>,
+    /// Advisory findings per file (relaxed-profile panic sites).
+    pub advisories: Vec<Vec<Finding>>,
+    /// Per file: target lines of fn-level `panic-reachability` allow
+    /// directives that actually excuse a reachable panic subtree.
+    pub used_fn_allows: Vec<BTreeSet<u32>>,
+    /// Reachability-aware call-graph summary.
+    pub summary: GraphSummary,
+}
+
+/// Per-file token context used by the classifiers.
+struct FileView<'a> {
+    ctx: &'a FileCtx,
+    tokens: &'a [Token],
+    in_test: &'a [bool],
+}
+
+impl FileView<'_> {
+    /// Code-token indices within a half-open raw token range.
+    fn code_in(&self, start: usize, end: usize) -> Vec<usize> {
+        (start..end.min(self.tokens.len()))
+            .filter(|&i| {
+                !self.in_test[i]
+                    && !matches!(
+                        self.tokens[i].kind,
+                        TokKind::LineComment | TokKind::BlockComment
+                    )
+            })
+            .collect()
+    }
+
+    /// Innermost parallel-closure span containing token `ti`, if any.
+    fn par_span_of(&self, ti: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (ci, c) in self.ctx.symbols.par_closures.iter().enumerate() {
+            if c.role != ClosureRole::Parallel {
+                continue;
+            }
+            let (s, e) = c.body;
+            if s <= ti && ti < e {
+                let tighter = match best {
+                    None => true,
+                    Some(b) => self.ctx.symbols.par_closures[b].body.0 < s,
+                };
+                if tighter {
+                    best = Some(ci);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// How a seed-argument expression relates to the lane discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SeedClass {
+    /// Provably lane-derived (contains a `split_seed`-family call or a
+    /// `.seed` shard-field read) — or otherwise out of scope.
+    Pure,
+    /// A bare identifier whose provenance depends on context.
+    Ident(String),
+    /// Anything else: a raw expression with no lane evidence.
+    Raw,
+}
+
+/// Runs the semantic pass. `fn_allows[i]` holds the target lines of
+/// `panic-reachability` allow directives in file `i` (the engine later
+/// matches them against fn declaration lines).
+pub fn analyze(
+    files: &[FileCtx],
+    graph: &CallGraph,
+    fn_allows: &[BTreeSet<u32>],
+) -> SemanticResult {
+    let views: Vec<FileView<'_>> = files
+        .iter()
+        .map(|ctx| FileView {
+            ctx,
+            tokens: &ctx.tokens,
+            in_test: &ctx.in_test,
+        })
+        .collect();
+
+    let mut result = SemanticResult {
+        findings: vec![Vec::new(); files.len()],
+        advisories: vec![Vec::new(); files.len()],
+        used_fn_allows: vec![BTreeSet::new(); files.len()],
+        summary: crate::callgraph::base_summary(files, graph),
+    };
+
+    let par_reach = par_reachable(&views, graph);
+    result.summary.par_reachable_fns = count_u64(par_reach.len());
+
+    panic_reachability(&views, graph, fn_allows, &par_reach, &mut result);
+    par_merge_order(&views, graph, &par_reach, &mut result);
+    rng_lane_flow(&views, graph, &par_reach, &mut result);
+
+    for per_file in result.findings.iter_mut().chain(result.advisories.iter_mut()) {
+        per_file.sort_by(|a, b| {
+            (a.line, a.col, a.rule, a.message.as_str()).cmp(&(
+                b.line,
+                b.col,
+                b.rule,
+                b.message.as_str(),
+            ))
+        });
+        per_file.dedup();
+    }
+    result
+}
+
+fn finding(rule: &'static str, file: &str, line: u32, col: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        file: file.to_string(),
+        line,
+        col,
+        message,
+        snippet: String::new(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel reachability (shared by all three rules)
+// ---------------------------------------------------------------------
+
+/// Node indices reachable from inside any parallel closure: seeded by
+/// the callees invoked within parallel spans (plus bare fn references
+/// handed to the pool), closed over the call graph.
+fn par_reachable(views: &[FileView<'_>], graph: &CallGraph) -> BTreeSet<usize> {
+    let mut seeds: BTreeSet<usize> = BTreeSet::new();
+    let seed_name = |name: &str, set: &mut BTreeSet<usize>| {
+        if let Some(targets) = graph.by_name.get(name) {
+            set.extend(targets.iter().copied());
+        }
+    };
+    for v in views {
+        for c in &v.ctx.symbols.par_closures {
+            if c.role != ClosureRole::Parallel {
+                continue;
+            }
+            if let Some(name) = &c.merge_callee {
+                seed_name(name, &mut seeds);
+            }
+        }
+        for f in &v.ctx.symbols.fns {
+            for call in &f.calls {
+                if v.par_span_of(call.tok).is_some() {
+                    seed_name(&call.callee, &mut seeds);
+                }
+            }
+        }
+    }
+    let mut reach = seeds.clone();
+    let mut queue: VecDeque<usize> = seeds.into_iter().collect();
+    while let Some(n) = queue.pop_front() {
+        for &s in &graph.succ[n] {
+            if reach.insert(s) {
+                queue.push_back(s);
+            }
+        }
+    }
+    reach
+}
+
+// ---------------------------------------------------------------------
+// panic-reachability
+// ---------------------------------------------------------------------
+
+/// Whether node `n` carries a fn-level panic-reachability allow.
+fn node_allowed(views: &[FileView<'_>], graph: &CallGraph, fn_allows: &[BTreeSet<u32>], n: usize) -> bool {
+    let node = &graph.nodes[n];
+    let item = &views[node.file_idx].ctx.symbols.fns[node.fn_idx];
+    let allows = &fn_allows[node.file_idx];
+    allows.contains(&item.decl_line) || allows.contains(&item.line)
+}
+
+/// BFS from unallowed public entries, never descending into an allowed
+/// node. Returns, for each reached node, the parent pointer of the
+/// first (deterministic) path that reached it.
+fn blocked_reach(
+    views: &[FileView<'_>],
+    graph: &CallGraph,
+    fn_allows: &[BTreeSet<u32>],
+    ignore_allow: Option<(usize, u32)>,
+) -> BTreeMap<usize, Option<usize>> {
+    let allowed = |n: usize| -> bool {
+        if let Some((fi, line)) = ignore_allow {
+            let node = &graph.nodes[n];
+            let item = &views[node.file_idx].ctx.symbols.fns[node.fn_idx];
+            if node.file_idx == fi && (item.decl_line == line || item.line == line) {
+                return false;
+            }
+        }
+        node_allowed(views, graph, fn_allows, n)
+    };
+    let entries: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            views[n.file_idx].ctx.profile == Profile::Strict
+                && views[n.file_idx].ctx.symbols.fns[n.fn_idx].is_pub
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    for e in entries {
+        if !allowed(e) && !parent.contains_key(&e) {
+            parent.insert(e, None);
+            queue.push_back(e);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for &s in &graph.succ[n] {
+            if allowed(s) || parent.contains_key(&s) {
+                continue;
+            }
+            parent.insert(s, Some(n));
+            queue.push_back(s);
+        }
+    }
+    parent
+}
+
+/// Panic-site keys emitted by one blocked-reachability pass.
+fn panic_site_keys(
+    views: &[FileView<'_>],
+    graph: &CallGraph,
+    reach: &BTreeMap<usize, Option<usize>>,
+) -> BTreeSet<(usize, u32, u32)> {
+    let mut keys = BTreeSet::new();
+    for &n in reach.keys() {
+        let node = &graph.nodes[n];
+        if views[node.file_idx].ctx.profile != Profile::Strict {
+            continue;
+        }
+        let item = &views[node.file_idx].ctx.symbols.fns[node.fn_idx];
+        for site in &item.panic_sites {
+            keys.insert((node.file_idx, site.line, site.col));
+        }
+    }
+    keys
+}
+
+fn panic_reachability(
+    views: &[FileView<'_>],
+    graph: &CallGraph,
+    fn_allows: &[BTreeSet<u32>],
+    _par_reach: &BTreeSet<usize>,
+    result: &mut SemanticResult,
+) {
+    // Advisory pass for relaxed-profile files: every panic site is
+    // reported informationally, with no reachability requirement.
+    for (fi, v) in views.iter().enumerate() {
+        if v.ctx.profile != Profile::Relaxed {
+            continue;
+        }
+        for item in &v.ctx.symbols.fns {
+            for site in &item.panic_sites {
+                result.advisories[fi].push(finding(
+                    "panic-reachability",
+                    &v.ctx.file,
+                    site.line,
+                    site.col,
+                    format!(
+                        "`{}` in `{}` (relaxed profile: binaries and examples may \
+                         panic, reported for visibility only)",
+                        site.what, item.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    let reach = blocked_reach(views, graph, fn_allows, None);
+    result.summary.reachable_panic_sites =
+        count_u64(panic_site_keys(views, graph, &reach).len());
+
+    // Enforced findings: one per reachable panic site in a strict file,
+    // carrying the first discovered entry path.
+    for &n in reach.keys() {
+        let node = &graph.nodes[n];
+        let v = &views[node.file_idx];
+        if v.ctx.profile != Profile::Strict
+            || !rule_applies("panic-reachability", &v.ctx.crate_name)
+        {
+            continue;
+        }
+        let item = &v.ctx.symbols.fns[node.fn_idx];
+        if item.panic_sites.is_empty() {
+            continue;
+        }
+        let path = path_to(graph, &reach, n);
+        for site in &item.panic_sites {
+            result.findings[node.file_idx].push(finding(
+                "panic-reachability",
+                &v.ctx.file,
+                site.line,
+                site.col,
+                format!(
+                    "`{}` is reachable from public API via {} — return a QfcError, or \
+                     excuse the site (or an entry fn on the path) with a justified \
+                     allow(panic-reachability)",
+                    site.what, path
+                ),
+            ));
+        }
+    }
+
+    // Fn-level allow usage: an allow is *used* iff deactivating it would
+    // let at least one new panic site become reachable.
+    let base_keys = panic_site_keys(views, graph, &reach);
+    for (fi, lines) in fn_allows.iter().enumerate() {
+        for &line in lines {
+            // Only consider directives that actually sit on a fn decl.
+            let on_fn = views[fi]
+                .ctx
+                .symbols
+                .fns
+                .iter()
+                .any(|f| f.decl_line == line || f.line == line);
+            if !on_fn {
+                continue;
+            }
+            let without = blocked_reach(views, graph, fn_allows, Some((fi, line)));
+            if panic_site_keys(views, graph, &without)
+                .difference(&base_keys)
+                .next()
+                .is_some()
+            {
+                result.used_fn_allows[fi].insert(line);
+            }
+        }
+    }
+}
+
+/// Renders the entry path to node `n` as `entry → a → b`, capped at six
+/// hops with the entry's location appended.
+fn path_to(graph: &CallGraph, parent: &BTreeMap<usize, Option<usize>>, n: usize) -> String {
+    let mut chain = vec![n];
+    let mut cur = n;
+    while let Some(Some(p)) = parent.get(&cur) {
+        chain.push(*p);
+        cur = *p;
+        if chain.len() > 32 {
+            break;
+        }
+    }
+    chain.reverse();
+    let names: Vec<&str> = chain
+        .iter()
+        .map(|&i| {
+            graph.nodes[i]
+                .id
+                .rsplit(':')
+                .next()
+                .unwrap_or(graph.nodes[i].id.as_str())
+        })
+        .collect();
+    let entry_id = &graph.nodes[chain[0]].id;
+    let shown: Vec<&str> = if names.len() > 6 {
+        let mut v = names[..3].to_vec();
+        v.push("…");
+        v.extend_from_slice(&names[names.len() - 2..]);
+        v
+    } else {
+        names
+    };
+    format!("pub fn {} [{}]", shown.join(" → "), entry_id)
+}
+
+// ---------------------------------------------------------------------
+// par-merge-order
+// ---------------------------------------------------------------------
+
+/// Method names that reorder a merge stage's input.
+const ORDER_SENSITIVE: &[&str] = &["rev", "pop", "swap_remove"];
+
+fn par_merge_order(
+    views: &[FileView<'_>],
+    graph: &CallGraph,
+    par_reach: &BTreeSet<usize>,
+    result: &mut SemanticResult,
+) {
+    // (a) Direct shapes inside parallel closures: compound assignment to
+    // captured state, and shared-state hazard identifiers. These fire in
+    // every crate — even PAR_MERGE_EXEMPT ones — because a mutation
+    // *inside* a parallel closure is never the runtime's own machinery.
+    for (fi, v) in views.iter().enumerate() {
+        for item in &v.ctx.symbols.fns {
+            for a in &item.assigns {
+                let Some(ci) = v.par_span_of(a.tok) else {
+                    continue;
+                };
+                let closure = &v.ctx.symbols.par_closures[ci];
+                let (s, e) = closure.body;
+                let mut local = bindings_in(v.tokens, v.in_test, s, e);
+                local.extend(closure.params.iter().cloned());
+                let captured = match &a.root {
+                    Some(r) => r == "self" || !local.contains(r),
+                    None => true,
+                };
+                if captured {
+                    let what = a.root.as_deref().unwrap_or("<expr>");
+                    result.findings[fi].push(finding(
+                        "par-merge-order",
+                        &v.ctx.file,
+                        a.line,
+                        a.col,
+                        format!(
+                            "`{}` mutates `{}`, which is captured by the {} closure at \
+                             line {} — shard results must merge through the runtime's \
+                             index-ordered fold, not a shared accumulator",
+                            a.op, what, closure.kind, closure.line
+                        ),
+                    ));
+                }
+            }
+            for h in &item.hazards {
+                let Some(ci) = v.par_span_of(h.tok) else {
+                    continue;
+                };
+                let closure = &v.ctx.symbols.par_closures[ci];
+                result.findings[fi].push(finding(
+                    "par-merge-order",
+                    &v.ctx.file,
+                    h.line,
+                    h.col,
+                    format!(
+                        "shared-state `{}` inside the {} closure at line {} — \
+                         per-shard results must stay private until the index-ordered \
+                         merge",
+                        h.what, closure.kind, closure.line
+                    ),
+                ));
+            }
+        }
+    }
+
+    // (b) Transitive: hazards in fns reachable from a parallel closure,
+    // excluding the runtime/observability crates that own their locks.
+    for &n in par_reach {
+        let node = &graph.nodes[n];
+        let v = &views[node.file_idx];
+        if PAR_MERGE_EXEMPT.contains(&v.ctx.crate_name.as_str()) {
+            continue;
+        }
+        let item = &v.ctx.symbols.fns[node.fn_idx];
+        for h in &item.hazards {
+            if v.par_span_of(h.tok).is_some() {
+                continue; // already reported by the direct pass
+            }
+            result.findings[node.file_idx].push(finding(
+                "par-merge-order",
+                &v.ctx.file,
+                h.line,
+                h.col,
+                format!(
+                    "shared-state `{}` in `{}`, which is reachable from a parallel \
+                     closure — synchronized mutation on a shard path makes the merge \
+                     order scheduling-dependent",
+                    h.what, item.name
+                ),
+            ));
+        }
+    }
+
+    // (c) Order-sensitive merge stages: `.rev()/.pop()/.swap_remove()`
+    // inside a par_shots merge closure or a named merge fn.
+    for (fi, v) in views.iter().enumerate() {
+        for c in &v.ctx.symbols.par_closures {
+            if c.role != ClosureRole::Merge {
+                continue;
+            }
+            let mut spans: Vec<(usize, &FileView<'_>, usize, usize)> = Vec::new();
+            if c.body.0 < c.body.1 {
+                spans.push((fi, v, c.body.0, c.body.1));
+            }
+            if let Some(name) = &c.merge_callee {
+                if let Some(targets) = graph.by_name.get(name) {
+                    for &t in targets {
+                        let tn = &graph.nodes[t];
+                        let tv = &views[tn.file_idx];
+                        if let Some((s, e)) = tv.ctx.symbols.fns[tn.fn_idx].body {
+                            spans.push((tn.file_idx, tv, s, e));
+                        }
+                    }
+                }
+            }
+            for (sfi, sv, s, e) in spans {
+                let code = sv.code_in(s, e);
+                for (k, &ti) in code.iter().enumerate() {
+                    let t = &sv.tokens[ti];
+                    let is_call = t.kind == TokKind::Ident
+                        && ORDER_SENSITIVE.contains(&t.text.as_str())
+                        && k > 0
+                        && sv.tokens[code[k - 1]].kind == TokKind::Punct
+                        && sv.tokens[code[k - 1]].text == "."
+                        && code
+                            .get(k + 1)
+                            .map(|&m| {
+                                sv.tokens[m].kind == TokKind::Punct && sv.tokens[m].text == "("
+                            })
+                            .unwrap_or(false);
+                    if is_call {
+                        result.findings[sfi].push(finding(
+                            "par-merge-order",
+                            &sv.ctx.file,
+                            t.line,
+                            t.col,
+                            format!(
+                                "`.{}()` in the merge stage of the {} at line {} — the \
+                                 merge must fold shard results in index order",
+                                t.text, c.kind, c.line
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// rng-lane-flow
+// ---------------------------------------------------------------------
+
+fn rng_lane_flow(
+    views: &[FileView<'_>],
+    graph: &CallGraph,
+    par_reach: &BTreeSet<usize>,
+    result: &mut SemanticResult,
+) {
+    // Lane-deriver name set D: fixpoint from `split_seed` over "some fn
+    // of this name directly calls a D-member". Over-approximate by
+    // design: an argument expression that routes through any D-member
+    // is treated as lane-derived.
+    let mut derivers: BTreeSet<String> = BTreeSet::new();
+    derivers.insert("split_seed".to_string());
+    loop {
+        let mut grew = false;
+        for v in views {
+            for f in &v.ctx.symbols.fns {
+                if derivers.contains(&f.name) {
+                    continue;
+                }
+                if f.calls.iter().any(|c| derivers.contains(&c.callee)) {
+                    derivers.insert(f.name.clone());
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Seed-sink positions: for each fn name, the call-site argument
+    // positions whose value flows (possibly through further helper
+    // parameters) into an `rng_from_seed` outside any parallel span.
+    let mut sink_pos: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    loop {
+        let mut grew = false;
+        for v in views.iter() {
+            for item in &v.ctx.symbols.fns {
+                let has_self = item.params.first().map(|p| p.name == "self").unwrap_or(false);
+                let mark = |param_idx: usize, sink_pos: &mut BTreeMap<String, BTreeSet<usize>>| -> bool {
+                    let pos = if has_self {
+                        match param_idx.checked_sub(1) {
+                            Some(p) => p,
+                            None => return false, // receiver position: out of scope
+                        }
+                    } else {
+                        param_idx
+                    };
+                    sink_pos.entry(item.name.clone()).or_default().insert(pos)
+                };
+                for ctor in &item.rng_ctors {
+                    if v.par_span_of(ctor.tok).is_some() {
+                        continue; // handled directly at the emission pass
+                    }
+                    let Some((s, e)) = ctor.arg else { continue };
+                    if let SeedClass::Ident(x) = classify_expr(v, &derivers, s, e, 0) {
+                        for (pi, p) in item.params.iter().enumerate() {
+                            if p.name == x && mark(pi, &mut sink_pos) {
+                                grew = true;
+                            }
+                        }
+                    }
+                }
+                for call in &item.calls {
+                    if v.par_span_of(call.tok).is_some() {
+                        continue;
+                    }
+                    let Some(positions) = sink_pos.get(&call.callee).cloned() else {
+                        continue;
+                    };
+                    for pos in positions {
+                        let Some(&(s, e)) = call.args.get(pos) else {
+                            continue;
+                        };
+                        if let SeedClass::Ident(x) = classify_expr(v, &derivers, s, e, 0) {
+                            for (pi, p) in item.params.iter().enumerate() {
+                                if p.name == x && mark(pi, &mut sink_pos) {
+                                    grew = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Emission: inside parallel closures (or fns reachable from one),
+    // a raw seed reaching rng_from_seed — directly or through a sink
+    // position — is a finding.
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        node_of.insert((n.file_idx, n.fn_idx), i);
+    }
+    let mut emitted: BTreeSet<(usize, u32, u32)> = BTreeSet::new();
+    for (fi, v) in views.iter().enumerate() {
+        if !rule_applies("rng-lane-flow", &v.ctx.crate_name) {
+            continue;
+        }
+        for (ni, item) in v.ctx.symbols.fns.iter().enumerate() {
+            let fn_on_par_path = node_of
+                .get(&(fi, ni))
+                .map(|n| par_reach.contains(n))
+                .unwrap_or(false);
+            for ctor in &item.rng_ctors {
+                let in_span = v.par_span_of(ctor.tok).is_some();
+                if !in_span && !fn_on_par_path {
+                    continue;
+                }
+                let Some((s, e)) = ctor.arg else { continue };
+                let class = resolve_class(v, &derivers, item, ctor.tok, s, e);
+                let raw = match class {
+                    SeedClass::Pure => false,
+                    SeedClass::Raw => true,
+                    // Outside a span, a bare enclosing-fn parameter
+                    // shifts the obligation to the callers (the sink
+                    // fixpoint above); anything else is raw.
+                    SeedClass::Ident(x) => {
+                        in_span || !item.params.iter().any(|p| p.name == x)
+                    }
+                };
+                if raw && emitted.insert((fi, ctor.line, ctor.col)) {
+                    result.findings[fi].push(finding(
+                        "rng-lane-flow",
+                        &v.ctx.file,
+                        ctor.line,
+                        ctor.col,
+                        format!(
+                            "`rng_from_seed` on a parallel path in `{}` takes a seed \
+                             with no split_seed lane evidence — identical shard seeds \
+                             draw identical streams",
+                            item.name
+                        ),
+                    ));
+                }
+            }
+            for call in &item.calls {
+                let in_span = v.par_span_of(call.tok).is_some();
+                if !in_span && !fn_on_par_path {
+                    continue;
+                }
+                let Some(positions) = sink_pos.get(&call.callee) else {
+                    continue;
+                };
+                for &pos in positions {
+                    // Sink positions are call-site positional indices
+                    // (receiver-adjusted at recording time).
+                    let Some(&(s, e)) = call.args.get(pos) else {
+                        continue;
+                    };
+                    let class = resolve_class(v, &derivers, item, call.tok, s, e);
+                    let raw = match class {
+                        SeedClass::Pure => false,
+                        SeedClass::Raw => true,
+                        SeedClass::Ident(x) => {
+                            in_span || !item.params.iter().any(|p| p.name == x)
+                        }
+                    };
+                    if raw && emitted.insert((fi, call.line, call.col)) {
+                        result.findings[fi].push(finding(
+                            "rng-lane-flow",
+                            &v.ctx.file,
+                            call.line,
+                            call.col,
+                            format!(
+                                "seed argument {} of `{}` reaches rng_from_seed on a \
+                                 parallel path without split_seed lane evidence — \
+                                 derive it with split_seed(seed, lane) at the parallel \
+                                 boundary",
+                                pos, call.callee
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Classifies an argument expression at a use site: resolves bare
+/// identifiers against the innermost parallel-closure context when the
+/// use sits inside one (closure params and span-local `let`s are
+/// lane-pure shard data; everything captured is raw).
+fn resolve_class(
+    v: &FileView<'_>,
+    derivers: &BTreeSet<String>,
+    item: &FnItem,
+    use_tok: usize,
+    s: usize,
+    e: usize,
+) -> SeedClass {
+    let class = classify_expr(v, derivers, s, e, 0);
+    let SeedClass::Ident(name) = &class else {
+        return class;
+    };
+    let Some(ci) = v.par_span_of(use_tok) else {
+        return class;
+    };
+    let closure = &v.ctx.symbols.par_closures[ci];
+    if closure.params.iter().any(|p| p == name) {
+        // Shard-item data: the runtime hands each closure its own item.
+        return SeedClass::Pure;
+    }
+    let (cs, ce) = closure.body;
+    if bindings_in(v.tokens, v.in_test, cs, ce).contains(name) {
+        // A span-local binding: classify its initializer.
+        if let Some((is, ie)) = let_init_range(v, cs, ce, name) {
+            return match classify_expr(v, derivers, is, ie, 1) {
+                SeedClass::Ident(_) => SeedClass::Raw,
+                other => other,
+            };
+        }
+        return SeedClass::Raw;
+    }
+    // Captured from the enclosing fn (including its parameters): raw.
+    let _ = item;
+    SeedClass::Raw
+}
+
+/// Classifies a token-range expression. Depth-capped to keep the
+/// analysis total on adversarial input.
+fn classify_expr(
+    v: &FileView<'_>,
+    derivers: &BTreeSet<String>,
+    s: usize,
+    e: usize,
+    depth: usize,
+) -> SeedClass {
+    if depth > 8 {
+        return SeedClass::Raw;
+    }
+    let code = v.code_in(s, e);
+    if code.is_empty() {
+        return SeedClass::Raw;
+    }
+    // Lane evidence: a call to a deriver, or a `.seed` field read (shard
+    // seed fields are plumbed by checked planning code).
+    for (k, &ti) in code.iter().enumerate() {
+        let t = &v.tokens[ti];
+        if t.kind == TokKind::Ident && derivers.contains(&t.text) {
+            let next_open = code
+                .get(k + 1)
+                .map(|&m| v.tokens[m].kind == TokKind::Punct && v.tokens[m].text == "(")
+                .unwrap_or(false);
+            if next_open {
+                return SeedClass::Pure;
+            }
+        }
+        if t.kind == TokKind::Ident
+            && t.text == "seed"
+            && k > 0
+            && v.tokens[code[k - 1]].kind == TokKind::Punct
+            && v.tokens[code[k - 1]].text == "."
+        {
+            return SeedClass::Pure;
+        }
+    }
+    // Strip leading reference/deref sigils, then look for a bare ident.
+    let mut k = 0usize;
+    while k < code.len() {
+        let t = &v.tokens[code[k]];
+        let sigil = (t.kind == TokKind::Punct && (t.text == "&" || t.text == "*"))
+            || (t.kind == TokKind::Ident && t.text == "mut");
+        if sigil {
+            k += 1;
+        } else {
+            break;
+        }
+    }
+    if k + 1 == code.len() && v.tokens[code[k]].kind == TokKind::Ident {
+        return SeedClass::Ident(v.tokens[code[k]].text.clone());
+    }
+    SeedClass::Raw
+}
+
+/// Token range of the initializer of `let … name … = <init>;` inside the
+/// half-open span, if one exists.
+fn let_init_range(
+    v: &FileView<'_>,
+    s: usize,
+    e: usize,
+    name: &str,
+) -> Option<(usize, usize)> {
+    let code = v.code_in(s, e);
+    let mut j = 0usize;
+    while j < code.len() {
+        let t = &v.tokens[code[j]];
+        if !(t.kind == TokKind::Ident && t.text == "let") {
+            j += 1;
+            continue;
+        }
+        // Pattern tokens up to the `=`.
+        let mut k = j + 1;
+        let mut saw_name = false;
+        let mut eq: Option<usize> = None;
+        while let Some(&ti) = code.get(k) {
+            let u = &v.tokens[ti];
+            if u.kind == TokKind::Punct && u.text == "=" {
+                eq = Some(k);
+                break;
+            }
+            if u.kind == TokKind::Punct && (u.text == ";" || u.text == "{") {
+                break;
+            }
+            if u.kind == TokKind::Ident && u.text == name {
+                saw_name = true;
+            }
+            k += 1;
+        }
+        let Some(eq) = eq else {
+            j = k + 1;
+            continue;
+        };
+        // Initializer: from after `=` to the statement-final `;`.
+        let mut depth = 0i64;
+        let mut end = None;
+        let mut m = eq + 1;
+        while let Some(&ti) = code.get(m) {
+            let u = &v.tokens[ti];
+            if u.kind == TokKind::Punct {
+                match u.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => {
+                        end = Some(ti);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            m += 1;
+        }
+        if saw_name {
+            let start_ti = code.get(eq + 1).copied()?;
+            let end_ti = end.unwrap_or(v.tokens.len());
+            return Some((start_ti, end_ti));
+        }
+        j = m + 1;
+    }
+    None
+}

@@ -1,13 +1,24 @@
 //! Workspace discovery, the whole-tree lint run, and the two
 //! workspace-level checks (`forbid-unsafe`, `ci-roster`).
+//!
+//! The run is two-phase: phase 1 analyzes every file in isolation
+//! (tokens, symbols, line-rule findings, directives), then the call
+//! graph is built over *all* files at once and the semantic pass
+//! ([`crate::semantic`]) computes cross-file reachability before any
+//! allow-directive suppression happens. Library crates under `crates/`
+//! are linted under the strict profile; the workspace root crate
+//! (`src/`, including `src/bin/`) and `examples/` are linted under the
+//! relaxed profile — see [`crate::rules::Profile`].
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::engine::{lint_source, Finding};
+use crate::callgraph::{self, FileCtx, GraphSummary};
+use crate::engine::{analyze_source, finalize_file, Analysis, Finding};
 use crate::lexer::{lex, TokKind};
-use crate::rules::NON_LIBRARY_DIRS;
+use crate::rules::{Profile, NON_LIBRARY_DIRS};
+use crate::semantic;
 use crate::LintError;
 
 /// Aggregate result of linting the workspace.
@@ -19,6 +30,9 @@ pub struct RunReport {
     pub files_scanned: usize,
     /// All findings in canonical order (file, line, col, rule).
     pub findings: Vec<Finding>,
+    /// Advisory findings (relaxed-profile downgrades) in the same
+    /// canonical order. Advisories never fail `--deny`.
+    pub advisories: Vec<Finding>,
     /// Per-file count of slice/array indexing expressions (files with a
     /// non-zero count only) — the panic-surface audit metric.
     pub index_audit: BTreeMap<String, u64>,
@@ -26,6 +40,10 @@ pub struct RunReport {
     pub allows_total: u64,
     /// Allow directives that suppressed at least one finding.
     pub allows_used: u64,
+    /// Canonical `CALLGRAPH.json` document for this run.
+    pub callgraph: String,
+    /// Headline call-graph numbers (mirrored in the JSON summary).
+    pub graph: GraphSummary,
 }
 
 /// One discovered library crate.
@@ -34,6 +52,17 @@ struct CrateInfo {
     name: String,
     /// Directory under `crates/`.
     dir: PathBuf,
+}
+
+/// One lint scope: a directory tree analyzed under one crate name and
+/// one profile.
+struct Scope {
+    name: String,
+    profile: Profile,
+    dir: PathBuf,
+    /// Crate-root file that must declare `#![forbid(unsafe_code)]`,
+    /// when this scope carries the forbid-unsafe obligation.
+    forbid_lib: Option<PathBuf>,
 }
 
 /// Walks upward from `start` to the first directory whose `Cargo.toml`
@@ -53,7 +82,9 @@ pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
     }
 }
 
-/// Runs the full lint pass over every library crate under `root/crates`.
+/// Runs the full lint pass: every library crate under `root/crates`
+/// (strict), plus the root crate `src/` and `examples/` when present
+/// (relaxed).
 pub fn run(root: &Path) -> Result<RunReport, LintError> {
     let mut crates = Vec::new();
     let crates_dir = root.join("crates");
@@ -71,67 +102,132 @@ pub fn run(root: &Path) -> Result<RunReport, LintError> {
     }
     crates.sort_by(|a, b| a.name.cmp(&b.name));
 
-    let mut report = RunReport {
-        crates: crates.iter().map(|c| c.name.clone()).collect(),
-        files_scanned: 0,
-        findings: Vec::new(),
-        index_audit: BTreeMap::new(),
-        allows_total: 0,
-        allows_used: 0,
-    };
+    let mut scopes: Vec<Scope> = crates
+        .iter()
+        .map(|info| Scope {
+            name: info.name.clone(),
+            profile: Profile::Strict,
+            dir: info.dir.join("src"),
+            forbid_lib: Some(info.dir.join("src").join("lib.rs")),
+        })
+        .collect();
+    // The workspace root crate (binaries + shared plumbing) and the
+    // examples tree ride along under the relaxed profile. Both are
+    // optional so reduced fixtures (mini workspaces in tests) lint
+    // cleanly without them.
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        let name = package_name(&root.join("Cargo.toml"))?.unwrap_or_else(|| "qfc".to_string());
+        let lib = root_src.join("lib.rs");
+        let forbid_lib = lib.is_file().then_some(lib);
+        scopes.push(Scope {
+            name,
+            profile: Profile::Relaxed,
+            dir: root_src,
+            forbid_lib,
+        });
+    }
+    let examples_dir = root.join("examples");
+    if examples_dir.is_dir() {
+        scopes.push(Scope {
+            name: "examples".to_string(),
+            profile: Profile::Relaxed,
+            dir: examples_dir,
+            forbid_lib: None,
+        });
+    }
 
-    for info in &crates {
-        let src_dir = info.dir.join("src");
+    // Phase 1: per-file analysis, in deterministic scope-then-path order.
+    let mut analyses: Vec<Analysis> = Vec::new();
+    let mut fn_allows = Vec::new();
+    let mut extra_findings: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+    for scope in &scopes {
         let mut files = Vec::new();
-        collect_rs_files(&src_dir, &mut files)?;
+        collect_rs_files(&scope.dir, &mut files)?;
         files.sort();
-        let mut saw_forbid_unsafe = false;
+        let mut saw_forbid_unsafe = scope.forbid_lib.is_none();
         for path in files {
             let rel = rel_path(root, &path);
             let text = fs::read_to_string(&path).map_err(|e| LintError::io(&path, &e))?;
-            if path.file_name().and_then(|n| n.to_str()) == Some("lib.rs")
-                && path.parent() == Some(src_dir.as_path())
-            {
+            if scope.forbid_lib.as_deref() == Some(path.as_path()) {
                 saw_forbid_unsafe = has_forbid_unsafe(&text);
             }
-            let file_report = lint_source(&info.name, &rel, &text);
-            report.files_scanned += 1;
-            report.allows_total += file_report.allows_total;
-            report.allows_used += file_report.allows_used;
-            if file_report.index_audit > 0 {
-                report
-                    .index_audit
-                    .insert(rel.clone(), file_report.index_audit);
-            }
-            report.findings.extend(file_report.findings);
+            let analysis = analyze_source(&scope.name, &rel, &text, scope.profile);
+            fn_allows.push(analysis.fn_allow_lines());
+            analyses.push(analysis);
+            files_scanned += 1;
         }
         if !saw_forbid_unsafe {
-            report.findings.push(Finding {
+            let lib = scope
+                .forbid_lib
+                .clone()
+                .unwrap_or_else(|| scope.dir.join("lib.rs"));
+            extra_findings.push(Finding {
                 rule: "forbid-unsafe",
-                file: rel_path(root, &src_dir.join("lib.rs")),
+                file: rel_path(root, &lib),
                 line: 1,
                 col: 1,
                 message: format!(
-                    "library crate `{}` must declare #![forbid(unsafe_code)] in its \
-                     crate root",
-                    info.name
+                    "crate `{}` must declare #![forbid(unsafe_code)] in its crate root",
+                    scope.name
                 ),
                 snippet: String::new(),
             });
         }
     }
 
+    // Phase 2: the workspace call graph and the semantic pass over it.
+    let ctxs: Vec<FileCtx> = analyses.iter().map(|a| a.ctx.clone()).collect();
+    let graph = callgraph::build(&ctxs);
+    let sem = semantic::analyze(&ctxs, &graph, &fn_allows);
+    let callgraph_json = callgraph::to_json(&ctxs, &graph, &sem.summary);
+
+    let mut report = RunReport {
+        crates: crates.iter().map(|c| c.name.clone()).collect(),
+        files_scanned,
+        findings: extra_findings,
+        advisories: Vec::new(),
+        index_audit: BTreeMap::new(),
+        allows_total: 0,
+        allows_used: 0,
+        callgraph: callgraph_json,
+        graph: sem.summary,
+    };
+    let mut sem_findings = sem.findings;
+    let mut sem_advisories = sem.advisories;
+    for (i, analysis) in analyses.into_iter().enumerate() {
+        let rel = analysis.ctx.file.clone();
+        let file_report = finalize_file(
+            analysis,
+            std::mem::take(&mut sem_findings[i]),
+            std::mem::take(&mut sem_advisories[i]),
+            &sem.used_fn_allows[i],
+        );
+        report.allows_total += file_report.allows_total;
+        report.allows_used += file_report.allows_used;
+        if file_report.index_audit > 0 {
+            report.index_audit.insert(rel, file_report.index_audit);
+        }
+        report.findings.extend(file_report.findings);
+        report.advisories.extend(file_report.advisories);
+    }
+
     check_ci_roster(root, &report.crates, &mut report.findings);
 
-    report.findings.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.col, a.rule, a.message.as_str()).cmp(&(
-            b.file.as_str(),
-            b.line,
-            b.col,
-            b.rule,
-            b.message.as_str(),
-        ))
-    });
+    let sort = |v: &mut Vec<Finding>| {
+        v.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.col, a.rule, a.message.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.col,
+                b.rule,
+                b.message.as_str(),
+            ))
+        });
+    };
+    sort(&mut report.findings);
+    sort(&mut report.advisories);
     Ok(report)
 }
 
@@ -139,11 +235,13 @@ pub fn run(root: &Path) -> Result<RunReport, LintError> {
 /// (b) either derive its clippy roster from `crates/*` (the `for d in
 /// crates/*/` idiom) or hand-list every library crate — and in either
 /// form never exclude a [`crate::rules::CLIPPY_REQUIRED`] crate the way
-/// `qfc-bench` is excluded — and (c) when it wires a bench baseline via
+/// `qfc-bench` is excluded — (c) when it wires a bench baseline via
 /// `--check-baseline`, that baseline must carry every gated workload
 /// ([`crate::rules::GATED_WORKLOADS`]) so neither a sweep kernel nor
 /// the campaign engine can drop out of the bench-regression gate
-/// unnoticed.
+/// unnoticed, and (d) verify call-graph drift: some non-comment line
+/// must compare a freshly generated `CALLGRAPH.json` against a second
+/// run (`cmp`/`diff`), keeping the byte-determinism contract under CI.
 fn check_ci_roster(root: &Path, crates: &[String], findings: &mut Vec<Finding>) {
     let ci_path = root.join("scripts").join("ci.sh");
     let rel = rel_path(root, &ci_path);
@@ -240,6 +338,20 @@ fn check_ci_roster(root: &Path, crates: &[String], findings: &mut Vec<Finding>) 
                 ),
             ),
         }
+    }
+    let checks_drift = text.lines().any(|l| {
+        let l = l.trim_start();
+        !l.starts_with('#')
+            && l.contains("CALLGRAPH")
+            && (l.contains("cmp") || l.contains("diff"))
+    });
+    if !checks_drift {
+        push(
+            findings,
+            "scripts/ci.sh never compares CALLGRAPH.json across two lint runs \
+             (`cmp`/`diff`) — the byte-determinism contract is not enforced in CI"
+                .to_string(),
+        );
     }
 }
 

@@ -1,6 +1,12 @@
 //@ crate: qfc-core
-use std::collections::HashMap; //~ ERROR determinism
-use std::time::Instant; //~ ERROR determinism
+// Imports and type mentions are quiet since v2: the rule fires in *use*
+// position only (ident followed by `::`, `(`, `!`, or `<`).
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Span {
+    started: Instant,
+}
 
 pub fn stamp() {
     let _t0 = Instant::now(); //~ ERROR determinism
@@ -8,6 +14,12 @@ pub fn stamp() {
 
 pub fn ambient_entropy() {
     let _rng = thread_rng(); //~ ERROR determinism
+}
+
+pub fn unordered_map() {
+    let m: HashMap<u64, u64> = HashMap::new(); //~ ERROR determinism
+    //~^ ERROR determinism
+    let _ = m;
 }
 
 pub fn ordered_is_fine() {

@@ -1,0 +1,58 @@
+//@ crate: qfc-quantum
+// Panic sites are findings only when reachable from a public fn; the
+// finding lands at the site, with the entry path in the message.
+pub fn boom() {
+    panic!("bad"); //~ ERROR panic-reachability
+}
+
+pub fn not_yet() {
+    todo!() //~ ERROR panic-reachability
+}
+
+pub fn never(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!("exhaustive"), //~ ERROR panic-reachability
+    }
+}
+
+pub fn unwraps(x: Option<u8>) -> u8 {
+    x.unwrap() //~ ERROR panic-reachability
+}
+
+// A panic in a private helper is a finding when a pub fn reaches it…
+pub fn entry() {
+    helper_reached()
+}
+
+fn helper_reached() {
+    panic!("reachable through entry"); //~ ERROR panic-reachability
+}
+
+// …and clean when nothing public does.
+fn helper_orphan() {
+    panic!("unreachable from public API");
+}
+
+// A site-level allow excuses exactly its line.
+pub fn wrapped() {
+    panic!("documented"); // qfc-lint: allow(panic-reachability) — fixture: documented panicking wrapper
+}
+
+// A fn-level allow on the entry point excuses every panic in its subtree.
+// qfc-lint: allow(panic-reachability) — fixture: validated legacy wrapper, panics on contract violation
+pub fn legacy_entry() {
+    helper_excused()
+}
+
+fn helper_excused() {
+    panic!("excused by the fn-level allow on legacy_entry");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_panics_are_free() {
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,35 @@
+//@ crate: qfc-core
+// Interprocedural RNG-lane discipline: a seed reaching `rng_from_seed`
+// on a parallel path must carry split_seed lane evidence — even when
+// laundered through a helper fn.
+
+fn helper(x: u64, seed: u64) -> u64 {
+    let mut _rng = rng_from_seed(seed);
+    x
+}
+
+pub fn laundered(xs: &[u64], seed: u64) {
+    par_map(xs, |x| helper(*x, seed)); //~ ERROR rng-lane-flow
+}
+
+pub fn lane_split_is_fine(xs: &[u64], seed: u64) {
+    par_map(xs, |x| helper(*x, split_seed(seed, *x)));
+}
+
+pub fn direct_ctor_in_closure(xs: &[u64], seed: u64) {
+    par_map(xs, |x| {
+        let mut _rng = rng_from_seed(seed); //~ ERROR rng-lane-flow
+        *x
+    });
+}
+
+pub fn shard_lane_is_fine(n: u64, seed: u64) -> Vec<u64> {
+    par_shots(n, seed, |shard| {
+        let mut _rng = rng_from_seed(shard.seed);
+        Vec::new()
+    }, |acc: Vec<Vec<u64>>| acc.into_iter().flatten().collect())
+}
+
+pub fn serial_raw_seed_is_out_of_scope(seed: u64) {
+    let mut _rng = rng_from_seed(seed);
+}

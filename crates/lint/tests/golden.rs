@@ -95,7 +95,9 @@ fn every_fixture_matches_its_markers_exactly() {
         "lossy-cast",
         "determinism",
         "rng-lane",
-        "panic-surface",
+        "rng-lane-flow",
+        "panic-reachability",
+        "par-merge-order",
         "error-taxonomy",
         "hot-loop-alloc",
         "bad-directive",

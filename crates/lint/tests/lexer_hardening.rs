@@ -1,0 +1,158 @@
+//! Fuzz-style hardening for the lexer: pathological inputs that break
+//! naive scanners. The lexer's contract is total — `lex` never panics,
+//! never loops forever, and always yields tokens with sane 1-based
+//! positions in non-decreasing source order — for *any* input, not just
+//! well-formed Rust.
+
+use qfc_lint::lexer::{lex, TokKind, Token};
+
+/// Structural invariants every token stream must satisfy.
+fn check_invariants(src: &str, toks: &[Token]) {
+    let lines = u32::try_from(src.lines().count().max(1)).unwrap_or(u32::MAX);
+    let mut prev = (0u32, 0u32);
+    for t in toks {
+        assert!(t.line >= 1 && t.col >= 1, "position not 1-based: {t:?}");
+        assert!(
+            t.line <= lines,
+            "token line {} past end of {}-line input",
+            t.line,
+            lines
+        );
+        assert!(
+            (t.line, t.col) > prev,
+            "tokens out of source order: {:?} after {:?}",
+            (t.line, t.col),
+            prev
+        );
+        prev = (t.line, t.col);
+    }
+}
+
+/// A tiny deterministic LCG — no ambient entropy in tests either.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+#[test]
+fn fuzz_soup_never_panics_and_keeps_positions_sane() {
+    // An alphabet biased toward the lexer's dangerous characters: quote
+    // kinds, raw-string prefixes, comment openers/closers, escapes.
+    let alphabet: Vec<char> = "\"'#rb/*\\\n ezx0._-+!:<>()[]{}\u{e9}\u{1F600}"
+        .chars()
+        .collect();
+    let mut rng = Lcg(0x5eed_cafe);
+    for case in 0..500 {
+        let len = (rng.next() % 120) as usize;
+        let src: String = (0..len)
+            .map(|_| alphabet[(rng.next() as usize) % alphabet.len()])
+            .collect();
+        let toks = lex(&src);
+        check_invariants(&src, &toks);
+        // Lexing must be a pure function of the input.
+        let again = lex(&src);
+        assert_eq!(toks.len(), again.len(), "case {case}: nondeterministic lex");
+    }
+}
+
+#[test]
+fn deeply_nested_block_comments_stay_one_token() {
+    let depth = 1000;
+    let src = format!("{}as f64{} x", "/*".repeat(depth), "*/".repeat(depth));
+    let toks = lex(&src);
+    check_invariants(&src, &toks);
+    assert_eq!(toks.len(), 2, "comment nesting leaked tokens: {toks:?}");
+    assert_eq!(toks[0].kind, TokKind::BlockComment);
+    assert_eq!((toks[1].kind, toks[1].text.as_str()), (TokKind::Ident, "x"));
+}
+
+#[test]
+fn unterminated_constructs_at_eof_do_not_hang_or_panic() {
+    for src in [
+        "/* never closed",
+        "/* outer /* inner */ still open",
+        "\"no closing quote",
+        "\"trailing escape \\",
+        "'",
+        "'\\",
+        "b'",
+        "r#\"raw never closed",
+        "r###\"short close\"##",
+        "br##\"also open\"#",
+        "// line comment at eof",
+        "0x",
+        "1e",
+    ] {
+        let toks = lex(src);
+        check_invariants(src, &toks);
+        assert!(!toks.is_empty(), "input {src:?} lexed to nothing");
+    }
+}
+
+#[test]
+fn raw_strings_with_many_hashes_round_trip() {
+    for hashes in [1usize, 2, 8, 64, 200] {
+        let h = "#".repeat(hashes);
+        // The body contains a closing quote with *fewer* hashes, which
+        // must not terminate the literal early.
+        let inner_close = format!("\"{}", "#".repeat(hashes.saturating_sub(1)));
+        let src = format!("let s = r{h}\"as f64 {inner_close} panic!\"{h}; tail");
+        let toks = lex(&src);
+        check_invariants(&src, &toks);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::StrLit).count(),
+            1,
+            "hashes={hashes}: {toks:?}"
+        );
+        assert!(
+            toks.iter().all(|t| t.text != "as" && t.text != "panic"),
+            "hashes={hashes}: raw string body leaked tokens"
+        );
+        assert_eq!(toks.last().map(|t| t.text.as_str()), Some("tail"));
+    }
+}
+
+#[test]
+fn lifetime_char_ambiguity_under_pressure() {
+    // `'_` and labels are lifetimes; `'x'`, escapes, and byte chars are
+    // char literals; a lifetime immediately before a generic close must
+    // not swallow the `>`.
+    let src = "fn f<'a, '_>(x: &'a str) -> char { 'b: loop { break 'b 'x'; } }";
+    let toks = lex(src);
+    check_invariants(src, &toks);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'_", "'a", "'b", "'b"]);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::CharLit).count(), 1);
+    assert!(toks.iter().any(|t| t.kind == TokKind::Punct && t.text == ">"));
+}
+
+#[test]
+fn byte_literals_and_crlf_positions() {
+    let src = "b\"bytes\"\r\nb'\\''\r\nident";
+    let toks = lex(src);
+    check_invariants(src, &toks);
+    assert_eq!(toks[0].kind, TokKind::StrLit);
+    assert_eq!((toks[1].kind, toks[1].line), (TokKind::CharLit, 2));
+    assert_eq!(
+        (toks[2].kind, toks[2].text.as_str(), toks[2].line, toks[2].col),
+        (TokKind::Ident, "ident", 3, 1)
+    );
+}
+
+#[test]
+fn multibyte_columns_count_characters_not_bytes() {
+    // é is 2 bytes, 1 char; the emoji is 4 bytes, 1 char.
+    let src = "é🦀 x";
+    let toks = lex(src);
+    check_invariants(src, &toks);
+    let x = toks.iter().find(|t| t.text == "x").expect("x token");
+    assert_eq!((x.line, x.col), (1, 4));
+}

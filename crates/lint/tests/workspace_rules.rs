@@ -54,7 +54,7 @@ fn forbid_unsafe_and_ci_roster_fire_then_clear() {
     fs::create_dir_all(root.join("scripts")).expect("scripts dir");
     fs::write(
         root.join("scripts/ci.sh"),
-        "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\nfor d in crates/*/; do :; done\n",
+        "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\nfor d in crates/*/; do :; done\ncmp target/CALLGRAPH.json target/CALLGRAPH.2.json\n",
     )
     .expect("ci.sh");
     let report = qfc_lint::run(&root).expect("lint run");
@@ -78,7 +78,8 @@ fn baseline_must_carry_every_gated_workload() {
         root.join("scripts/ci.sh"),
         "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\n\
          for d in crates/*/; do :; done\n\
-         qfc-bench --smoke --check-baseline BENCH_baseline.json --out t.json\n",
+         qfc-bench --smoke --check-baseline BENCH_baseline.json --out t.json\n\
+         cmp target/CALLGRAPH.json target/CALLGRAPH.2.json\n",
     )
     .expect("ci.sh");
 
@@ -175,7 +176,7 @@ fn campaign_crate_cannot_be_carved_out_of_the_clippy_roster() {
     // Without the exclusion the dynamic roster covers it: fully clean.
     fs::write(
         root.join("scripts/ci.sh"),
-        "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\nfor d in crates/*/; do :; done\n",
+        "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\nfor d in crates/*/; do :; done\ncmp target/CALLGRAPH.json target/CALLGRAPH.2.json\n",
     )
     .expect("ci.sh");
     let report = qfc_lint::run(&root).expect("lint run");
@@ -206,4 +207,89 @@ fn hand_listed_roster_must_name_every_crate() {
         fired.contains(&"ci-roster".to_string()),
         "ci-roster did not flag the incomplete hand-listed roster: {fired:?}"
     );
+}
+
+#[test]
+fn drift_check_must_be_wired() {
+    let root = mini_workspace("drift");
+    fs::write(
+        root.join("crates/alpha/src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    )
+    .expect("lib.rs");
+    fs::create_dir_all(root.join("scripts")).expect("scripts dir");
+    // Invokes qfc-lint and derives the roster, but never compares a
+    // regenerated CALLGRAPH.json: the determinism contract is unenforced.
+    fs::write(
+        root.join("scripts/ci.sh"),
+        "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\nfor d in crates/*/; do :; done\n\
+         # cmp CALLGRAPH.json mentioned in a comment does not count\n",
+    )
+    .expect("ci.sh");
+    let report = qfc_lint::run(&root).expect("lint run");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "ci-roster" && f.message.contains("CALLGRAPH")),
+        "ci-roster did not flag the missing drift check: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn cross_crate_panic_chain_is_traced_and_excusable_at_the_entry() {
+    let root = mini_workspace("chain");
+    fs::create_dir_all(root.join("crates/beta/src")).expect("mkdir");
+    fs::write(
+        root.join("crates/beta/Cargo.toml"),
+        "[package]\nname = \"qfc-beta\"\nversion = \"0.1.0\"\n",
+    )
+    .expect("crate manifest");
+    fs::create_dir_all(root.join("scripts")).expect("scripts dir");
+    fs::write(
+        root.join("scripts/ci.sh"),
+        "#!/usr/bin/env bash\ncargo run -p qfc-lint -- --deny\nfor d in crates/*/; do :; done\ncmp target/CALLGRAPH.json target/CALLGRAPH.2.json\n",
+    )
+    .expect("ci.sh");
+    // The only public entry lives in alpha; the panic sits three private
+    // hops deep in beta. Only the workspace call graph can connect them.
+    fs::write(
+        root.join("crates/alpha/src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn entry() { qfc_beta::stage_one() }\n",
+    )
+    .expect("alpha lib.rs");
+    fs::write(
+        root.join("crates/beta/src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub(crate) fn stage_one() { stage_two() }\nfn stage_two() { stage_three() }\nfn stage_three() { panic!(\"deep\") }\n",
+    )
+    .expect("beta lib.rs");
+    let report = qfc_lint::run(&root).expect("lint run");
+    let hit = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic-reachability")
+        .expect("cross-crate panic chain was not flagged");
+    assert_eq!(hit.file, "crates/beta/src/lib.rs");
+    assert_eq!(hit.line, 4);
+    assert!(
+        hit.message.contains("entry") && hit.message.contains("stage_two"),
+        "path missing from message: {}",
+        hit.message
+    );
+
+    // A fn-level allow at the public entry excuses the whole chain and
+    // registers as used under the exact remove-one re-audit.
+    fs::write(
+        root.join("crates/alpha/src/lib.rs"),
+        "#![forbid(unsafe_code)]\n// qfc-lint: allow(panic-reachability) — mini-workspace fixture: the chain panics by contract\npub fn entry() { qfc_beta::stage_one() }\n",
+    )
+    .expect("alpha lib.rs");
+    let report = qfc_lint::run(&root).expect("lint run");
+    assert!(
+        report.findings.is_empty(),
+        "fn-level allow did not excuse the chain: {:?}",
+        report.findings
+    );
+    assert_eq!((report.allows_total, report.allows_used), (1, 1));
 }

@@ -107,7 +107,7 @@ pub fn try_fit_linear(x: &[f64], y: &[f64]) -> Result<LinearFit, FitError> {
 pub fn fit_linear(x: &[f64], y: &[f64]) -> LinearFit {
     match try_fit_linear(x, y) {
         Ok(f) => f,
-        Err(e) => panic!("fit_linear: {e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("fit_linear: {e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -184,7 +184,7 @@ pub fn try_fit_exponential_decay(t: &[f64], y: &[f64]) -> Result<ExponentialFit,
 pub fn fit_exponential_decay(t: &[f64], y: &[f64]) -> ExponentialFit {
     match try_fit_exponential_decay(t, y) {
         Ok(f) => f,
-        Err(e) => panic!("fit_exponential_decay: {e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("fit_exponential_decay: {e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -268,11 +268,12 @@ pub fn try_fit_fringe_harmonic(
 ///
 /// Panics if fewer than three points are given, lengths differ, or
 /// `harmonic == 0`.
+// qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract); the fn-level allow covers both match arms
 pub fn fit_fringe_harmonic(phase: &[f64], y: &[f64], harmonic: u32) -> FringeFit {
     match try_fit_fringe_harmonic(phase, y, harmonic) {
         Ok(f) => f,
-        Err(FitError::Degenerate) => panic!("singular system in fringe fit"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
-        Err(e) => panic!("fit_fringe: {e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(FitError::Degenerate) => panic!("singular system in fringe fit"),
+        Err(e) => panic!("fit_fringe: {e}"),
     }
 }
 
@@ -360,7 +361,7 @@ pub fn try_fit_power_law(x: &[f64], y: &[f64]) -> Result<PowerLawFit, FitError> 
 pub fn fit_power_law(x: &[f64], y: &[f64]) -> PowerLawFit {
     match try_fit_power_law(x, y) {
         Ok(f) => f,
-        Err(e) => panic!("fit_power_law: {e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("fit_power_law: {e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 

@@ -56,7 +56,7 @@ pub use manifest::{fnv1a64, CampaignSummary, RunManifest};
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant; // qfc-lint: allow(determinism) — wall-clock span timing is presentation-only; never feeds simulation results
+use std::time::Instant;
 
 /// Counters pre-registered (in this order) by [`Collector::new`], so the
 /// exported registry order never depends on instrumentation-touch order.
@@ -293,7 +293,7 @@ pub fn enabled() -> bool {
 /// span when dropped. Not `Send`: spans belong to the thread that opened
 /// them.
 pub struct SpanGuard {
-    open: Option<(Collector, usize, Instant)>, // qfc-lint: allow(determinism) — wall-clock span timing is presentation-only; never feeds simulation results
+    open: Option<(Collector, usize, Instant)>,
     _not_send: PhantomData<*const ()>,
 }
 

@@ -100,7 +100,7 @@ impl MicroringBuilder {
     pub fn self_coupling(&mut self, r: f64) -> &mut Self {
         match self.try_self_coupling(r) {
             Ok(b) => b,
-            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 
@@ -169,7 +169,7 @@ impl MicroringBuilder {
     pub fn build(&self) -> Microring {
         match self.try_build() {
             Ok(r) => r,
-            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 }

@@ -114,7 +114,7 @@ impl SweepGrid {
     pub fn linspace(min: f64, max: f64, n: usize) -> Self {
         match Self::try_linspace(min, max, n) {
             Ok(g) => g,
-            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 

@@ -22,13 +22,13 @@ pub fn bell_phi_minus() -> PureState {
 /// `|Ψ⁺⟩ = (|01⟩ + |10⟩)/√2`.
 pub fn bell_psi_plus() -> PureState {
     PureState::from_amplitudes(CVector::from_real(&[0.0, 1.0, 1.0, 0.0]))
-        .unwrap_or_else(|| unreachable!("Bell amplitudes are valid")) // qfc-lint: allow(panic-surface) — invariant: fixed Bell amplitude vectors are nonzero by construction
+        .unwrap_or_else(|| unreachable!("Bell amplitudes are valid")) // qfc-lint: allow(panic-reachability) — invariant: fixed Bell amplitude vectors are nonzero by construction
 }
 
 /// `|Ψ⁻⟩ = (|01⟩ − |10⟩)/√2`.
 pub fn bell_psi_minus() -> PureState {
     PureState::from_amplitudes(CVector::from_real(&[0.0, 1.0, -1.0, 0.0]))
-        .unwrap_or_else(|| unreachable!("Bell amplitudes are valid")) // qfc-lint: allow(panic-surface) — invariant: fixed Bell amplitude vectors are nonzero by construction
+        .unwrap_or_else(|| unreachable!("Bell amplitudes are valid")) // qfc-lint: allow(panic-reachability) — invariant: fixed Bell amplitude vectors are nonzero by construction
 }
 
 /// Phase-parametrized Bell state `(|00⟩ + e^{iφ}|11⟩)/√2` — what the
@@ -38,7 +38,7 @@ pub fn bell_phi(phi: f64) -> PureState {
     let mut v = CVector::zeros(4);
     v[0] = Complex64::real(std::f64::consts::FRAC_1_SQRT_2);
     v[3] = Complex64::cis(phi).scale(std::f64::consts::FRAC_1_SQRT_2);
-    PureState::from_amplitudes(v).unwrap_or_else(|| unreachable!("Bell amplitudes are valid")) // qfc-lint: allow(panic-surface) — invariant: fixed Bell amplitude vectors are nonzero by construction
+    PureState::from_amplitudes(v).unwrap_or_else(|| unreachable!("Bell amplitudes are valid")) // qfc-lint: allow(panic-reachability) — invariant: fixed Bell amplitude vectors are nonzero by construction
 }
 
 /// Wootters concurrence of a two-qubit density matrix — `1` for Bell

@@ -57,12 +57,12 @@ impl PureState {
 
     /// Single-qubit `|+⟩ = (|0⟩ + |1⟩)/√2`.
     pub fn plus() -> Self {
-        Self::from_amplitudes(CVector::from_real(&[1.0, 1.0])).unwrap_or_else(|| unreachable!("|+> amplitudes are valid")) // qfc-lint: allow(panic-surface) — invariant: |+> amplitudes are nonzero by construction
+        Self::from_amplitudes(CVector::from_real(&[1.0, 1.0])).unwrap_or_else(|| unreachable!("|+> amplitudes are valid")) // qfc-lint: allow(panic-reachability) — invariant: |+> amplitudes are nonzero by construction
     }
 
     /// Single-qubit `|−⟩ = (|0⟩ − |1⟩)/√2`.
     pub fn minus() -> Self {
-        Self::from_amplitudes(CVector::from_real(&[1.0, -1.0])).unwrap_or_else(|| unreachable!("|-> amplitudes are valid")) // qfc-lint: allow(panic-surface) — invariant: |-> amplitudes are nonzero by construction
+        Self::from_amplitudes(CVector::from_real(&[1.0, -1.0])).unwrap_or_else(|| unreachable!("|-> amplitudes are valid")) // qfc-lint: allow(panic-reachability) — invariant: |-> amplitudes are nonzero by construction
     }
 
     /// Builds a state from raw amplitudes, normalizing them.
@@ -146,7 +146,7 @@ impl PureState {
     pub fn apply(&self, op: &CMatrix) -> Self {
         assert_eq!(op.cols(), self.dim(), "operator dimension mismatch");
         let out = op.matvec(&self.amps);
-        Self::from_amplitudes(out).unwrap_or_else(|| panic!("operator annihilated the state")) // qfc-lint: allow(panic-surface) — documented `# Panics` contract: annihilating operator is caller error
+        Self::from_amplitudes(out).unwrap_or_else(|| panic!("operator annihilated the state")) // qfc-lint: allow(panic-reachability) — documented `# Panics` contract: annihilating operator is caller error
     }
 
     /// Expectation value `⟨ψ|A|ψ⟩` (real part; `A` should be Hermitian).

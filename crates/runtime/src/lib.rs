@@ -244,7 +244,7 @@ where
 
     slots
         .into_iter()
-        .map(|slot| slot.unwrap_or_else(|| unreachable!("every task index produced a result"))) // qfc-lint: allow(panic-surface) — invariant: the scatter loop above fills every slot exactly once
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("every task index produced a result"))) // qfc-lint: allow(panic-reachability) — invariant: the scatter loop above fills every slot exactly once
         .collect()
 }
 

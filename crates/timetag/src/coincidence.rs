@@ -211,7 +211,7 @@ pub struct LinewidthResult {
 pub fn extract_linewidth(hist: &Histogram) -> LinewidthResult {
     match try_extract_linewidth(hist) {
         Ok(r) => r,
-        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 

@@ -111,7 +111,7 @@ impl SinglePhotonDetector {
     /// Panics if any parameter is out of physical range.
     pub fn validate(&self) {
         if let Err(e) = self.try_validate() {
-            panic!("{e}"); // qfc-lint: allow(panic-surface) — documented panicking wrapper over try_validate (`# Panics` contract)
+            panic!("{e}"); // qfc-lint: allow(panic-reachability) — documented panicking wrapper over try_validate (`# Panics` contract)
         }
     }
 

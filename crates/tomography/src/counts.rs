@@ -39,7 +39,7 @@ impl TomographyData {
     pub fn qubits(&self) -> usize {
         match self.try_qubits() {
             Ok(n) => n,
-            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+            Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
         }
     }
 

@@ -31,7 +31,7 @@ use crate::settings::{pauli_string_matrix, PauliBasis, ProjectorSet};
 pub fn linear_inversion(data: &TomographyData) -> CMatrix {
     match try_linear_inversion(data) {
         Ok(rho) => rho,
-        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -108,7 +108,7 @@ pub fn try_linear_inversion(data: &TomographyData) -> QfcResult<CMatrix> {
 pub fn project_physical(mat: &CMatrix) -> DensityMatrix {
     match try_project_physical(mat) {
         Ok(rho) => rho,
-        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -300,7 +300,7 @@ impl Deserialize for MleResult {
 pub fn mle_reconstruction(data: &TomographyData, options: &MleOptions) -> MleResult {
     match try_mle_reconstruction(data, options) {
         Ok(result) => result,
-        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 
@@ -328,7 +328,7 @@ pub fn mle_reconstruction_with(
 ) -> MleResult {
     match try_mle_reconstruction_with(projectors, data, options) {
         Ok(result) => result,
-        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-surface) — documented panicking wrapper over the try_* twin (`# Panics` contract)
+        Err(e) => panic!("{e}"), // qfc-lint: allow(panic-reachability) — documented panicking wrapper over the try_* twin (`# Panics` contract)
     }
 }
 

@@ -97,7 +97,7 @@ impl Setting {
                 Some(m) => m.kron(&p),
             });
         }
-        acc.unwrap_or_else(|| unreachable!("setting has at least one qubit")) // qfc-lint: allow(panic-surface) — invariant: Setting construction requires at least one qubit
+        acc.unwrap_or_else(|| unreachable!("setting has at least one qubit")) // qfc-lint: allow(panic-reachability) — invariant: Setting construction requires at least one qubit
     }
 
     /// Eigenvalue product `Πq (±1)` of outcome `o` over the qubits in

@@ -14,6 +14,15 @@ cargo test -q
 echo "==> qfc-lint --deny (workspace static analysis)"
 cargo run --release -p qfc-lint -- --deny
 
+echo "==> qfc-lint drift check (CALLGRAPH.json + LINT_REPORT.json byte-identity)"
+# A second run must reproduce both artifacts byte-for-byte: the analyzer's
+# determinism contract is itself under test, not just asserted.
+cargo run --release -p qfc-lint -- \
+  --json target/LINT_REPORT.2.json --callgraph target/CALLGRAPH.2.json > /dev/null
+cmp target/CALLGRAPH.json target/CALLGRAPH.2.json
+cmp target/LINT_REPORT.json target/LINT_REPORT.2.json
+rm -f target/LINT_REPORT.2.json target/CALLGRAPH.2.json
+
 echo "==> cargo clippy -p qfc-runtime -- -D warnings"
 cargo clippy -p qfc-runtime -- -D warnings
 

@@ -24,6 +24,8 @@
 //! assert!(report.mean_car() > 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use qfc_campaign as campaign;
 pub use qfc_core as core;
 pub use qfc_faults as faults;
