@@ -220,12 +220,15 @@ pub const NON_LIBRARY_DIRS: &[&str] = &["bench"];
 /// batch kernels; `campaign-checkpoint` gates the campaign engine's
 /// checkpoint overhead and resume latency; `streaming-tomography`
 /// gates the streaming count accumulator and the accelerated RρR
-/// reconstruction path.
+/// reconstruction path; the two qudit MLE workloads gate the rank-1
+/// projector + packed-GEMM large-d tomography kernels.
 pub const GATED_WORKLOADS: &[&str] = &[
     "ring-dispersion-sweep",
     "opo-threshold-sweep",
     "campaign-checkpoint",
     "streaming-tomography",
+    "qudit-mle-16",
+    "qudit-mle-64",
 ];
 
 /// Crates the clippy no-unwrap roster must always gate when they exist

@@ -7,6 +7,26 @@ use serde::{Deserialize, Serialize};
 use crate::complex::{Complex64, C_ONE, C_ZERO};
 use crate::cvector::CVector;
 
+/// Reusable packing buffer for [`CMatrix::matmul_packed_into`].
+///
+/// The packed GEMM stores the right-hand operand in transposed
+/// (adjoint-layout, unconjugated) order so the inner `k` accumulation
+/// reads both operands contiguously. The buffer grows to the largest
+/// `k × n` shape it has seen and is reused across calls, so a hot loop
+/// that multiplies same-shaped matrices performs no allocation after
+/// the first iteration.
+#[derive(Debug, Default, Clone)]
+pub struct GemmScratch {
+    packed: Vec<Complex64>,
+}
+
+impl GemmScratch {
+    /// An empty scratch; the first `matmul_packed_into` call sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A dense complex matrix with row-major storage.
 ///
 /// All quantum operators (density matrices, unitaries, projectors) and
@@ -141,6 +161,34 @@ impl CMatrix {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
+    /// Copies row `i` into an existing vector — the scratch-space form
+    /// of [`Self::row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `out.dim() != self.cols()`.
+    pub fn row_into(&self, i: usize, out: &mut CVector) {
+        assert!(i < self.rows);
+        assert_eq!(out.dim(), self.cols, "row_into output dimension mismatch");
+        out.as_mut_slice()
+            .copy_from_slice(&self.data[i * self.cols..(i + 1) * self.cols]);
+    }
+
+    /// Copies column `j` into an existing vector — the scratch-space
+    /// form of [`Self::col`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range or `out.dim() != self.rows()`.
+    pub fn col_into(&self, j: usize, out: &mut CVector) {
+        assert!(j < self.cols);
+        assert_eq!(out.dim(), self.rows, "col_into output dimension mismatch");
+        let os = out.as_mut_slice();
+        for (i, o) in os.iter_mut().enumerate() {
+            *o = self.data[i * self.cols + j];
+        }
+    }
+
     /// Transpose (no conjugation).
     pub fn transpose(&self) -> Self {
         Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
@@ -213,6 +261,35 @@ impl CMatrix {
             .collect()
     }
 
+    /// Matrix-vector product `A·v` written into an existing vector —
+    /// the scratch-space form of [`Self::matvec`] for iteration hot
+    /// loops. Bit-identical to `matvec`: each output element folds
+    /// `aᵢⱼ·vⱼ` over ascending `j` from zero, exactly the per-row sum
+    /// of the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim() != self.cols()` or `out.dim() != self.rows()`.
+    pub fn matvec_into(&self, v: &CVector, out: &mut CVector) {
+        assert_eq!(v.dim(), self.cols, "matvec dimension mismatch");
+        assert_eq!(
+            out.dim(),
+            self.rows,
+            "matvec_into output dimension mismatch"
+        );
+        let vs = v.as_slice();
+        let os = out.as_mut_slice();
+        // qfc-lint: hot
+        for (i, o) in os.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = C_ZERO;
+            for (a, b) in row.iter().zip(vs) {
+                acc += *a * *b;
+            }
+            *o = acc;
+        }
+    }
+
     /// Matrix product `A·B`.
     ///
     /// # Panics
@@ -272,6 +349,79 @@ impl CMatrix {
         }
     }
 
+    /// Matrix product `A·B` through a packed right-hand side — the
+    /// cache-friendly form of [`Self::matmul_into`] for large matrices.
+    ///
+    /// The RHS is first packed into `scratch` in transposed
+    /// (adjoint-layout, unconjugated) order, so every output element is
+    /// a dot product of two *contiguous* length-`k` runs instead of a
+    /// row-major run against a column walked at stride `n`. On top of
+    /// the packing, rows of `A` with no exact-zero entry take a
+    /// branch-free inner loop the compiler can vectorize.
+    ///
+    /// **Bit-identical to [`Self::matmul`]/[`Self::matmul_into`]**: each
+    /// output element accumulates `aᵢₖ·bₖⱼ` over ascending `k` starting
+    /// from zero, with the same skip test on exactly-zero `aᵢₖ` — the
+    /// same operations on the same values in the same order, so the IEEE
+    /// result is equal bit for bit (a register accumulator initialized
+    /// to zero is indistinguishable from accumulating into a zeroed
+    /// output slot). Proven by proptest against `matmul_into` as oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree or `out` has the wrong shape.
+    pub fn matmul_packed_into(&self, other: &Self, out: &mut Self, scratch: &mut GemmScratch) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul_into output shape mismatch"
+        );
+        let (kk, n) = (self.cols, other.cols);
+        if scratch.packed.len() != kk * n {
+            scratch.packed.resize(kk * n, C_ZERO);
+        }
+        // Pack Bᵀ: packed row `j` is column `j` of `other`, so the
+        // k-run below is contiguous in both operands.
+        for k in 0..kk {
+            let brow = &other.data[k * n..(k + 1) * n];
+            for (j, &b) in brow.iter().enumerate() {
+                scratch.packed[j * kk + k] = b;
+            }
+        }
+        // qfc-lint: hot
+        for i in 0..self.rows {
+            let arow = &self.data[i * kk..(i + 1) * kk];
+            // Dense rows (the overwhelmingly common case for density
+            // matrices) take the branch-free loop; the skip-zero branch
+            // is only kept where it can actually fire, because skipping
+            // a zero is *not* a no-op in IEEE arithmetic (−0 + 0 = +0).
+            let dense = arow.iter().all(|z| !z.approx_zero(0.0));
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &scratch.packed[j * kk..(j + 1) * kk];
+                let mut acc = C_ZERO;
+                if dense {
+                    for (a, b) in arow.iter().zip(brow) {
+                        acc += *a * *b;
+                    }
+                } else {
+                    for (a, b) in arow.iter().zip(brow) {
+                        if a.approx_zero(0.0) {
+                            continue;
+                        }
+                        acc += *a * *b;
+                    }
+                }
+                *o = acc;
+            }
+        }
+    }
+
     /// Trace of a product, `tr(A·B)`, without materializing the product
     /// matrix. Bit-identical to `self.matmul(other).trace()`: each
     /// diagonal entry accumulates over `k` in `matmul`'s order (with its
@@ -314,6 +464,30 @@ impl CMatrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b.scale(s);
+        }
+    }
+
+    /// Rank-1 update `self += α · x·y†` (a *ger* kernel): adds
+    /// `α·xᵢ·conj(yⱼ)` to every element, row-major, with `α` applied to
+    /// `xᵢ` once per row. This is how the rank-1 tomography path
+    /// accumulates `R` from outcome vectors without ever materializing
+    /// the `d × d` outer-product projector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.dim() != self.rows()` or `y.dim() != self.cols()`.
+    pub fn ger_assign(&mut self, alpha: f64, x: &CVector, y: &CVector) {
+        assert_eq!(x.dim(), self.rows, "ger_assign row dimension mismatch");
+        assert_eq!(y.dim(), self.cols, "ger_assign column dimension mismatch");
+        let xs = x.as_slice();
+        let ys = y.as_slice();
+        // qfc-lint: hot
+        for (i, &xi) in xs.iter().enumerate() {
+            let xa = xi.scale(alpha);
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &yj) in row.iter_mut().zip(ys) {
+                *o += xa * yj.conj();
+            }
         }
     }
 
@@ -400,8 +574,311 @@ impl CMatrix {
     }
 
     /// Quadratic form `⟨x|A|y⟩ = x† A y`.
+    ///
+    /// Allocation-free and bit-identical to the two-step
+    /// `x.dot(&self.matvec(y))` it replaces: each row's `Σⱼ aᵢⱼ·yⱼ` is
+    /// fully accumulated (ascending `j`, from zero) before being folded
+    /// into the dot accumulation as `conj(xᵢ)·(Ay)ᵢ` in ascending `i` —
+    /// the exact operation order of `matvec` followed by `dot`, minus
+    /// the intermediate vector. This is the O(d²) expectation kernel of
+    /// the rank-1 tomography path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.dim() != self.cols()` or `x.dim() != self.rows()`.
     pub fn sandwich(&self, x: &CVector, y: &CVector) -> Complex64 {
-        x.dot(&self.matvec(y))
+        assert_eq!(y.dim(), self.cols, "matvec dimension mismatch");
+        assert_eq!(x.dim(), self.rows, "dimension mismatch in dot");
+        let xs = x.as_slice();
+        let ys = y.as_slice();
+        let mut acc = C_ZERO;
+        // qfc-lint: hot
+        for (i, &xi) in xs.iter().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut ay = C_ZERO;
+            for (a, b) in row.iter().zip(ys) {
+                ay += *a * *b;
+            }
+            acc += xi.conj() * ay;
+        }
+        acc
+    }
+
+    /// Quadratic form `⟨x|A|y⟩` evaluated with four interleaved
+    /// accumulator lanes per row: lane `l` gathers terms `j ≡ l (mod 4)`
+    /// and the lanes combine as `(a₀+a₁)+(a₂+a₃)` (any tail elements
+    /// fold into lanes 0..2 in order). This breaks the serial
+    /// add-dependency chain that makes [`Self::sandwich`] latency-bound
+    /// — the chain shrinks 4×, which is most of the large-`d` sweep
+    /// time in the rank-1 tomography path.
+    ///
+    /// **Not** bit-identical to `sandwich` (the summation associates
+    /// differently), but fully deterministic: the lane layout depends
+    /// only on the dimensions, never on threads or data. Paths that pin
+    /// golden bytes to the single-chain order must keep calling
+    /// `sandwich`; the rank-1 tomography path owns its own baselines
+    /// and takes the lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.dim() != self.cols()` or `x.dim() != self.rows()`.
+    pub fn sandwich_lanes(&self, x: &CVector, y: &CVector) -> Complex64 {
+        assert_eq!(y.dim(), self.cols, "matvec dimension mismatch");
+        assert_eq!(x.dim(), self.rows, "dimension mismatch in dot");
+        let xs = x.as_slice();
+        let ys = y.as_slice();
+        let mut acc = C_ZERO;
+        // qfc-lint: hot
+        for (i, &xi) in xs.iter().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let (mut a0, mut a1, mut a2, mut a3) = (C_ZERO, C_ZERO, C_ZERO, C_ZERO);
+            let mut rc = row.chunks_exact(4);
+            let mut yc = ys.chunks_exact(4);
+            for (r4, y4) in (&mut rc).zip(&mut yc) {
+                a0 += r4[0] * y4[0];
+                a1 += r4[1] * y4[1];
+                a2 += r4[2] * y4[2];
+                a3 += r4[3] * y4[3];
+            }
+            for (l, (a, b)) in rc.remainder().iter().zip(yc.remainder()).enumerate() {
+                match l {
+                    0 => a0 += *a * *b,
+                    1 => a1 += *a * *b,
+                    _ => a2 += *a * *b,
+                }
+            }
+            let ay = (a0 + a1) + (a2 + a3);
+            acc += xi.conj() * ay;
+        }
+        acc
+    }
+
+    /// Hermitian quadratic form `⟨x|A|x⟩` touching only the diagonal and
+    /// strict upper triangle:
+    /// `Σᵢ aᵢᵢ·|xᵢ|² + 2·Re Σᵢ conj(xᵢ)·(Σ_{j>i} aᵢⱼ·xⱼ)` — half the
+    /// complex multiplies of [`Self::sandwich`], still contiguous (each
+    /// row's tail) and allocation-free. The result is real by
+    /// construction, which is exactly what a Hermitian form must be.
+    ///
+    /// **Contract:** `self` must be Hermitian — the lower triangle and
+    /// the diagonal imaginary parts are never read, so on a
+    /// non-Hermitian matrix this silently computes the form of the
+    /// Hermitian matrix implied by the upper triangle. The rank-1
+    /// tomography path keeps its iterates bitwise Hermitian (see
+    /// [`Self::hermitianize_upper`]) and owns its own golden baselines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square or `x.dim() != self.rows()`.
+    pub fn quadratic_form_hermitian(&self, x: &CVector) -> f64 {
+        assert!(self.is_square(), "quadratic form needs a square matrix");
+        assert_eq!(x.dim(), self.rows, "matvec dimension mismatch");
+        let xs = x.as_slice();
+        let n = self.rows;
+        let mut diag = 0.0;
+        let mut cross = C_ZERO;
+        // qfc-lint: hot
+        for (i, &xi) in xs.iter().enumerate() {
+            let row = &self.data[i * n..(i + 1) * n];
+            diag += row[i].re * xi.norm_sqr();
+            let mut t = C_ZERO;
+            for (a, b) in row[i + 1..].iter().zip(&xs[i + 1..]) {
+                t += *a * *b;
+            }
+            cross += xi.conj() * t;
+        }
+        diag + 2.0 * cross.re
+    }
+
+    /// [`Self::quadratic_form_hermitian`] for several vectors against
+    /// the same matrix, blocked four at a time: each block makes one
+    /// pass over the upper triangle instead of four, so the matrix
+    /// traffic is amortized and the four accumulator chains run
+    /// independently. Bitwise identical to calling the single-vector
+    /// form per vector — every vector keeps its own accumulation
+    /// order; the block only shares the matrix loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square, `xs.len() != out.len()`, or any
+    /// vector's dimension does not match.
+    pub fn quadratic_forms_hermitian(&self, xs: &[&CVector], out: &mut [f64]) {
+        assert!(self.is_square(), "quadratic form needs a square matrix");
+        assert_eq!(xs.len(), out.len(), "quadratic form output length mismatch");
+        for x in xs {
+            assert_eq!(x.dim(), self.rows, "matvec dimension mismatch");
+        }
+        let mut k = 0;
+        while k + 4 <= xs.len() {
+            let vals =
+                self.quadratic_form_hermitian_x4([xs[k], xs[k + 1], xs[k + 2], xs[k + 3]]);
+            out[k..k + 4].copy_from_slice(&vals);
+            k += 4;
+        }
+        for (x, o) in xs[k..].iter().zip(&mut out[k..]) {
+            *o = self.quadratic_form_hermitian(x);
+        }
+    }
+
+    /// One four-vector block of [`Self::quadratic_forms_hermitian`]:
+    /// dimensions are already checked by the caller.
+    fn quadratic_form_hermitian_x4(&self, xs: [&CVector; 4]) -> [f64; 4] {
+        let n = self.rows;
+        let s = [
+            xs[0].as_slice(),
+            xs[1].as_slice(),
+            xs[2].as_slice(),
+            xs[3].as_slice(),
+        ];
+        let mut diag = [0.0f64; 4];
+        let mut cross = [C_ZERO; 4];
+        // qfc-lint: hot
+        for i in 0..n {
+            let row = &self.data[i * n..(i + 1) * n];
+            let aii = row[i].re;
+            let tail = &row[i + 1..];
+            let (t0, t1, t2, t3) = (
+                &s[0][i + 1..],
+                &s[1][i + 1..],
+                &s[2][i + 1..],
+                &s[3][i + 1..],
+            );
+            let mut t = [C_ZERO; 4];
+            // Exact-length zips: no index bounds checks in the kernel.
+            for ((((&a, &b0), &b1), &b2), &b3) in
+                tail.iter().zip(t0).zip(t1).zip(t2).zip(t3)
+            {
+                t[0] += a * b0;
+                t[1] += a * b1;
+                t[2] += a * b2;
+                t[3] += a * b3;
+            }
+            diag[0] += aii * s[0][i].norm_sqr();
+            diag[1] += aii * s[1][i].norm_sqr();
+            diag[2] += aii * s[2][i].norm_sqr();
+            diag[3] += aii * s[3][i].norm_sqr();
+            cross[0] += s[0][i].conj() * t[0];
+            cross[1] += s[1][i].conj() * t[1];
+            cross[2] += s[2][i].conj() * t[2];
+            cross[3] += s[3][i].conj() * t[3];
+        }
+        [
+            diag[0] + 2.0 * cross[0].re,
+            diag[1] + 2.0 * cross[1].re,
+            diag[2] + 2.0 * cross[2].re,
+            diag[3] + 2.0 * cross[3].re,
+        ]
+    }
+
+    /// A batch of [`Self::ger_hermitian_upper`] updates, blocked four
+    /// at a time: each block touches every accumulator element once for
+    /// four rank-1 updates instead of four times, quartering the
+    /// load/store traffic on `self`. Bitwise identical to applying the
+    /// updates sequentially — per element the four contributions are
+    /// added in batch order, exactly the association the sequential
+    /// form produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square or any vector's dimension does
+    /// not match.
+    pub fn ger_hermitian_upper_batch(&mut self, updates: &[(f64, &CVector)]) {
+        assert!(self.is_square(), "ger_hermitian_upper needs a square matrix");
+        for (_, x) in updates {
+            assert_eq!(x.dim(), self.rows, "ger_assign row dimension mismatch");
+        }
+        let mut k = 0;
+        while k + 4 <= updates.len() {
+            self.ger_hermitian_upper_x4([
+                updates[k],
+                updates[k + 1],
+                updates[k + 2],
+                updates[k + 3],
+            ]);
+            k += 4;
+        }
+        for &(alpha, x) in &updates[k..] {
+            self.ger_hermitian_upper(alpha, x);
+        }
+    }
+
+    /// One four-update block of [`Self::ger_hermitian_upper_batch`]:
+    /// dimensions are already checked by the caller.
+    fn ger_hermitian_upper_x4(&mut self, updates: [(f64, &CVector); 4]) {
+        let n = self.rows;
+        let s = [
+            updates[0].1.as_slice(),
+            updates[1].1.as_slice(),
+            updates[2].1.as_slice(),
+            updates[3].1.as_slice(),
+        ];
+        let al = [updates[0].0, updates[1].0, updates[2].0, updates[3].0];
+        // qfc-lint: hot
+        for i in 0..n {
+            let xa = [
+                s[0][i].scale(al[0]),
+                s[1][i].scale(al[1]),
+                s[2][i].scale(al[2]),
+                s[3][i].scale(al[3]),
+            ];
+            let row = &mut self.data[i * n + i..(i + 1) * n];
+            let (y0, y1, y2, y3) = (&s[0][i..], &s[1][i..], &s[2][i..], &s[3][i..]);
+            // Exact-length zips: no index bounds checks in the kernel.
+            for ((((o, &b0), &b1), &b2), &b3) in
+                row.iter_mut().zip(y0).zip(y1).zip(y2).zip(y3)
+            {
+                let mut z = *o;
+                z += xa[0] * b0.conj();
+                z += xa[1] * b1.conj();
+                z += xa[2] * b2.conj();
+                z += xa[3] * b3.conj();
+                *o = z;
+            }
+        }
+    }
+
+    /// Hermitian rank-1 update `self += α·x·x†`, writing only the
+    /// diagonal and strict upper triangle — half the work of
+    /// [`Self::ger_assign`] on a Hermitian accumulator. Pair with
+    /// [`Self::hermitianize_upper`] to materialize the lower triangle
+    /// once after a batch of updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square or `x.dim() != self.rows()`.
+    pub fn ger_hermitian_upper(&mut self, alpha: f64, x: &CVector) {
+        assert!(self.is_square(), "ger_hermitian_upper needs a square matrix");
+        assert_eq!(x.dim(), self.rows, "ger_assign row dimension mismatch");
+        let xs = x.as_slice();
+        let n = self.rows;
+        // qfc-lint: hot
+        for (i, &xi) in xs.iter().enumerate() {
+            let xa = xi.scale(alpha);
+            let row = &mut self.data[i * n + i..(i + 1) * n];
+            for (o, &yj) in row.iter_mut().zip(&xs[i..]) {
+                *o += xa * yj.conj();
+            }
+        }
+    }
+
+    /// Makes the matrix bitwise Hermitian from its upper triangle: every
+    /// strictly-lower element becomes the conjugate of its upper mirror,
+    /// and diagonal imaginary parts are zeroed. The upper triangle is
+    /// the source of truth; this is the cheap (O(n²/2) copies, no
+    /// arithmetic) companion of the `*_hermitian` kernels above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square.
+    pub fn hermitianize_upper(&mut self) {
+        assert!(self.is_square(), "hermitianize needs a square matrix");
+        let n = self.rows;
+        for i in 0..n {
+            self.data[i * n + i].im = 0.0;
+            for j in i + 1..n {
+                self.data[j * n + i] = self.data[i * n + j].conj();
+            }
+        }
     }
 
     /// `true` if `‖A − A†‖∞ ≤ tol` element-wise.
@@ -525,6 +1002,7 @@ impl Mul<&CVector> for &CMatrix {
 mod tests {
     use super::*;
     use crate::complex::C_I;
+    use proptest::prelude::*;
 
     #[test]
     fn identity_and_trace() {
@@ -640,8 +1118,8 @@ mod tests {
     }
 
     /// Deterministic pseudo-random test matrix (no RNG dependency).
-    fn scrambled(n: usize, salt: u64) -> CMatrix {
-        CMatrix::from_fn(n, n, |i, j| {
+    fn scrambled_rect(rows: usize, cols: usize, salt: u64) -> CMatrix {
+        CMatrix::from_fn(rows, cols, |i, j| {
             let h = (i as u64)
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add((j as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
@@ -650,6 +1128,10 @@ mod tests {
             let y = (h.wrapping_mul(0xBF58_476D_1CE4_E5B9) >> 11) as f64 / (1u64 << 53) as f64;
             Complex64::new(x - 0.5, y - 0.5)
         })
+    }
+
+    fn scrambled(n: usize, salt: u64) -> CMatrix {
+        scrambled_rect(n, n, salt)
     }
 
     fn bits_eq(a: &CMatrix, b: &CMatrix) -> bool {
@@ -787,6 +1269,418 @@ mod tests {
     fn lerp_identity_rejects_rectangular() {
         let mut m = CMatrix::zeros(2, 3);
         m.lerp_identity_in_place(1.5);
+    }
+
+    fn vbits_eq(a: &CVector, b: &CVector) -> bool {
+        a.dim() == b.dim()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+    }
+
+    #[test]
+    fn packed_gemm_bit_identical_square_and_rect() {
+        let mut scratch = GemmScratch::new();
+        for (m, k, n) in [
+            (1, 1, 1),
+            (2, 3, 4),
+            (5, 1, 7),
+            (1, 8, 1),
+            (16, 16, 16),
+            (64, 64, 64),
+            (64, 3, 17),
+        ] {
+            let a = scrambled_rect(m, k, 101);
+            let b = scrambled_rect(k, n, 202);
+            let mut oracle = CMatrix::zeros(m, n);
+            a.matmul_into(&b, &mut oracle);
+            let mut fast = CMatrix::from_fn(m, n, |_, _| C_I); // pre-dirtied
+            a.matmul_packed_into(&b, &mut fast, &mut scratch);
+            assert!(bits_eq(&fast, &oracle), "{m}x{k} · {k}x{n}");
+        }
+    }
+
+    #[test]
+    fn packed_gemm_bit_identical_sparse_rows() {
+        // Zeros in the LHS exercise the skip-zero branch, which must
+        // skip in exactly the same places as `matmul_into` (skipping a
+        // zero is not an IEEE no-op: −0 + 0 = +0).
+        let mut a = scrambled_rect(6, 5, 301);
+        for k in 0..5 {
+            a[(2, k)] = C_ZERO;
+        }
+        a[(0, 3)] = C_ZERO;
+        a[(4, 0)] = C_ZERO;
+        let b = scrambled_rect(5, 6, 302);
+        let mut oracle = CMatrix::zeros(6, 6);
+        a.matmul_into(&b, &mut oracle);
+        let mut fast = CMatrix::zeros(6, 6);
+        let mut scratch = GemmScratch::new();
+        a.matmul_packed_into(&b, &mut fast, &mut scratch);
+        assert!(bits_eq(&fast, &oracle));
+    }
+
+    #[test]
+    fn packed_gemm_handles_empty_shapes() {
+        let mut scratch = GemmScratch::new();
+        for (m, k, n) in [(0, 0, 0), (0, 3, 2), (2, 0, 3), (3, 2, 0)] {
+            let a = scrambled_rect(m, k, 401);
+            let b = scrambled_rect(k, n, 402);
+            let mut oracle = CMatrix::zeros(m, n);
+            a.matmul_into(&b, &mut oracle);
+            let mut fast = CMatrix::zeros(m, n);
+            a.matmul_packed_into(&b, &mut fast, &mut scratch);
+            assert!(bits_eq(&fast, &oracle), "{m}x{k} · {k}x{n}");
+        }
+    }
+
+    #[test]
+    fn packed_gemm_scratch_reuse_across_shapes() {
+        // One scratch carried across different shapes must not leak
+        // stale packed entries between calls.
+        let mut scratch = GemmScratch::new();
+        for (n, salt) in [(8, 11), (3, 12), (8, 13), (5, 14)] {
+            let a = scrambled(n, salt);
+            let b = scrambled(n, salt + 100);
+            let mut oracle = CMatrix::zeros(n, n);
+            a.matmul_into(&b, &mut oracle);
+            let mut fast = CMatrix::zeros(n, n);
+            a.matmul_packed_into(&b, &mut fast, &mut scratch);
+            assert!(bits_eq(&fast, &oracle), "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn packed_gemm_rejects_bad_output_shape() {
+        let a = CMatrix::identity(2);
+        let b = CMatrix::identity(2);
+        let mut out = CMatrix::zeros(3, 3);
+        a.matmul_packed_into(&b, &mut out, &mut GemmScratch::new());
+    }
+
+    #[test]
+    fn matvec_into_bit_identical_to_matvec() {
+        for (m, n) in [(1, 1), (3, 5), (5, 3), (16, 16)] {
+            let a = scrambled_rect(m, n, 501);
+            let v: CVector = (0..n)
+                .map(|j| Complex64::new(j as f64 - 1.5, 0.25 * j as f64))
+                .collect();
+            let mut out = CVector::from_vec(vec![C_I; m]); // pre-dirtied
+            a.matvec_into(&v, &mut out);
+            assert!(vbits_eq(&out, &a.matvec(&v)), "{m}x{n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output dimension mismatch")]
+    fn matvec_into_rejects_bad_output_dim() {
+        let a = CMatrix::identity(2);
+        let v = CVector::from_real(&[1.0, 2.0]);
+        let mut out = CVector::from_real(&[0.0; 3]);
+        a.matvec_into(&v, &mut out);
+    }
+
+    #[test]
+    fn ger_assign_matches_outer_accumulation() {
+        let x: CVector = (0..4).map(|i| Complex64::new(0.5 * i as f64, -0.25)).collect();
+        let y: CVector = (0..3).map(|j| Complex64::new(-0.125, 0.75 * j as f64)).collect();
+        let alpha = 0.731;
+        let mut fast = scrambled_rect(4, 3, 601);
+        let mut slow = fast.clone();
+        fast.ger_assign(alpha, &x, &y);
+        slow.add_scaled_assign(&CMatrix::outer(&x, &y), alpha);
+        // Same math, different association (α·x vs α·(x·y†)): equal to
+        // rounding, not bit-for-bit.
+        assert!(fast.approx_eq(&slow, 1e-15));
+        // Exact contract: each element gains (α·xᵢ)·conj(yⱼ).
+        let mut manual = scrambled_rect(4, 3, 601);
+        for i in 0..4 {
+            for j in 0..3 {
+                let d = x[i].scale(alpha) * y[j].conj();
+                let s = manual[(i, j)] + d;
+                manual[(i, j)] = s;
+            }
+        }
+        assert!(bits_eq(&fast, &manual));
+    }
+
+    #[test]
+    #[should_panic(expected = "ger_assign row dimension mismatch")]
+    fn ger_assign_rejects_bad_shape() {
+        let mut m = CMatrix::zeros(2, 2);
+        let x = CVector::from_real(&[1.0, 2.0, 3.0]);
+        let y = CVector::from_real(&[1.0, 2.0]);
+        m.ger_assign(1.0, &x, &y);
+    }
+
+    #[test]
+    fn row_col_into_bit_identical() {
+        let m = scrambled_rect(4, 6, 701);
+        let mut r = CVector::from_vec(vec![C_I; 6]);
+        let mut c = CVector::from_vec(vec![C_I; 4]);
+        for i in 0..4 {
+            m.row_into(i, &mut r);
+            assert!(vbits_eq(&r, &m.row(i)), "row {i}");
+        }
+        for j in 0..6 {
+            m.col_into(j, &mut c);
+            assert!(vbits_eq(&c, &m.col(j)), "col {j}");
+        }
+    }
+
+    #[test]
+    fn sandwich_bit_identical_to_two_step_form() {
+        for n in [1, 2, 5, 16] {
+            let a = scrambled(n, 801);
+            let x: CVector = (0..n)
+                .map(|i| Complex64::new(0.3 * i as f64 - 0.7, 0.1 * i as f64))
+                .collect();
+            let y: CVector = (0..n)
+                .map(|i| Complex64::new(-0.2 * i as f64, 0.6 - 0.05 * i as f64))
+                .collect();
+            let fused = a.sandwich(&x, &y);
+            let two_step = x.dot(&a.matvec(&y));
+            assert_eq!(fused.re.to_bits(), two_step.re.to_bits(), "n = {n}");
+            assert_eq!(fused.im.to_bits(), two_step.im.to_bits(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sandwich_lanes_matches_sandwich_approximately() {
+        // Lane association differs from the single chain, so agreement
+        // is to rounding, not bitwise — including every tail length
+        // (dims 1..=9 cover all `mod 4` remainders).
+        for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 16, 33, 64] {
+            let a = scrambled(n, 407);
+            let x: CVector = (0..n)
+                .map(|i| Complex64::new(0.4 * i as f64 - 0.9, 0.07 * i as f64))
+                .collect();
+            let y: CVector = (0..n)
+                .map(|i| Complex64::new(0.5 - 0.03 * i as f64, 0.11 * i as f64))
+                .collect();
+            let chain = a.sandwich(&x, &y);
+            let lanes = a.sandwich_lanes(&x, &y);
+            let scale = chain.abs().max(1.0);
+            assert!(
+                (chain - lanes).abs() <= 1e-12 * scale,
+                "n = {n}: {chain:?} vs {lanes:?}"
+            );
+            // Deterministic: the lane layout depends only on shape.
+            let again = a.sandwich_lanes(&x, &y);
+            assert_eq!(lanes.re.to_bits(), again.re.to_bits(), "n = {n}");
+            assert_eq!(lanes.im.to_bits(), again.im.to_bits(), "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec dimension mismatch")]
+    fn sandwich_lanes_rejects_bad_y_dim() {
+        let a = scrambled(3, 1);
+        let x = CVector::zeros(3);
+        let y = CVector::zeros(2);
+        let _ = a.sandwich_lanes(&x, &y);
+    }
+
+    /// Hermitian version of `scrambled`: `(A + A†)/2`.
+    fn scrambled_hermitian(n: usize, salt: u64) -> CMatrix {
+        let a = scrambled(n, salt);
+        CMatrix::from_fn(n, n, |i, j| (a[(i, j)] + a[(j, i)].conj()).scale(0.5))
+    }
+
+    #[test]
+    fn quadratic_form_hermitian_matches_sandwich() {
+        // Upper-triangle association differs from the full sandwich,
+        // so agreement is to rounding, not bitwise.
+        for n in [1usize, 2, 3, 4, 5, 7, 9, 16, 64] {
+            let h = scrambled_hermitian(n, 611);
+            let x: CVector = (0..n)
+                .map(|i| Complex64::new(0.3 * i as f64 - 0.7, 0.09 * i as f64 - 0.2))
+                .collect();
+            let full = h.sandwich(&x, &x);
+            let half = h.quadratic_form_hermitian(&x);
+            let scale = full.abs().max(1.0);
+            assert!((full.re - half).abs() <= 1e-12 * scale, "n = {n}: {full:?} vs {half}");
+            // Deterministic: same inputs, same bits.
+            let again = h.quadratic_form_hermitian(&x);
+            assert_eq!(half.to_bits(), again.to_bits(), "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec dimension mismatch")]
+    fn quadratic_form_hermitian_rejects_bad_dim() {
+        let h = scrambled_hermitian(3, 2);
+        let _ = h.quadratic_form_hermitian(&CVector::zeros(4));
+    }
+
+    #[test]
+    fn ger_hermitian_upper_plus_mirror_matches_full_ger() {
+        for n in [1usize, 2, 3, 5, 8, 16, 33] {
+            let h = scrambled_hermitian(n, 709);
+            let x: CVector = (0..n)
+                .map(|i| Complex64::new(0.2 * i as f64 - 0.5, 0.5 - 0.13 * i as f64))
+                .collect();
+            let mut full = h.clone();
+            full.ger_assign(0.75, &x, &x);
+            let mut half = h.clone();
+            half.ger_hermitian_upper(0.75, &x);
+            half.hermitianize_upper();
+            assert!(half.approx_eq(&full, 1e-13), "n = {n}");
+            // The strict upper triangle runs the exact same product
+            // order as the full ger — bitwise equal there. Diagonals
+            // agree bitwise in re; the mirror zeroes the round-off im
+            // that the full ger leaves behind.
+            for i in 0..n {
+                let (a, b) = (half[(i, i)], full[(i, i)]);
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "n = {n} diag ({i})");
+                assert_eq!(a.im.to_bits(), 0.0f64.to_bits(), "n = {n} diag im ({i})");
+                assert!(
+                    b.im.abs() <= 1e-14 * (1.0 + b.re.abs()),
+                    "n = {n} diag im ({i}): {}",
+                    b.im
+                );
+                for j in i + 1..n {
+                    let (a, b) = (half[(i, j)], full[(i, j)]);
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "n = {n} ({i},{j})");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "n = {n} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ger_assign row dimension mismatch")]
+    fn ger_hermitian_upper_rejects_bad_dim() {
+        let mut h = scrambled_hermitian(3, 3);
+        h.ger_hermitian_upper(1.0, &CVector::zeros(2));
+    }
+
+    #[test]
+    fn quadratic_forms_hermitian_batch_bitwise_matches_single() {
+        // Lengths 0..=9 cover every block-of-4 remainder.
+        for m in 0..=9usize {
+            let h = scrambled_hermitian(16, 911);
+            let vecs: Vec<CVector> = (0..m)
+                .map(|k| {
+                    (0..16)
+                        .map(|i| {
+                            Complex64::new(
+                                0.1 * (i + k) as f64 - 0.6,
+                                0.23 - 0.05 * (i * (k + 1)) as f64,
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&CVector> = vecs.iter().collect();
+            let mut out = vec![0.0f64; m];
+            h.quadratic_forms_hermitian(&refs, &mut out);
+            for (k, x) in refs.iter().enumerate() {
+                let single = h.quadratic_form_hermitian(x);
+                assert_eq!(out[k].to_bits(), single.to_bits(), "m = {m}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn ger_hermitian_upper_batch_bitwise_matches_sequential() {
+        for m in 0..=9usize {
+            let h = scrambled_hermitian(16, 1013);
+            let vecs: Vec<CVector> = (0..m)
+                .map(|k| {
+                    (0..16)
+                        .map(|i| {
+                            Complex64::new(
+                                0.07 * (2 * i + k) as f64 - 0.4,
+                                0.3 - 0.04 * (i + 2 * k) as f64,
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            let updates: Vec<(f64, &CVector)> =
+                vecs.iter().enumerate().map(|(k, v)| (0.5 + 0.1 * k as f64, v)).collect();
+            let mut batched = h.clone();
+            batched.ger_hermitian_upper_batch(&updates);
+            let mut sequential = h.clone();
+            for &(alpha, x) in &updates {
+                sequential.ger_hermitian_upper(alpha, x);
+            }
+            for i in 0..16 {
+                for j in i..16 {
+                    let (a, b) = (batched[(i, j)], sequential[(i, j)]);
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "m = {m} ({i},{j})");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "m = {m} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hermitianize_upper_mirrors_and_preserves_upper() {
+        let a = scrambled(5, 811);
+        let mut m = a.clone();
+        m.hermitianize_upper();
+        for i in 0..5 {
+            assert_eq!(m[(i, i)].im.to_bits(), 0.0f64.to_bits(), "diag im ({i})");
+            assert_eq!(m[(i, i)].re.to_bits(), a[(i, i)].re.to_bits(), "diag re ({i})");
+            for j in i + 1..5 {
+                // Upper untouched, lower the exact conjugate.
+                assert_eq!(m[(i, j)].re.to_bits(), a[(i, j)].re.to_bits());
+                assert_eq!(m[(i, j)].im.to_bits(), a[(i, j)].im.to_bits());
+                assert_eq!(m[(j, i)].re.to_bits(), m[(i, j)].re.to_bits());
+                assert_eq!(m[(j, i)].im.to_bits(), (-m[(i, j)].im).to_bits());
+            }
+        }
+        assert!(m.is_hermitian(0.0));
+    }
+
+    proptest! {
+        /// `matmul_packed_into` equals `matmul_into` bit for bit across
+        /// arbitrary square and non-square shapes — including degenerate
+        /// 1-dim and empty operands — and arbitrary sparsity patterns
+        /// (zeroed entries exercise the skip-zero branch).
+        #[test]
+        fn packed_gemm_equals_naive_gemm_bitwise(
+            m in 0usize..25,
+            k in 0usize..25,
+            n in 0usize..25,
+            salt in 0u64..1000,
+            zero_mask in 0u64..8u64,
+        ) {
+            let mut a = scrambled_rect(m, k, salt);
+            // Sprinkle exact zeros so the skip-zero path fires.
+            for i in 0..m {
+                for j in 0..k {
+                    if (i as u64 + j as u64 + salt) % 8 < zero_mask {
+                        a[(i, j)] = C_ZERO;
+                    }
+                }
+            }
+            let b = scrambled_rect(k, n, salt.wrapping_add(7));
+            let mut oracle = CMatrix::zeros(m, n);
+            a.matmul_into(&b, &mut oracle);
+            let mut fast = CMatrix::from_fn(m, n, |_, _| C_I);
+            let mut scratch = GemmScratch::new();
+            a.matmul_packed_into(&b, &mut fast, &mut scratch);
+            prop_assert!(bits_eq(&fast, &oracle));
+        }
+
+        /// Large-shape spot check at the bench-relevant d = 64 corner
+        /// (fewer cases, run through the same oracle).
+        #[test]
+        fn packed_gemm_equals_naive_gemm_large(seed in 0u64..8) {
+            let a = scrambled_rect(64, 64, seed);
+            let b = scrambled_rect(64, 33, seed.wrapping_add(3));
+            let mut oracle = CMatrix::zeros(64, 33);
+            a.matmul_into(&b, &mut oracle);
+            let mut fast = CMatrix::zeros(64, 33);
+            let mut scratch = GemmScratch::new();
+            a.matmul_packed_into(&b, &mut fast, &mut scratch);
+            prop_assert!(bits_eq(&fast, &oracle));
+        }
     }
 
     #[test]

@@ -355,11 +355,17 @@ pub fn svd(a: &CMatrix, tol: f64) -> Svd {
     let mut u = CMatrix::zeros(a.rows(), r);
     let mut v = CMatrix::zeros(a.cols(), r);
     let mut sigma = Vec::with_capacity(r);
+    // One scratch vector reused across columns (`matvec_into` is
+    // bit-identical to the allocating `matvec`, and `scale` applies
+    // element-wise either way).
+    let mut uk = CVector::zeros(a.rows());
     for (k, (s, vk)) in triples.iter().enumerate() {
         sigma.push(*s);
-        let uk = a.matvec(vk).scale(1.0 / s);
+        a.matvec_into(vk, &mut uk);
+        let inv = 1.0 / s;
+        // qfc-lint: hot
         for i in 0..a.rows() {
-            u[(i, k)] = uk[i];
+            u[(i, k)] = uk[i].scale(inv);
         }
         for i in 0..a.cols() {
             v[(i, k)] = vk[i];

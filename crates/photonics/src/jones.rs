@@ -6,7 +6,7 @@
 use serde::{Deserialize, Serialize};
 
 use qfc_mathkit::cmatrix::CMatrix;
-use qfc_mathkit::complex::{Complex64, C_ONE};
+use qfc_mathkit::complex::{Complex64, C_ONE, C_ZERO};
 use qfc_mathkit::cvector::CVector;
 
 use crate::waveguide::Polarization;
@@ -76,8 +76,23 @@ impl JonesVector {
 
     /// Intensity transmitted through an optical element (the squared
     /// norm after applying a possibly lossy Jones matrix).
+    ///
+    /// Allocation-free: folds `‖M·a‖²` row by row with `matvec`'s exact
+    /// per-row accumulation order, so the value is bit-identical to the
+    /// former `matvec(..).norm_sqr()` without the temporary vector —
+    /// this sits inside per-sample polarization sweeps.
     pub fn intensity_after(&self, element: &JonesMatrix) -> f64 {
-        element.matrix.matvec(&self.amps).norm_sqr()
+        let m = &element.matrix;
+        let mut acc = 0.0;
+        // qfc-lint: hot
+        for i in 0..m.rows() {
+            let mut z = C_ZERO;
+            for j in 0..m.cols() {
+                z += m[(i, j)] * self.amps[j];
+            }
+            acc += z.norm_sqr();
+        }
+        acc
     }
 
     /// Squared overlap with another polarization state.

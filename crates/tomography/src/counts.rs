@@ -186,11 +186,22 @@ pub fn setting_histogram(
     c
 }
 
+/// Minimum shots per setting before the seeded count paths fan out to
+/// the worker pool. Below this grain the per-task dispatch and shard
+/// merge cost more than the sampling itself — the four-photon smoke
+/// profile (40 shots × 81 settings) measured *slower* in parallel than
+/// serial — so small jobs run the identical per-setting kernels
+/// serially instead. Outputs are unaffected: each setting's histogram
+/// depends only on its own split seed, never on which thread ran it.
+pub(crate) const PAR_MIN_SHOTS_PER_SETTING: u64 = 1024;
+
 /// Seeded, parallel variant of [`simulate_counts`]: every setting draws
 /// its shots from an independent split-seed stream
 /// (`split_seed(seed, setting_index)`), so settings run concurrently on
 /// the worker pool and the counts are bitwise-identical at any thread
-/// count.
+/// count. Jobs below [`PAR_MIN_SHOTS_PER_SETTING`] shots per setting
+/// skip the pool and run the same kernels serially (same bytes, no
+/// dispatch overhead).
 ///
 /// # Panics
 ///
@@ -204,14 +215,19 @@ pub fn simulate_counts_seeded(
     use qfc_mathkit::rng::split_seed;
 
     let indexed: Vec<usize> = (0..settings.len()).collect();
-    let counts = qfc_runtime::par_map(&indexed, |&s| {
+    let histogram = |s: usize| {
         setting_histogram(
             rho,
             &settings[s],
             shots_per_setting,
             split_seed(seed, cast::usize_to_u64(s)),
         )
-    });
+    };
+    let counts = if shots_per_setting < PAR_MIN_SHOTS_PER_SETTING {
+        indexed.iter().map(|&s| histogram(s)).collect()
+    } else {
+        qfc_runtime::par_map(&indexed, |&s| histogram(s))
+    };
     TomographyData {
         settings: settings.to_vec(),
         counts,

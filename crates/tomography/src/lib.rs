@@ -28,11 +28,16 @@
 
 pub mod bootstrap;
 pub mod counts;
+pub mod rank1;
 pub mod reconstruct;
 pub mod settings;
 pub mod stream;
 
 pub use counts::{exact_counts, simulate_counts, TomographyData};
+pub use rank1::{
+    deterministic_bases, exact_counts_repr, synthetic_low_rank_state, try_mle_repr,
+    ProjectorRepr, ProjectorReprSet,
+};
 pub use reconstruct::{
     linear_reconstruction, mle_reconstruction, try_mle_reconstruction, MleAcceleration,
     MleOptions, MleResult,

@@ -1,0 +1,893 @@
+//! Rank-1 projector tomography — the large-`d` fast path.
+//!
+//! Qubit tomography settings (and any orthonormal-basis qudit
+//! measurement) have outcome projectors that are rank-1 outer products
+//! `|ψ⟩⟨ψ|`. The classic MLE path materializes each of them as a dense
+//! `d × d` matrix, so one RρR iteration streams `m·d²` complex entries
+//! through `tr(ρ·Π)` (a stride-`d` column walk) and again through the
+//! `R` accumulation — at `d = 64` with ~10³ projectors that is tens of
+//! megabytes of traffic per iteration, far beyond any cache.
+//!
+//! This module keeps the *vectors* instead: [`ProjectorRepr::Rank1`]
+//! stores `|ψ⟩` (shrinking the projector cache from `m·d²` to `m·d`
+//! entries) and exploits the Hermitian structure of both operands —
+//! expectations become the allocation-free quadratic form `⟨ψ|ρ|ψ⟩`
+//! over `ρ`'s upper triangle ([`CMatrix::quadratic_form_hermitian`]),
+//! and the `R` build becomes upper-triangle-only
+//! [`CMatrix::ger_hermitian_upper`] rank-1 updates with a single
+//! mirror per sweep — each at *half* the complex multiplies of their
+//! full-matrix counterparts, every access contiguous. The `RρR`
+//! products run through the packed GEMM
+//! ([`CMatrix::matmul_packed_into`]), and iterates are kept bitwise
+//! Hermitian so the triangle kernels stay exact. The per-iteration
+//! sweep is parallelized over fixed-size pair chunks with a
+//! chunk-index-ordered merge, so results are bitwise identical at any
+//! thread count.
+//!
+//! This is a **new opt-in path** with its own golden baselines: its
+//! arithmetic is *mathematically* equal to the classic dense path but
+//! associates products differently, so it is **not** byte-identical to
+//! `reconstruct::try_mle_reconstruction` — which stays untouched and
+//! keeps replaying `tests/golden/` bit for bit (the established
+//! new-baselines-for-new-paths rule).
+
+use serde::{Deserialize, Serialize};
+
+use qfc_faults::{QfcError, QfcResult};
+use qfc_mathkit::cast;
+use qfc_mathkit::cmatrix::{CMatrix, GemmScratch};
+use qfc_mathkit::complex::Complex64;
+use qfc_mathkit::cvector::CVector;
+use qfc_quantum::qudit::BipartiteQudit;
+
+use crate::reconstruct::{try_project_physical, MleAcceleration, MleOptions, MleResult};
+use crate::settings::Setting;
+
+/// Probability floor shared with the classic path: expectations are
+/// clamped to this before dividing, so empty-outcome projectors cannot
+/// blow up `R`.
+const P_FLOOR: f64 = 1e-12;
+
+/// Pairs per parallel sweep task. The chunk layout depends only on the
+/// pair count — never on the thread count — so the partial-`R` merge
+/// below is bitwise thread-invariant.
+const SWEEP_CHUNK_PAIRS: usize = 64;
+
+/// Minimum `pairs · d²` work for the sweep to go parallel at all.
+/// Below this the per-task dispatch and the per-chunk partial-`R`
+/// allocation dominate the O(d²) kernels and the parallel leg is
+/// slower than the serial one (the four-photon regression); small
+/// problems take a single serial chunk instead. The choice only picks
+/// a code path per *problem size*, so any given reconstruction is
+/// still deterministic and thread-invariant.
+const PAR_SWEEP_MIN_WORK: usize = 1 << 15;
+
+/// One outcome projector, stored in whichever representation the
+/// measurement admits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProjectorRepr {
+    /// A general projector as a dense matrix — the representation the
+    /// classic path uses, kept for A/B reference reconstructions.
+    Dense(CMatrix),
+    /// A rank-1 projector `|ψ⟩⟨ψ|` stored as the vector `|ψ⟩` — `d`
+    /// entries instead of `d²`.
+    Rank1(CVector),
+}
+
+impl ProjectorRepr {
+    /// Hilbert-space dimension the projector acts on.
+    pub fn dim(&self) -> usize {
+        match self {
+            ProjectorRepr::Dense(m) => m.rows(),
+            ProjectorRepr::Rank1(v) => v.dim(),
+        }
+    }
+
+    /// Expectation `tr(ρ·Π)`. Dense projectors use the diagonal-only
+    /// product trace (the classic path's kernel); rank-1 projectors use
+    /// the Hermitian quadratic form `⟨ψ|ρ|ψ⟩`
+    /// ([`CMatrix::quadratic_form_hermitian`]) — contiguous,
+    /// allocation-free, and half the complex multiplies of a full
+    /// sandwich because only `ρ`'s upper triangle is read. The rank-1
+    /// arm therefore requires `rho` to be Hermitian — density matrices
+    /// always are, and the MLE driver below keeps its iterates bitwise
+    /// Hermitian.
+    pub fn expectation(&self, rho: &CMatrix) -> f64 {
+        match self {
+            ProjectorRepr::Dense(m) => rho.trace_of_product(m).re,
+            ProjectorRepr::Rank1(v) => rho.quadratic_form_hermitian(v),
+        }
+    }
+
+    /// Accumulates `w·Π` into `r`: a dense scaled add, or a rank-1
+    /// `ger` update that never materializes the outer product.
+    pub fn accumulate_scaled(&self, r: &mut CMatrix, w: f64) {
+        match self {
+            ProjectorRepr::Dense(m) => r.add_scaled_assign(m, w),
+            ProjectorRepr::Rank1(v) => r.ger_assign(w, v, v),
+        }
+    }
+
+    /// Sweep-internal accumulation that keeps only `r`'s diagonal and
+    /// upper triangle authoritative: the dense arm adds the full matrix
+    /// (its upper triangle is correct either way), the rank-1 arm runs
+    /// the half-work [`CMatrix::ger_hermitian_upper`] update. `build_r`
+    /// mirrors the triangle once after the chunk merge, so callers of
+    /// the driver always observe a full Hermitian `R`.
+    fn accumulate_scaled_upper(&self, r: &mut CMatrix, w: f64) {
+        match self {
+            ProjectorRepr::Dense(m) => r.add_scaled_assign(m, w),
+            ProjectorRepr::Rank1(v) => r.ger_hermitian_upper(w, v),
+        }
+    }
+
+    /// The projector as a dense matrix (clones / materializes).
+    pub fn to_dense_matrix(&self) -> CMatrix {
+        match self {
+            ProjectorRepr::Dense(m) => m.clone(),
+            ProjectorRepr::Rank1(v) => CMatrix::outer(v, v),
+        }
+    }
+}
+
+/// Outcome projectors for a list of measurement settings, in
+/// representation form — the rank-1 counterpart of
+/// [`crate::settings::ProjectorSet`].
+#[derive(Debug, Clone)]
+pub struct ProjectorReprSet {
+    /// `reprs[s][o]` for setting `s`, outcome `o`.
+    reprs: Vec<Vec<ProjectorRepr>>,
+    /// Hilbert-space dimension.
+    dim: usize,
+}
+
+impl ProjectorReprSet {
+    /// Rank-1 projectors for qubit tomography settings, via
+    /// [`Setting::outcome_vector`] Kronecker chains — `m·d` stored
+    /// entries where the dense [`crate::settings::ProjectorSet`] stores
+    /// `m·d²`.
+    ///
+    /// # Errors
+    ///
+    /// [`QfcError::InsufficientData`] for an empty setting list,
+    /// [`QfcError::InvalidParameter`] for mixed-arity settings.
+    pub fn try_rank1_from_settings(settings: &[Setting]) -> QfcResult<Self> {
+        let first = settings.first().ok_or_else(|| QfcError::InsufficientData {
+            context: "rank-1 projector set needs at least one setting".to_owned(),
+        })?;
+        let n = first.qubits();
+        let mut reprs = Vec::with_capacity(settings.len());
+        for (s, setting) in settings.iter().enumerate() {
+            if setting.qubits() != n {
+                return Err(QfcError::invalid(format!(
+                    "mixed-arity setting list: setting {s} measures {} qubit(s) \
+                     but setting 0 measures {n}",
+                    setting.qubits()
+                )));
+            }
+            reprs.push(
+                (0..setting.outcomes())
+                    .map(|o| ProjectorRepr::Rank1(setting.outcome_vector(o)))
+                    .collect(),
+            );
+        }
+        Ok(Self { reprs, dim: 1 << n })
+    }
+
+    /// Rank-1 projectors from orthonormal measurement bases: each basis
+    /// is a `d × d` unitary whose *columns* are the outcome vectors —
+    /// the natural form for qudit tomography where each reconfiguration
+    /// of the analyzer measures one complete orthonormal basis.
+    ///
+    /// # Errors
+    ///
+    /// [`QfcError::InsufficientData`] for an empty basis list,
+    /// [`QfcError::InvalidParameter`] for non-square, mixed-dimension,
+    /// or non-unitary (tolerance `1e-9`) bases.
+    pub fn try_rank1_from_bases(bases: &[CMatrix]) -> QfcResult<Self> {
+        let first = bases.first().ok_or_else(|| QfcError::InsufficientData {
+            context: "rank-1 projector set needs at least one basis".to_owned(),
+        })?;
+        let dim = first.rows();
+        let mut reprs = Vec::with_capacity(bases.len());
+        for (b, basis) in bases.iter().enumerate() {
+            if !basis.is_square() || basis.rows() != dim {
+                return Err(QfcError::invalid(format!(
+                    "basis {b} is {}x{}, expected {dim}x{dim}",
+                    basis.rows(),
+                    basis.cols()
+                )));
+            }
+            if !basis.is_unitary(1e-9) {
+                return Err(QfcError::invalid(format!(
+                    "basis {b} is not unitary within 1e-9; its columns do not \
+                     form an orthonormal outcome basis"
+                )));
+            }
+            reprs.push(
+                (0..dim)
+                    .map(|o| ProjectorRepr::Rank1(basis.col(o)))
+                    .collect(),
+            );
+        }
+        Ok(Self { reprs, dim })
+    }
+
+    /// The same set with every projector materialized as a dense
+    /// matrix — the classic-representation reference leg for A/B
+    /// benchmarks of the rank-1 path.
+    pub fn to_dense(&self) -> Self {
+        Self {
+            reprs: self
+                .reprs
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|r| ProjectorRepr::Dense(r.to_dense_matrix()))
+                        .collect()
+                })
+                .collect(),
+            dim: self.dim,
+        }
+    }
+
+    /// Hilbert-space dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of settings covered.
+    #[inline]
+    pub fn settings(&self) -> usize {
+        self.reprs.len()
+    }
+
+    /// Outcomes of setting `s`.
+    #[inline]
+    pub fn outcomes(&self, s: usize) -> usize {
+        self.reprs[s].len()
+    }
+
+    /// The representation of outcome `o` in setting `s`.
+    #[inline]
+    pub fn repr(&self, s: usize, o: usize) -> &ProjectorRepr {
+        &self.reprs[s][o]
+    }
+}
+
+/// Splitmix-style hash to a unit-interval double — the deterministic
+/// entropy source for synthetic bases and states (no RNG state, so the
+/// construction is reproducible from `(dim, salt)` alone).
+fn hash_unit(h: u64) -> f64 {
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    cast::to_f64(z >> 11) / cast::to_f64(1u64 << 53)
+}
+
+/// Deterministic pseudo-random complex vector with entries in the unit
+/// square centered on 0.
+fn hashed_vector(dim: usize, salt: u64) -> CVector {
+    let mut v = CVector::zeros(dim);
+    for i in 0..dim {
+        let k = cast::usize_to_u64(i).wrapping_mul(2).wrapping_add(salt << 8);
+        v[i] = Complex64::new(hash_unit(k) - 0.5, hash_unit(k.wrapping_add(1)) - 0.5);
+    }
+    v
+}
+
+/// Orthonormalizes the columns of `m` by modified Gram–Schmidt with one
+/// re-orthogonalization pass (needed for numerical orthogonality at
+/// `d = 64`).
+fn gram_schmidt_columns(m: &CMatrix) -> QfcResult<CMatrix> {
+    let d = m.rows();
+    let mut cols: Vec<CVector> = (0..d).map(|j| m.col(j)).collect();
+    for j in 0..d {
+        let (head, tail) = cols.split_at_mut(j);
+        let v = &mut tail[0];
+        for _ in 0..2 {
+            for u in head.iter() {
+                let proj = u.dot(v);
+                for k in 0..d {
+                    let w = v[k] - proj * u[k];
+                    v[k] = w;
+                }
+            }
+        }
+        let n = v.norm();
+        if n < 1e-8 {
+            return Err(QfcError::SingularSystem {
+                context: format!("Gram–Schmidt column {j} degenerated (norm {n:.2e})"),
+            });
+        }
+        let inv = 1.0 / n;
+        for k in 0..d {
+            let w = v[k].scale(inv);
+            v[k] = w;
+        }
+    }
+    Ok(CMatrix::from_fn(d, d, |i, j| cols[j][i]))
+}
+
+/// `count` deterministic orthonormal measurement bases in dimension
+/// `dim`: the computational basis first, then Gram–Schmidt
+/// orthonormalizations of hash-seeded matrices. Reproducible from
+/// `(dim, count, salt)` alone.
+///
+/// # Errors
+///
+/// [`QfcError::InvalidParameter`] for `dim < 2` or `count == 0`;
+/// [`QfcError::SingularSystem`] if a seeded matrix degenerates (not
+/// observed for any tested `(dim, salt)`; guarded rather than assumed).
+pub fn deterministic_bases(dim: usize, count: usize, salt: u64) -> QfcResult<Vec<CMatrix>> {
+    if dim < 2 {
+        return Err(QfcError::invalid(format!(
+            "measurement bases need dimension ≥ 2 (got {dim})"
+        )));
+    }
+    if count == 0 {
+        return Err(QfcError::invalid("need at least one measurement basis"));
+    }
+    let mut out = Vec::with_capacity(count);
+    out.push(CMatrix::identity(dim));
+    for b in 1..count {
+        let seed = salt
+            .wrapping_mul(0xD1B5_4A32_D192_ED03)
+            .wrapping_add(cast::usize_to_u64(b));
+        let raw = CMatrix::from_fn(dim, dim, |i, j| {
+            let k = cast::usize_to_u64(i * dim + j)
+                .wrapping_mul(3)
+                .wrapping_add(seed << 16);
+            Complex64::new(hash_unit(k) - 0.5, hash_unit(k.wrapping_add(1)) - 0.5)
+        });
+        let u = gram_schmidt_columns(&raw)?;
+        if !u.is_unitary(1e-9) {
+            return Err(QfcError::non_finite("Gram–Schmidt basis orthonormalization"));
+        }
+        out.push(u);
+    }
+    Ok(out)
+}
+
+/// Deterministic synthetic rank-`rank` qudit state of dimension `dim`:
+/// the reduced state of a bipartite pure state whose amplitude matrix
+/// is a sum of `rank` hash-seeded outer products with a `1/(t+1)`
+/// Schmidt-weight decay. Trace 1, Hermitian, PSD by construction
+/// (`ρ = CC†` up to normalization via [`BipartiteQudit::reduced_a`]).
+///
+/// # Errors
+///
+/// [`QfcError::InvalidParameter`] for `dim` outside the supported qudit
+/// range `2..=64` or `rank` outside `1..=dim`.
+pub fn synthetic_low_rank_state(dim: usize, rank: usize, salt: u64) -> QfcResult<CMatrix> {
+    if !(2..=64).contains(&dim) {
+        return Err(QfcError::invalid(format!(
+            "synthetic qudit dimension must be in 2..=64 (got {dim})"
+        )));
+    }
+    if rank == 0 || rank > dim {
+        return Err(QfcError::invalid(format!(
+            "synthetic state rank must be in 1..={dim} (got {rank})"
+        )));
+    }
+    let mut c = CMatrix::zeros(dim, dim);
+    for t in 0..rank {
+        let ts = cast::usize_to_u64(t);
+        let g = hashed_vector(dim, salt.wrapping_add(ts.wrapping_mul(2).wrapping_add(1)));
+        let h = hashed_vector(dim, salt.wrapping_add(ts.wrapping_mul(2).wrapping_add(2)));
+        let w = 1.0 / cast::to_f64(cast::usize_to_u64(t + 1));
+        for i in 0..dim {
+            for j in 0..dim {
+                c[(i, j)] += (g[i] * h[j]).scale(w);
+            }
+        }
+    }
+    Ok(BipartiteQudit::from_amplitude_matrix(&c).reduced_a())
+}
+
+/// Exact ("infinite statistics") outcome counts of `rho` under a
+/// projector set: `round(scale · tr(ρ·Π))` per outcome — the qudit
+/// counterpart of [`crate::counts::exact_counts`].
+///
+/// # Errors
+///
+/// [`QfcError::InvalidParameter`] if `rho` is not square of the set's
+/// dimension.
+pub fn exact_counts_repr(
+    rho: &CMatrix,
+    set: &ProjectorReprSet,
+    scale: u64,
+) -> QfcResult<Vec<Vec<u64>>> {
+    if !rho.is_square() || rho.rows() != set.dim() {
+        return Err(QfcError::invalid(format!(
+            "state is {}x{}, projector set has dimension {}",
+            rho.rows(),
+            rho.cols(),
+            set.dim()
+        )));
+    }
+    let mut counts = Vec::with_capacity(set.settings());
+    for s in 0..set.settings() {
+        let row: Vec<u64> = (0..set.outcomes(s))
+            .map(|o| {
+                let p = set.repr(s, o).expectation(rho).clamp(0.0, 1.0);
+                cast::f64_to_u64((p * cast::to_f64(scale)).round())
+            })
+            .collect();
+        counts.push(row);
+    }
+    Ok(counts)
+}
+
+/// One sweep task: partial `R` and partial log-likelihood over a chunk
+/// of `(projector, frequency)` pairs against the current iterate. The
+/// partial `R` is authoritative only on its diagonal and upper triangle
+/// (rank-1 pairs skip the lower half); `build_r` mirrors once after the
+/// merge.
+///
+/// All-rank-1 chunks (the common case — sets built by the public
+/// constructors are homogeneous) take a blocked fast path: expectations
+/// via [`CMatrix::quadratic_forms_hermitian`] and the `R` accumulation
+/// via [`CMatrix::ger_hermitian_upper_batch`], four pairs per pass over
+/// `ρ` / `R`. Both batch kernels are bitwise identical to their
+/// per-pair forms and the log-likelihood is summed in pair order, so
+/// the fast path produces exactly the bits of the generic loop below.
+fn sweep_chunk(pairs: &[(&ProjectorRepr, f64)], rho: &CMatrix) -> (CMatrix, f64) {
+    let mut r_part = CMatrix::zeros(rho.rows(), rho.cols());
+    let mut ll = 0.0;
+    let mut vecs: Vec<&CVector> = Vec::with_capacity(pairs.len());
+    for &(repr, _) in pairs {
+        if let ProjectorRepr::Rank1(v) = repr {
+            vecs.push(v);
+        }
+    }
+    if vecs.len() == pairs.len() {
+        let mut ps = vec![0.0f64; pairs.len()];
+        rho.quadratic_forms_hermitian(&vecs, &mut ps);
+        let mut updates: Vec<(f64, &CVector)> = Vec::with_capacity(pairs.len());
+        for ((&(_, f), p), &v) in pairs.iter().zip(&mut ps).zip(&vecs) {
+            *p = p.max(P_FLOOR);
+            ll += f * p.ln();
+            updates.push((f / *p, v));
+        }
+        r_part.ger_hermitian_upper_batch(&updates);
+        return (r_part, ll);
+    }
+    // qfc-lint: hot
+    for &(repr, f) in pairs {
+        let p = repr.expectation(rho).max(P_FLOOR);
+        ll += f * p.ln();
+        repr.accumulate_scaled_upper(&mut r_part, f / p);
+    }
+    (r_part, ll)
+}
+
+/// Builds `R = Σ (f/p)·Π` into `r` and returns the log-likelihood
+/// `Σ f·ln p`. Large problems fan the pair sweep out over the worker
+/// pool in fixed [`SWEEP_CHUNK_PAIRS`]-sized chunks and merge the
+/// partial `R` matrices by summation in chunk-index order — the chunk
+/// layout never depends on the thread count, so the result is bitwise
+/// identical at any thread count. The sweep accumulates only the upper
+/// triangle for rank-1 pairs; one [`CMatrix::hermitianize_upper`]
+/// mirror after the merge (O(d²/2) copies, no arithmetic) restores the
+/// full Hermitian `R`.
+fn build_r(pairs: &[(&ProjectorRepr, f64)], rho: &CMatrix, r: &mut CMatrix) -> f64 {
+    let dim = rho.rows();
+    let ll = if pairs.len() * dim * dim >= PAR_SWEEP_MIN_WORK {
+        let partials = qfc_runtime::par_chunks(pairs, SWEEP_CHUNK_PAIRS, |_, chunk| {
+            sweep_chunk(chunk, rho)
+        });
+        r.fill_zero();
+        let mut ll = 0.0;
+        for (r_part, ll_part) in &partials {
+            r.add_scaled_assign(r_part, 1.0);
+            ll += *ll_part;
+        }
+        ll
+    } else {
+        // Below the grain threshold the dispatch overhead beats the
+        // win: one serial chunk (still the same kernels).
+        let (r_part, ll) = sweep_chunk(pairs, rho);
+        r.copy_from(&r_part);
+        ll
+    };
+    r.hermitianize_upper();
+    ll
+}
+
+/// Iterative RρR maximum-likelihood reconstruction against a
+/// representation projector set — the rank-1 + packed-GEMM fast path.
+///
+/// Same fixed-point map and convergence contract as
+/// [`crate::reconstruct::try_mle_reconstruction_with`], but expectations
+/// run through [`ProjectorRepr::expectation`], the `R` build through
+/// [`ProjectorRepr::accumulate_scaled`] (parallel fixed-order sweep),
+/// and the `RρR` products through the packed GEMM. Supports the same
+/// classic and accelerated schedules. Results are mathematically equal
+/// to the dense classic path but **not** byte-identical to it — this
+/// path pins its own golden baselines.
+///
+/// `counts[s][o]` are the events for outcome `o` of setting `s`;
+/// frequencies are per-setting, and zero-frequency outcomes are skipped
+/// exactly as in the classic path.
+///
+/// # Errors
+///
+/// * [`QfcError::InvalidParameter`] — count table shape does not match
+///   the set, or the dimension is not a power of two ≥ 2 (the result
+///   type is a `DensityMatrix`);
+/// * [`QfcError::SingularSystem`] — zero total events, or an iteration
+///   whose update annihilated the trace;
+/// * [`QfcError::NonFinite`] — the update norm left the finite range.
+pub fn try_mle_repr(
+    set: &ProjectorReprSet,
+    counts: &[Vec<u64>],
+    options: &MleOptions,
+) -> QfcResult<MleResult> {
+    let dim = set.dim();
+    if dim < 2 || !dim.is_power_of_two() {
+        return Err(QfcError::invalid(format!(
+            "MLE result is a DensityMatrix: dimension must be a power of \
+             two ≥ 2 (got {dim})"
+        )));
+    }
+    if counts.len() != set.settings() {
+        return Err(QfcError::invalid(format!(
+            "count table has {} row(s) for {} setting(s)",
+            counts.len(),
+            set.settings()
+        )));
+    }
+    for (s, row) in counts.iter().enumerate() {
+        if row.len() != set.outcomes(s) {
+            return Err(QfcError::invalid(format!(
+                "setting {s} has {} count slot(s) for {} outcome(s)",
+                row.len(),
+                set.outcomes(s)
+            )));
+        }
+    }
+    let grand_total: u64 = counts.iter().map(|row| row.iter().sum::<u64>()).sum();
+    if grand_total == 0 {
+        return Err(QfcError::SingularSystem {
+            context: "rank-1 MLE reconstruction: zero total events (all-dark data)".to_owned(),
+        });
+    }
+
+    // (projector, frequency) pairs in (s, o) order, f > 0 only — the
+    // classic path's gathering order.
+    let mut pairs: Vec<(&ProjectorRepr, f64)> = Vec::new();
+    for (s, row) in counts.iter().enumerate() {
+        let total: u64 = row.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        for (o, &c) in row.iter().enumerate() {
+            if c > 0 {
+                pairs.push((
+                    set.repr(s, o),
+                    cast::to_f64(c) / cast::to_f64(total),
+                ));
+            }
+        }
+    }
+
+    let mut rho = CMatrix::identity(dim).scale(1.0 / cast::to_f64(cast::usize_to_u64(dim)));
+    let mut r = CMatrix::zeros(dim, dim);
+    let mut r_rho = CMatrix::zeros(dim, dim);
+    let mut next = CMatrix::zeros(dim, dim);
+    let mut gemm = GemmScratch::new();
+    let mut iterations = 0;
+    let mut final_update = f64::INFINITY;
+    let mut accelerated_steps = 0usize;
+    match options.acceleration {
+        MleAcceleration::Classic => {
+            for _ in 0..options.max_iterations {
+                iterations += 1;
+                let _ll = build_r(&pairs, &rho, &mut r);
+                r.matmul_packed_into(&rho, &mut r_rho, &mut gemm);
+                r_rho.matmul_packed_into(&r, &mut next, &mut gemm);
+                let tr = next.trace().re;
+                if !(tr.is_finite() && tr > 0.0) {
+                    return Err(QfcError::SingularSystem {
+                        context: format!(
+                            "rank-1 RρR update annihilated the trace (tr = {tr}) \
+                             at iteration {iterations}"
+                        ),
+                    });
+                }
+                next.scale_in_place(1.0 / tr);
+                // RρR with Hermitian R, ρ is Hermitian up to round-off;
+                // mirroring the upper triangle makes every iterate
+                // *bitwise* Hermitian, which the rank-1 expectation
+                // kernel relies on (it never reads the lower half).
+                next.hermitianize_upper();
+                final_update = next.frobenius_distance(&rho);
+                if !final_update.is_finite() {
+                    return Err(QfcError::non_finite("rank-1 RρR update norm"));
+                }
+                std::mem::swap(&mut rho, &mut next);
+                if final_update < options.tolerance {
+                    break;
+                }
+            }
+        }
+        MleAcceleration::Accelerated { max_step, growth } => {
+            if !(max_step >= 1.0 && max_step.is_finite() && growth >= 1.0 && growth.is_finite()) {
+                return Err(QfcError::invalid(format!(
+                    "accelerated MLE schedule needs finite max_step ≥ 1 and \
+                     growth ≥ 1 (got max_step = {max_step}, growth = {growth})"
+                )));
+            }
+            // Same likelihood-gated over-relaxation as the dense
+            // accelerated path (see reconstruct.rs for the schedule
+            // rationale); only the kernels underneath differ.
+            let fsum: f64 = pairs.iter().map(|&(_, f)| f).sum();
+            let mut prev = rho.clone();
+            let mut gamma = 1.0f64;
+            let mut ll_prev = f64::NEG_INFINITY;
+            let mut update_prev = f64::INFINITY;
+            for _ in 0..options.max_iterations {
+                iterations += 1;
+                let mut ll = build_r(&pairs, &rho, &mut r);
+                if ll + 1e-12 * ll.abs().max(1.0) < ll_prev {
+                    // Overshot the likelihood ridge: restore the parent
+                    // iterate, rebuild R there, and step classically.
+                    std::mem::swap(&mut rho, &mut prev);
+                    gamma = 1.0;
+                    ll = build_r(&pairs, &rho, &mut r);
+                }
+                ll_prev = ll;
+                if gamma > 1.0 {
+                    accelerated_steps += 1;
+                    r.scale_in_place(1.0 / fsum);
+                    r.lerp_identity_in_place(gamma);
+                }
+                prev.copy_from(&rho);
+                r.matmul_packed_into(&rho, &mut r_rho, &mut gemm);
+                r_rho.matmul_packed_into(&r, &mut next, &mut gemm);
+                let tr = next.trace().re;
+                if !(tr.is_finite() && tr > 0.0) {
+                    return Err(QfcError::SingularSystem {
+                        context: format!(
+                            "rank-1 accelerated RρR update annihilated the trace \
+                             (tr = {tr}) at iteration {iterations}"
+                        ),
+                    });
+                }
+                next.scale_in_place(1.0 / tr);
+                // RρR with Hermitian R, ρ is Hermitian up to round-off;
+                // mirroring the upper triangle makes every iterate
+                // *bitwise* Hermitian, which the rank-1 expectation
+                // kernel relies on (it never reads the lower half).
+                next.hermitianize_upper();
+                final_update = next.frobenius_distance(&rho);
+                if !final_update.is_finite() {
+                    return Err(QfcError::non_finite("rank-1 accelerated RρR update norm"));
+                }
+                std::mem::swap(&mut rho, &mut next);
+                let residual = final_update / gamma;
+                if residual > update_prev || residual < options.tolerance {
+                    gamma = 1.0;
+                } else {
+                    gamma = (gamma * growth).min(max_step);
+                }
+                update_prev = residual;
+                if final_update < options.tolerance {
+                    break;
+                }
+            }
+            qfc_obs::counter_add(
+                "mle_rank1_accelerated_steps",
+                cast::usize_to_u64(accelerated_steps),
+            );
+        }
+    }
+    qfc_obs::counter_add("mle_rank1_iterations", cast::usize_to_u64(iterations));
+    // Numerical cleanup: symmetrize and clip round-off negativity.
+    let herm = CMatrix::from_fn(dim, dim, |i, j| {
+        (rho[(i, j)] + rho[(j, i)].conj()).scale(0.5)
+    });
+    let rho = try_project_physical(&herm)?;
+    Ok(MleResult {
+        rho,
+        iterations,
+        converged: final_update < options.tolerance,
+        final_update,
+        accelerated_steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::exact_counts;
+    use crate::settings::{all_settings, ProjectorSet};
+    use qfc_quantum::bell::werner_state;
+    use qfc_quantum::fidelity::state_fidelity;
+
+    #[test]
+    fn rank1_set_matches_dense_projectors() {
+        let settings = all_settings(2);
+        let set = ProjectorReprSet::try_rank1_from_settings(&settings).expect("build");
+        let dense = ProjectorSet::new(&settings);
+        assert_eq!(set.dim(), 4);
+        assert_eq!(set.settings(), 9);
+        for s in 0..settings.len() {
+            assert_eq!(set.outcomes(s), 4);
+            for o in 0..4 {
+                let outer = set.repr(s, o).to_dense_matrix();
+                assert!(
+                    outer.approx_eq(dense.projector(s, o), 1e-13),
+                    "setting {s} outcome {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_set_rejects_empty_and_mixed_arity() {
+        assert!(matches!(
+            ProjectorReprSet::try_rank1_from_settings(&[]).unwrap_err(),
+            QfcError::InsufficientData { .. }
+        ));
+        use crate::settings::PauliBasis;
+        let mixed = [
+            Setting::from_bases(&[PauliBasis::Z]),
+            Setting::from_bases(&[PauliBasis::Z, PauliBasis::X]),
+        ];
+        assert!(matches!(
+            ProjectorReprSet::try_rank1_from_settings(&mixed).unwrap_err(),
+            QfcError::InvalidParameter { .. }
+        ));
+    }
+
+    #[test]
+    fn bases_set_rejects_non_unitary() {
+        let bad = CMatrix::from_real_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        assert!(matches!(
+            ProjectorReprSet::try_rank1_from_bases(&[bad]).unwrap_err(),
+            QfcError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            ProjectorReprSet::try_rank1_from_bases(&[]).unwrap_err(),
+            QfcError::InsufficientData { .. }
+        ));
+    }
+
+    #[test]
+    fn deterministic_bases_are_unitary_and_reproducible() {
+        for dim in [2, 5, 16] {
+            let bases = deterministic_bases(dim, 4, 99).expect("bases");
+            assert_eq!(bases.len(), 4);
+            assert!(bases[0].approx_eq(&CMatrix::identity(dim), 0.0));
+            for (b, u) in bases.iter().enumerate() {
+                assert!(u.is_unitary(1e-10), "dim {dim} basis {b}");
+            }
+            let again = deterministic_bases(dim, 4, 99).expect("bases");
+            for (u, v) in bases.iter().zip(&again) {
+                assert!(u.approx_eq(v, 0.0));
+            }
+        }
+        assert!(deterministic_bases(1, 3, 0).is_err());
+        assert!(deterministic_bases(4, 0, 0).is_err());
+    }
+
+    #[test]
+    fn synthetic_state_is_physical_low_rank() {
+        let rho = synthetic_low_rank_state(16, 3, 7).expect("state");
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!(rho.is_hermitian(1e-12));
+        // Positive semidefinite: ⟨v|ρ|v⟩ ≥ 0 on probe vectors.
+        for salt in 0..4 {
+            let v = hashed_vector(16, 1000 + salt);
+            assert!(rho.sandwich(&v, &v).re > -1e-12);
+        }
+        // Rank ≤ 3: the state is CC† with C a sum of 3 outer products.
+        let eig = qfc_mathkit::hermitian::eigh(&rho);
+        let big = eig.eigenvalues.iter().filter(|&&x| x > 1e-9).count();
+        assert!(big <= 3, "rank {big}");
+        assert!(synthetic_low_rank_state(65, 1, 0).is_err());
+        assert!(synthetic_low_rank_state(8, 0, 0).is_err());
+    }
+
+    #[test]
+    fn exact_counts_repr_complete_per_basis() {
+        let rho = synthetic_low_rank_state(8, 2, 3).expect("state");
+        let bases = deterministic_bases(8, 3, 11).expect("bases");
+        let set = ProjectorReprSet::try_rank1_from_bases(&bases).expect("set");
+        let counts = exact_counts_repr(&rho, &set, 1_000_000).expect("counts");
+        // Each orthonormal basis resolves the identity, so every
+        // setting's probabilities sum to 1 up to rounding.
+        for row in &counts {
+            let total: u64 = row.iter().sum();
+            assert!(total.abs_diff(1_000_000) <= 4, "{total}");
+        }
+    }
+
+    #[test]
+    fn rank1_mle_agrees_with_classic_dense_on_qubits() {
+        let truth = werner_state(0.85, 0.1);
+        let settings = all_settings(2);
+        let data = exact_counts(&truth, &settings, 100_000);
+        let classic =
+            crate::reconstruct::try_mle_reconstruction(&data, &MleOptions::default())
+                .expect("classic");
+        let set = ProjectorReprSet::try_rank1_from_settings(&settings).expect("set");
+        let rank1 = try_mle_repr(&set, &data.counts, &MleOptions::default()).expect("rank1");
+        let f = state_fidelity(&classic.rho, &rank1.rho);
+        assert!(f > 0.9999, "classic vs rank-1 fidelity {f}");
+        assert!(rank1.converged);
+        let f_truth = state_fidelity(&rank1.rho, &truth);
+        assert!(f_truth > 0.999, "rank-1 vs truth fidelity {f_truth}");
+    }
+
+    #[test]
+    fn rank1_and_dense_repr_legs_agree() {
+        let rho = synthetic_low_rank_state(8, 2, 5).expect("state");
+        let bases = deterministic_bases(8, 9, 21).expect("bases");
+        let set = ProjectorReprSet::try_rank1_from_bases(&bases).expect("set");
+        let counts = exact_counts_repr(&rho, &set, 200_000).expect("counts");
+        let opts = MleOptions {
+            max_iterations: 150,
+            tolerance: 1e-9,
+            acceleration: MleAcceleration::accelerated(),
+        };
+        let fast = try_mle_repr(&set, &counts, &opts).expect("rank1 leg");
+        let dense = try_mle_repr(&set.to_dense(), &counts, &opts).expect("dense leg");
+        let f = state_fidelity(&fast.rho, &dense.rho);
+        assert!(f > 0.9999, "rank-1 vs dense-repr fidelity {f}");
+        let f_truth = state_fidelity(&fast.rho, &qfc_quantum::density::DensityMatrix::from_matrix(rho).expect("truth"));
+        assert!(f_truth > 0.99, "reconstruction vs truth fidelity {f_truth}");
+    }
+
+    #[test]
+    fn rank1_mle_thread_invariant() {
+        let rho = synthetic_low_rank_state(16, 2, 9).expect("state");
+        let bases = deterministic_bases(16, 6, 31).expect("bases");
+        let set = ProjectorReprSet::try_rank1_from_bases(&bases).expect("set");
+        let counts = exact_counts_repr(&rho, &set, 100_000).expect("counts");
+        let opts = MleOptions {
+            max_iterations: 25,
+            ..MleOptions::default()
+        };
+        let one = qfc_runtime::with_threads(1, || try_mle_repr(&set, &counts, &opts))
+            .expect("1 thread");
+        let three = qfc_runtime::with_threads(3, || try_mle_repr(&set, &counts, &opts))
+            .expect("3 threads");
+        assert_eq!(one.iterations, three.iterations);
+        assert_eq!(one.final_update.to_bits(), three.final_update.to_bits());
+        let a = one.rho.as_matrix().as_slice();
+        let b = three.rho.as_matrix().as_slice();
+        assert!(a
+            .iter()
+            .zip(b)
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits()));
+    }
+
+    #[test]
+    fn rank1_mle_rejects_degenerate_inputs() {
+        let bases = deterministic_bases(8, 2, 1).expect("bases");
+        let set = ProjectorReprSet::try_rank1_from_bases(&bases).expect("set");
+        // All-dark data.
+        let dark = vec![vec![0u64; 8]; 2];
+        assert!(matches!(
+            try_mle_repr(&set, &dark, &MleOptions::default()).unwrap_err(),
+            QfcError::SingularSystem { .. }
+        ));
+        // Malformed count table.
+        let short = vec![vec![1u64; 8]];
+        assert!(matches!(
+            try_mle_repr(&set, &short, &MleOptions::default()).unwrap_err(),
+            QfcError::InvalidParameter { .. }
+        ));
+        // Non-power-of-two dimension.
+        let b3 = deterministic_bases(3, 2, 1).expect("bases");
+        let s3 = ProjectorReprSet::try_rank1_from_bases(&b3).expect("set");
+        let c3 = vec![vec![1u64; 3]; 2];
+        let err = try_mle_repr(&s3, &c3, &MleOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("power of two"), "{err}");
+    }
+}

@@ -100,6 +100,26 @@ impl Setting {
         acc.unwrap_or_else(|| unreachable!("setting has at least one qubit")) // qfc-lint: allow(panic-reachability) — invariant: Setting construction requires at least one qubit
     }
 
+    /// Outcome eigenvector `|ψ_o⟩ = ⊗_q |b_q, bit_q(o)⟩` — the rank-1
+    /// factor of [`Self::outcome_projector`], which equals
+    /// `|ψ_o⟩⟨ψ_o|` (to rounding; the projector path associates its
+    /// products differently). The rank-1 tomography path stores these
+    /// `d`-vectors instead of the `d × d` outer products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range.
+    pub fn outcome_vector(&self, o: usize) -> CVector {
+        let n = self.0.len();
+        assert!(o < self.outcomes(), "outcome index out of range");
+        let mut acc = CVector::from_vec(vec![C_ONE]);
+        for (q, basis) in self.0.iter().enumerate() {
+            let bit = u8::from((o >> (n - 1 - q)) & 1 == 1);
+            acc = acc.kron(&basis.eigenstate(bit));
+        }
+        acc
+    }
+
     /// Eigenvalue product `Πq (±1)` of outcome `o` over the qubits in
     /// `mask` (bit set = qubit participates).
     pub fn outcome_sign(&self, o: usize, mask: usize) -> f64 {
@@ -263,6 +283,27 @@ mod tests {
             sum = &sum + &s.outcome_projector(o);
         }
         assert!(sum.approx_eq(&CMatrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn outcome_vectors_factor_projectors() {
+        let s = Setting(vec![PauliBasis::X, PauliBasis::Y]);
+        for o in 0..s.outcomes() {
+            let v = s.outcome_vector(o);
+            assert!((v.norm() - 1.0).abs() < 1e-14, "outcome {o} not normalized");
+            let outer = CMatrix::outer(&v, &v);
+            assert!(
+                outer.approx_eq(&s.outcome_projector(o), 1e-13),
+                "outcome {o}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outcome index")]
+    fn outcome_vector_out_of_range() {
+        let s = Setting(vec![PauliBasis::Z]);
+        let _ = s.outcome_vector(2);
     }
 
     #[test]

@@ -189,14 +189,23 @@ pub fn try_stream_counts_seeded(
         )));
     }
     let indexed: Vec<usize> = (0..settings.len()).collect();
-    let histograms = qfc_runtime::par_map(&indexed, |&s| {
+    let histogram = |s: usize| {
         setting_histogram(
             rho,
             &settings[s],
             shots_per_setting,
             split_seed(seed, cast::usize_to_u64(s)),
         )
-    });
+    };
+    // Same serial-below-grain rule as `simulate_counts_seeded`: tiny
+    // jobs pay more for pool dispatch than for the sampling itself,
+    // and the per-setting streams make serial and parallel runs
+    // byte-identical anyway.
+    let histograms = if shots_per_setting < crate::counts::PAR_MIN_SHOTS_PER_SETTING {
+        indexed.iter().map(|&s| histogram(s)).collect::<Vec<_>>()
+    } else {
+        qfc_runtime::par_map(&indexed, |&s| histogram(s))
+    };
     for (s, histogram) in histograms.iter().enumerate() {
         acc.absorb_histogram(s, histogram)?;
     }

@@ -19,6 +19,10 @@ use qfc::quantum::bell::{bell_phi_plus, werner_state};
 use qfc::quantum::fidelity::fidelity_with_pure;
 use qfc::tomography::bootstrap::bootstrap_functional;
 use qfc::tomography::counts::simulate_counts_seeded;
+use qfc::tomography::rank1::{
+    deterministic_bases, exact_counts_repr, synthetic_low_rank_state, try_mle_repr,
+    ProjectorReprSet,
+};
 use qfc::tomography::reconstruct::{mle_reconstruction, MleOptions};
 use qfc::tomography::settings::all_settings;
 
@@ -50,6 +54,22 @@ fn main() {
     // MLE RρR reconstruction of those counts.
     let mle = mle_reconstruction(&data, &MleOptions::default());
     write_fixture(&dir, "mle_reconstruction.json", &serde_json::to_string(&mle).expect("json"));
+
+    // Rank-1 + packed-GEMM qudit MLE (the large-d fast path). This is a
+    // *new* path pinning its *own* baseline — deterministic and bitwise
+    // thread-invariant, but intentionally not byte-comparable to the
+    // classic dense fixture above.
+    let qudit_truth = synthetic_low_rank_state(8, 2, 5).expect("synthetic state");
+    let qudit_bases = deterministic_bases(8, 9, 21).expect("bases");
+    let qudit_set = ProjectorReprSet::try_rank1_from_bases(&qudit_bases).expect("set");
+    let qudit_counts = exact_counts_repr(&qudit_truth, &qudit_set, 200_000).expect("counts");
+    let qudit_opts = MleOptions {
+        max_iterations: 60,
+        tolerance: 1e-9,
+        ..MleOptions::default()
+    };
+    let qudit = try_mle_repr(&qudit_set, &qudit_counts, &qudit_opts).expect("rank-1 MLE");
+    write_fixture(&dir, "qudit_mle_rank1.json", &serde_json::to_string(&qudit).expect("json"));
 
     // Bootstrap error bar over MLE re-reconstructions (resampling + MLE).
     let target = bell_phi_plus();

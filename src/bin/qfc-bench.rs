@@ -4,6 +4,7 @@
 //! ```text
 //! qfc-bench [--threads N] [--smoke] [--out PATH]
 //!           [--check-baseline PATH] [--max-slowdown F]
+//!           [--scaling N1,N2,...]
 //! ```
 //!
 //! Every workload runs twice through the same code path: once pinned to a
@@ -46,7 +47,16 @@
 //! interleaved best-of-3, both legs pinned to one worker so the ratio
 //! isolates the kernel — and record the pair in the
 //! `scalar_best_ms`/`batch_best_ms`/`batch_speedup` columns (null for
-//! the Monte-Carlo workloads, which have no scalar/batch split).
+//! the Monte-Carlo workloads, which have no scalar/batch split). The
+//! two qudit MLE workloads (`qudit-mle-16`, `qudit-mle-64`) reuse the
+//! same columns for their dense-representation classic leg vs the
+//! rank-1 + packed-GEMM fast path of the same reconstruction driver.
+//!
+//! `--scaling N1,N2,...` re-times every workload's parallel leg at each
+//! listed thread count and records the curve in the per-workload
+//! `scaling` column (ROADMAP "real thread-scaling validation"). On an
+//! unvalidated host (single CPU or `--threads 1`) the profile is
+//! skipped with a warning — the curve would be scheduling noise.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -74,6 +84,10 @@ use qfc::timetag::coincidence::cross_correlation_histogram;
 use qfc::timetag::hbt::poissonian_stream;
 use qfc::tomography::bootstrap::bootstrap_functional;
 use qfc::tomography::counts::simulate_counts_seeded;
+use qfc::tomography::rank1::{
+    deterministic_bases, exact_counts_repr, synthetic_low_rank_state, try_mle_repr,
+    ProjectorReprSet,
+};
 use qfc::tomography::reconstruct::{
     mle_reconstruction, try_mle_reconstruction, MleAcceleration, MleOptions,
 };
@@ -173,6 +187,20 @@ struct WorkloadRow {
     /// `scalar_best_ms / batch_best_ms` — the single-thread speedup of
     /// the batch layer over the scalar loop.
     batch_speedup: Option<f64>,
+    /// Thread-scaling curve from `--scaling N1,N2,...` (null when the
+    /// profile was not requested or the host cannot validate scaling).
+    scaling: Option<Vec<ScalingPoint>>,
+}
+
+/// One point of a `--scaling` thread-scaling curve.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScalingPoint {
+    /// Worker count this point ran with.
+    threads: usize,
+    /// Wall time of the workload at that worker count.
+    wall_ms: f64,
+    /// `serial_ms / wall_ms` against the same run's serial leg.
+    speedup: f64,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -221,6 +249,7 @@ fn bench_workload(
     threads: usize,
     shots: u64,
     unvalidated: bool,
+    scaling: &[usize],
     f: impl Fn() -> String + Sync,
 ) -> WorkloadRow {
     reset_peak();
@@ -229,7 +258,27 @@ fn bench_workload(
     let after = alloc_snapshot();
     let peak = PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(before.live);
     let (parallel_ms, parallel_out) = time_ms(|| qfc::runtime::with_threads(threads, &f));
-    let identical = serial_out == parallel_out;
+    let mut identical = serial_out == parallel_out;
+    // Thread-scaling curve: one extra timed leg per requested worker
+    // count, each cross-checked against the serial bytes (determinism
+    // must hold at *every* point on the curve, not just the two legs).
+    let scaling_points = if scaling.is_empty() {
+        None
+    } else {
+        let points = scaling
+            .iter()
+            .map(|&n| {
+                let (wall_ms, out) = time_ms(|| qfc::runtime::with_threads(n, &f));
+                identical &= out == serial_out;
+                ScalingPoint {
+                    threads: n,
+                    wall_ms,
+                    speedup: serial_ms / wall_ms,
+                }
+            })
+            .collect::<Vec<_>>();
+        Some(points)
+    };
     let row = WorkloadRow {
         name: name.to_owned(),
         shots,
@@ -244,6 +293,7 @@ fn bench_workload(
         scalar_best_ms: None,
         batch_best_ms: None,
         batch_speedup: None,
+        scaling: scaling_points,
     };
     // A single-CPU host (or --threads 1) cannot validate scaling; quoting
     // a speedup factor there is noise dressed up as signal.
@@ -264,6 +314,13 @@ fn bench_workload(
         row.allocs_serial,
         row.identical
     );
+    if let Some(points) = &row.scaling {
+        let mut curve = String::new();
+        for p in points {
+            curve.push_str(&format!(" {}t {:.1} ms ({:.2}x)", p.threads, p.wall_ms, p.speedup));
+        }
+        eprintln!("{:<24} scaling:{curve}", "");
+    }
     row
 }
 
@@ -286,9 +343,28 @@ fn interleaved_best3(scalar: impl Fn() -> f64, batch: impl Fn() -> f64) -> (f64,
     (best_scalar, best_batch)
 }
 
-fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> BenchReport {
+fn run(
+    requested: usize,
+    threads: usize,
+    host_cpus: usize,
+    smoke: bool,
+    scaling: &[usize],
+) -> BenchReport {
     let mut workloads = Vec::new();
     let unvalidated = host_cpus == 1 || threads == 1;
+    // A host that cannot validate scaling cannot produce a meaningful
+    // scaling *curve* either — skip the profile rather than record
+    // scheduling noise as data.
+    let scaling: &[usize] = if unvalidated && !scaling.is_empty() {
+        eprintln!(
+            "warning: --scaling skipped — parallel leg unvalidated \
+             (host_cpus = {host_cpus}, threads = {threads}), the curve would be \
+             scheduling noise"
+        );
+        &[]
+    } else {
+        scaling
+    };
 
     // §II heralded-photon experiment: per-channel tag generation +
     // detection, F1 coincidence matrix, F2 linewidth histogram.
@@ -303,7 +379,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
             cfg.linewidth_pairs = 40_000;
         }
         let shots = cfg.linewidth_pairs as u64;
-        workloads.push(bench_workload("heralded", threads, shots, unvalidated, || {
+        workloads.push(bench_workload("heralded", threads, shots, unvalidated, scaling, || {
             let report = run_heralded_experiment(&source, &cfg, 7);
             serde_json::to_string(&report).expect("report serializes")
         }));
@@ -321,7 +397,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
             .map(|k| k as f64 * std::f64::consts::TAU / steps as f64)
             .collect();
         let shots = cfg.frames_per_point * phases.len() as u64;
-        workloads.push(bench_workload("timebin-event-mc", threads, shots, unvalidated, || {
+        workloads.push(bench_workload("timebin-event-mc", threads, shots, unvalidated, scaling, || {
             let scan = run_timebin_event_mc(&source, &cfg, 1, &phases, 11);
             serde_json::to_string(&scan).expect("scan serializes")
         }));
@@ -334,7 +410,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let mut cfg = MultiPhotonConfig::fast_demo();
         cfg.four_shots_per_setting = if smoke { 40 } else { 20_000 };
         let shots = cfg.four_shots_per_setting * 81;
-        workloads.push(bench_workload("four-photon-tomography", threads, shots, unvalidated, || {
+        workloads.push(bench_workload("four-photon-tomography", threads, shots, unvalidated, scaling, || {
             let tomo = run_four_photon_tomography(&source, &cfg, 13);
             serde_json::to_string(&tomo).expect("tomography serializes")
         }));
@@ -354,7 +430,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
             ..MleOptions::default()
         };
         let shots = shots_per_setting * settings.len() as u64;
-        workloads.push(bench_workload("streaming-tomography", threads, shots, unvalidated, || {
+        workloads.push(bench_workload("streaming-tomography", threads, shots, unvalidated, scaling, || {
             let data = try_stream_counts_seeded(&rho4, &settings, shots_per_setting, 29)
                 .expect("four-photon settings are valid");
             let mle = try_mle_reconstruction(&data, &opts).expect("streamed data reconstructs");
@@ -372,7 +448,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let data = simulate_counts_seeded(&truth, &settings, shots_per_setting, 17);
         let target = bell_phi_plus();
         let shots = replicas as u64 * data.settings.len() as u64 * shots_per_setting;
-        workloads.push(bench_workload("bootstrap-mle", threads, shots, unvalidated, || {
+        workloads.push(bench_workload("bootstrap-mle", threads, shots, unvalidated, scaling, || {
             let est = bootstrap_functional(
                 17,
                 &data,
@@ -402,7 +478,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let dir = std::path::PathBuf::from("target/tmp/qfc-bench-campaign");
         let shots =
             cfg.frames_per_point * (cfg.phase_steps as u64 + 16) * u64::from(cfg.channels);
-        workloads.push(bench_workload("campaign-checkpoint", threads, shots, unvalidated, || {
+        workloads.push(bench_workload("campaign-checkpoint", threads, shots, unvalidated, scaling, || {
             let _ = std::fs::remove_dir_all(&dir);
             let workload = TimeBinCampaign {
                 source: &source,
@@ -429,7 +505,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let a = poissonian_stream(&mut rng, 200_000.0, duration_s);
         let b = poissonian_stream(&mut rng, 200_000.0, duration_s);
         let shots = (a.len() + b.len()) as u64;
-        workloads.push(bench_workload("coincidence-histogram", threads, shots, unvalidated, || {
+        workloads.push(bench_workload("coincidence-histogram", threads, shots, unvalidated, scaling, || {
             let hist = cross_correlation_histogram(&a, &b, 100_000, 50);
             serde_json::to_string(&hist).expect("histogram serializes")
         }));
@@ -453,7 +529,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
             })
             .collect();
         let shots = (channels.len() * per_channel) as u64;
-        let mut row = bench_workload("ring-dispersion-sweep", threads, shots, unvalidated, || {
+        let mut row = bench_workload("ring-dispersion-sweep", threads, shots, unvalidated, scaling, || {
             let mut buf = BatchBuffers::new();
             let sums: Vec<f64> = channels
                 .iter()
@@ -507,7 +583,7 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
         let n = if smoke { 8192usize } else { 400_000 };
         let grid = SweepGrid::linspace(0.05 * p_th, 3.0 * p_th, n);
         let shots = n as u64;
-        let mut row = bench_workload("opo-threshold-sweep", threads, shots, unvalidated, || {
+        let mut row = bench_workload("opo-threshold-sweep", threads, shots, unvalidated, scaling, || {
             let mut buf = BatchBuffers::new();
             sweep::opo_transfer_batch(&ring, &grid, &mut buf);
             let v = buf.values();
@@ -536,6 +612,67 @@ fn run(requested: usize, threads: usize, host_cpus: usize, smoke: bool) -> Bench
             "{:<24} batch vs scalar (interleaved best-of-3, 1 thread): \
              {batch_best:.1} ms vs {scalar_best:.1} ms = {:.1}x",
             "", scalar_best / batch_best
+        );
+        workloads.push(row);
+    }
+
+    // Large-d qudit MLE tomography (the frequency-bin qudit direction):
+    // a synthetic low-rank d-level state measured in deterministic
+    // orthonormal bases with exact ("infinite statistics") counts, then
+    // reconstructed end to end with the rank-1 + packed-GEMM fast path.
+    // The main legs time the parallel expectation sweep; the extra
+    // interleaved pass pits the dense-representation classic leg
+    // (materialized d×d projectors, trace_of_product expectations,
+    // add_scaled_assign R-build — the classic path's kernels) against
+    // the rank-1 representation of the *same* driver, both pinned to
+    // one worker, reusing the scalar/batch columns.
+    for &(name, dim, rank) in &[("qudit-mle-16", 16usize, 3usize), ("qudit-mle-64", 64, 4)] {
+        let n_bases = match (smoke, dim) {
+            (true, 16) => 5,
+            (true, _) => 4,
+            (false, 16) => 17,
+            (false, _) => 16,
+        };
+        let max_iterations = match (smoke, dim) {
+            (true, 16) => 40,
+            (true, _) => 12,
+            (false, 16) => 200,
+            (false, _) => 120,
+        };
+        let rho = synthetic_low_rank_state(dim, rank, 41).expect("qudit dims are supported");
+        let bases = deterministic_bases(dim, n_bases, 77).expect("bases orthonormalize");
+        let set = ProjectorReprSet::try_rank1_from_bases(&bases).expect("bases are unitary");
+        let dense_set = set.to_dense();
+        let counts = exact_counts_repr(&rho, &set, 1_000_000).expect("state matches set");
+        let opts = MleOptions {
+            max_iterations,
+            tolerance: 1e-10,
+            acceleration: MleAcceleration::accelerated(),
+        };
+        let shots: u64 = counts.iter().map(|row| row.iter().sum::<u64>()).sum();
+        let mut row = bench_workload(name, threads, shots, unvalidated, scaling, || {
+            let mle = try_mle_repr(&set, &counts, &opts).expect("qudit data reconstructs");
+            serde_json::to_string(&mle).expect("result serializes")
+        });
+        let (dense_best, rank1_best) = interleaved_best3(
+            || {
+                let mle =
+                    try_mle_repr(&dense_set, &counts, &opts).expect("dense leg reconstructs");
+                mle.final_update
+            },
+            || {
+                let mle = try_mle_repr(&set, &counts, &opts).expect("rank-1 leg reconstructs");
+                mle.final_update
+            },
+        );
+        row.scalar_best_ms = Some(dense_best);
+        row.batch_best_ms = Some(rank1_best);
+        row.batch_speedup = Some(dense_best / rank1_best);
+        eprintln!(
+            "{:<24} rank-1 vs dense (interleaved best-of-3, 1 thread): \
+             {rank1_best:.1} ms vs {dense_best:.1} ms = {:.1}x",
+            "",
+            dense_best / rank1_best
         );
         workloads.push(row);
     }
@@ -651,6 +788,21 @@ fn check_against_baseline(
                     row.name, row.parallel_ms, plimit_ms, base.parallel_ms
                 ));
             }
+            // Four-photon tomography once shipped a parallel leg *slower*
+            // than serial (0.92x — shard dispatch swamping a too-small
+            // grain). The grain fallback fixed it; this gate keeps it
+            // fixed: on a validated host the parallel leg must not lose
+            // to serial by more than the wall-noise slack (speedup ≥ 1.0
+            // up to timer noise).
+            if row.name == "four-photon-tomography"
+                && row.parallel_ms > row.serial_ms + WALL_SLACK_MS
+            {
+                failures.push(format!(
+                    "{}: parallel leg slower than serial ({:.1} ms vs {:.1} ms, \
+                     speedup {:.2}x < 1.0) — the per-setting grain fallback regressed",
+                    row.name, row.parallel_ms, row.serial_ms, row.speedup
+                ));
+            }
         }
     }
     failures
@@ -662,6 +814,7 @@ fn main() -> ExitCode {
     let mut out = String::from("BENCH_parallel.json");
     let mut baseline_path: Option<String> = None;
     let mut max_slowdown = 4.0f64;
+    let mut scaling: Vec<usize> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -695,10 +848,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--scaling" => {
+                let parsed: Option<Vec<usize>> = it.next().and_then(|s| {
+                    s.split(',')
+                        .map(|t| t.trim().parse::<usize>().ok().filter(|&n| n >= 1))
+                        .collect()
+                });
+                match parsed {
+                    Some(list) if !list.is_empty() => scaling = list,
+                    _ => {
+                        eprintln!(
+                            "--scaling needs a comma-separated list of positive \
+                             thread counts, e.g. --scaling 1,2,4,8"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: qfc-bench [--threads N] [--smoke] [--out PATH] \
-                     [--check-baseline PATH] [--max-slowdown F]"
+                     [--check-baseline PATH] [--max-slowdown F] [--scaling N1,N2,...]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -737,7 +907,7 @@ fn main() -> ExitCode {
     };
 
     let collector = qfc::obs::Collector::new();
-    let report = collector.install(|| run(requested, threads, host_cpus, smoke));
+    let report = collector.install(|| run(requested, threads, host_cpus, smoke, &scaling));
     if report.workloads.iter().any(|w| !w.identical) {
         eprintln!("FAIL: serial and parallel outputs differ");
         return ExitCode::FAILURE;

@@ -20,6 +20,10 @@ use qfc::quantum::bell::{bell_phi_plus, werner_state};
 use qfc::quantum::fidelity::fidelity_with_pure;
 use qfc::tomography::bootstrap::bootstrap_functional;
 use qfc::tomography::counts::simulate_counts_seeded;
+use qfc::tomography::rank1::{
+    deterministic_bases, exact_counts_repr, synthetic_low_rank_state, try_mle_repr,
+    ProjectorReprSet,
+};
 use qfc::tomography::reconstruct::{mle_reconstruction, MleOptions};
 use qfc::tomography::settings::all_settings;
 
@@ -105,6 +109,39 @@ fn bootstrap_mle_matches_pre_rework_bytes() {
         "bootstrap_mle.json",
         &serde_json::to_string(&boot).expect("json"),
     );
+}
+
+/// The `qudit_mle_rank1.json` reconstruction: the rank-1 + packed-GEMM
+/// fast path's own pinned baseline (it is a new path, deliberately not
+/// byte-comparable to the classic dense fixture).
+fn qudit_rank1_json() -> String {
+    let truth = synthetic_low_rank_state(8, 2, 5).expect("synthetic state");
+    let bases = deterministic_bases(8, 9, 21).expect("bases");
+    let set = ProjectorReprSet::try_rank1_from_bases(&bases).expect("set");
+    let counts = exact_counts_repr(&truth, &set, 200_000).expect("counts");
+    let opts = MleOptions {
+        max_iterations: 60,
+        tolerance: 1e-9,
+        ..MleOptions::default()
+    };
+    let mle = try_mle_repr(&set, &counts, &opts).expect("rank-1 MLE");
+    serde_json::to_string(&mle).expect("json")
+}
+
+#[test]
+fn qudit_rank1_mle_matches_pinned_bytes() {
+    assert_bytes_match("qudit_mle_rank1.json", &qudit_rank1_json());
+}
+
+#[test]
+fn qudit_rank1_mle_bytes_invariant_across_thread_counts() {
+    // The parallel expectation sweep merges fixed-size chunks in
+    // chunk-index order, so the reconstruction must replay the pinned
+    // golden byte-for-byte at *any* worker count.
+    for threads in [1usize, 4, 8] {
+        let json = qfc::runtime::with_threads(threads, qudit_rank1_json);
+        assert_bytes_match("qudit_mle_rank1.json", &json);
+    }
 }
 
 #[test]
